@@ -1,0 +1,44 @@
+//! # sparseloop-arch
+//!
+//! Architecture specification (Sparseloop §5.1, Fig. 6).
+//!
+//! An [`Architecture`] is an ordered hierarchy of storage levels —
+//! outermost (e.g. DRAM / Backing Storage) first — above a spatial array
+//! of compute units. Each storage level carries the hardware attributes
+//! the three modeling steps consume: capacity, word width, bandwidth,
+//! spatial instance count, and a technology class the energy backend maps
+//! to per-action energies.
+//!
+//! Specifications are plain serde data structures, so the YAML interface
+//! the paper's artifact uses comes for free:
+//!
+//! ```
+//! use sparseloop_arch::Architecture;
+//! let yaml = r#"
+//! name: tiny
+//! levels:
+//!   - name: BackingStorage
+//!     class: dram
+//!     word_bits: 16
+//!   - name: Buffer
+//!     class: sram
+//!     capacity_words: 1024
+//!     word_bits: 16
+//!     instances: 4
+//!     bandwidth_words_per_cycle: 2.0
+//! compute:
+//!   name: MAC
+//!   instances: 4
+//!   datawidth: 16
+//! "#;
+//! let arch: Architecture = serde_yaml::from_str(yaml).unwrap();
+//! arch.validate().unwrap();
+//! assert_eq!(arch.levels().len(), 2);
+//! ```
+
+pub mod spec;
+
+pub use spec::{
+    Architecture, ArchitectureBuilder, ArchitectureError, ComponentClass, ComputeSpec, LevelId,
+    StorageLevel,
+};

@@ -1,0 +1,26 @@
+//! Criterion bench: density-model query throughput (the hot inner loop
+//! of the gating/skipping analyzer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparseloop_density::{Banded, DensityModel, FixedStructured, Uniform};
+
+fn bench_density(c: &mut Criterion) {
+    let uni = Uniform::new(vec![1024, 1024], 0.3);
+    c.bench_function("uniform_occupancy_16x16", |b| {
+        b.iter(|| uni.occupancy(&[16, 16]))
+    });
+    c.bench_function("uniform_distribution_8x8", |b| {
+        b.iter(|| uni.occupancy_distribution(&[8, 8]))
+    });
+    let fs = FixedStructured::new(vec![256, 256], 2, 4, 1);
+    c.bench_function("structured_occupancy_4x8", |b| {
+        b.iter(|| fs.occupancy(&[4, 8]))
+    });
+    let band = Banded::new(512, 512, 8, 0.9);
+    c.bench_function("banded_occupancy_16x16", |b| {
+        b.iter(|| band.occupancy(&[16, 16]))
+    });
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: analytical model evaluation throughput per design —
+//! the timing basis behind Table 5's CPHC numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparseloop_designs::common::{conv_mapspace, matmul_mapping_2level};
+use sparseloop_designs::{eyeriss, eyeriss_v2, fig1, scnn};
+use sparseloop_workloads::{alexnet, spmspm};
+
+fn bench_designs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluate_layer");
+    // matmul evaluation with a fixed mapping (pure model throughput)
+    let layer = spmspm(64, 64, 64, 0.25, 0.25);
+    let mapping = matmul_mapping_2level(&layer.einsum, 16, 8);
+    let dp = fig1::coordinate_list_design(&layer.einsum);
+    g.bench_function("fig1_coordlist_matmul64", |b| {
+        b.iter(|| dp.evaluate(&layer, &mapping).unwrap())
+    });
+    // conv evaluations (single fixed mapping found once per design)
+    let conv = alexnet().layers[2].clone();
+    for (name, dp, lvl) in [
+        ("eyeriss_conv3", eyeriss::design(&conv.einsum), 2usize),
+        ("eyerissv2_conv3", eyeriss_v2::design(&conv.einsum), 0),
+        ("scnn_conv3", scnn::design(&conv.einsum), 2),
+    ] {
+        let space = conv_mapspace(&conv.einsum, &dp.arch, lvl);
+        if let Some((mapping, _)) = dp.search(&conv, &space) {
+            g.bench_with_input(BenchmarkId::new("conv", name), &mapping, |b, m| {
+                b.iter(|| dp.evaluate(&conv, m).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench: format analyzer and actual-data encoders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparseloop_density::Uniform;
+use sparseloop_format::encode::{rle_decode, rle_encode};
+use sparseloop_format::TensorFormat;
+
+fn bench_format(c: &mut Criterion) {
+    let model = Uniform::new(vec![256, 256], 0.2);
+    for fmt in [TensorFormat::csr(), TensorFormat::coo(2), TensorFormat::b_rle()] {
+        let name = format!("analyze_{fmt}");
+        c.bench_function(&name, |b| b.iter(|| fmt.analyze(&[64, 64], &model)));
+    }
+    let values: Vec<f64> = (0..4096)
+        .map(|i| if i % 7 == 0 { i as f64 } else { 0.0 })
+        .collect();
+    c.bench_function("rle_encode_4k", |b| b.iter(|| rle_encode(&values, 5)));
+    let enc = rle_encode(&values, 5);
+    c.bench_function("rle_decode_4k", |b| b.iter(|| rle_decode(&enc, values.len())));
+}
+
+criterion_group!(benches, bench_format);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: mapspace enumeration and mapper search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparseloop_core::{Model, Objective, Workload};
+use sparseloop_designs::fig1;
+use sparseloop_mapping::{factorizations, Mapper, Mapspace};
+use sparseloop_workloads::spmspm;
+
+fn bench_mapper(c: &mut Criterion) {
+    c.bench_function("factorizations_64_into_3", |b| {
+        b.iter(|| factorizations(64, 3, None))
+    });
+    let layer = spmspm(16, 16, 16, 0.5, 0.5);
+    let dp = fig1::bitmask_design(&layer.einsum);
+    let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+    c.bench_function("enumerate_200", |b| b.iter(|| space.enumerate(200)));
+    let model = Model::new(
+        Workload::new(layer.einsum.clone(), layer.densities.clone()),
+        dp.arch.clone(),
+        dp.safs.clone(),
+    );
+    c.bench_function("search_exhaustive_200", |b| {
+        b.iter(|| model.search(&space, Mapper::Exhaustive { limit: 200 }, Objective::Edp))
+    });
+}
+
+criterion_group!(benches, bench_mapper);
+criterion_main!(benches);

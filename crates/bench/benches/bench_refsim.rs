@@ -1,0 +1,42 @@
+//! Criterion bench: the per-element reference simulator — the slow
+//! baseline of the Table 5 speed comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparseloop_designs::common::matmul_mapping_2level;
+use sparseloop_designs::fig1;
+use sparseloop_refsim::RefSim;
+use sparseloop_tensor::einsum::TensorKind;
+use sparseloop_tensor::{point::Shape, SparseTensor};
+use sparseloop_workloads::spmspm;
+
+fn bench_refsim(c: &mut Criterion) {
+    let layer = spmspm(16, 16, 16, 0.25, 0.25);
+    let mapping = matmul_mapping_2level(&layer.einsum, 16, 4);
+    let dp = fig1::coordinate_list_design(&layer.einsum);
+    let mut rng = StdRng::seed_from_u64(1);
+    let tensors: Vec<SparseTensor> = layer
+        .einsum
+        .tensors()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let shape =
+                Shape::new(layer.einsum.tensor_shape(sparseloop_tensor::einsum::TensorId(i)));
+            if spec.kind == TensorKind::Output {
+                SparseTensor::from_triplets(shape, &[])
+            } else {
+                SparseTensor::gen_uniform(shape, 0.25, &mut rng)
+            }
+        })
+        .collect();
+    c.bench_function("refsim_matmul16", |b| {
+        b.iter(|| {
+            RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run()
+        })
+    });
+}
+
+criterion_group!(benches, bench_refsim);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 16: bandwidth required (relative to weights) for ideal speedup at
+//! 2:4 / 2:6 / 2:8 structured sparsity, for each operand and its
+//! metadata. Uncompressed inputs need m/2 x the weight bandwidth; CP
+//! metadata needs ceil(log2(m)) bits per nonzero, RLE fewer for 2:6.
+
+use sparseloop_bench::{header, row};
+
+fn main() {
+    println!("== Fig 16: bandwidth requirements for ideal speedup (relative to 1x = nonzero weights) ==\n");
+    header(&["ratio", "weights", "inputs", "CP meta(bits)", "RLE meta(bits)", "B meta(bits)"]);
+    for m in [4u64, 6, 8] {
+        let weights = 1.0;
+        let inputs = m as f64 / 2.0;
+        // per nonzero weight: CP offset within block
+        let cp_bits = (64 - (m - 1).leading_zeros()) as f64;
+        // RLE: run within block; max useful run m-2 for 2:m
+        let rle_bits = (64 - (m - 2).max(1).leading_zeros()) as f64;
+        // bitmask: m bits per block of m covering 2 nonzeros -> m/2 per nz
+        let b_bits = m as f64 / 2.0;
+        row(&[
+            format!("2:{m}"),
+            format!("{weights:.1}x"),
+            format!("{inputs:.1}x"),
+            format!("{cp_bits:.0}"),
+            format!("{rle_bits:.0}"),
+            format!("{b_bits:.0}"),
+        ]);
+    }
+    println!("\npaper: sparser weights demand proportionally more input bandwidth;");
+    println!("metadata width grows with block size, RLE < CP at 2:6.");
+}

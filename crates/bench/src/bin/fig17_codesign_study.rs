@@ -1,0 +1,47 @@
+//! Fig. 17: normalized EDP of the dataflow x SAF grid across spMspM
+//! densities. ReuseAZ.HierarchicalSkip wins in hyper-sparse regimes;
+//! ReuseABZ.InnermostSkip wins for NN-like densities (>~6%);
+//! ReuseABZ.HierarchicalSkip is never the best.
+
+use sparseloop_bench::{header, row};
+use sparseloop_designs::fig17::{design, mapping, Dataflow, SafChoice};
+use sparseloop_workloads::spmspm;
+
+fn main() {
+    println!("== Fig 17: EDP normalized to ReuseABZ.InnermostSkip (spMspM 256^3) ==\n");
+    header(&["density", "ABZ.Inner", "ABZ.Hier", "AZ.Inner", "AZ.Hier", "best"]);
+    let grid = [
+        (Dataflow::ReuseAbz, SafChoice::InnermostSkip, "ABZ.Inner"),
+        (Dataflow::ReuseAbz, SafChoice::HierarchicalSkip, "ABZ.Hier"),
+        (Dataflow::ReuseAz, SafChoice::InnermostSkip, "AZ.Inner"),
+        (Dataflow::ReuseAz, SafChoice::HierarchicalSkip, "AZ.Hier"),
+    ];
+    for d in sparseloop_workloads::spmspm::density_sweep() {
+        let l = spmspm(256, 256, 256, d, d);
+        let edps: Vec<f64> = grid
+            .iter()
+            .map(|(df, saf, _)| {
+                let dp = design(&l.einsum, *df, *saf);
+                dp.evaluate(&l, &mapping(&l.einsum, *df)).unwrap().edp
+            })
+            .collect();
+        let base = edps[0];
+        let best = grid[edps
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0]
+            .2;
+        row(&[
+            format!("{d}"),
+            "1.000".into(),
+            format!("{:.3}", edps[1] / base),
+            format!("{:.3}", edps[2] / base),
+            format!("{:.3}", edps[3] / base),
+            best.to_string(),
+        ]);
+    }
+    println!("\npaper: combining more saving features (ReuseABZ.Hierarchical) is never best;");
+    println!("the right dataflow-SAF pair depends on the application's sparsity.");
+}

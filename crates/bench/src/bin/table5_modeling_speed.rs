@@ -1,0 +1,97 @@
+//! Table 5: modeling speed in computes-simulated-per-host-cycle (CPHC)
+//! for Eyeriss, Eyeriss V2 PE and SCNN on ResNet50, BERT-base, VGG16 and
+//! AlexNet — plus the >2000x contrast against the per-element reference
+//! simulator (the stand-in for cycle-level simulation, which walks every
+//! compute like STONNE does).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparseloop_bench::{cphc, fnum, header, row, timed};
+use sparseloop_designs::common::{conv_mapspace, DesignPoint};
+use sparseloop_designs::{eyeriss, eyeriss_v2, scnn};
+use sparseloop_refsim::RefSim;
+use sparseloop_tensor::einsum::TensorKind;
+use sparseloop_tensor::{point::Shape, SparseTensor};
+use sparseloop_workloads::{alexnet, bert_base, resnet50, vgg16, Network};
+
+fn net_cphc(design_for: &dyn Fn(&sparseloop_tensor::Einsum) -> DesignPoint, net: &Network) -> f64 {
+    let mut computes = 0.0;
+    let (_, secs) = timed(|| {
+        for layer in &net.layers {
+            // per-layer evaluation with a small mapper search, exactly the
+            // workflow the paper times
+            let dp = design_for(&layer.einsum);
+            let spatial_level = dp.arch.num_levels() - 1;
+            let space = conv_mapspace(&layer.einsum, &dp.arch, spatial_level);
+            if dp.search(layer, &space).is_some() {
+                computes += layer.computes() as f64;
+            }
+        }
+    });
+    cphc(computes, secs)
+}
+
+fn main() {
+    println!("== Table 5: computes simulated per host cycle (CPHC) ==\n");
+    let nets: Vec<Network> = vec![resnet50(), bert_base(512), vgg16(), alexnet()];
+    // matmul workloads (BERT) run on the conv designs through their
+    // matmul-compatible mapspace; designs bind SAFs per tensor name.
+    header(&["design", "ResNet50", "BERT-base", "VGG16", "AlexNet"]);
+    let designs: Vec<(&str, Box<dyn Fn(&sparseloop_tensor::Einsum) -> DesignPoint>)> = vec![
+        ("Eyeriss", Box::new(|e: &sparseloop_tensor::Einsum| {
+            if e.tensor_id("Weights").is_some() { eyeriss::design(e) }
+            else { sparseloop_designs::fig1::bitmask_design(e) }
+        })),
+        ("EyerissV2-PE", Box::new(|e: &sparseloop_tensor::Einsum| {
+            if e.tensor_id("Weights").is_some() { eyeriss_v2::design(e) }
+            else { sparseloop_designs::fig1::coordinate_list_design(e) }
+        })),
+        ("SCNN", Box::new(|e: &sparseloop_tensor::Einsum| {
+            if e.tensor_id("Weights").is_some() { scnn::design(e) }
+            else { sparseloop_designs::fig1::coordinate_list_design(e) }
+        })),
+    ];
+    let mut best_cphc: f64 = 0.0;
+    for (name, f) in &designs {
+        let cells: Vec<String> = nets
+            .iter()
+            .map(|n| {
+                let v = net_cphc(f.as_ref(), n);
+                best_cphc = best_cphc.max(v);
+                fnum(v)
+            })
+            .collect();
+        let mut r = vec![name.to_string()];
+        r.extend(cells);
+        row(&r);
+    }
+
+    // The per-element baseline on a scaled workload: CPHC << 1.
+    println!("\n-- cycle-level-style baseline (per-element reference simulator) --");
+    let layer = alexnet().layers[2].scaled_to(200_000);
+    let dp = eyeriss::design(&layer.einsum);
+    let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
+    let (mapping, _) = dp.search(&layer, &space).expect("valid mapping");
+    let mut rng = StdRng::seed_from_u64(1);
+    let tensors: Vec<SparseTensor> = layer
+        .einsum
+        .tensors()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let shape =
+                Shape::new(layer.einsum.tensor_shape(sparseloop_tensor::einsum::TensorId(i)));
+            if spec.kind == TensorKind::Output {
+                SparseTensor::from_triplets(shape, &[])
+            } else {
+                let d = layer.densities[i].nominal_density(shape.extents());
+                SparseTensor::gen_uniform(shape, d, &mut rng)
+            }
+        })
+        .collect();
+    let (sim, secs) = timed(|| RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run());
+    let sim_cphc = cphc(sim.computes_total(), secs);
+    println!("reference simulator CPHC: {}", fnum(sim_cphc));
+    println!("best analytical CPHC:     {}", fnum(best_cphc));
+    println!("speedup: {:.0}x (paper: >2000x vs cycle-level STONNE, CPHC < 0.5)", best_cphc / sim_cphc);
+}

@@ -1,0 +1,55 @@
+//! Table 7: Eyeriss DRAM RLC compression rates on AlexNet conv1-5 output
+//! activations. Compares actual-data RLE encoding (with run-length
+//! overflow padding, Eyeriss-style 5-bit runs / 16-bit values) against
+//! the analytical format model. Paper reports 1.2/1.4/1.7/1.9/1.9 with
+//! ~1% average error.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparseloop_bench::{header, row};
+use sparseloop_density::Uniform;
+use sparseloop_format::encode::rle_compression_rate;
+use sparseloop_format::{RankFormat, TensorFormat};
+use sparseloop_tensor::{point::Shape, SparseTensor};
+use sparseloop_workloads::dnn::alexnet_output_densities;
+
+const RUN_BITS: u32 = 5;
+const VALUE_BITS: u32 = 16;
+
+fn main() {
+    println!("== Table 7: Eyeriss DRAM RLC compression rate, AlexNet output activations ==\n");
+    header(&["layer", "density", "actual rate", "model rate", "paper"]);
+    let paper = [1.2, 1.4, 1.7, 1.9, 1.9];
+    let mut rng = StdRng::seed_from_u64(0xE1E);
+    for ((name, d), p) in alexnet_output_densities().into_iter().zip(paper) {
+        // activation-map-sized stream
+        let len = 64 * 1024u64;
+        let t = SparseTensor::gen_uniform(Shape::new(vec![len]), d, &mut rng);
+        let values: Vec<f64> = (0..len)
+            .map(|i| {
+                if t.is_nonzero(&sparseloop_tensor::Point::new(vec![i])) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let actual = rle_compression_rate(&values, RUN_BITS, VALUE_BITS);
+        // analytical: RLE format model over the same statistics
+        let model = Uniform::new(vec![len], d);
+        let fmt = TensorFormat::from_ranks(&[RankFormat::RunLength {
+            run_bits: Some(RUN_BITS),
+        }]);
+        let o = fmt.analyze(&[len], &model);
+        let analytical = o.compression_rate(len as f64, VALUE_BITS);
+        row(&[
+            name,
+            format!("{d:.2}"),
+            format!("{actual:.2}"),
+            format!("{analytical:.2}"),
+            format!("{p:.1}"),
+        ]);
+    }
+    println!("\npaper: rates grow with depth as ReLU sparsifies activations (1.2 -> 1.9);");
+    println!("analytical-vs-actual discrepancy stems from imperfect compression of real data.");
+}

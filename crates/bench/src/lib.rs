@@ -1,0 +1,94 @@
+//! # sparseloop-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (see `DESIGN.md` §2 for the index and `EXPERIMENTS.md` for
+//! recorded results), plus Criterion micro-benchmarks.
+//!
+//! Run an experiment with e.g.
+//! `cargo run --release -p sparseloop-bench --bin fig01_format_tradeoff`.
+
+use std::time::Instant;
+
+/// Nominal host clock used to convert wall time into "host cycles" for
+/// the computes-per-host-cycle (CPHC) metric of Table 5. The paper's
+/// metric is a ratio of simulated computes to host cycles; the *contrast*
+/// between the analytical model and the per-element baseline is
+/// frequency-independent.
+pub const NOMINAL_HOST_HZ: f64 = 3.0e9;
+
+/// Prints a table header row followed by a separator.
+pub fn header(cols: &[&str]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>16}")).collect();
+    println!("{}", line.join(" "));
+    println!("{}", "-".repeat(17 * cols.len()));
+}
+
+/// Prints one row with 16-char right-aligned cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>16}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float compactly.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1e5 || x.abs() < 1e-3 {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Relative error in percent.
+pub fn rel_err_pct(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if measured == 0.0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        (measured - reference).abs() / reference.abs() * 100.0
+    }
+}
+
+/// Times a closure and returns `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Computes-per-host-cycle from a compute count and wall seconds.
+pub fn cphc(computes: f64, seconds: f64) -> f64 {
+    computes / (seconds.max(1e-12) * NOMINAL_HOST_HZ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_basics() {
+        assert!((rel_err_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
+        assert_eq!(rel_err_pct(0.0, 0.0), 0.0);
+        assert_eq!(rel_err_pct(1.0, 0.0), 100.0);
+    }
+
+    #[test]
+    fn cphc_scales() {
+        let fast = cphc(1e9, 0.001);
+        let slow = cphc(1e9, 1.0);
+        assert!((fast / slow - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fnum_forms() {
+        assert_eq!(fnum(0.0), "0");
+        assert!(fnum(1234567.0).contains('e'));
+        assert_eq!(fnum(1.5), "1.500");
+    }
+}

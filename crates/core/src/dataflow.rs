@@ -1,0 +1,443 @@
+//! Step 1: dataflow modeling — dense traffic derivation (paper §5.2).
+//!
+//! Given a workload's Einsum and a mapping, this module derives the
+//! *uncompressed* data movement and dense compute counts, exactly as a
+//! dense Timeloop-style model would:
+//!
+//! * the tile of each tensor held at each storage level is the projection
+//!   footprint of the loop sub-nest at-and-below that level;
+//! * temporal reuse (stationarity) comes from the maximal contiguous run
+//!   of tensor-irrelevant temporal loops immediately above a tile's
+//!   delivery point;
+//! * spatial loops partition relevant tensors across instances and
+//!   multicast irrelevant ones;
+//! * outputs carry updates (accumulations flowing up) and partial-sum
+//!   refetches, with first-update read elision.
+//!
+//! The resulting [`DenseTraffic`] is deliberately sparsity-blind — the
+//! sparse modeling step filters it (Fig. 5's decoupling, the heart of
+//! Sparseloop's tractability argument).
+
+use sparseloop_mapping::{LoopKind, Mapping};
+use sparseloop_tensor::einsum::{Einsum, TensorId, TensorKind};
+
+/// Dense traffic of one tensor at one storage level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorLevelTraffic {
+    /// The tensor.
+    pub tensor: TensorId,
+    /// Storage level index (0 = outermost).
+    pub level: usize,
+    /// Per-dimension loop bounds of the tile held at this level
+    /// (per instance).
+    pub tile_bounds: Vec<u64>,
+    /// Per-rank shape of the held tile.
+    pub tile_shape: Vec<u64>,
+    /// Dense footprint (coordinates) of the held tile.
+    pub tile_size: f64,
+    /// Per-rank shape of the tile transferred to the next level below
+    /// (the child tile).
+    pub child_tile_shape: Vec<u64>,
+    /// Dense footprint of the child tile.
+    pub child_tile_size: f64,
+    /// Words read out of this level toward the child (inputs) or
+    /// partial-sum refetches plus drains (outputs).
+    pub reads: f64,
+    /// Words written into this level from the parent.
+    pub fills: f64,
+    /// Words written into this level from below (output accumulation).
+    pub updates: f64,
+    /// Words this level sends up to its parent (output drain).
+    pub drains: f64,
+    /// Number of child-tile transfer events behind `reads`.
+    pub read_transfers: f64,
+    /// Per-dimension bounds of the *reuse region*: the child tile extended
+    /// by the contiguous target-irrelevant temporal run just above it.
+    /// The gating/skipping analyzer projects leader tensors over these
+    /// bounds to obtain mapping-dependent leader tiles (Fig. 10).
+    pub reuse_bounds: Vec<u64>,
+}
+
+/// Dense traffic for the whole (workload, mapping) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTraffic {
+    /// One entry per (tensor, storage level in its chain).
+    pub entries: Vec<TensorLevelTraffic>,
+    /// Total dense compute operations (MACs).
+    pub computes: f64,
+    /// Spatial parallelism the mapping actually uses.
+    pub utilized_parallelism: u64,
+}
+
+impl DenseTraffic {
+    /// Looks up the entry for `(tensor, level)`, if the tensor is stored
+    /// at that level.
+    pub fn get(&self, tensor: TensorId, level: usize) -> Option<&TensorLevelTraffic> {
+        self.entries
+            .iter()
+            .find(|e| e.tensor == tensor && e.level == level)
+    }
+
+    /// All entries at one storage level.
+    pub fn at_level(&self, level: usize) -> impl Iterator<Item = &TensorLevelTraffic> {
+        self.entries.iter().filter(move |e| e.level == level)
+    }
+}
+
+/// Runs the dense dataflow analysis.
+///
+/// # Panics
+/// Panics if the mapping references dimensions outside the workload; call
+/// [`Mapping::validate`] first for richer error reporting.
+pub fn analyze(einsum: &Einsum, mapping: &Mapping) -> DenseTraffic {
+    let flat = mapping.flattened();
+    let num_dims = einsum.dims().len();
+    let num_levels = mapping.num_levels();
+
+    // Start position of each level's nest within the flattened loop list;
+    // the compute pseudo-level sits at the very end.
+    let mut pos = vec![0usize; num_levels + 1];
+    {
+        let mut idx = 0usize;
+        for l in 0..num_levels {
+            pos[l] = idx;
+            idx += mapping.nests()[l].len();
+        }
+        pos[num_levels] = idx;
+    }
+    let compute_pos = flat.len();
+
+    let mut entries: Vec<TensorLevelTraffic> = Vec::new();
+
+    for (ti, tspec) in einsum.tensors().iter().enumerate() {
+        let t = TensorId(ti);
+        let chain = mapping.storage_chain(t);
+        if chain.is_empty() {
+            continue;
+        }
+        // Create one entry per chain level.
+        let mut level_entries: Vec<TensorLevelTraffic> = chain
+            .iter()
+            .map(|&l| {
+                let bounds = mapping.tile_bounds_inside(pos[l], num_dims);
+                let shape = einsum.tensor_tile_shape(t, &bounds);
+                let size: u64 = shape.iter().product::<u64>().max(1);
+                TensorLevelTraffic {
+                    tensor: t,
+                    level: l,
+                    tile_bounds: bounds,
+                    tile_shape: shape,
+                    tile_size: size as f64,
+                    child_tile_shape: Vec::new(),
+                    child_tile_size: 0.0,
+                    reads: 0.0,
+                    fills: 0.0,
+                    updates: 0.0,
+                    drains: 0.0,
+                    read_transfers: 0.0,
+                    reuse_bounds: vec![1; num_dims],
+                }
+            })
+            .collect();
+
+        // Walk boundaries outermost -> innermost. `prev_fill_events` is
+        // the number of fresh-tile instantiations at the parent, used for
+        // output first-update elision.
+        let tensor_size: f64 = einsum
+            .tensor_shape(t)
+            .iter()
+            .product::<u64>()
+            .max(1) as f64;
+        let mut distinct_at_parent = tensor_size;
+
+        for i in 0..chain.len() {
+            let p = chain[i];
+            let pos_c = if i + 1 < chain.len() { pos[chain[i + 1]] } else { compute_pos };
+            let child_bounds = mapping.tile_bounds_inside(pos_c, num_dims);
+            let child_shape = einsum.tensor_tile_shape(t, &child_bounds);
+            let child_size: f64 = child_shape.iter().product::<u64>().max(1) as f64;
+
+            // Stationarity run: contiguous t-irrelevant temporal loops
+            // immediately above the child's nest (spatial loops are
+            // transparent to the scan).
+            let mut run_product = 1.0f64;
+            let mut run_bounds = child_bounds.clone();
+            for j in (0..pos_c).rev() {
+                let (_, lp) = flat[j];
+                if lp.kind == LoopKind::Spatial {
+                    continue;
+                }
+                if tspec.is_relevant(lp.dim) {
+                    break;
+                }
+                run_product *= lp.bound as f64;
+                run_bounds[lp.dim.0] *= lp.bound;
+            }
+
+            let temporal_above: f64 = flat[..pos_c]
+                .iter()
+                .filter(|(_, lp)| lp.kind == LoopKind::Temporal)
+                .map(|(_, lp)| lp.bound as f64)
+                .product();
+            let t_changes = temporal_above / run_product;
+
+            let s_all_above_c: f64 = flat[..pos_c]
+                .iter()
+                .filter(|(_, lp)| lp.kind == LoopKind::Spatial)
+                .map(|(_, lp)| lp.bound as f64)
+                .product();
+            let s_all_above_p: f64 = flat[..pos[p]]
+                .iter()
+                .filter(|(_, lp)| lp.kind == LoopKind::Spatial)
+                .map(|(_, lp)| lp.bound as f64)
+                .product();
+            let s_rel_between: f64 = flat[pos[p]..pos_c]
+                .iter()
+                .filter(|(_, lp)| lp.kind == LoopKind::Spatial && tspec.is_relevant(lp.dim))
+                .map(|(_, lp)| lp.bound as f64)
+                .product();
+
+            let deliveries_at_parent = child_size * t_changes * s_all_above_p * s_rel_between;
+            let deliveries_total = child_size * t_changes * s_all_above_c;
+
+            level_entries[i].child_tile_shape = child_shape.clone();
+            level_entries[i].child_tile_size = child_size;
+            level_entries[i].reuse_bounds = run_bounds;
+
+            match tspec.kind {
+                TensorKind::Input => {
+                    level_entries[i].reads += deliveries_at_parent;
+                    level_entries[i].read_transfers += deliveries_at_parent / child_size;
+                    if i + 1 < chain.len() {
+                        level_entries[i + 1].fills += deliveries_total;
+                    }
+                }
+                TensorKind::Output => {
+                    // accumulations flowing up into p
+                    level_entries[i].updates += deliveries_at_parent;
+                    // partial-sum refetches sent back down (first-update
+                    // reads elided)
+                    let refetch = (deliveries_at_parent - distinct_at_parent).max(0.0);
+                    level_entries[i].reads += refetch;
+                    level_entries[i].read_transfers += deliveries_at_parent / child_size;
+                    if i + 1 < chain.len() {
+                        // child drains its tile once per delivery and
+                        // refetches partials
+                        level_entries[i + 1].drains += deliveries_total;
+                        level_entries[i + 1].fills += refetch;
+                    }
+                    // Fresh-tile instantiations at the child: each
+                    // delivery is one instantiation of the child's tile.
+                    distinct_at_parent = deliveries_total;
+                }
+            }
+        }
+        entries.extend(level_entries);
+    }
+
+    DenseTraffic {
+        entries,
+        computes: einsum.num_computes() as f64,
+        utilized_parallelism: mapping.total_spatial_fanout().max(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseloop_mapping::MappingBuilder;
+    use sparseloop_tensor::einsum::DimId;
+
+    /// Z[m,n] += A[m,k] B[k,n], M=N=K=2; L0: for m, for n; L1: for k.
+    fn simple_case() -> (Einsum, Mapping) {
+        let e = Einsum::matmul(2, 2, 2);
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        let map = MappingBuilder::new(2, 3)
+            .temporal(0, m, 2)
+            .temporal(0, n, 2)
+            .temporal(1, k, 2)
+            .build();
+        (e, map)
+    }
+
+    #[test]
+    fn hand_computed_matmul_counts() {
+        let (e, map) = simple_case();
+        let d = analyze(&e, &map);
+        let a = e.tensor_id("A").unwrap();
+        let b = e.tensor_id("B").unwrap();
+        let z = e.tensor_id("Z").unwrap();
+
+        assert_eq!(d.computes, 8.0);
+
+        // A row (m fixed, k=2) is stationary across n: 2 distinct rows,
+        // each delivered once -> 4 words from L0; read per MAC at L1.
+        let a0 = d.get(a, 0).unwrap();
+        let a1 = d.get(a, 1).unwrap();
+        assert_eq!(a0.reads, 4.0);
+        assert_eq!(a1.fills, 4.0);
+        assert_eq!(a1.reads, 8.0);
+
+        // B column (k=2, n fixed) is NOT stationary across m (n iterates
+        // in between): 4 deliveries x 2 words = 8.
+        let b0 = d.get(b, 0).unwrap();
+        let b1 = d.get(b, 1).unwrap();
+        assert_eq!(b0.reads, 8.0);
+        assert_eq!(b1.fills, 8.0);
+        assert_eq!(b1.reads, 8.0);
+
+        // Z: k innermost accumulates in place; each of the 4 outputs
+        // written back once, no partial-sum refetch.
+        let z0 = d.get(z, 0).unwrap();
+        let z1 = d.get(z, 1).unwrap();
+        assert_eq!(z0.updates, 4.0);
+        assert_eq!(z0.reads, 0.0);
+        assert_eq!(z1.updates, 4.0);
+        assert_eq!(z1.drains, 4.0);
+    }
+
+    #[test]
+    fn tile_sizes_follow_subnests() {
+        let (e, map) = simple_case();
+        let d = analyze(&e, &map);
+        let a = e.tensor_id("A").unwrap();
+        // L0 holds the whole A (2x2); L1 holds one row (1x2).
+        assert_eq!(d.get(a, 0).unwrap().tile_size, 4.0);
+        assert_eq!(d.get(a, 1).unwrap().tile_size, 2.0);
+        assert_eq!(d.get(a, 1).unwrap().child_tile_size, 1.0);
+    }
+
+    #[test]
+    fn reuse_bounds_capture_fig10_mappings() {
+        // Fig 10: Skip B <- A at Buffer. Mapping 1: k innermost => leader
+        // is a single A element. Mapping 2: m innermost => leader is a
+        // column of A.
+        let e = Einsum::matmul(4, 1, 4);
+        let (m, _n, k) = (DimId(0), DimId(1), DimId(2));
+        let b = e.tensor_id("B").unwrap();
+
+        let mapping1 = MappingBuilder::new(1, 3)
+            .temporal(0, m, 4)
+            .temporal(0, k, 4)
+            .build();
+        let d1 = analyze(&e, &mapping1);
+        // innermost loop k is relevant to B: no reuse run
+        assert_eq!(d1.get(b, 0).unwrap().reuse_bounds, vec![1, 1, 1]);
+
+        let mapping2 = MappingBuilder::new(1, 3)
+            .temporal(0, k, 4)
+            .temporal(0, m, 4)
+            .build();
+        let d2 = analyze(&e, &mapping2);
+        // innermost loop m is irrelevant to B: reuse run spans m=4
+        assert_eq!(d2.get(b, 0).unwrap().reuse_bounds, vec![4, 1, 1]);
+    }
+
+    #[test]
+    fn spatial_multicast_reduces_parent_reads() {
+        // parallel-for n at DRAM: A (irrelevant to n) is multicast.
+        let e = Einsum::matmul(2, 4, 2);
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        let map = MappingBuilder::new(2, 3)
+            .temporal(0, m, 2)
+            .spatial(0, n, 4)
+            .temporal(1, k, 2)
+            .build();
+        let d = analyze(&e, &map);
+        let a = e.tensor_id("A").unwrap();
+        let b = e.tensor_id("B").unwrap();
+        // Each A row read once from DRAM (multicast to 4 buffers), but
+        // filled into each of the 4 buffer instances.
+        assert_eq!(d.get(a, 0).unwrap().reads, 4.0);
+        assert_eq!(d.get(a, 1).unwrap().fills, 16.0);
+        // B is partitioned (n relevant): reads = fills.
+        assert_eq!(d.get(b, 0).unwrap().reads, d.get(b, 1).unwrap().fills);
+        assert_eq!(d.utilized_parallelism, 4);
+    }
+
+    #[test]
+    fn bypass_shortens_chain() {
+        let e = Einsum::matmul(2, 2, 2);
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        let b_id = e.tensor_id("B").unwrap();
+        let map = MappingBuilder::new(2, 3)
+            .temporal(0, m, 2)
+            .temporal(0, n, 2)
+            .temporal(1, k, 2)
+            .bypass(1, b_id)
+            .build();
+        let d = analyze(&e, &map);
+        assert!(d.get(b_id, 1).is_none());
+        // B is read straight from DRAM per MAC (k relevant, no run).
+        assert_eq!(d.get(b_id, 0).unwrap().reads, 8.0);
+    }
+
+    #[test]
+    fn fully_dense_read_counts_scale() {
+        // Bigger case: verify reads at innermost equal MACs for operands
+        // with no stationarity.
+        let e = Einsum::matmul(4, 4, 4);
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        let map = MappingBuilder::new(1, 3)
+            .temporal(0, m, 4)
+            .temporal(0, n, 4)
+            .temporal(0, k, 4)
+            .build();
+        let d = analyze(&e, &map);
+        let b = e.tensor_id("B").unwrap();
+        assert_eq!(d.get(b, 0).unwrap().reads, 64.0);
+        // A is reused... k innermost is relevant to A too: 64 reads.
+        let a = e.tensor_id("A").unwrap();
+        assert_eq!(d.get(a, 0).unwrap().reads, 64.0);
+        // Z: k innermost -> accumulation register, 16 writes.
+        let z = e.tensor_id("Z").unwrap();
+        assert_eq!(d.get(z, 0).unwrap().updates, 16.0);
+    }
+
+    #[test]
+    fn output_partial_sum_refetch() {
+        // Reduction loop k above a Z-relevant loop m at L0: each Z
+        // sub-tile is evicted and revisited across k.
+        let e = Einsum::matmul(2, 2, 4);
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        let map = MappingBuilder::new(2, 3)
+            .temporal(0, k, 4)
+            .temporal(0, m, 2)
+            .temporal(1, n, 2)
+            .build();
+        let d = analyze(&e, &map);
+        let z = e.tensor_id("Z").unwrap();
+        let z0 = d.get(z, 0).unwrap();
+        // Z row (n=2) delivered per (k, m) iteration: 8 deliveries of 2
+        // words = 16 updates at L0; 4 distinct outputs; 12 refetches.
+        assert_eq!(z0.updates, 16.0);
+        assert_eq!(z0.reads, 12.0);
+    }
+
+    #[test]
+    fn output_stationary_child_avoids_refetch() {
+        // Only the reduction loop k sits above the child holding all of
+        // Z: the Z tile stays resident, written back once.
+        let e = Einsum::matmul(2, 2, 4);
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        let map = MappingBuilder::new(2, 3)
+            .temporal(0, k, 4)
+            .temporal(1, m, 2)
+            .temporal(1, n, 2)
+            .build();
+        let d = analyze(&e, &map);
+        let z = e.tensor_id("Z").unwrap();
+        let z0 = d.get(z, 0).unwrap();
+        assert_eq!(z0.updates, 4.0);
+        assert_eq!(z0.reads, 0.0);
+    }
+
+    #[test]
+    fn read_transfers_count_tiles() {
+        let (e, map) = simple_case();
+        let d = analyze(&e, &map);
+        let a = e.tensor_id("A").unwrap();
+        // 2 rows delivered of 2 words each
+        assert_eq!(d.get(a, 0).unwrap().read_transfers, 2.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The top-level Sparseloop engine: workload + architecture + SAFs →
+//! evaluation of a mapping, or search over a mapspace.
+
+use crate::dataflow::{self, DenseTraffic};
+use crate::saf::SafSpec;
+use crate::sparse::{self, SparseTraffic};
+use crate::uarch::{self, CapacityMode, UarchReport};
+use crate::workload::Workload;
+use sparseloop_arch::Architecture;
+use sparseloop_energy::EnergyTable;
+use sparseloop_mapping::{Mapper, Mapping, MappingError, Mapspace};
+use std::fmt;
+
+/// What the mapper minimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Energy-delay product (the paper's case-study metric).
+    #[default]
+    Edp,
+    /// Processing latency in cycles.
+    Latency,
+    /// Total energy.
+    Energy,
+}
+
+/// Errors from [`Model::evaluate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// The mapping failed structural validation.
+    InvalidMapping(MappingError),
+    /// Tiles plus metadata overflow a storage level.
+    CapacityExceeded {
+        /// The offending level's name.
+        level: String,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidMapping(e) => write!(f, "invalid mapping: {e}"),
+            EvalError::CapacityExceeded { level } => {
+                write!(f, "tile does not fit in level {level}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A complete evaluation of one mapping.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Processing latency in cycles.
+    pub cycles: f64,
+    /// Total energy in picojoules.
+    pub energy_pj: f64,
+    /// Energy-delay product.
+    pub edp: f64,
+    /// Spatial compute utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Step 1 output (dense traffic).
+    pub dense: DenseTraffic,
+    /// Step 2 output (sparse traffic).
+    pub sparse: SparseTraffic,
+    /// Step 3 output (per-level costs).
+    pub uarch: UarchReport,
+}
+
+impl Evaluation {
+    /// The objective value for a given metric.
+    pub fn metric(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Edp => self.edp,
+            Objective::Latency => self.cycles,
+            Objective::Energy => self.energy_pj,
+        }
+    }
+}
+
+/// A Sparseloop model instance: one workload on one architecture with one
+/// SAF specification.
+///
+/// See the [crate-level documentation](crate) for a full example.
+#[derive(Debug, Clone)]
+pub struct Model {
+    workload: Workload,
+    arch: Architecture,
+    safs: SafSpec,
+    energy: EnergyTable,
+    capacity_mode: CapacityMode,
+}
+
+impl Model {
+    /// Builds a model with the default 45 nm energy table and
+    /// expected-occupancy capacity checking.
+    pub fn new(workload: Workload, arch: Architecture, safs: SafSpec) -> Self {
+        Model {
+            workload,
+            arch,
+            safs,
+            energy: EnergyTable::default_45nm(),
+            capacity_mode: CapacityMode::Expected,
+        }
+    }
+
+    /// Builder-style: overrides the energy table.
+    pub fn with_energy_table(mut self, energy: EnergyTable) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Builder-style: switches to worst-case capacity checking.
+    pub fn with_worst_case_capacity(mut self) -> Self {
+        self.capacity_mode = CapacityMode::WorstCase;
+        self
+    }
+
+    /// The workload under evaluation.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The architecture under evaluation.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The SAF specification.
+    pub fn safs(&self) -> &SafSpec {
+        &self.safs
+    }
+
+    /// Evaluates one mapping through all three modeling steps.
+    ///
+    /// # Errors
+    /// [`EvalError::InvalidMapping`] if the mapping fails structural
+    /// validation, [`EvalError::CapacityExceeded`] if tiles do not fit.
+    pub fn evaluate(&self, mapping: &Mapping) -> Result<Evaluation, EvalError> {
+        mapping
+            .validate(self.workload.einsum(), &self.arch)
+            .map_err(EvalError::InvalidMapping)?;
+        let dense = dataflow::analyze(self.workload.einsum(), mapping);
+        let sparse = sparse::analyze(&self.workload, &dense, &self.safs);
+        let uarch = uarch::analyze(&self.arch, &sparse, &self.energy, self.capacity_mode);
+        if !uarch.valid {
+            return Err(EvalError::CapacityExceeded {
+                level: uarch.overflow_level.clone().unwrap_or_default(),
+            });
+        }
+        let utilization = dense.utilized_parallelism as f64
+            / self.arch.compute().instances.max(1) as f64;
+        Ok(Evaluation {
+            cycles: uarch.cycles,
+            energy_pj: uarch.energy_pj,
+            edp: uarch.edp(),
+            utilization,
+            dense,
+            sparse,
+            uarch,
+        })
+    }
+
+    /// Searches a mapspace for the best mapping under `objective`.
+    /// Returns `None` if no candidate mapping is valid.
+    pub fn search(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+    ) -> Option<(Mapping, Evaluation)> {
+        let result = mapper.search(space, |m| {
+            self.evaluate(m).ok().map(|e| e.metric(objective))
+        })?;
+        let eval = self
+            .evaluate(&result.mapping)
+            .expect("winning mapping must re-evaluate");
+        Some((result.mapping, eval))
+    }
+
+    /// Convenience: builds the default all-temporal mapspace for this
+    /// model and searches it.
+    pub fn search_default(
+        &self,
+        mapper: Mapper,
+        objective: Objective,
+    ) -> Option<(Mapping, Evaluation)> {
+        let space = Mapspace::all_temporal(self.workload.einsum(), &self.arch);
+        self.search(&space, mapper, objective)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
+    use sparseloop_density::DensityModelSpec;
+    use sparseloop_mapping::{Mapspace, MappingBuilder};
+    use sparseloop_tensor::einsum::{DimId, Einsum};
+
+    fn model(density_a: f64) -> Model {
+        let e = Einsum::matmul(8, 8, 8);
+        let w = Workload::new(
+            e,
+            vec![
+                DensityModelSpec::Uniform { density: density_a },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("DRAM").with_class(ComponentClass::Dram))
+            .level(StorageLevel::new("Buffer").with_capacity(512).with_instances(1))
+            .compute(ComputeSpec::new("MAC", 4))
+            .build()
+            .unwrap();
+        Model::new(w, arch, SafSpec::dense())
+    }
+
+    fn mapping() -> Mapping {
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        MappingBuilder::new(2, 3)
+            .temporal(0, m, 8)
+            .spatial(1, n, 4)
+            .temporal(1, n, 2)
+            .temporal(1, k, 8)
+            .build()
+    }
+
+    #[test]
+    fn evaluate_full_pipeline() {
+        let m = model(0.5);
+        let e = m.evaluate(&mapping()).unwrap();
+        assert!(e.cycles > 0.0);
+        assert!(e.energy_pj > 0.0);
+        assert!((e.edp - e.cycles * e.energy_pj).abs() < 1e-6);
+        assert!((e.utilization - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_mapping_rejected() {
+        let m = model(1.0);
+        let bad = MappingBuilder::new(2, 3).temporal(0, DimId(0), 3).build();
+        assert!(matches!(
+            m.evaluate(&bad),
+            Err(EvalError::InvalidMapping(_))
+        ));
+    }
+
+    #[test]
+    fn capacity_error_reported() {
+        let e = Einsum::matmul(64, 64, 64);
+        let w = Workload::dense(e);
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("DRAM").with_class(ComponentClass::Dram))
+            .level(StorageLevel::new("Buffer").with_capacity(4))
+            .compute(ComputeSpec::new("MAC", 1))
+            .build()
+            .unwrap();
+        let model = Model::new(w, arch, SafSpec::dense());
+        let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+        let map = MappingBuilder::new(2, 3)
+            .temporal(0, m, 4)
+            .temporal(1, m, 16)
+            .temporal(1, n, 64)
+            .temporal(1, k, 64)
+            .build();
+        match model.evaluate(&map) {
+            Err(EvalError::CapacityExceeded { level }) => assert_eq!(level, "Buffer"),
+            other => panic!("expected capacity error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn search_finds_valid_mapping() {
+        let m = model(0.5);
+        let (best, eval) = m
+            .search_default(Mapper::Exhaustive { limit: 2000 }, Objective::Edp)
+            .unwrap();
+        best.validate(m.workload().einsum(), m.arch()).unwrap();
+        assert!(eval.edp > 0.0);
+    }
+
+    #[test]
+    fn search_objective_ordering() {
+        // The EDP winner over a space containing the hand mapping should
+        // be at least as good as the hand mapping.
+        let m = model(0.5);
+        let space = Mapspace::all_temporal(m.workload().einsum(), m.arch())
+            .with_spatial_dims(1, vec![DimId(1)]);
+        let (_, best) = m
+            .search(&space, Mapper::Exhaustive { limit: 20_000 }, Objective::Edp)
+            .unwrap();
+        let candidate = m.evaluate(&mapping());
+        if let Ok(c) = candidate {
+            assert!(best.edp <= c.edp + 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparser_workload_cheaper_with_safs() {
+        let a_id = TensorIdHelper::a();
+        let mk = |d: f64| {
+            let mut m = model(d);
+            m.safs = SafSpec::dense()
+                .with_format(0, a_id, sparseloop_format::TensorFormat::coo(2))
+                .with_format(1, a_id, sparseloop_format::TensorFormat::coo(2))
+                .with_skip(1, a_id, vec![a_id])
+                .with_skip_compute();
+            m.evaluate(&mapping()).unwrap()
+        };
+        let sparse = mk(0.1);
+        let dense = mk(1.0);
+        assert!(sparse.energy_pj < dense.energy_pj);
+        assert!(sparse.cycles <= dense.cycles);
+    }
+
+    struct TensorIdHelper;
+    impl TensorIdHelper {
+        fn a() -> sparseloop_tensor::einsum::TensorId {
+            sparseloop_tensor::einsum::TensorId(0)
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload specification: an Einsum plus per-tensor density models.
+
+use sparseloop_density::{DensityModel, DensityModelSpec};
+use sparseloop_tensor::einsum::{Einsum, TensorId};
+use std::fmt;
+use std::sync::Arc;
+
+/// A complete workload: tensor algorithm plus the statistical (or actual)
+/// density characterization of every tensor (paper §5.1).
+#[derive(Clone)]
+pub struct Workload {
+    einsum: Einsum,
+    densities: Vec<Arc<dyn DensityModel>>,
+}
+
+impl Workload {
+    /// Builds a workload from density-model *specs*, instantiated against
+    /// each tensor's shape.
+    ///
+    /// # Panics
+    /// Panics if `specs.len()` differs from the tensor count.
+    pub fn new(einsum: Einsum, specs: Vec<DensityModelSpec>) -> Self {
+        assert_eq!(
+            specs.len(),
+            einsum.tensors().len(),
+            "one density spec per tensor required"
+        );
+        let densities = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let shape = einsum.tensor_shape(TensorId(i));
+                // Scalar outputs (rank 0) are modeled as a single dense cell.
+                let shape = if shape.is_empty() { vec![1] } else { shape };
+                s.instantiate(&shape)
+            })
+            .collect();
+        Workload { einsum, densities }
+    }
+
+    /// Builds a workload from already-instantiated density models (e.g.
+    /// [`ActualData`](sparseloop_density::ActualData) wrapping real
+    /// tensors).
+    ///
+    /// # Panics
+    /// Panics if `models.len()` differs from the tensor count.
+    pub fn with_models(einsum: Einsum, models: Vec<Arc<dyn DensityModel>>) -> Self {
+        assert_eq!(
+            models.len(),
+            einsum.tensors().len(),
+            "one density model per tensor required"
+        );
+        Workload { einsum, densities: models }
+    }
+
+    /// A fully dense workload.
+    pub fn dense(einsum: Einsum) -> Self {
+        let n = einsum.tensors().len();
+        Workload::new(einsum, vec![DensityModelSpec::Dense; n])
+    }
+
+    /// The tensor algorithm.
+    pub fn einsum(&self) -> &Einsum {
+        &self.einsum
+    }
+
+    /// The density model of tensor `t`.
+    pub fn density(&self, t: TensorId) -> &Arc<dyn DensityModel> {
+        &self.densities[t.0]
+    }
+
+    /// Probability that a tile of tensor `t` with the given per-rank shape
+    /// is entirely empty. Rank-0 (scalar) tensors are never empty unless
+    /// their density is zero.
+    pub fn prob_tile_empty(&self, t: TensorId, tile_shape: &[u64]) -> f64 {
+        let model = &self.densities[t.0];
+        let model_rank = model.tensor_shape().len();
+        let shape: Vec<u64> = if tile_shape.is_empty() {
+            vec![1; model_rank]
+        } else if tile_shape.len() == model_rank {
+            tile_shape.to_vec()
+        } else if tile_shape.len() > model_rank {
+            // fold extra leading ranks
+            let extra = tile_shape.len() - model_rank;
+            let mut v = vec![tile_shape[..=extra].iter().product::<u64>()];
+            v.extend_from_slice(&tile_shape[extra + 1..]);
+            v
+        } else {
+            let mut v = vec![1u64; model_rank - tile_shape.len()];
+            v.extend_from_slice(tile_shape);
+            v
+        };
+        model.occupancy(&shape).prob_empty
+    }
+
+    /// Overall density of tensor `t`.
+    pub fn tensor_density(&self, t: TensorId) -> f64 {
+        self.densities[t.0].density()
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("einsum", &self.einsum.to_string())
+            .field(
+                "densities",
+                &self
+                    .densities
+                    .iter()
+                    .map(|d| format!("{}({:.4})", d.name(), d.density()))
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_lookup() {
+        let e = Einsum::matmul(4, 4, 8);
+        let w = Workload::new(
+            e,
+            vec![
+                DensityModelSpec::Uniform { density: 0.25 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        assert!((w.tensor_density(TensorId(0)) - 0.25).abs() < 1e-9);
+        assert_eq!(w.tensor_density(TensorId(1)), 1.0);
+    }
+
+    #[test]
+    fn prob_tile_empty_element() {
+        let e = Einsum::matmul(4, 4, 4);
+        let w = Workload::new(
+            e,
+            vec![
+                DensityModelSpec::Uniform { density: 0.25 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let p = w.prob_tile_empty(TensorId(0), &[1, 1]);
+        assert!((p - 0.75).abs() < 1e-9);
+        assert_eq!(w.prob_tile_empty(TensorId(1), &[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn scalar_output_handled() {
+        let e = Einsum::dot_product(8);
+        let w = Workload::dense(e);
+        let z = w.einsum().tensor_id("Z").unwrap();
+        assert_eq!(w.prob_tile_empty(z, &[]), 0.0);
+    }
+
+    #[test]
+    fn rank_mismatch_folds() {
+        let e = Einsum::matmul(4, 4, 4);
+        let w = Workload::new(
+            e,
+            vec![
+                DensityModelSpec::Uniform { density: 0.5 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        // 3-rank query against 2-rank model folds the leading ranks
+        let p3 = w.prob_tile_empty(TensorId(0), &[2, 2, 4]);
+        let p2 = w.prob_tile_empty(TensorId(0), &[4, 4]);
+        assert!((p3 - p2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_mentions_models() {
+        let e = Einsum::matmul(2, 2, 2);
+        let w = Workload::dense(e);
+        let s = format!("{w:?}");
+        assert!(s.contains("uniform"));
+    }
+}

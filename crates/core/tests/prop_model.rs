@@ -1,0 +1,166 @@
+//! Property-based tests on the three-step model's invariants:
+//! conservation laws of the dense analysis and breakdown invariants of
+//! the sparse analysis.
+
+use proptest::prelude::*;
+use sparseloop_arch::{ArchitectureBuilder, ComputeSpec, StorageLevel};
+use sparseloop_core::{dataflow, sparse, SafSpec, Workload};
+use sparseloop_density::DensityModelSpec;
+use sparseloop_mapping::Mapspace;
+use sparseloop_tensor::einsum::{Einsum, TensorKind};
+
+fn arch2() -> sparseloop_arch::Architecture {
+    ArchitectureBuilder::new("t")
+        .level(StorageLevel::new("L0"))
+        .level(StorageLevel::new("L1"))
+        .compute(ComputeSpec::new("MAC", 1))
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// Dense-traffic conservation: multicast-corrected fills at a child
+    /// equal the parent's reads for input tensors, and innermost reads
+    /// never exceed total computes.
+    #[test]
+    fn dense_conservation(
+        m in 1u64..8, n in 1u64..8, k in 1u64..8,
+        pick in 0usize..20,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let arch = arch2();
+        let space = Mapspace::all_temporal(&e, &arch);
+        let maps = space.enumerate(20);
+        let mapping = &maps[pick % maps.len()];
+        let d = dataflow::analyze(&e, mapping);
+        prop_assert_eq!(d.computes, (m * n * k) as f64);
+        for t in e.inputs() {
+            // temporal-only mapping: fills at L1 == reads at L0
+            if let (Some(e0), Some(e1)) = (d.get(t, 0), d.get(t, 1)) {
+                prop_assert!((e1.fills - e0.reads).abs() < 1e-6,
+                    "fills {} == reads {}", e1.fills, e0.reads);
+                // innermost reads bounded by computes
+                prop_assert!(e1.reads <= d.computes + 1e-6);
+                // read transfers x child size == reads
+                prop_assert!(
+                    (e1.read_transfers * e1.child_tile_size - e1.reads).abs() < 1e-6
+                );
+            }
+        }
+        // outputs: updates at the outermost level >= distinct outputs
+        for t in e.outputs() {
+            if let Some(e0) = d.get(t, 0) {
+                let size: f64 = e.tensor_shape(t).iter().product::<u64>() as f64;
+                prop_assert!(e0.updates >= size - 1e-6);
+                // refetch reads = updates - distinct
+                prop_assert!((e0.reads - (e0.updates - size).max(0.0)).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Sparse breakdowns conserve dense totals and respect monotonicity
+    /// in density for skipping designs.
+    #[test]
+    fn sparse_breakdown_invariants(
+        m in 1u64..8, n in 1u64..8, k in 1u64..8,
+        da_pct in 0u64..=100,
+        pick in 0usize..10,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let a = e.tensor_id("A").unwrap();
+        let b = e.tensor_id("B").unwrap();
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = arch2();
+        let space = Mapspace::all_temporal(&e, &arch);
+        let maps = space.enumerate(10);
+        let mapping = &maps[pick % maps.len()];
+        let d = dataflow::analyze(&e, mapping);
+        let safs = SafSpec::dense()
+            .with_skip(1, a, vec![a])
+            .with_skip(1, b, vec![a])
+            .with_skip_compute();
+        let s = sparse::analyze(&w, &d, &safs);
+        // compute classes partition the dense computes
+        let c = s.compute.ops;
+        prop_assert!((c.total() - d.computes).abs() < 1e-6);
+        prop_assert!(c.actual >= -1e-9 && c.gated >= -1e-9 && c.skipped >= -1e-9);
+        // entries where no upstream elimination applies conserve exactly
+        for entry in &s.entries {
+            if e.tensor(entry.tensor).kind == TensorKind::Input {
+                let de = d.get(entry.tensor, entry.level).unwrap();
+                prop_assert!(entry.reads.total() <= de.reads + 1e-6);
+            }
+        }
+    }
+
+    /// Compute survival under a self-skip equals the operand density
+    /// exactly (element granularity) for every mapping.
+    #[test]
+    fn self_skip_survival_exact(
+        m in 1u64..8, n in 1u64..8, k in 1u64..8,
+        da_pct in 0u64..=100,
+        pick in 0usize..10,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let a = e.tensor_id("A").unwrap();
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = arch2();
+        let space = Mapspace::all_temporal(&e, &arch);
+        let maps = space.enumerate(10);
+        let mapping = &maps[pick % maps.len()];
+        let d = dataflow::analyze(&e, mapping);
+        let safs = SafSpec::dense().with_skip(1, a, vec![a]).with_skip_compute();
+        let s = sparse::analyze(&w, &d, &safs);
+        let d_a = w.tensor_density(a);
+        prop_assert!(
+            (s.compute.ops.actual - d.computes * d_a).abs() < 1e-6,
+            "survival {} vs density {}",
+            s.compute.ops.actual / d.computes,
+            d_a
+        );
+    }
+
+    /// Gating never changes cycle-consuming op counts; skipping never
+    /// increases them.
+    #[test]
+    fn gate_vs_skip_cycle_semantics(
+        m in 2u64..8, n in 2u64..8, k in 2u64..8,
+        da_pct in 0u64..=100,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let a = e.tensor_id("A").unwrap();
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = arch2();
+        let space = Mapspace::all_temporal(&e, &arch);
+        let mapping = &space.enumerate(1)[0];
+        let d = dataflow::analyze(&e, mapping);
+        let gate = sparse::analyze(&w, &d, &SafSpec::dense().with_gate(1, a, vec![a]).with_gate_compute());
+        let skip = sparse::analyze(&w, &d, &SafSpec::dense().with_skip(1, a, vec![a]).with_skip_compute());
+        let none = sparse::analyze(&w, &d, &SafSpec::dense());
+        prop_assert!((gate.compute.ops.cycle_consuming() - none.compute.ops.cycle_consuming()).abs() < 1e-6);
+        prop_assert!(skip.compute.ops.cycle_consuming() <= none.compute.ops.cycle_consuming() + 1e-6);
+        // energy-relevant actual ops: gate <= none
+        prop_assert!(gate.compute.ops.actual <= none.compute.ops.actual + 1e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! Actual-data density model.
+//!
+//! Wraps a concrete [`SparseTensor`] and answers occupancy questions
+//! *exactly* by slicing the data into tiles — the paper's highest-fidelity
+//! (and slowest) model, used e.g. to drive the Eyeriss V2 validation to
+//! ~0% error (§6.3.2) at the cost of modeling speed. Tile histograms are
+//! memoized per tile shape because the SAF analyzers query the same shapes
+//! repeatedly.
+
+use crate::model::{DensityModel, OccupancyStats};
+use sparseloop_tensor::SparseTensor;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Exact density model backed by real tensor data.
+///
+/// # Example
+/// ```
+/// use sparseloop_density::{ActualData, DensityModel};
+/// use sparseloop_tensor::{SparseTensor, point::Shape};
+///
+/// let t = SparseTensor::from_triplets(
+///     Shape::new(vec![4, 4]),
+///     &[(vec![0, 0], 1.0), (vec![1, 1], 1.0)],
+/// );
+/// let m = ActualData::new(t);
+/// // Exactly one of the four 2x2 tiles is non-empty.
+/// assert!((m.occupancy(&[2, 2]).prob_empty - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct ActualData {
+    tensor: SparseTensor,
+    cache: Mutex<HashMap<Vec<u64>, Vec<(u64, u64)>>>,
+}
+
+impl ActualData {
+    /// Wraps a concrete tensor.
+    pub fn new(tensor: SparseTensor) -> Self {
+        ActualData {
+            tensor,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Access to the underlying tensor (used by the reference simulator).
+    pub fn tensor(&self) -> &SparseTensor {
+        &self.tensor
+    }
+
+    fn histogram(&self, tile_shape: &[u64]) -> Vec<(u64, u64)> {
+        let clamped: Vec<u64> = tile_shape
+            .iter()
+            .zip(self.tensor.shape().extents())
+            .map(|(&t, &e)| t.max(1).min(e))
+            .collect();
+        let mut cache = self.cache.lock().expect("density cache poisoned");
+        cache
+            .entry(clamped.clone())
+            .or_insert_with(|| self.tensor.tile_occupancy_histogram(&clamped))
+            .clone()
+    }
+}
+
+impl DensityModel for ActualData {
+    fn name(&self) -> &str {
+        "actual_data"
+    }
+
+    fn density(&self) -> f64 {
+        self.tensor.density()
+    }
+
+    fn tensor_shape(&self) -> &[u64] {
+        self.tensor.shape().extents()
+    }
+
+    fn occupancy(&self, tile_shape: &[u64]) -> OccupancyStats {
+        let hist = self.histogram(tile_shape);
+        let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+        let expected = hist
+            .iter()
+            .map(|&(occ, c)| occ as f64 * c as f64)
+            .sum::<f64>()
+            / total as f64;
+        let empty = hist
+            .iter()
+            .find(|&&(occ, _)| occ == 0)
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        let max = hist.iter().map(|&(occ, _)| occ).max().unwrap_or(0);
+        OccupancyStats {
+            expected,
+            prob_empty: empty as f64 / total as f64,
+            max,
+        }
+    }
+
+    fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
+        let hist = self.histogram(tile_shape);
+        let total: u64 = hist.iter().map(|&(_, c)| c).sum();
+        hist.into_iter()
+            .map(|(occ, c)| (occ, c as f64 / total as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparseloop_tensor::point::Shape;
+
+    #[test]
+    fn exact_statistics() {
+        let t = SparseTensor::from_triplets(
+            Shape::new(vec![4, 4]),
+            &[
+                (vec![0, 0], 1.0),
+                (vec![0, 1], 1.0),
+                (vec![2, 2], 1.0),
+            ],
+        );
+        let m = ActualData::new(t);
+        let s = m.occupancy(&[2, 2]);
+        // tiles: TL has 2, BR has 1, TR and BL empty
+        assert!((s.expected - 0.75).abs() < 1e-12);
+        assert!((s.prob_empty - 0.5).abs() < 1e-12);
+        assert_eq!(s.max, 2);
+    }
+
+    #[test]
+    fn distribution_matches_histogram() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = SparseTensor::gen_uniform(Shape::new(vec![16, 16]), 0.3, &mut rng);
+        let m = ActualData::new(t.clone());
+        let d = m.occupancy_distribution(&[4, 4]);
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let e: f64 = d.iter().map(|&(k, p)| k as f64 * p).sum();
+        // mean occupancy * #tiles == nnz
+        assert!((e * 16.0 - t.nnz() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_uniform_in_expectation() {
+        // Actual uniform data should statistically match the uniform model.
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = SparseTensor::gen_uniform(Shape::new(vec![64, 64]), 0.25, &mut rng);
+        let actual = ActualData::new(t);
+        let model = crate::uniform::Uniform::new(vec![64, 64], 0.25);
+        let sa = actual.occupancy(&[8, 8]);
+        let sm = model.occupancy(&[8, 8]);
+        assert!((sa.expected - sm.expected).abs() < 1e-9); // both are exact in expectation
+    }
+
+    #[test]
+    fn cache_is_transparent() {
+        let t = SparseTensor::from_triplets(Shape::new(vec![8, 8]), &[(vec![0, 0], 1.0)]);
+        let m = ActualData::new(t);
+        let a = m.occupancy(&[2, 2]);
+        let b = m.occupancy(&[2, 2]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oversized_tile_clamps() {
+        let t = SparseTensor::from_triplets(Shape::new(vec![4, 4]), &[(vec![3, 3], 2.0)]);
+        let m = ActualData::new(t);
+        let s = m.occupancy(&[100, 100]);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.prob_empty, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sparseloop-density
+//!
+//! Statistical density models (Sparseloop §5.3.2, Table 4, Fig. 9).
+//!
+//! Sparseloop avoids walking actual tensor data during mapspace and design
+//! space exploration by characterizing tiles (fibers) *statistically*: for
+//! a tile of a given shape, a density model answers
+//!
+//! * how many nonzeros the tile is expected to contain,
+//! * the probability that the tile is entirely empty (the quantity that
+//!   drives gating/skipping eliminations), and
+//! * the full occupancy distribution (used for worst-case capacity checks
+//!   and Fig. 9-style analyses).
+//!
+//! Four models from the paper are provided:
+//!
+//! | Model | Sparsity pattern | Example application |
+//! |---|---|---|
+//! | [`Uniform`] | random, coordinate-independent | randomly pruned DNNs, activations |
+//! | [`FixedStructured`] | even n:m, coordinate-independent | structurally pruned DNNs (STC 2:4) |
+//! | [`Banded`] | diagonal, coordinate-dependent | scientific matrices |
+//! | [`ActualData`] | exact, from a concrete tensor | special-pattern workloads |
+//!
+//! New models plug in by implementing [`DensityModel`].
+
+pub mod actual;
+pub mod banded;
+pub mod math;
+pub mod model;
+pub mod structured;
+pub mod uniform;
+
+pub use actual::ActualData;
+pub use banded::Banded;
+pub use model::{DensityModel, DensityModelExt, DensityModelSpec, OccupancyStats};
+pub use structured::FixedStructured;
+pub use uniform::Uniform;

@@ -1,0 +1,237 @@
+//! Log-space combinatorics shared by the statistical density models.
+//!
+//! Tensor volumes in DNN workloads reach 10⁸+, so binomial coefficients are
+//! evaluated via the log-gamma function (Lanczos approximation) and
+//! combined in log space.
+
+/// Natural log of the gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 relative error for `x > 0`, which is far below the
+/// statistical error the paper attributes to density modeling.
+///
+/// # Panics
+/// Panics if `x <= 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln(n!)`.
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+/// `ln(C(n, k))`; returns negative infinity when `k > n`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Hypergeometric pmf: probability of drawing exactly `k` marked items in
+/// a sample of `s` from a population of `n` containing `m` marked items.
+///
+/// `P(X = k) = C(m, k) · C(n − m, s − k) / C(n, s)`
+pub fn hypergeometric_pmf(n: u64, m: u64, s: u64, k: u64) -> f64 {
+    if k > m || k > s || s > n || s - k > n - m {
+        return 0.0;
+    }
+    (ln_choose(m, k) + ln_choose(n - m, s - k) - ln_choose(n, s)).exp()
+}
+
+/// Probability that a hypergeometric sample of `s` from population `n`
+/// with `m` marked items contains zero marked items.
+///
+/// `P(X = 0) = C(n − m, s) / C(n, s)`
+pub fn hypergeometric_prob_zero(n: u64, m: u64, s: u64) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    if s > n - m {
+        return 0.0;
+    }
+    (ln_choose(n - m, s) - ln_choose(n, s)).exp()
+}
+
+/// Binomial pmf `C(n, k) p^k (1-p)^(n-k)`, evaluated in log space.
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Convolves two discrete distributions given as `(value, prob)` pairs
+/// (values are occupancies; probabilities must each sum to ~1).
+pub fn convolve(a: &[(u64, f64)], b: &[(u64, f64)]) -> Vec<(u64, f64)> {
+    let mut out: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    for &(va, pa) in a {
+        for &(vb, pb) in b {
+            *out.entry(va + vb).or_insert(0.0) += pa * pb;
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Convolves a distribution with itself `times` times (exponentiation by
+/// squaring), pruning entries below `prune` to bound the support size.
+pub fn convolve_power(dist: &[(u64, f64)], times: u64, prune: f64) -> Vec<(u64, f64)> {
+    let mut result: Vec<(u64, f64)> = vec![(0, 1.0)];
+    let mut base = dist.to_vec();
+    let mut t = times;
+    while t > 0 {
+        if t & 1 == 1 {
+            result = prune_dist(convolve(&result, &base), prune);
+        }
+        t >>= 1;
+        if t > 0 {
+            base = prune_dist(convolve(&base, &base), prune);
+        }
+    }
+    result
+}
+
+fn prune_dist(mut d: Vec<(u64, f64)>, prune: f64) -> Vec<(u64, f64)> {
+    if prune > 0.0 {
+        d.retain(|&(_, p)| p >= prune);
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        if total > 0.0 {
+            for e in &mut d {
+                e.1 /= total;
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..15 {
+            let exact: f64 = (1..=n).map(|i| (i as f64).ln()).sum();
+            assert!((ln_factorial(n) - exact).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Gamma(1/2) = sqrt(pi)
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn choose_small_values() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 5).exp() - 252.0).abs() < 1e-8);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn hypergeometric_sums_to_one() {
+        let (n, m, s) = (40u64, 12u64, 9u64);
+        let total: f64 = (0..=s).map(|k| hypergeometric_pmf(n, m, s, k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hypergeometric_expectation() {
+        let (n, m, s) = (100u64, 25u64, 16u64);
+        let e: f64 = (0..=s)
+            .map(|k| k as f64 * hypergeometric_pmf(n, m, s, k))
+            .sum();
+        assert!((e - s as f64 * m as f64 / n as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prob_zero_consistent_with_pmf() {
+        let (n, m, s) = (64u64, 16u64, 4u64);
+        assert!(
+            (hypergeometric_prob_zero(n, m, s) - hypergeometric_pmf(n, m, s, 0)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn prob_zero_edge_cases() {
+        assert_eq!(hypergeometric_prob_zero(10, 0, 5), 1.0);
+        // sample bigger than the unmarked population must hit a mark
+        assert_eq!(hypergeometric_prob_zero(10, 6, 5), 0.0);
+    }
+
+    #[test]
+    fn binomial_basics() {
+        assert!((binomial_pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+        assert_eq!(binomial_pmf(4, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(4, 4, 1.0), 1.0);
+        let total: f64 = (0..=7).map(|k| binomial_pmf(7, k, 0.3)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolution_adds_expectations() {
+        let a = vec![(0u64, 0.5), (1u64, 0.5)];
+        let b = vec![(0u64, 0.25), (2u64, 0.75)];
+        let c = convolve(&a, &b);
+        let e: f64 = c.iter().map(|&(v, p)| v as f64 * p).sum();
+        assert!((e - (0.5 + 1.5)).abs() < 1e-12);
+        let total: f64 = c.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn convolve_power_is_repeated_convolve() {
+        let d = vec![(0u64, 0.5), (1u64, 0.5)];
+        let direct = convolve(&convolve(&d, &d), &d);
+        let fast = convolve_power(&d, 3, 0.0);
+        assert_eq!(direct.len(), fast.len());
+        for (x, y) in direct.iter().zip(&fast) {
+            assert_eq!(x.0, y.0);
+            assert!((x.1 - y.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn large_population_stable() {
+        // Values representative of DNN tensors: should not overflow/NaN.
+        let p = hypergeometric_prob_zero(100_000_000, 25_000_000, 1024);
+        assert!(p.is_finite() && p >= 0.0 && p <= 1.0);
+        // ~(0.75)^1024, tiny but positive in log space
+        assert!(p < 1e-100);
+    }
+}

@@ -1,0 +1,233 @@
+//! Fixed-structured (n:m) density model.
+//!
+//! Models structured pruning: along one rank, every aligned block of `m`
+//! coordinates holds exactly `n` nonzeros at random positions within the
+//! block. This fully determines tile occupancy for tiles that cover whole
+//! blocks (the source of Sparseloop's 100%-accurate STC validation,
+//! §6.3.5: "structured sparsity introduces deterministic behaviors"),
+//! while sub-block tiles follow a within-block hypergeometric law.
+
+use crate::math::{convolve_power, hypergeometric_pmf, hypergeometric_prob_zero};
+use crate::model::{DensityModel, OccupancyStats};
+
+/// n:m structured sparsity along a chosen tensor rank.
+///
+/// # Example
+/// ```
+/// use sparseloop_density::{DensityModel, FixedStructured};
+/// // 2:4 structured weights, blocks along rank 1.
+/// let m = FixedStructured::new(vec![8, 16], 2, 4, 1);
+/// assert!((m.density() - 0.5).abs() < 1e-12);
+/// // A tile covering one whole block always holds exactly 2 nonzeros.
+/// let d = m.occupancy_distribution(&[1, 4]);
+/// assert_eq!(d, vec![(2, 1.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedStructured {
+    shape: Vec<u64>,
+    n: u64,
+    m: u64,
+    axis: usize,
+}
+
+impl FixedStructured {
+    /// Creates an n:m structured model with blocks along `axis`.
+    ///
+    /// # Panics
+    /// Panics if `n > m`, `m == 0`, `axis` is out of bounds, or the axis
+    /// extent is not a multiple of `m`.
+    pub fn new(shape: Vec<u64>, n: u64, m: u64, axis: usize) -> Self {
+        assert!(m > 0 && n <= m, "need 0 <= n <= m with m > 0");
+        assert!(axis < shape.len(), "axis out of bounds");
+        assert_eq!(
+            shape[axis] % m,
+            0,
+            "axis extent {} must be a multiple of m={m}",
+            shape[axis]
+        );
+        FixedStructured { shape, n, m, axis }
+    }
+
+    /// The `(n, m)` structure parameters.
+    pub fn structure(&self) -> (u64, u64) {
+        (self.n, self.m)
+    }
+
+    /// Per-window occupancy distribution for a window of length `t` along
+    /// the structured axis (assumed aligned within a block when `t < m`).
+    fn window_distribution(&self, t: u64) -> Vec<(u64, f64)> {
+        if self.n == 0 {
+            return vec![(0, 1.0)];
+        }
+        if t % self.m == 0 {
+            // whole blocks: deterministic
+            return vec![(t / self.m * self.n, 1.0)];
+        }
+        if t < self.m {
+            // sub-block window: hypergeometric within the block
+            let max = t.min(self.n);
+            return (0..=max)
+                .map(|k| (k, hypergeometric_pmf(self.m, self.n, t, k)))
+                .filter(|&(_, p)| p > 0.0)
+                .collect();
+        }
+        // f whole blocks plus a remainder segment
+        let f = t / self.m;
+        let r = t % self.m;
+        let rem = (0..=r.min(self.n))
+            .map(|k| (k, hypergeometric_pmf(self.m, self.n, r, k)))
+            .filter(|&(_, p)| p > 0.0)
+            .collect::<Vec<_>>();
+        rem.into_iter().map(|(k, p)| (k + f * self.n, p)).collect()
+    }
+
+    fn window_counts(&self, tile_shape: &[u64]) -> (u64, u64) {
+        assert_eq!(tile_shape.len(), self.shape.len(), "tile rank mismatch");
+        let t_axis = tile_shape[self.axis].min(self.shape[self.axis]);
+        let others: u64 = tile_shape
+            .iter()
+            .zip(&self.shape)
+            .enumerate()
+            .filter(|&(i, _)| i != self.axis)
+            .map(|(_, (&t, &e))| t.min(e))
+            .product();
+        (t_axis, others)
+    }
+}
+
+impl DensityModel for FixedStructured {
+    fn name(&self) -> &str {
+        "fixed_structured"
+    }
+
+    fn density(&self) -> f64 {
+        self.n as f64 / self.m as f64
+    }
+
+    fn tensor_shape(&self) -> &[u64] {
+        &self.shape
+    }
+
+    fn occupancy(&self, tile_shape: &[u64]) -> OccupancyStats {
+        let (t_axis, others) = self.window_counts(tile_shape);
+        let expected = (t_axis * others) as f64 * self.density();
+        if self.n == 0 {
+            return OccupancyStats { expected: 0.0, prob_empty: 1.0, max: 0 };
+        }
+        let per_window_empty = if t_axis >= self.m {
+            0.0 // any window covering a full block holds >= n nonzeros
+        } else {
+            hypergeometric_prob_zero(self.m, self.n, t_axis)
+        };
+        let prob_empty = if per_window_empty == 0.0 {
+            0.0
+        } else {
+            per_window_empty.powi(others as i32)
+        };
+        let f = t_axis / self.m;
+        let r = t_axis % self.m;
+        let max_per_window = f * self.n + r.min(self.n);
+        OccupancyStats {
+            expected,
+            prob_empty,
+            max: max_per_window * others,
+        }
+    }
+
+    fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
+        let (t_axis, others) = self.window_counts(tile_shape);
+        let per_window = self.window_distribution(t_axis);
+        if per_window.len() == 1 {
+            // deterministic per window → deterministic overall
+            return vec![(per_window[0].0 * others, 1.0)];
+        }
+        convolve_power(&per_window, others, 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_is_n_over_m() {
+        let m = FixedStructured::new(vec![4, 8], 2, 4, 1);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+        let m = FixedStructured::new(vec![4, 8], 2, 8, 1);
+        assert!((m.density() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_block_tiles_are_deterministic() {
+        let m = FixedStructured::new(vec![4, 16], 2, 4, 1);
+        let d = m.occupancy_distribution(&[2, 8]);
+        // 2 rows x 2 blocks each = 4 blocks x 2 nonzeros
+        assert_eq!(d, vec![(8, 1.0)]);
+        assert_eq!(m.occupancy(&[2, 8]).prob_empty, 0.0);
+    }
+
+    #[test]
+    fn sub_block_window_is_hypergeometric() {
+        let m = FixedStructured::new(vec![1, 4], 2, 4, 1);
+        // window of 2 inside a 2:4 block: P(0) = C(2,2)/C(4,2) = 1/6
+        let s = m.occupancy(&[1, 2]);
+        assert!((s.prob_empty - 1.0 / 6.0).abs() < 1e-9);
+        assert!((s.expected - 1.0).abs() < 1e-12);
+        let d = m.occupancy_distribution(&[1, 2]);
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_tile_prob_empty_matches_density() {
+        let m = FixedStructured::new(vec![8, 8], 2, 4, 1);
+        let s = m.occupancy(&[1, 1]);
+        assert!((s.prob_empty - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_window_never_all_empty_when_covering_block() {
+        let m = FixedStructured::new(vec![8, 8], 1, 4, 1);
+        let s = m.occupancy(&[1, 4]);
+        assert_eq!(s.prob_empty, 0.0);
+        assert_eq!(s.max, 1);
+    }
+
+    #[test]
+    fn zero_n_always_empty() {
+        let m = FixedStructured::new(vec![4, 4], 0, 4, 1);
+        assert_eq!(m.occupancy(&[2, 2]).prob_empty, 1.0);
+        assert_eq!(m.occupancy_distribution(&[2, 2]), vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn partial_plus_full_blocks() {
+        let m = FixedStructured::new(vec![1, 8], 2, 4, 1);
+        // t_axis = 6: one full block (2 certain) + remainder of 2
+        let d = m.occupancy_distribution(&[1, 6]);
+        let total: f64 = d.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(d.iter().all(|&(k, _)| (2..=4).contains(&k)));
+        let s = m.occupancy(&[1, 6]);
+        assert!((s.expected - 3.0).abs() < 1e-12);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.prob_empty, 0.0);
+    }
+
+    #[test]
+    fn distribution_expectation_matches_stats() {
+        let m = FixedStructured::new(vec![4, 8], 2, 4, 1);
+        for tile in [[1u64, 2], [2, 2], [4, 4], [2, 8]] {
+            let d = m.occupancy_distribution(&tile);
+            let e: f64 = d.iter().map(|&(k, p)| k as f64 * p).sum();
+            let s = m.occupancy(&tile);
+            assert!((e - s.expected).abs() < 1e-6, "tile {tile:?}: {e} vs {}", s.expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of m")]
+    fn misaligned_axis_rejected() {
+        FixedStructured::new(vec![4, 6], 2, 4, 1);
+    }
+}

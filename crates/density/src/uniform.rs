@@ -1,0 +1,179 @@
+//! Uniform (hypergeometric) density model.
+//!
+//! Models a tensor whose `K = round(volume · density)` nonzeros fall at
+//! distinct uniformly-random coordinates. The occupancy of a tile of `S`
+//! dense coordinates is then hypergeometric with population `N = volume`,
+//! `K` marked items and sample size `S` — exactly the statistic the paper
+//! visualizes in Fig. 9 ("a tile's shape varies inversely with the
+//! deviation in its density").
+
+use crate::math::{hypergeometric_pmf, hypergeometric_prob_zero};
+use crate::model::{DensityModel, OccupancyStats};
+
+/// Coordinate-independent uniform-random density model.
+///
+/// # Example
+/// ```
+/// use sparseloop_density::{DensityModel, Uniform};
+/// let m = Uniform::new(vec![8, 8], 0.25); // 16 nonzeros among 64 slots
+/// let stats = m.occupancy(&[1, 1]);
+/// assert!((stats.expected - 0.25).abs() < 1e-12);
+/// assert!((stats.prob_empty - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Uniform {
+    shape: Vec<u64>,
+    volume: u64,
+    nnz: u64,
+}
+
+impl Uniform {
+    /// Creates a uniform model over a tensor of the given shape and
+    /// overall density.
+    ///
+    /// # Panics
+    /// Panics if `density` is outside `[0, 1]` or the shape is empty.
+    pub fn new(shape: Vec<u64>, density: f64) -> Self {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+        assert!(!shape.is_empty(), "shape must have at least one rank");
+        let volume: u64 = shape.iter().product();
+        assert!(volume > 0, "tensor volume must be positive");
+        let nnz = ((volume as f64) * density).round() as u64;
+        Uniform { shape, volume, nnz }
+    }
+
+    /// Number of nonzeros the model assumes.
+    pub fn nnz(&self) -> u64 {
+        self.nnz
+    }
+
+    fn tile_size(&self, tile_shape: &[u64]) -> u64 {
+        assert_eq!(tile_shape.len(), self.shape.len(), "tile rank mismatch");
+        let s: u64 = tile_shape
+            .iter()
+            .zip(&self.shape)
+            .map(|(&t, &e)| t.min(e))
+            .product();
+        s.min(self.volume)
+    }
+}
+
+impl DensityModel for Uniform {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn density(&self) -> f64 {
+        self.nnz as f64 / self.volume as f64
+    }
+
+    fn tensor_shape(&self) -> &[u64] {
+        &self.shape
+    }
+
+    fn occupancy(&self, tile_shape: &[u64]) -> OccupancyStats {
+        let s = self.tile_size(tile_shape);
+        let expected = s as f64 * self.density();
+        let prob_empty = hypergeometric_prob_zero(self.volume, self.nnz, s);
+        OccupancyStats {
+            expected,
+            prob_empty,
+            max: s.min(self.nnz),
+        }
+    }
+
+    fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
+        let s = self.tile_size(tile_shape);
+        let max = s.min(self.nnz);
+        (0..=max)
+            .map(|k| (k, hypergeometric_pmf(self.volume, self.nnz, s, k)))
+            .filter(|&(_, p)| p > 0.0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DensityModelExt;
+
+    #[test]
+    fn whole_tensor_tile_is_deterministic() {
+        let m = Uniform::new(vec![8, 8], 0.5);
+        let d = m.occupancy_distribution(&[8, 8]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].0, 32);
+        assert!((d[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_tile_matches_density() {
+        let m = Uniform::new(vec![16, 16], 0.3);
+        let stats = m.occupancy(&[1, 1]);
+        assert!((stats.prob_empty - (1.0 - m.density())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let m = Uniform::new(vec![10, 10], 0.37);
+        for tile in [[1u64, 1], [2, 5], [5, 2], [10, 1]] {
+            let d = m.occupancy_distribution(&tile);
+            let total: f64 = d.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "tile {tile:?}");
+            let e: f64 = d.iter().map(|&(k, p)| k as f64 * p).sum();
+            let stats = m.occupancy(&tile);
+            assert!((e - stats.expected).abs() < 1e-9, "tile {tile:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_tiles_concentrate_density() {
+        // Fig 9: larger tiles have lower variance in density.
+        let m = Uniform::new(vec![64, 64], 0.5);
+        let var = |tile: &[u64]| {
+            let d = m.occupancy_distribution(tile);
+            let s: u64 = tile.iter().product();
+            let mean: f64 = d.iter().map(|&(k, p)| k as f64 / s as f64 * p).sum();
+            d.iter()
+                .map(|&(k, p)| {
+                    let x = k as f64 / s as f64;
+                    (x - mean).powi(2) * p
+                })
+                .sum::<f64>()
+        };
+        assert!(var(&[1, 2]) > var(&[1, 8]));
+        assert!(var(&[1, 8]) > var(&[8, 8]));
+    }
+
+    #[test]
+    fn prob_empty_decreases_with_tile_size() {
+        let m = Uniform::new(vec![32, 32], 0.1);
+        let p1 = m.occupancy(&[1, 1]).prob_empty;
+        let p4 = m.occupancy(&[2, 2]).prob_empty;
+        let p16 = m.occupancy(&[4, 4]).prob_empty;
+        assert!(p1 > p4 && p4 > p16);
+    }
+
+    #[test]
+    fn dense_model_never_empty() {
+        let m = Uniform::new(vec![8], 1.0);
+        assert_eq!(m.occupancy(&[3]).prob_empty, 0.0);
+        assert!((m.expected_tile_density(&[3]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_density_always_empty() {
+        let m = Uniform::new(vec![8], 0.0);
+        assert_eq!(m.occupancy(&[4]).prob_empty, 1.0);
+        assert_eq!(m.occupancy(&[4]).expected, 0.0);
+    }
+
+    #[test]
+    fn tile_clamped_to_tensor() {
+        let m = Uniform::new(vec![4, 4], 0.5);
+        // Oversized tile clamps to the tensor itself.
+        let stats = m.occupancy(&[16, 16]);
+        assert_eq!(stats.max, 8);
+        assert!((stats.expected - 8.0).abs() < 1e-9);
+    }
+}

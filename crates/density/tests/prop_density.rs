@@ -1,0 +1,129 @@
+//! Property-based tests for the statistical density models.
+
+use proptest::prelude::*;
+use sparseloop_density::{
+    ActualData, Banded, DensityModel, DensityModelExt, FixedStructured, Uniform,
+};
+use sparseloop_tensor::{point::Shape, SparseTensor};
+
+fn check_distribution(model: &dyn DensityModel, tile: &[u64]) -> Result<(), TestCaseError> {
+    let dist = model.occupancy_distribution(tile);
+    let total: f64 = dist.iter().map(|&(_, p)| p).sum();
+    prop_assert!((total - 1.0).abs() < 1e-6, "distribution sums to 1, got {total}");
+    let stats = model.occupancy(tile);
+    let mean: f64 = dist.iter().map(|&(k, p)| k as f64 * p).sum();
+    prop_assert!(
+        (mean - stats.expected).abs() < 1e-6 * stats.expected.max(1.0),
+        "expectation consistent: {mean} vs {}",
+        stats.expected
+    );
+    let p0 = dist.iter().find(|&&(k, _)| k == 0).map(|&(_, p)| p).unwrap_or(0.0);
+    prop_assert!(
+        (p0 - stats.prob_empty).abs() < 1e-6,
+        "prob_empty consistent: {p0} vs {}",
+        stats.prob_empty
+    );
+    let max_seen = dist.iter().map(|&(k, _)| k).max().unwrap_or(0);
+    prop_assert!(max_seen <= stats.max, "support within max");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn uniform_invariants(
+        rows in 1u64..32, cols in 1u64..32,
+        dens_pct in 0u64..=100,
+        tr in 1u64..6, tc in 1u64..6,
+    ) {
+        let m = Uniform::new(vec![rows, cols], dens_pct as f64 / 100.0);
+        check_distribution(&m, &[tr, tc])?;
+        // expected tile density equals tensor density
+        let s = m.occupancy(&[tr.min(rows), tc.min(cols)]);
+        let size = (tr.min(rows) * tc.min(cols)) as f64;
+        prop_assert!((s.expected - size * m.density()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_prob_empty_monotone_in_tile_size(
+        dens_pct in 1u64..=60,
+        t1 in 1u64..5, extra in 1u64..5,
+    ) {
+        let m = Uniform::new(vec![16, 16], dens_pct as f64 / 100.0);
+        let small = m.occupancy(&[1, t1]).prob_empty;
+        let large = m.occupancy(&[1, t1 + extra]).prob_empty;
+        prop_assert!(large <= small + 1e-12, "bigger tiles never emptier");
+    }
+
+    #[test]
+    fn structured_invariants(
+        rows in 1u64..8, blocks in 1u64..5,
+        n in 0u64..=4,
+        tr in 1u64..4, tc in 1u64..10,
+    ) {
+        let m_block = 4u64;
+        let m = FixedStructured::new(vec![rows, blocks * m_block], n.min(m_block), m_block, 1);
+        check_distribution(&m, &[tr, tc])?;
+        // any tile covering a whole block is non-empty when n > 0
+        if n > 0 {
+            prop_assert_eq!(m.occupancy(&[1, m_block]).prob_empty, 0.0);
+        }
+    }
+
+    #[test]
+    fn banded_invariants(
+        size in 2u64..20, hw in 0u64..5, fill_pct in 0u64..=100,
+        tr in 1u64..5, tc in 1u64..5,
+    ) {
+        let m = Banded::new(size, size, hw, fill_pct as f64 / 100.0);
+        check_distribution(&m, &[tr, tc])?;
+        prop_assert!(m.density() <= 1.0 + 1e-12);
+        // widening the band can only increase density
+        let wider = Banded::new(size, size, hw + 1, fill_pct as f64 / 100.0);
+        prop_assert!(wider.density() >= m.density() - 1e-12);
+    }
+
+    #[test]
+    fn actual_data_matches_ground_truth(
+        rows in 1u64..16, cols in 1u64..16,
+        dens_pct in 0u64..=100,
+        tr in 1u64..5, tc in 1u64..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let shape = Shape::new(vec![rows, cols]);
+        let t = SparseTensor::gen_uniform(shape, dens_pct as f64 / 100.0, &mut rng);
+        let m = ActualData::new(t.clone());
+        check_distribution(&m, &[tr, tc])?;
+        let s = m.occupancy(&[tr, tc]);
+        prop_assert!((s.prob_empty - t.tile_empty_fraction(&[tr.min(rows), tc.min(cols)])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_and_actual_agree_in_expectation(
+        rows in 4u64..24, cols in 4u64..24,
+        dens_pct in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        // actual uniform data has EXACT nnz, so expected occupancy of the
+        // whole tensor matches the model exactly
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let d = dens_pct as f64 / 100.0;
+        let t = SparseTensor::gen_uniform(Shape::new(vec![rows, cols]), d, &mut rng);
+        let act = ActualData::new(t.clone());
+        let uni = Uniform::new(vec![rows, cols], d);
+        let sa = act.occupancy(&[rows, cols]);
+        let su = uni.occupancy(&[rows, cols]);
+        prop_assert!((sa.expected - su.expected).abs() < 1.0);
+    }
+
+    #[test]
+    fn expected_tile_density_bounded(
+        rows in 1u64..16, cols in 1u64..16,
+        dens_pct in 0u64..=100,
+        tr in 1u64..6, tc in 1u64..6,
+    ) {
+        let m = Uniform::new(vec![rows, cols], dens_pct as f64 / 100.0);
+        let d = m.expected_tile_density(&[tr, tc]);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+    }
+}

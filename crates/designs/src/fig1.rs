@@ -1,0 +1,126 @@
+//! The two motivating designs of Fig. 1: identical dataflow, different
+//! representation-format + gating/skipping choices.
+//!
+//! * **Bitmask (Eyeriss-like):** operands in B-B bitmask format; each
+//!   metadata bit gates the storage/compute pipeline — energy saved,
+//!   cycles unchanged.
+//! * **Coordinate list (SCNN-like):** operands in CP coordinate-list
+//!   format; the coordinates point straight at the next effectual
+//!   operation — energy *and* cycles saved, at a higher metadata cost
+//!   per nonzero.
+
+use crate::common::{matmul_ids, DesignPoint};
+use sparseloop_arch::{
+    Architecture, ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel,
+};
+use sparseloop_core::SafSpec;
+use sparseloop_format::{RankFormat, TensorFormat};
+use sparseloop_tensor::einsum::Einsum;
+
+/// Shared two-level architecture: DRAM over a banked buffer feeding a
+/// 16-MAC array.
+fn arch(name: &str) -> Architecture {
+    ArchitectureBuilder::new(name)
+        .level(
+            StorageLevel::new("BackingStorage")
+                .with_class(ComponentClass::Dram)
+                .with_bandwidth(8.0),
+        )
+        .level(
+            StorageLevel::new("Buffer")
+                .with_capacity(8 * 1024)
+                .with_bandwidth(64.0),
+        )
+        .compute(ComputeSpec::new("MAC", 16))
+        .build()
+        .expect("static architecture is valid")
+}
+
+/// The bitmask design: B-B format + gating everywhere.
+pub fn bitmask_design(e: &Einsum) -> DesignPoint {
+    let (a, b, _z) = matmul_ids(e);
+    let fmt = TensorFormat::from_ranks(&[RankFormat::Bitmask, RankFormat::Bitmask]);
+    let safs = SafSpec::dense()
+        .with_format(0, a, fmt.clone())
+        .with_format(0, b, fmt.clone())
+        .with_format(1, a, fmt.clone())
+        .with_format(1, b, fmt)
+        // bitmask pipeline stays synchronized to dense order: zeros gate
+        .with_gate(1, a, vec![a])
+        .with_gate(1, b, vec![b])
+        .with_gate_compute();
+    DesignPoint { name: "Bitmask".into(), arch: arch("fig1-bitmask"), safs }
+}
+
+/// The coordinate-list design: CP format + skipping everywhere.
+pub fn coordinate_list_design(e: &Einsum) -> DesignPoint {
+    let (a, b, _z) = matmul_ids(e);
+    let fmt = TensorFormat::coo(2);
+    let safs = SafSpec::dense()
+        .with_format(0, a, fmt.clone())
+        .with_format(0, b, fmt.clone())
+        .with_format(1, a, fmt.clone())
+        .with_format(1, b, fmt)
+        // coordinates point at the next effectual op: zeros skip
+        .with_skip(1, a, vec![a])
+        .with_skip(1, b, vec![b])
+        .with_skip_compute();
+    DesignPoint {
+        name: "CoordinateList".into(),
+        arch: arch("fig1-coordlist"),
+        safs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::matmul_mapping_2level;
+    use sparseloop_workloads::spmspm;
+
+    fn eval(dp: &DesignPoint, density: f64) -> sparseloop_core::Evaluation {
+        let l = spmspm(32, 32, 32, density, density);
+        let m = matmul_mapping_2level(&l.einsum, 16, 4);
+        dp.evaluate(&l, &m).expect("fig1 mapping valid")
+    }
+
+    #[test]
+    fn coordinate_list_faster_at_low_density() {
+        let l = spmspm(32, 32, 32, 0.1, 0.1);
+        let bm = eval(&bitmask_design(&l.einsum), 0.1);
+        let cl = eval(&coordinate_list_design(&l.einsum), 0.1);
+        assert!(
+            cl.cycles < bm.cycles * 0.5,
+            "CP should be much faster at 10% density: {} vs {}",
+            cl.cycles,
+            bm.cycles
+        );
+    }
+
+    #[test]
+    fn bitmask_never_speeds_up() {
+        // gating saves energy but not time: cycles match dense cycles
+        let l = spmspm(32, 32, 32, 1.0, 1.0);
+        let dense_cycles = eval(&bitmask_design(&l.einsum), 1.0).cycles;
+        let sparse_cycles = eval(&bitmask_design(&l.einsum), 0.1).cycles;
+        assert!((sparse_cycles - dense_cycles).abs() / dense_cycles < 0.05);
+    }
+
+    #[test]
+    fn bitmask_saves_energy_when_sparse() {
+        let l = spmspm(32, 32, 32, 1.0, 1.0);
+        let dense_e = eval(&bitmask_design(&l.einsum), 1.0).energy_pj;
+        let sparse_e = eval(&bitmask_design(&l.einsum), 0.1).energy_pj;
+        assert!(sparse_e < dense_e * 0.6);
+    }
+
+    #[test]
+    fn coordinate_list_metadata_hurts_when_dense() {
+        // at full density CP's per-nonzero coordinates cost more energy
+        // than B's fixed-size bitmask
+        let l = spmspm(32, 32, 32, 1.0, 1.0);
+        let bm = eval(&bitmask_design(&l.einsum), 0.9);
+        let cl = eval(&coordinate_list_design(&l.einsum), 0.9);
+        assert!(cl.energy_pj > bm.energy_pj);
+    }
+}

@@ -1,0 +1,217 @@
+//! The §7.2 co-design grid: {ReuseABZ, ReuseAZ} × {InnermostSkip,
+//! HierarchicalSkip} on spMspM (Table 8, Fig. 17).
+//!
+//! Hardware budget: 256 compute units, 128 KB on-chip storage (64 K
+//! 16-bit words). The dataflows differ only in whether B gets on-chip
+//! reuse; the SAF sets differ only in whether the double-sided
+//! intersection also runs off-chip.
+
+use crate::common::{divisor_at_most, matmul_ids, DesignPoint};
+use sparseloop_arch::{
+    Architecture, ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel,
+};
+use sparseloop_core::SafSpec;
+use sparseloop_format::TensorFormat;
+use sparseloop_mapping::{Mapping, MappingBuilder};
+use sparseloop_tensor::einsum::{DimId, Einsum};
+
+/// Which tensors get on-chip reuse (Table 8a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataflow {
+    /// All three tensors reused on chip.
+    ReuseAbz,
+    /// No on-chip reuse for B (streamed from DRAM).
+    ReuseAz,
+}
+
+/// Where the double-sided intersection runs (Table 8b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SafChoice {
+    /// `Skip B ↔ A` at the innermost on-chip storage only.
+    InnermostSkip,
+    /// `Skip B ↔ A` at DRAM *and* the innermost storage.
+    HierarchicalSkip,
+}
+
+fn arch(name: &str) -> Architecture {
+    ArchitectureBuilder::new(name)
+        .level(
+            StorageLevel::new("DRAM")
+                .with_class(ComponentClass::Dram)
+                .with_bandwidth(16.0),
+        )
+        .level(
+            StorageLevel::new("Buffer")
+                .with_capacity(64 * 1024) // 128 KB at 16-bit words
+                .with_bandwidth(512.0),
+        )
+        .compute(ComputeSpec::new("MAC", 256))
+        .build()
+        .expect("static architecture is valid")
+}
+
+/// Builds one grid point.
+pub fn design(e: &Einsum, dataflow: Dataflow, saf: SafChoice) -> DesignPoint {
+    let (a, b, z) = matmul_ids(e);
+    let fmt = TensorFormat::coo(2);
+    let mut safs = SafSpec::dense()
+        .with_format(0, a, fmt.clone())
+        .with_format(0, b, fmt.clone())
+        .with_format(1, a, fmt.clone())
+        .with_format(1, b, fmt)
+        .with_skip(1, a, vec![a])
+        .with_skip(1, b, vec![b])
+        .with_double_sided_skip(1, a, b)
+        .with_skip(1, z, vec![a, b])
+        .with_skip_compute();
+    if saf == SafChoice::HierarchicalSkip {
+        safs = safs.with_double_sided_skip(0, a, b).with_skip(0, z, vec![a, b]);
+    }
+    let name = format!(
+        "{}.{}",
+        match dataflow {
+            Dataflow::ReuseAbz => "ReuseABZ",
+            Dataflow::ReuseAz => "ReuseAZ",
+        },
+        match saf {
+            SafChoice::InnermostSkip => "InnermostSkip",
+            SafChoice::HierarchicalSkip => "HierarchicalSkip",
+        }
+    );
+    DesignPoint { name, arch: arch("fig17"), safs }
+}
+
+/// The dataflow-specific mapping.
+///
+/// * `ReuseABZ`: `m` iterates *outside* the buffer level, so each B tile
+///   is reused across many A tiles — good reuse, but the off-chip leader
+///   tile for `Skip B ← A` becomes a tall column block of A that is
+///   almost never empty.
+/// * `ReuseAZ`: B is bypassed on chip and streamed from DRAM once per
+///   A-row tile — no reuse, but the off-chip leader tile is small.
+pub fn mapping(e: &Einsum, dataflow: Dataflow) -> Mapping {
+    let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+    let (mb, nb, kb) = (e.bound(m), e.bound(n), e.bound(k));
+    let (_a, b_id, _z) = matmul_ids(e);
+    let s = divisor_at_most(nb, 16);
+    let tm = divisor_at_most(mb, 16);
+    let tn = divisor_at_most(nb, 64);
+    match dataflow {
+        Dataflow::ReuseAbz => {
+            // n1 sits ABOVE m1 so the on-chip B tile stays stationary
+            // across the whole m sweep (the defining reuse of ReuseABZ).
+            let mut bld = MappingBuilder::new(2, e.tensors().len());
+            if nb / tn > 1 {
+                bld = bld.temporal(0, n, nb / tn);
+            }
+            if mb / tm > 1 {
+                bld = bld.temporal(0, m, mb / tm);
+            }
+            if s > 1 {
+                bld = bld.spatial(1, n, s);
+            }
+            if tn / s > 1 {
+                bld = bld.temporal(1, n, tn / s);
+            }
+            if tm > 1 {
+                bld = bld.temporal(1, m, tm);
+            }
+            bld = bld.temporal(1, k, kb);
+            bld.build()
+        }
+        Dataflow::ReuseAz => {
+            let mut bld = MappingBuilder::new(2, e.tensors().len());
+            if mb / tm > 1 {
+                bld = bld.temporal(0, m, mb / tm);
+            }
+            if nb / s > 1 {
+                bld = bld.temporal(0, n, nb / s);
+            }
+            if s > 1 {
+                bld = bld.spatial(1, n, s);
+            }
+            if tm > 1 {
+                bld = bld.temporal(1, m, tm);
+            }
+            bld = bld.temporal(1, k, kb);
+            bld.bypass(1, b_id).build()
+        }
+    }
+}
+
+/// All four grid points with their mappings.
+pub fn grid(e: &Einsum) -> Vec<(DesignPoint, Mapping)> {
+    let mut out = Vec::new();
+    for df in [Dataflow::ReuseAbz, Dataflow::ReuseAz] {
+        for saf in [SafChoice::InnermostSkip, SafChoice::HierarchicalSkip] {
+            out.push((design(e, df, saf), mapping(e, df)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseloop_workloads::spmspm;
+
+    fn edp(df: Dataflow, saf: SafChoice, density: f64) -> f64 {
+        let l = spmspm(256, 256, 256, density, density);
+        let dp = design(&l.einsum, df, saf);
+        let m = mapping(&l.einsum, df);
+        dp.evaluate(&l, &m).expect("fig17 mapping valid").edp
+    }
+
+    #[test]
+    fn all_grid_points_evaluate() {
+        let l = spmspm(256, 256, 256, 0.1, 0.1);
+        for (dp, m) in grid(&l.einsum) {
+            let e = dp.evaluate(&l, &m).unwrap();
+            assert!(e.edp > 0.0, "{}", dp.name);
+        }
+    }
+
+    #[test]
+    fn hierarchical_skip_wins_when_hyper_sparse() {
+        // At extremely low density, early off-chip elimination pays off.
+        let sparse = 0.001;
+        let az_hier = edp(Dataflow::ReuseAz, SafChoice::HierarchicalSkip, sparse);
+        let abz_inner = edp(Dataflow::ReuseAbz, SafChoice::InnermostSkip, sparse);
+        assert!(
+            az_hier < abz_inner,
+            "ReuseAZ.Hierarchical {az_hier} should beat ReuseABZ.Innermost {abz_inner}"
+        );
+    }
+
+    #[test]
+    fn reuse_abz_wins_when_denser() {
+        let dense = 0.25;
+        let az_hier = edp(Dataflow::ReuseAz, SafChoice::HierarchicalSkip, dense);
+        let abz_inner = edp(Dataflow::ReuseAbz, SafChoice::InnermostSkip, dense);
+        assert!(
+            abz_inner < az_hier,
+            "ReuseABZ.Innermost {abz_inner} should beat ReuseAZ.Hierarchical {az_hier}"
+        );
+    }
+
+    #[test]
+    fn reuse_abz_hierarchical_never_best() {
+        // The paper's headline co-design insight: combining every saving
+        // feature is never optimal, because ReuseABZ's reuse makes the
+        // off-chip leader tiles nearly never empty.
+        for density in [0.0001, 0.001, 0.01, 0.1, 0.5] {
+            let abz_h = edp(Dataflow::ReuseAbz, SafChoice::HierarchicalSkip, density);
+            let best_other = [
+                edp(Dataflow::ReuseAbz, SafChoice::InnermostSkip, density),
+                edp(Dataflow::ReuseAz, SafChoice::InnermostSkip, density),
+                edp(Dataflow::ReuseAz, SafChoice::HierarchicalSkip, density),
+            ]
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+            assert!(
+                abz_h >= best_other * 0.999,
+                "ReuseABZ.Hierarchical should never strictly win at d={density}"
+            );
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # sparseloop-designs
+//!
+//! A library of accelerator designs expressed in the SAF taxonomy —
+//! the reproduction of the paper's Table 3 plus the case-study designs of
+//! §7. Each module provides an architecture, a SAF specification bound to
+//! a workload's tensor ids, and mapping helpers.
+//!
+//! | Module | Paper design | Dataflow / SAFs (Table 3) |
+//! |---|---|---|
+//! | [`fig1`] | Bitmask vs. coordinate-list designs (Fig. 1) | same dataflow; B-B + gating vs. CP + skipping |
+//! | [`eyeriss`] | Eyeriss | B-RLE off-chip I/O; `Gate W←I`, `Gate O←I` innermost |
+//! | [`eyeriss_v2`] | Eyeriss V2 PE | CSC-like I/W; `Skip W←I`, `Skip O←I&W`; `Gate Compute` |
+//! | [`scnn`] | SCNN | compressed I/W streams; `Skip O←I&W`; `Gate Compute` |
+//! | [`dstc`] | Dual-side sparse tensor core | B-B both operands; `Skip A↔B`, `Skip Z←A&B` |
+//! | [`stc`] | NVIDIA sparse tensor core + §7.1 extensions | 2:4 CP weights; structured skipping; SMEM bandwidth provisioned for 2:4 |
+//! | [`fig17`] | §7.2 co-design grid | ReuseABZ/ReuseAZ × InnermostSkip/HierarchicalSkip |
+
+pub mod common;
+pub mod dstc;
+pub mod eyeriss;
+pub mod eyeriss_v2;
+pub mod fig1;
+pub mod fig17;
+pub mod scnn;
+pub mod stc;
+
+pub use common::DesignPoint;

@@ -1,0 +1,107 @@
+//! SCNN (Table 3, Fig. 11).
+//!
+//! SCNN streams compressed nonzero weights and input activations
+//! (`B-UOP-RLE`-style) through a multiplier array computing their
+//! cartesian product — so compute scales with `nnz(W) × nnz(I)` — and
+//! scatters products into an accumulator buffer. Output accesses are
+//! skipped for ineffectual pairs; leftover compute is gated.
+
+use crate::common::{conv_ids, DesignPoint};
+use sparseloop_arch::{
+    Architecture, ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel,
+};
+use sparseloop_core::SafSpec;
+use sparseloop_format::{RankFormat, TensorFormat};
+use sparseloop_tensor::einsum::Einsum;
+
+/// DRAM over per-PE IARAM/OARAM + weight FIFOs over a 4×4 multiplier
+/// array (one SCNN PE).
+pub fn arch() -> Architecture {
+    ArchitectureBuilder::new("scnn")
+        .level(
+            StorageLevel::new("DRAM")
+                .with_class(ComponentClass::Dram)
+                .with_bandwidth(4.0),
+        )
+        .level(
+            StorageLevel::new("IARAM")
+                .with_capacity(8 * 1024)
+                .with_bandwidth(8.0),
+        )
+        .level(
+            StorageLevel::new("OperandLatch")
+                .with_class(ComponentClass::RegFile)
+                .with_capacity(64)
+                .with_bandwidth(32.0),
+        )
+        .compute(ComputeSpec::new("MultArray", 16))
+        .build()
+        .expect("static architecture is valid")
+}
+
+/// UOP-RLE compressed stream format.
+fn compressed() -> TensorFormat {
+    TensorFormat::from_ranks(&[RankFormat::uop(), RankFormat::rle()])
+}
+
+/// SCNN's SAFs for a conv workload.
+pub fn safs(e: &Einsum) -> SafSpec {
+    let (w, i, o) = conv_ids(e);
+    SafSpec::dense()
+        .with_format(0, w, compressed())
+        .with_format(0, i, compressed())
+        .with_format(1, w, compressed())
+        .with_format(1, i, compressed())
+        .with_format(2, w, compressed())
+        .with_format(2, i, compressed())
+        // compressed streams skip their own zeros at the innermost level
+        .with_skip(2, w, vec![w])
+        .with_skip(2, i, vec![i])
+        // output accesses only for effectual products
+        .with_skip(2, o, vec![i, w])
+        .with_gate_compute()
+}
+
+/// The SCNN design point.
+pub fn design(e: &Einsum) -> DesignPoint {
+    DesignPoint { name: "SCNN".into(), arch: arch(), safs: safs(e) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::conv_mapspace;
+    use sparseloop_workloads::alexnet;
+
+    #[test]
+    fn compute_scales_with_nnz_product() {
+        let mut layer = alexnet().layers[2].scaled_to(500_000);
+        // make both operands sparse
+        layer.densities[0] = sparseloop_density::DensityModelSpec::Uniform { density: 0.4 };
+        let dp = design(&layer.einsum);
+        let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
+        let (_, eval) = dp.search(&layer, &space).expect("valid mapping");
+        let frac = eval.sparse.compute.ops.actual / eval.dense.computes;
+        assert!((frac - 0.4 * 0.55).abs() < 0.05, "cartesian product fraction {frac}");
+    }
+
+    #[test]
+    fn output_skipping_reduces_accumulator_traffic() {
+        let mut layer = alexnet().layers[2].scaled_to(200_000);
+        layer.densities[0] = sparseloop_density::DensityModelSpec::Uniform { density: 0.3 };
+        let dp = design(&layer.einsum);
+        let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
+        let (map, eval) = dp.search(&layer, &space).unwrap();
+        let o = layer.einsum.tensor_id("Outputs").unwrap();
+        let plain = DesignPoint { name: "d".into(), arch: arch(), safs: SafSpec::dense() }
+            .evaluate(&layer, &map)
+            .unwrap();
+        let skipped = eval
+            .sparse
+            .get(o, 2)
+            .map(|e| e.updates.skipped)
+            .unwrap_or(0.0);
+        assert!(skipped > 0.0);
+        let _ = plain;
+    }
+}

@@ -1,0 +1,27 @@
+//! # sparseloop-energy
+//!
+//! Accelergy-style energy estimation backend (Sparseloop §5.4, reference 54).
+//!
+//! Sparseloop's micro-architectural step multiplies *fine-grained action
+//! counts* (actual / gated / skipped accesses and computes, metadata
+//! accesses) by per-action energy costs. This crate supplies those costs:
+//! each storage level's [`ComponentClass`](sparseloop_arch::ComponentClass)
+//! and attributes map to an [`ActionEnergy`] table, and the compute level
+//! maps to a [`ComputeEnergy`] table.
+//!
+//! ## Where the numbers come from
+//!
+//! The reproduction cannot use the authors' proprietary technology node
+//! (their artifact makes the same substitution). We use energy-per-action
+//! constants in the spirit of the widely-cited 45 nm survey numbers
+//! (Horowitz, ISSCC'14) that Eyeriss/Timeloop-style studies normalize to:
+//! register file ≈ 1× MAC, large SRAM ≈ 6×, DRAM ≈ 200×, with SRAM energy
+//! scaling as the square root of capacity. All paper conclusions we
+//! reproduce depend on these *ratios*, not on absolute picojoules.
+//!
+//! Gated actions cost [`GATED_FRACTION`] of a real access (clock/data
+//! gating still burns control energy); skipped actions cost zero.
+
+pub mod table;
+
+pub use table::{ActionEnergy, ComputeEnergy, EnergyTable, GATED_FRACTION};

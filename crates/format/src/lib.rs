@@ -1,0 +1,27 @@
+//! # sparseloop-format
+//!
+//! Representation-format models (Sparseloop §3.1.1 Fig. 2, §5.3.3).
+//!
+//! A sparse tensor's storage layout is described hierarchically: each
+//! fibertree rank (or group of flattened ranks) gets a *per-rank format*
+//! — Uncompressed (U), Bitmask (B), Coordinate-Payload (CP), Run-Length
+//! Encoding (RLE) or Uncompressed-Offset-Pairs (UOP). Classic formats
+//! compose from these: CSR = UOP-CP, 2D COO = CP², CSB = UOP-CP-CP,
+//! 3-rank CSF = CP-CP-CP (Table 2).
+//!
+//! Two kinds of functionality live here:
+//!
+//! * **Statistical overhead models** ([`TensorFormat::analyze`]): given a
+//!   tile shape and a density model, compute the expected and worst-case
+//!   payload words and metadata bits — what the paper's Format Analyzer
+//!   feeds into traffic post-processing and capacity checks.
+//! * **Actual-data encoders** ([`encode`]): bit-exact encoders/decoders
+//!   used to validate the statistical models and to reproduce the Eyeriss
+//!   DRAM compression-rate experiment (Table 7).
+
+pub mod encode;
+pub mod rank;
+pub mod tensor_format;
+
+pub use rank::RankFormat;
+pub use tensor_format::{FormatLevel, FormatOverhead, TensorFormat};

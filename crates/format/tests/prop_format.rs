@@ -1,0 +1,138 @@
+//! Property-based tests for representation formats: analytical overhead
+//! models agree with bit-exact encoders on matched data, and encoders
+//! round-trip.
+
+use proptest::prelude::*;
+use sparseloop_density::{ActualData, Uniform};
+use sparseloop_format::encode::{
+    bitmask_bits, bitmask_decode, bitmask_encode, csr_decode, csr_encode, rle_bits,
+    rle_decode, rle_encode,
+};
+use sparseloop_format::{RankFormat, TensorFormat};
+use sparseloop_tensor::{point::Shape, Point, SparseTensor};
+
+fn random_stream(len: usize, dens_pct: u64, seed: u64) -> Vec<f64> {
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+    let t = SparseTensor::gen_uniform(
+        Shape::new(vec![len as u64]),
+        dens_pct as f64 / 100.0,
+        &mut rng,
+    );
+    (0..len as u64)
+        .map(|i| if t.is_nonzero(&Point::new(vec![i])) { (i + 1) as f64 } else { 0.0 })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn rle_roundtrip(
+        len in 1usize..256,
+        dens_pct in 0u64..=100,
+        run_bits in 2u32..8,
+        seed in any::<u64>(),
+    ) {
+        let v = random_stream(len, dens_pct, seed);
+        let enc = rle_encode(&v, run_bits);
+        prop_assert_eq!(rle_decode(&enc, len), v);
+    }
+
+    #[test]
+    fn bitmask_roundtrip(len in 1usize..256, dens_pct in 0u64..=100, seed in any::<u64>()) {
+        let v = random_stream(len, dens_pct, seed);
+        let s = bitmask_encode(&v);
+        prop_assert_eq!(bitmask_decode(&s), v.clone());
+        let nnz = v.iter().filter(|&&x| x != 0.0).count() as u64;
+        prop_assert_eq!(bitmask_bits(&s, 16), len as u64 + nnz * 16);
+    }
+
+    #[test]
+    fn csr_roundtrip(rows in 1usize..16, cols in 1usize..16, dens_pct in 0u64..=100, seed in any::<u64>()) {
+        let v = random_stream(rows * cols, dens_pct, seed);
+        let m = csr_encode(&v, rows, cols);
+        prop_assert_eq!(csr_decode(&m, cols), v);
+        prop_assert_eq!(m.row_ptr.len(), rows + 1);
+        // row_ptr monotone
+        prop_assert!(m.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Analytical bitmask metadata equals the exact encoding on actual
+    /// data (both are density-independent).
+    #[test]
+    fn bitmask_model_matches_encoding(
+        len in 1u64..256,
+        dens_pct in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let v = random_stream(len as usize, dens_pct, seed);
+        let s = bitmask_encode(&v);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let t = SparseTensor::gen_uniform(
+            Shape::new(vec![len]), dens_pct as f64 / 100.0, &mut rng);
+        let model = ActualData::new(t);
+        let fmt = TensorFormat::from_ranks(&[RankFormat::Bitmask]);
+        let o = fmt.analyze(&[len], &model);
+        prop_assert!((o.metadata_bits - s.mask.len() as f64).abs() < 1e-9);
+        prop_assert!((o.payload_words - s.payloads.len() as f64).abs() < 1e-9);
+    }
+
+    /// Analytical RLE metadata is a lower bound on (and close to) the
+    /// exact encoding: the model ignores overflow padding entries.
+    #[test]
+    fn rle_model_bounds_encoding(
+        len in 8u64..256,
+        dens_pct in 5u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let run_bits = 6u32;
+        let v = random_stream(len as usize, dens_pct, seed);
+        let enc = rle_encode(&v, run_bits);
+        let exact_bits = rle_bits(&enc, run_bits, 16) as f64;
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let t = SparseTensor::gen_uniform(
+            Shape::new(vec![len]), dens_pct as f64 / 100.0, &mut rng);
+        let model = ActualData::new(t);
+        let fmt = TensorFormat::from_ranks(&[RankFormat::RunLength { run_bits: Some(run_bits) }]);
+        let o = fmt.analyze(&[len], &model);
+        let model_bits = o.total_bits(16);
+        prop_assert!(model_bits <= exact_bits + 1e-9, "model {model_bits} <= exact {exact_bits}");
+        // within one padding entry per long gap; at >=5% density the gap
+        // is modest
+        prop_assert!(exact_bits <= model_bits + ((run_bits + 16) as f64) * (len as f64 / 63.0 + 2.0));
+    }
+
+    /// Compression monotonicity: denser tensors never compress better.
+    #[test]
+    fn compression_monotone_in_density(
+        rows in 2u64..24, cols in 2u64..24,
+        d1 in 1u64..50, extra in 1u64..50,
+    ) {
+        let fmt = TensorFormat::coo(2);
+        let rate = |pct: u64| {
+            let m = Uniform::new(vec![rows, cols], pct as f64 / 100.0);
+            fmt.analyze(&[rows, cols], &m)
+                .compression_rate((rows * cols) as f64, 16)
+        };
+        prop_assert!(rate(d1) >= rate((d1 + extra).min(100)) - 1e-9);
+    }
+
+    /// Worst-case footprints dominate expected ones for every format.
+    #[test]
+    fn worst_case_dominates(
+        rows in 1u64..16, cols in 1u64..16,
+        dens_pct in 0u64..=100,
+        which in 0usize..5,
+    ) {
+        let m = Uniform::new(vec![rows, cols], dens_pct as f64 / 100.0);
+        let fmt = match which {
+            0 => TensorFormat::csr(),
+            1 => TensorFormat::coo(2),
+            2 => TensorFormat::b_rle(),
+            3 => TensorFormat::csf(2),
+            _ => TensorFormat::uncompressed(2),
+        };
+        let o = fmt.analyze(&[rows, cols], &m);
+        prop_assert!(o.max_payload_words >= o.payload_words - 1e-9);
+        prop_assert!(o.max_metadata_bits >= o.metadata_bits - 1e-9);
+        prop_assert!(o.payload_words >= 0.0 && o.metadata_bits >= 0.0);
+    }
+}

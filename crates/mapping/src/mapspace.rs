@@ -1,0 +1,404 @@
+//! Mapspaces: constraint-driven enumeration of candidate mappings.
+//!
+//! A [`Mapspace`] fixes, per storage level, the *order* in which
+//! dimensions may appear as temporal loops and which dimensions may be
+//! distributed spatially. What remains free — and what the mapper
+//! explores — is the *factorization*: how each workload dimension's bound
+//! splits across the eligible loop positions. This mirrors the paper's
+//! "mapspace constraints" input (§5.1): the user supplies partial loop
+//! orders, Sparseloop locates the best concrete schedule.
+
+use crate::loops::{Mapping, MappingBuilder};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use sparseloop_arch::Architecture;
+use sparseloop_tensor::einsum::{DimId, Einsum, TensorId};
+
+/// All ordered factorizations of `n` into `k` positive factors.
+///
+/// The result is deterministic (lexicographic in factor order). Sizes grow
+/// combinatorially; callers cap enumeration via `limit` (`None` =
+/// unlimited).
+///
+/// # Example
+/// ```
+/// use sparseloop_mapping::factorizations;
+/// let f = factorizations(4, 2, None);
+/// assert_eq!(f, vec![vec![1, 4], vec![2, 2], vec![4, 1]]);
+/// ```
+pub fn factorizations(n: u64, k: usize, limit: Option<usize>) -> Vec<Vec<u64>> {
+    assert!(n >= 1 && k >= 1, "need n >= 1 and k >= 1");
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    fn rec(
+        n: u64,
+        k: usize,
+        current: &mut Vec<u64>,
+        out: &mut Vec<Vec<u64>>,
+        limit: Option<usize>,
+    ) {
+        if let Some(l) = limit {
+            if out.len() >= l {
+                return;
+            }
+        }
+        if k == 1 {
+            current.push(n);
+            out.push(current.clone());
+            current.pop();
+            return;
+        }
+        for d in 1..=n {
+            if n % d == 0 {
+                current.push(d);
+                rec(n / d, k - 1, current, out, limit);
+                current.pop();
+            }
+        }
+    }
+    rec(n, k, &mut current, &mut out, limit);
+    out
+}
+
+/// A random ordered factorization of `n` into `k` positive factors.
+pub fn random_factorization(n: u64, k: usize, rng: &mut impl Rng) -> Vec<u64> {
+    let mut factors = vec![1u64; k];
+    let mut rest = n;
+    // Peel random divisors into random positions until rest is 1.
+    while rest > 1 {
+        let divisors: Vec<u64> = (2..=rest).filter(|d| rest % d == 0).collect();
+        let d = divisors[rng.gen_range(0..divisors.len())];
+        // take a prime-ish chunk: smallest prime factor of d
+        let p = smallest_prime_factor(d);
+        let pos = rng.gen_range(0..k);
+        factors[pos] *= p;
+        rest /= p;
+    }
+    factors
+}
+
+fn smallest_prime_factor(n: u64) -> u64 {
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return d;
+        }
+        d += 1;
+    }
+    n
+}
+
+/// One loop *slot* of a mapspace: a level plus position where a dimension
+/// may receive a tiling factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Slot {
+    level: usize,
+    dim: DimId,
+    spatial: bool,
+}
+
+/// A constrained space of mappings for one workload on one architecture.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mapspace {
+    num_levels: usize,
+    num_tensors: usize,
+    num_dims: usize,
+    dim_bounds: Vec<u64>,
+    /// Per level, the ordered dims eligible for temporal loops.
+    temporal_order: Vec<Vec<DimId>>,
+    /// Per level, dims eligible for spatial loops (placed before the
+    /// level's temporal loops).
+    spatial_dims: Vec<Vec<DimId>>,
+    /// Per level fanout budget (from the architecture).
+    fanout: Vec<u64>,
+    /// Keep matrix (`[level][tensor]`, true = stored).
+    keep: Vec<Vec<bool>>,
+}
+
+impl Mapspace {
+    /// A mapspace that allows every dimension as a temporal loop at every
+    /// level, in workload dimension order, with no spatial loops.
+    pub fn all_temporal(einsum: &Einsum, arch: &Architecture) -> Self {
+        let dims: Vec<DimId> = (0..einsum.dims().len()).map(DimId).collect();
+        Mapspace {
+            num_levels: arch.num_levels(),
+            num_tensors: einsum.tensors().len(),
+            num_dims: einsum.dims().len(),
+            dim_bounds: einsum.bounds(),
+            temporal_order: vec![dims.clone(); arch.num_levels()],
+            spatial_dims: vec![Vec::new(); arch.num_levels()],
+            fanout: (0..arch.num_levels())
+                .map(|l| arch.fanout_below(sparseloop_arch::LevelId(l)))
+                .collect(),
+            keep: vec![vec![true; einsum.tensors().len()]; arch.num_levels()],
+        }
+    }
+
+    /// Restricts level `l`'s temporal loops to the given dims, in the
+    /// given outermost-first order.
+    pub fn with_temporal_order(mut self, level: usize, dims: Vec<DimId>) -> Self {
+        self.temporal_order[level] = dims;
+        self
+    }
+
+    /// Allows the given dims to be distributed spatially below `level`.
+    pub fn with_spatial_dims(mut self, level: usize, dims: Vec<DimId>) -> Self {
+        self.spatial_dims[level] = dims;
+        self
+    }
+
+    /// Marks tensor `t` as bypassed at `level` in every generated mapping.
+    pub fn with_bypass(mut self, level: usize, t: TensorId) -> Self {
+        self.keep[level][t.0] = false;
+        self
+    }
+
+    /// The ordered loop slots of this mapspace (levels outermost-first;
+    /// spatial slots before temporal slots within a level).
+    fn slots(&self) -> Vec<Slot> {
+        let mut slots = Vec::new();
+        for l in 0..self.num_levels {
+            for &d in &self.spatial_dims[l] {
+                slots.push(Slot { level: l, dim: d, spatial: true });
+            }
+            for &d in &self.temporal_order[l] {
+                slots.push(Slot { level: l, dim: d, spatial: false });
+            }
+        }
+        slots
+    }
+
+    /// Builds the mapping corresponding to per-slot factors, dropping
+    /// factor-1 loops. Returns `None` if a spatial fanout budget is
+    /// exceeded.
+    fn mapping_from_factors(&self, slots: &[Slot], factors: &[u64]) -> Option<Mapping> {
+        let mut builder = MappingBuilder::new(self.num_levels, self.num_tensors);
+        for l in 0..self.num_levels {
+            let spatial_product: u64 = slots
+                .iter()
+                .zip(factors)
+                .filter(|(s, _)| s.level == l && s.spatial)
+                .map(|(_, &f)| f)
+                .product();
+            if spatial_product > self.fanout[l] {
+                return None;
+            }
+        }
+        for (s, &f) in slots.iter().zip(factors) {
+            if f > 1 {
+                builder = if s.spatial {
+                    builder.spatial(s.level, s.dim, f)
+                } else {
+                    builder.temporal(s.level, s.dim, f)
+                };
+            }
+        }
+        let mapping = builder.build();
+        Some(Mapping::new(mapping.nests().to_vec(), self.keep.clone()))
+    }
+
+    /// Enumerates up to `limit` mappings deterministically.
+    pub fn enumerate(&self, limit: usize) -> Vec<Mapping> {
+        let slots = self.slots();
+        // per-dim slot indices
+        let mut per_dim: Vec<Vec<usize>> = vec![Vec::new(); self.num_dims];
+        for (i, s) in slots.iter().enumerate() {
+            per_dim[s.dim.0].push(i);
+        }
+        // dims with no slots must have bound 1
+        for d in 0..self.num_dims {
+            if per_dim[d].is_empty() && self.dim_bounds[d] != 1 {
+                return Vec::new();
+            }
+        }
+        // enumerate the cross product of per-dim factorizations
+        let dim_factorizations: Vec<Vec<Vec<u64>>> = (0..self.num_dims)
+            .map(|d| {
+                if per_dim[d].is_empty() {
+                    vec![Vec::new()]
+                } else {
+                    factorizations(self.dim_bounds[d], per_dim[d].len(), Some(limit))
+                }
+            })
+            .collect();
+        let mut out = Vec::new();
+        let mut choice = vec![0usize; self.num_dims];
+        'outer: loop {
+            // assemble factors for this choice
+            let mut factors = vec![1u64; slots.len()];
+            for d in 0..self.num_dims {
+                for (j, &slot_idx) in per_dim[d].iter().enumerate() {
+                    factors[slot_idx] = dim_factorizations[d][choice[d]]
+                        .get(j)
+                        .copied()
+                        .unwrap_or(1);
+                }
+            }
+            if let Some(m) = self.mapping_from_factors(&slots, &factors) {
+                out.push(m);
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            // advance the mixed-radix counter
+            let mut d = 0;
+            loop {
+                if d == self.num_dims {
+                    break 'outer;
+                }
+                choice[d] += 1;
+                if choice[d] < dim_factorizations[d].len() {
+                    break;
+                }
+                choice[d] = 0;
+                d += 1;
+            }
+        }
+        out
+    }
+
+    /// Samples `count` random mappings (duplicates possible).
+    pub fn sample(&self, count: usize, rng: &mut impl Rng) -> Vec<Mapping> {
+        let slots = self.slots();
+        let mut per_dim: Vec<Vec<usize>> = vec![Vec::new(); self.num_dims];
+        for (i, s) in slots.iter().enumerate() {
+            per_dim[s.dim.0].push(i);
+        }
+        for d in 0..self.num_dims {
+            if per_dim[d].is_empty() && self.dim_bounds[d] != 1 {
+                return Vec::new();
+            }
+        }
+        let mut out = Vec::new();
+        let mut attempts = 0usize;
+        while out.len() < count && attempts < count * 20 {
+            attempts += 1;
+            let mut factors = vec![1u64; slots.len()];
+            for d in 0..self.num_dims {
+                if per_dim[d].is_empty() {
+                    continue;
+                }
+                let f = random_factorization(self.dim_bounds[d], per_dim[d].len(), rng);
+                for (j, &slot_idx) in per_dim[d].iter().enumerate() {
+                    factors[slot_idx] = f[j];
+                }
+            }
+            if let Some(m) = self.mapping_from_factors(&slots, &factors) {
+                out.push(m);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparseloop_arch::{ArchitectureBuilder, ComputeSpec, StorageLevel};
+
+    fn arch() -> Architecture {
+        ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("DRAM"))
+            .level(StorageLevel::new("Buf"))
+            .compute(ComputeSpec::new("MAC", 4))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn factorization_counts() {
+        assert_eq!(factorizations(1, 3, None), vec![vec![1, 1, 1]]);
+        assert_eq!(factorizations(6, 2, None).len(), 4); // 1*6, 2*3, 3*2, 6*1
+        assert_eq!(factorizations(8, 3, None).len(), 10);
+    }
+
+    #[test]
+    fn factorization_products_correct() {
+        for f in factorizations(24, 3, None) {
+            assert_eq!(f.iter().product::<u64>(), 24);
+        }
+    }
+
+    #[test]
+    fn factorization_limit_respected() {
+        assert_eq!(factorizations(64, 4, Some(5)).len(), 5);
+    }
+
+    #[test]
+    fn random_factorization_products() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let f = random_factorization(36, 3, &mut rng);
+            assert_eq!(f.iter().product::<u64>(), 36);
+        }
+    }
+
+    #[test]
+    fn enumerate_produces_valid_mappings() {
+        let e = Einsum::matmul(4, 4, 4);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a);
+        let maps = space.enumerate(200);
+        assert!(!maps.is_empty());
+        for m in &maps {
+            m.validate(&e, &a).unwrap();
+        }
+    }
+
+    #[test]
+    fn spatial_budget_enforced() {
+        let e = Einsum::matmul(8, 8, 8);
+        let a = arch(); // fanout below Buf is 4
+        let space = Mapspace::all_temporal(&e, &a)
+            .with_spatial_dims(1, vec![DimId(1)]);
+        let maps = space.enumerate(5000);
+        for m in &maps {
+            assert!(m.spatial_fanout_at(1) <= 4);
+            m.validate(&e, &a).unwrap();
+        }
+        // some mapping should actually use the parallelism
+        assert!(maps.iter().any(|m| m.spatial_fanout_at(1) == 4));
+    }
+
+    #[test]
+    fn bypass_propagates_to_mappings() {
+        let e = Einsum::matmul(4, 4, 4);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a).with_bypass(1, TensorId(1));
+        let maps = space.enumerate(10);
+        assert!(!maps.is_empty());
+        for m in &maps {
+            assert!(!m.keeps(1, TensorId(1)));
+            assert!(m.keeps(1, TensorId(0)));
+        }
+    }
+
+    #[test]
+    fn sampling_yields_valid_mappings() {
+        let e = Einsum::matmul(16, 16, 16);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a).with_spatial_dims(1, vec![DimId(0)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let maps = space.sample(50, &mut rng);
+        assert_eq!(maps.len(), 50);
+        for m in &maps {
+            m.validate(&e, &a).unwrap();
+        }
+    }
+
+    #[test]
+    fn restricted_order_respected() {
+        let e = Einsum::matmul(4, 4, 4);
+        let a = arch();
+        // only k may tile at the buffer level
+        let space = Mapspace::all_temporal(&e, &a)
+            .with_temporal_order(1, vec![DimId(2)]);
+        for m in space.enumerate(500) {
+            for lp in &m.nests()[1] {
+                assert_eq!(lp.dim, DimId(2));
+            }
+        }
+    }
+}

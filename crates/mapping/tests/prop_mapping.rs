@@ -1,0 +1,101 @@
+//! Property-based tests for mappings and mapspaces.
+
+use proptest::prelude::*;
+use sparseloop_arch::{ArchitectureBuilder, ComputeSpec, StorageLevel};
+use sparseloop_mapping::{factorizations, Mapspace};
+use sparseloop_tensor::einsum::{DimId, Einsum};
+
+proptest! {
+    /// Every ordered factorization multiplies back to n, and the count of
+    /// factorizations into 2 parts equals the divisor count.
+    #[test]
+    fn factorization_products(n in 1u64..200, k in 1usize..4) {
+        let fs = factorizations(n, k, None);
+        prop_assert!(!fs.is_empty());
+        for f in &fs {
+            prop_assert_eq!(f.len(), k);
+            prop_assert_eq!(f.iter().product::<u64>(), n);
+        }
+        if k == 2 {
+            let divisors = (1..=n).filter(|d| n % d == 0).count();
+            prop_assert_eq!(fs.len(), divisors);
+        }
+        // no duplicates
+        let mut sorted = fs.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), fs.len());
+    }
+
+    /// Every enumerated mapping validates against workload + architecture
+    /// and factorizes each dimension exactly.
+    #[test]
+    fn enumerated_mappings_valid(
+        m in 1u64..9, n in 1u64..9, k in 1u64..9,
+        fanout in 1u64..5,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1"))
+            .compute(ComputeSpec::new("MAC", fanout))
+            .build()
+            .unwrap();
+        let space = Mapspace::all_temporal(&e, &arch)
+            .with_spatial_dims(1, vec![DimId(1)]);
+        for mapping in space.enumerate(300) {
+            mapping.validate(&e, &arch).unwrap();
+            prop_assert!(mapping.spatial_fanout_at(1) <= fanout);
+        }
+    }
+
+    /// Random samples are valid too and respect bypass directives.
+    #[test]
+    fn sampled_mappings_valid(
+        m in 1u64..12, n in 1u64..12, k in 1u64..12,
+        seed in any::<u64>(),
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1"))
+            .compute(ComputeSpec::new("MAC", 1))
+            .build()
+            .unwrap();
+        let b = e.tensor_id("B").unwrap();
+        let space = Mapspace::all_temporal(&e, &arch).with_bypass(1, b);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        for mapping in space.sample(20, &mut rng) {
+            mapping.validate(&e, &arch).unwrap();
+            prop_assert!(!mapping.keeps(1, b));
+            prop_assert_eq!(mapping.storage_chain(b), vec![0]);
+        }
+    }
+
+    /// tile_bounds_inside is monotone: deeper positions cover smaller or
+    /// equal bounds per dimension.
+    #[test]
+    fn tile_bounds_monotone(m in 1u64..9, n in 1u64..9, k in 1u64..9) {
+        let e = Einsum::matmul(m, n, k);
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1"))
+            .compute(ComputeSpec::new("MAC", 1))
+            .build()
+            .unwrap();
+        let space = Mapspace::all_temporal(&e, &arch);
+        for mapping in space.enumerate(50) {
+            let total = mapping.flattened().len();
+            let mut prev = mapping.tile_bounds_inside(0, 3);
+            for pos in 1..=total {
+                let cur = mapping.tile_bounds_inside(pos, 3);
+                for d in 0..3 {
+                    prop_assert!(cur[d] <= prev[d]);
+                }
+                prev = cur;
+            }
+            // position 0 covers the full bounds
+            prop_assert_eq!(mapping.tile_bounds_inside(0, 3), e.bounds());
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # sparseloop-refsim
+//!
+//! Actual-data reference simulator for validating Sparseloop.
+//!
+//! The paper validates Sparseloop against design-specific simulators,
+//! cycle-level simulators and real silicon (Table 6). None of those
+//! artifacts are available here, so this crate provides the substitute:
+//! an **event-count simulator** that executes the mapping's loop nest
+//! concretely over real sparse tensors, applying SAFs *operationally* —
+//! real zero checks, real leader-window intersections, real per-tile
+//! occupancies — instead of statistically. Like the cycle-level baselines
+//! in the paper (STONNE et al.), its work grows with the number of
+//! computes (it walks every iteration-space point), which is exactly what
+//! makes the analytical model's >2000× speed advantage measurable.
+//!
+//! The simulator shares the micro-architectural cost semantics
+//! (cycle/energy accounting) with `sparseloop-core`, so differences
+//! between the two isolate the *statistical approximation* of step 2 —
+//! the paper's primary error source.
+
+pub mod sim;
+
+pub use sim::{RefSim, SimLevelCounts, SimResult};

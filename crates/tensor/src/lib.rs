@@ -1,0 +1,40 @@
+//! # sparseloop-tensor
+//!
+//! Workload and tensor substrate for the Sparseloop reproduction.
+//!
+//! This crate provides the three foundations every other crate builds on:
+//!
+//! * [`einsum`] — the extended-Einsum workload specification (Sparseloop
+//!   §5.1): named iteration dimensions, tensors defined by linear
+//!   projections from the iteration space, and helpers for the kernels the
+//!   paper evaluates (matrix multiplication, 2D convolution, depthwise
+//!   convolution).
+//! * [`fibertree`] — the format-agnostic fibertree representation of a
+//!   sparse tensor (Sparseloop §5.3.1, Fig. 7b): a tree of fibers whose
+//!   coordinates omit empty payloads.
+//! * [`sparse`] — concrete sparse tensors holding actual nonzero points,
+//!   used by the actual-data density model and the reference simulator,
+//!   together with generators for uniform, structured (n:m) and banded
+//!   sparsity patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use sparseloop_tensor::einsum::Einsum;
+//!
+//! // Z[m,n] = sum_k A[m,k] * B[k,n]
+//! let e = Einsum::matmul(16, 16, 32);
+//! assert_eq!(e.num_computes(), 16 * 16 * 32);
+//! let a = e.tensor_id("A").unwrap();
+//! assert_eq!(e.tensor_shape(a), vec![16, 32]);
+//! ```
+
+pub mod einsum;
+pub mod fibertree;
+pub mod point;
+pub mod sparse;
+
+pub use einsum::{Dim, DimId, Einsum, RankProjection, TensorId, TensorKind, TensorSpec};
+pub use fibertree::{Fiber, FiberTree, Payload};
+pub use point::{Point, Shape};
+pub use sparse::SparseTensor;

@@ -1,0 +1,128 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use sparseloop_tensor::einsum::Einsum;
+use sparseloop_tensor::point::Shape;
+use sparseloop_tensor::{FiberTree, SparseTensor};
+
+proptest! {
+    /// Linearize/delinearize are inverse bijections over the whole space.
+    #[test]
+    fn linearize_roundtrip(dims in proptest::collection::vec(1u64..6, 1..4)) {
+        let s = Shape::new(dims);
+        for idx in 0..s.volume() {
+            let p = s.delinearize(idx);
+            prop_assert!(s.contains(&p));
+            prop_assert_eq!(s.linearize(&p), idx);
+        }
+    }
+
+    /// Uniform generation hits the requested nonzero count exactly and
+    /// stays in bounds.
+    #[test]
+    fn gen_uniform_count_exact(
+        rows in 1u64..20,
+        cols in 1u64..20,
+        dens_pct in 0u64..=100,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let rng: &mut rand::rngs::StdRng = &mut rng;
+        let shape = Shape::new(vec![rows, cols]);
+        let d = dens_pct as f64 / 100.0;
+        let t = SparseTensor::gen_uniform(shape.clone(), d, rng);
+        let expect = ((rows * cols) as f64 * d).round() as u64;
+        prop_assert_eq!(t.nnz(), expect);
+        for (p, v) in t.iter() {
+            prop_assert!(shape.contains(&p));
+            prop_assert!(v != 0.0);
+        }
+    }
+
+    /// Tile occupancy histograms conserve both tiles and nonzeros.
+    #[test]
+    fn tile_histogram_conservation(
+        rows in 1u64..24,
+        cols in 1u64..24,
+        tr in 1u64..6,
+        tc in 1u64..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let shape = Shape::new(vec![rows, cols]);
+        let t = SparseTensor::gen_uniform(shape, 0.37, &mut rng);
+        let hist = t.tile_occupancy_histogram(&[tr, tc]);
+        let tiles: u64 = hist.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(tiles, rows.div_ceil(tr) * cols.div_ceil(tc));
+        let nnz: u64 = hist.iter().map(|(occ, c)| occ * c).sum();
+        prop_assert_eq!(nnz, t.nnz());
+    }
+
+    /// Fibertree leaf count equals the tensor's nnz for any data.
+    #[test]
+    fn fibertree_leaf_count(
+        rows in 1u64..16,
+        cols in 1u64..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let t = SparseTensor::gen_uniform(Shape::new(vec![rows, cols]), 0.4, &mut rng);
+        let ft = FiberTree::from_tensor(&t, &["R", "C"]);
+        prop_assert_eq!(ft.nnz(), t.nnz());
+        // every rank-1 fiber is non-empty by construction
+        for f in ft.fibers_at_rank(1) {
+            prop_assert!(!f.is_empty());
+            prop_assert_eq!(f.shape, cols);
+        }
+    }
+
+    /// Structured generation: every aligned block holds exactly n nonzeros.
+    #[test]
+    fn structured_blocks_exact(
+        rows in 1u64..8,
+        blocks in 1u64..6,
+        n in 0u64..=4,
+        seed in any::<u64>(),
+    ) {
+        let m = 4u64;
+        let n = n.min(m);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let shape = Shape::new(vec![rows, blocks * m]);
+        let t = SparseTensor::gen_structured(shape, n, m, 1, &mut rng);
+        for r in 0..rows {
+            for b in 0..blocks {
+                prop_assert_eq!(t.window_nnz(&[r, b * m], &[1, m]), n);
+            }
+        }
+    }
+
+    /// Einsum tile footprints multiply: the tile of the full bounds is the
+    /// whole tensor.
+    #[test]
+    fn tile_of_full_bounds_is_tensor(m in 1u64..12, n in 1u64..12, k in 1u64..12) {
+        let e = Einsum::matmul(m, n, k);
+        for t in 0..e.tensors().len() {
+            let t = sparseloop_tensor::einsum::TensorId(t);
+            prop_assert_eq!(
+                e.tensor_tile_shape(t, &e.bounds()),
+                e.tensor_shape(t)
+            );
+        }
+    }
+
+    /// Projection evaluation stays within the computed tensor shape.
+    #[test]
+    fn projection_in_bounds(
+        p in 1u64..6, q in 1u64..6, r in 1u64..4, s in 1u64..4, stride in 1u64..3,
+    ) {
+        let e = Einsum::conv2d(1, 2, 3, p, q, r, s, stride);
+        let i = e.tensor_id("Inputs").unwrap();
+        let shape = e.tensor_shape(i);
+        // probe the extreme iteration point
+        let vals: Vec<u64> = e.bounds().iter().map(|b| b - 1).collect();
+        let pt = e.project(i, &vals);
+        for (c, ext) in pt.coords().iter().zip(&shape) {
+            prop_assert!(c < ext, "coord {c} within extent {ext}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Sparse matrix multiplication (spMspM) workload generators for the
+//! density-sweep experiments (Figs. 1, 13, 17).
+
+use sparseloop_density::DensityModelSpec;
+use sparseloop_tensor::einsum::Einsum;
+
+use crate::dnn::Layer;
+
+/// An spMspM layer `Z[m,n] = Σ_k A[m,k]·B[k,n]` with uniform operand
+/// densities `da` and `db`.
+pub fn spmspm(m: u64, n: u64, k: u64, da: f64, db: f64) -> Layer {
+    let einsum = Einsum::matmul(m, n, k).with_name(format!("spmspm_{da}x{db}"));
+    let d = |x: f64| {
+        if x >= 1.0 {
+            DensityModelSpec::Dense
+        } else {
+            DensityModelSpec::Uniform { density: x }
+        }
+    };
+    Layer {
+        name: einsum.name().to_string(),
+        einsum,
+        densities: vec![d(da), d(db), DensityModelSpec::Dense],
+    }
+}
+
+/// The density sweep the paper's case studies use, spanning hyper-sparse
+/// scientific/graph regimes to dense NN regimes (Fig. 17's x-axis).
+pub fn density_sweep() -> Vec<f64> {
+    vec![0.0001, 0.001, 0.01, 0.06, 0.1, 0.25, 0.5, 0.75, 1.0]
+}
+
+/// Convenience: an spMspM layer paired with its sweep label.
+pub fn spmspm_workload(size: u64, density: f64) -> Layer {
+    spmspm(size, size, size, density, density)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spmspm_structure() {
+        let l = spmspm(16, 16, 32, 0.1, 0.5);
+        assert_eq!(l.einsum.num_computes(), 16 * 16 * 32);
+        assert_eq!(l.densities.len(), 3);
+    }
+
+    #[test]
+    fn sweep_covers_regimes() {
+        let s = density_sweep();
+        assert!(s.first().unwrap() < &0.001);
+        assert_eq!(*s.last().unwrap(), 1.0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dense_operands_use_dense_spec() {
+        let l = spmspm(4, 4, 4, 1.0, 0.5);
+        assert_eq!(l.densities[0], DensityModelSpec::Dense);
+        assert!(matches!(l.densities[1], DensityModelSpec::Uniform { .. }));
+    }
+}

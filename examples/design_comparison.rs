@@ -1,0 +1,27 @@
+//! Compare two sparse accelerator designs across workload densities —
+//! the Fig. 1 experiment as a library use case.
+//!
+//! Run with: `cargo run -p sparseloop-core --example design_comparison`
+
+use sparseloop_designs::common::matmul_mapping_2level;
+use sparseloop_designs::fig1;
+use sparseloop_workloads::spmspm;
+
+fn main() {
+    println!("density  bitmask(cyc/pJ)     coordlist(cyc/pJ)    winner(EDP)");
+    for d in [0.05, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let layer = spmspm(32, 32, 32, d, d);
+        let mapping = matmul_mapping_2level(&layer.einsum, 16, 4);
+        let bm = fig1::bitmask_design(&layer.einsum)
+            .evaluate(&layer, &mapping)
+            .expect("valid");
+        let cl = fig1::coordinate_list_design(&layer.einsum)
+            .evaluate(&layer, &mapping)
+            .expect("valid");
+        let winner = if bm.edp < cl.edp { "bitmask" } else { "coordlist" };
+        println!(
+            "{d:<7}  {:>8.0} / {:>9.0}  {:>8.0} / {:>9.0}   {winner}",
+            bm.cycles, bm.energy_pj, cl.cycles, cl.energy_pj
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Evaluate an Eyeriss-like design over AlexNet's conv layers with
+//! mapper search per layer, aggregating network-level energy and cycles
+//! (the paper's per-layer DNN evaluation methodology, §6.1).
+//!
+//! Run with: `cargo run --release -p sparseloop-core --example dnn_layer_sweep`
+
+use sparseloop_designs::common::conv_mapspace;
+use sparseloop_designs::eyeriss;
+use sparseloop_workloads::alexnet;
+
+fn main() {
+    let net = alexnet();
+    let mut total_cycles = 0.0;
+    let mut total_energy = 0.0;
+    println!("{:<8} {:>14} {:>12} {:>14}", "layer", "MACs", "cycles", "energy(pJ)");
+    for layer in &net.layers {
+        let dp = eyeriss::design(&layer.einsum);
+        let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
+        match dp.search(layer, &space) {
+            Some((_, eval)) => {
+                total_cycles += eval.cycles;
+                total_energy += eval.energy_pj;
+                println!(
+                    "{:<8} {:>14} {:>12.0} {:>14.3e}",
+                    layer.name,
+                    layer.computes(),
+                    eval.cycles,
+                    eval.energy_pj
+                );
+            }
+            None => println!("{:<8} no valid mapping found", layer.name),
+        }
+    }
+    println!("\n{}: {:.3e} cycles, {:.3e} pJ total", net.name, total_cycles, total_energy);
+}

@@ -1,0 +1,83 @@
+//! Quickstart: model a small sparse matmul accelerator end to end.
+//!
+//! Builds the Fig. 6-style setup from the paper — a two-level
+//! architecture running `Z = A·B` with a 25%-dense A — adds a skipping
+//! SAF, and prints the three-step evaluation.
+//!
+//! Run with: `cargo run -p sparseloop-core --example quickstart`
+
+use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
+use sparseloop_core::{Model, SafSpec, Workload};
+use sparseloop_density::DensityModelSpec;
+use sparseloop_format::TensorFormat;
+use sparseloop_mapping::MappingBuilder;
+use sparseloop_tensor::einsum::{DimId, Einsum};
+
+fn main() {
+    // Workload: Z[m,n] = sum_k A[m,k] B[k,n]; A is 25% dense, uniform.
+    let einsum = Einsum::matmul(16, 16, 16);
+    let a = einsum.tensor_id("A").expect("matmul has A");
+    let b = einsum.tensor_id("B").expect("matmul has B");
+    let workload = Workload::new(
+        einsum,
+        vec![
+            DensityModelSpec::Uniform { density: 0.25 },
+            DensityModelSpec::Dense,
+            DensityModelSpec::Dense,
+        ],
+    );
+
+    // Architecture: DRAM over a 4-instance buffer feeding 4 MACs.
+    let arch = ArchitectureBuilder::new("quickstart")
+        .level(
+            StorageLevel::new("BackingStorage")
+                .with_class(ComponentClass::Dram)
+                .with_bandwidth(4.0),
+        )
+        .level(
+            StorageLevel::new("Buffer")
+                .with_capacity(1024)
+                .with_bandwidth(16.0),
+        )
+        .compute(ComputeSpec::new("MAC", 4))
+        .build()
+        .expect("valid architecture");
+
+    // SAFs: compress A as a coordinate list and skip its zeros + the
+    // computes they would feed (Fig. 4's combination).
+    let safs = SafSpec::dense()
+        .with_format(0, a, TensorFormat::coo(2))
+        .with_format(1, a, TensorFormat::coo(2))
+        .with_skip(1, a, vec![a])
+        .with_skip(1, b, vec![a]) // Skip B <- A
+        .with_skip_compute();
+
+    // Mapping: Fig. 6's loop nest shape.
+    let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+    let mapping = MappingBuilder::new(2, 3)
+        .temporal(0, m, 16)
+        .spatial(1, n, 4)
+        .temporal(1, n, 4)
+        .temporal(1, k, 16)
+        .build();
+
+    let model = Model::new(workload, arch, safs);
+    let eval = model.evaluate(&mapping).expect("mapping is valid");
+
+    println!("cycles        : {:.0}", eval.cycles);
+    println!("energy        : {:.1} pJ", eval.energy_pj);
+    println!("EDP           : {:.3e}", eval.edp);
+    println!("utilization   : {:.0}%", eval.utilization * 100.0);
+    println!(
+        "computes      : {:.0} actual / {:.0} skipped (of {:.0} dense)",
+        eval.sparse.compute.ops.actual,
+        eval.sparse.compute.ops.skipped,
+        eval.dense.computes
+    );
+    for lvl in &eval.uarch.levels {
+        println!(
+            "{:>16}: {:>10.0} cycle-words, {:>12.1} pJ",
+            lvl.name, lvl.cycle_words, lvl.energy_pj
+        );
+    }
+}

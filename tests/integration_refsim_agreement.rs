@@ -1,0 +1,181 @@
+//! Cross-validation between the statistical model and the actual-data
+//! reference simulator — the repository's stand-in for the paper's
+//! Table 6 validations.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparseloop_core::{dataflow, sparse, SafSpec, Workload};
+use sparseloop_density::{ActualData, DensityModelSpec};
+use sparseloop_mapping::MappingBuilder;
+use sparseloop_refsim::RefSim;
+use sparseloop_tensor::einsum::{DimId, Einsum, TensorKind};
+use sparseloop_tensor::{point::Shape, SparseTensor};
+use std::sync::Arc;
+
+fn arch() -> sparseloop_arch::Architecture {
+    sparseloop_arch::ArchitectureBuilder::new("t")
+        .level(
+            sparseloop_arch::StorageLevel::new("DRAM")
+                .with_class(sparseloop_arch::ComponentClass::Dram),
+        )
+        .level(sparseloop_arch::StorageLevel::new("Buffer").with_capacity(65536))
+        .compute(sparseloop_arch::ComputeSpec::new("MAC", 1))
+        .build()
+        .unwrap()
+}
+
+fn tensors(e: &Einsum, densities: &[f64], seed: u64) -> Vec<SparseTensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    e.tensors()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let shape = Shape::new(e.tensor_shape(sparseloop_tensor::einsum::TensorId(i)));
+            if spec.kind == TensorKind::Output {
+                SparseTensor::from_triplets(shape, &[])
+            } else {
+                SparseTensor::gen_uniform(shape, densities[i], &mut rng)
+            }
+        })
+        .collect()
+}
+
+fn mapping(e: &Einsum) -> sparseloop_mapping::Mapping {
+    let (m, n, k) = (DimId(0), DimId(1), DimId(2));
+    MappingBuilder::new(2, 3)
+        .temporal(0, m, e.bound(m))
+        .temporal(1, n, e.bound(n))
+        .temporal(1, k, e.bound(k))
+        .build()
+}
+
+#[test]
+fn actual_data_model_is_exact_on_compute() {
+    // With the actual-data density model, the analytical compute count
+    // must match the simulator exactly (§6.3.2's "accounts for the exact
+    // intersections").
+    let e = Einsum::matmul(12, 12, 12);
+    let a = e.tensor_id("A").unwrap();
+    // B dense so the check isolates A's (exact) marginal statistics;
+    // joint-operand counts are only approximate under independence.
+    let ts = tensors(&e, &[0.3, 1.0, 1.0], 21);
+    let safs = SafSpec::dense().with_skip(1, a, vec![a]).with_skip_compute();
+    let arch = arch();
+    let map = mapping(&e);
+    let sim = RefSim::new(&e, &arch, &map, &safs, &ts).run();
+
+    let w = Workload::with_models(
+        e.clone(),
+        ts.iter()
+            .map(|t| Arc::new(ActualData::new(t.clone())) as Arc<dyn sparseloop_density::DensityModel>)
+            .collect(),
+    );
+    let d = dataflow::analyze(&e, &map);
+    let s = sparse::analyze(&w, &d, &safs);
+    // per-element self skipping depends only on A's density: exact
+    assert!(
+        (s.compute.ops.actual - sim.computes_actual).abs() / sim.computes_actual < 1e-3,
+        "actual-data model {} vs sim {}",
+        s.compute.ops.actual,
+        sim.computes_actual
+    );
+}
+
+#[test]
+fn uniform_model_error_is_small_on_uniform_data() {
+    // Fig 11's claim: statistical counts track uniform data closely.
+    let e = Einsum::matmul(16, 16, 16);
+    let a = e.tensor_id("A").unwrap();
+    let b = e.tensor_id("B").unwrap();
+    let ts = tensors(&e, &[0.25, 0.5, 1.0], 33);
+    let safs = SafSpec::dense()
+        .with_skip(1, b, vec![a])
+        .with_skip_compute();
+    let arch = arch();
+    let map = mapping(&e);
+    let sim = RefSim::new(&e, &arch, &map, &safs, &ts).run();
+    let w = Workload::new(
+        e.clone(),
+        vec![
+            DensityModelSpec::Uniform { density: ts[0].density() },
+            DensityModelSpec::Uniform { density: ts[1].density() },
+            DensityModelSpec::Dense,
+        ],
+    );
+    let d = dataflow::analyze(&e, &map);
+    let s = sparse::analyze(&w, &d, &safs);
+    let rel = (s.compute.ops.skipped - sim.computes_skipped).abs()
+        / sim.computes_skipped.max(1.0);
+    assert!(rel < 0.02, "relative error {rel}");
+}
+
+#[test]
+fn independence_approximation_error_direction() {
+    // §6.3.2: with identical nonzero locations in both operands, the
+    // exact intersection survival equals d (not d^2) — the uniform model
+    // underestimates effectual computes. Reproduce that error source.
+    let e = Einsum::matmul(8, 8, 8);
+    let shape = Shape::new(vec![8, 8]);
+    let mut rng = StdRng::seed_from_u64(5);
+    let a_t = SparseTensor::gen_uniform(shape.clone(), 0.4, &mut rng);
+    // B has nonzeros exactly where A^T does (worst case for independence)
+    let b_triplets: Vec<(Vec<u64>, f64)> = a_t
+        .iter()
+        .map(|(p, _)| (vec![p.coord(1), p.coord(0)], 1.0))
+        .collect();
+    let b_t = SparseTensor::from_triplets(shape.clone(), &b_triplets);
+    let z_t = SparseTensor::from_triplets(shape, &[]);
+    let a = e.tensor_id("A").unwrap();
+    let b = e.tensor_id("B").unwrap();
+    let safs = SafSpec::dense()
+        .with_skip(1, a, vec![a])
+        .with_skip(1, b, vec![b])
+        .with_skip_compute();
+    let arch = arch();
+    let map = mapping(&e);
+    let ts = vec![a_t, b_t, z_t];
+    let sim = RefSim::new(&e, &arch, &map, &safs, &ts).run();
+    let w = Workload::new(
+        e.clone(),
+        vec![
+            DensityModelSpec::Uniform { density: 0.4 },
+            DensityModelSpec::Uniform { density: 0.4 },
+            DensityModelSpec::Dense,
+        ],
+    );
+    let d = dataflow::analyze(&e, &map);
+    let s = sparse::analyze(&w, &d, &safs);
+    // correlated data: sim executes more effectual computes than the
+    // independence approximation predicts
+    assert!(
+        sim.computes_actual > s.compute.ops.actual,
+        "sim {} should exceed model {} on correlated data",
+        sim.computes_actual,
+        s.compute.ops.actual
+    );
+}
+
+#[test]
+fn dense_workloads_match_exactly() {
+    let e = Einsum::matmul(10, 10, 10);
+    let ts = tensors(&e, &[1.0, 1.0, 1.0], 2);
+    let safs = SafSpec::dense();
+    let arch = arch();
+    let map = mapping(&e);
+    let sim = RefSim::new(&e, &arch, &map, &safs, &ts).run();
+    let w = Workload::dense(e.clone());
+    let d = dataflow::analyze(&e, &map);
+    let s = sparse::analyze(&w, &d, &safs);
+    assert_eq!(sim.computes_actual, s.compute.ops.actual);
+    for entry in &s.entries {
+        if e.tensor(entry.tensor).kind == TensorKind::Input {
+            let sc = sim.level(entry.tensor, entry.level);
+            assert!(
+                (sc.reads_total() - entry.reads.total()).abs() < 1e-6,
+                "dense reads equal at t{} L{}",
+                entry.tensor.0,
+                entry.level
+            );
+        }
+    }
+}
