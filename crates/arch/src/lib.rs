@@ -9,29 +9,24 @@
 //! spatial instance count, and a technology class the energy backend maps
 //! to per-action energies.
 //!
-//! Specifications are plain serde data structures, so the YAML interface
-//! the paper's artifact uses comes for free:
+//! Specifications are plain serde-derive data structures, so the YAML
+//! interface the paper's artifact uses can be layered on without touching
+//! this crate (the current build uses inert offline serde stubs). The
+//! programmatic interface is the builder:
 //!
 //! ```
-//! use sparseloop_arch::Architecture;
-//! let yaml = r#"
-//! name: tiny
-//! levels:
-//!   - name: BackingStorage
-//!     class: dram
-//!     word_bits: 16
-//!   - name: Buffer
-//!     class: sram
-//!     capacity_words: 1024
-//!     word_bits: 16
-//!     instances: 4
-//!     bandwidth_words_per_cycle: 2.0
-//! compute:
-//!   name: MAC
-//!   instances: 4
-//!   datawidth: 16
-//! "#;
-//! let arch: Architecture = serde_yaml::from_str(yaml).unwrap();
+//! use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
+//! let arch = ArchitectureBuilder::new("tiny")
+//!     .level(StorageLevel::new("BackingStorage").with_class(ComponentClass::Dram))
+//!     .level(
+//!         StorageLevel::new("Buffer")
+//!             .with_capacity(1024)
+//!             .with_instances(4)
+//!             .with_bandwidth(2.0),
+//!     )
+//!     .compute(ComputeSpec::new("MAC", 4))
+//!     .build()
+//!     .unwrap();
 //! arch.validate().unwrap();
 //! assert_eq!(arch.levels().len(), 2);
 //! ```

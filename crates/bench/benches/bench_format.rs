@@ -7,7 +7,11 @@ use sparseloop_format::TensorFormat;
 
 fn bench_format(c: &mut Criterion) {
     let model = Uniform::new(vec![256, 256], 0.2);
-    for fmt in [TensorFormat::csr(), TensorFormat::coo(2), TensorFormat::b_rle()] {
+    for fmt in [
+        TensorFormat::csr(),
+        TensorFormat::coo(2),
+        TensorFormat::b_rle(),
+    ] {
         let name = format!("analyze_{fmt}");
         c.bench_function(&name, |b| b.iter(|| fmt.analyze(&[64, 64], &model)));
     }
@@ -16,7 +20,9 @@ fn bench_format(c: &mut Criterion) {
         .collect();
     c.bench_function("rle_encode_4k", |b| b.iter(|| rle_encode(&values, 5)));
     let enc = rle_encode(&values, 5);
-    c.bench_function("rle_decode_4k", |b| b.iter(|| rle_decode(&enc, values.len())));
+    c.bench_function("rle_decode_4k", |b| {
+        b.iter(|| rle_decode(&enc, values.len()))
+    });
 }
 
 criterion_group!(benches, bench_format);

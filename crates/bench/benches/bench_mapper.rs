@@ -1,9 +1,24 @@
 //! Criterion bench: mapspace enumeration and mapper search.
+//!
+//! The search benches compare three pipelines over the same mapspace and
+//! model:
+//!
+//! * `search_unpruned`  — the pre-streaming baseline: every candidate
+//!   runs the full dense→sparse→uarch pipeline (no capacity precheck);
+//! * `search_pruned`    — streaming candidates through
+//!   `Model::precheck`, skipping the 3-step pipeline for tiles that
+//!   cannot fit (the sequential production path);
+//! * `search_parallel`  — the pruned pipeline fanned out over all cores
+//!   with the deterministic reduction.
+//!
+//! On a multi-core machine `search_parallel` vs `search_unpruned` is the
+//! headline throughput ratio; on one core the pruning alone carries the
+//! speedup.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sparseloop_core::{Model, Objective, Workload};
 use sparseloop_designs::fig1;
-use sparseloop_mapping::{factorizations, Mapper, Mapspace};
+use sparseloop_mapping::{factorizations, Mapper, Mapping, Mapspace};
 use sparseloop_workloads::spmspm;
 
 fn bench_mapper(c: &mut Criterion) {
@@ -14,6 +29,9 @@ fn bench_mapper(c: &mut Criterion) {
     let dp = fig1::bitmask_design(&layer.einsum);
     let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
     c.bench_function("enumerate_200", |b| b.iter(|| space.enumerate(200)));
+    c.bench_function("iter_enumerate_200", |b| {
+        b.iter(|| space.iter_enumerate(200).count())
+    });
     let model = Model::new(
         Workload::new(layer.einsum.clone(), layer.densities.clone()),
         dp.arch.clone(),
@@ -21,6 +39,27 @@ fn bench_mapper(c: &mut Criterion) {
     );
     c.bench_function("search_exhaustive_200", |b| {
         b.iter(|| model.search(&space, Mapper::Exhaustive { limit: 200 }, Objective::Edp))
+    });
+
+    // capacity-constrained space: most candidates have tiles that cannot
+    // fit, which is where the precheck pays off — exactly the regime real
+    // accelerator buffers put the mapper in (the shared scenario also
+    // backs the BENCH_mapper.json record, so the numbers line up)
+    let (model_big, space_big, mapper) = sparseloop_bench::tight_search_scenario();
+
+    // baseline: full pipeline on every candidate (no precheck)
+    c.bench_function("search_tight_unpruned", |b| {
+        b.iter(|| {
+            mapper.search(&space_big, |m: &Mapping| {
+                model_big.evaluate(m).ok().map(|e| e.edp)
+            })
+        })
+    });
+    c.bench_function("search_tight_pruned", |b| {
+        b.iter(|| model_big.search(&space_big, mapper, Objective::Edp))
+    });
+    c.bench_function("search_tight_parallel", |b| {
+        b.iter(|| model_big.search_parallel(&space_big, mapper, Objective::Edp, None))
     });
 }
 

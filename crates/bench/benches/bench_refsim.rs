@@ -22,8 +22,11 @@ fn bench_refsim(c: &mut Criterion) {
         .iter()
         .enumerate()
         .map(|(i, spec)| {
-            let shape =
-                Shape::new(layer.einsum.tensor_shape(sparseloop_tensor::einsum::TensorId(i)));
+            let shape = Shape::new(
+                layer
+                    .einsum
+                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
+            );
             if spec.kind == TensorKind::Output {
                 SparseTensor::from_triplets(shape, &[])
             } else {
@@ -32,9 +35,7 @@ fn bench_refsim(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("refsim_matmul16", |b| {
-        b.iter(|| {
-            RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run()
-        })
+        b.iter(|| RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run())
     });
 }
 

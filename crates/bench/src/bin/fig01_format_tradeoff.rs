@@ -11,12 +11,22 @@ use sparseloop_workloads::spmspm;
 
 fn main() {
     println!("== Fig 1: representation format trade-off (spMspM 64x64x64) ==\n");
-    header(&["density", "BM cycles", "CP cycles", "BM energy(pJ)", "CP energy(pJ)", "CP speedup", "BM en. adv."]);
+    header(&[
+        "density",
+        "BM cycles",
+        "CP cycles",
+        "BM energy(pJ)",
+        "CP energy(pJ)",
+        "CP speedup",
+        "BM en. adv.",
+    ]);
     for d in [0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0] {
         let l = spmspm(64, 64, 64, d, d);
         let m = matmul_mapping_2level(&l.einsum, 16, 8);
         let bm = fig1::bitmask_design(&l.einsum).evaluate(&l, &m).unwrap();
-        let cl = fig1::coordinate_list_design(&l.einsum).evaluate(&l, &m).unwrap();
+        let cl = fig1::coordinate_list_design(&l.einsum)
+            .evaluate(&l, &m)
+            .unwrap();
         row(&[
             format!("{d}"),
             fnum(bm.cycles),

@@ -8,9 +8,21 @@ use sparseloop_density::{DensityModel, Uniform};
 fn main() {
     println!("== Fig 9: tile-density distributions, 64x64 tensor at 50% density ==\n");
     let m = Uniform::new(vec![64, 64], 0.5);
-    let tiles: [(&str, [u64; 2]); 4] =
-        [("1x2", [1, 2]), ("1x8", [1, 8]), ("2x8", [2, 8]), ("8x8", [8, 8])];
-    header(&["tile", "P(d=0)", "P(0<d<=.25)", "P(.25<d<=.5)", "P(.5<d<=.75)", "P(d>.75)", "stddev"]);
+    let tiles: [(&str, [u64; 2]); 4] = [
+        ("1x2", [1, 2]),
+        ("1x8", [1, 8]),
+        ("2x8", [2, 8]),
+        ("8x8", [8, 8]),
+    ];
+    header(&[
+        "tile",
+        "P(d=0)",
+        "P(0<d<=.25)",
+        "P(.25<d<=.5)",
+        "P(.5<d<=.75)",
+        "P(d>.75)",
+        "stddev",
+    ]);
     for (name, shape) in tiles {
         let dist = m.occupancy_distribution(&shape);
         let s: u64 = shape.iter().product();

@@ -31,9 +31,11 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, spec)| {
-            let shape = Shape::new(layer.einsum.tensor_shape(
-                sparseloop_tensor::einsum::TensorId(i),
-            ));
+            let shape = Shape::new(
+                layer
+                    .einsum
+                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
+            );
             if spec.kind == TensorKind::Output {
                 SparseTensor::from_triplets(shape, &[])
             } else {

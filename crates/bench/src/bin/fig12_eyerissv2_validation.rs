@@ -18,7 +18,14 @@ use std::sync::Arc;
 
 fn main() {
     println!("== Fig 12: Eyeriss V2 PE latency validation (scaled MobileNet layers) ==\n");
-    header(&["layer", "sim cycles", "uniform", "err %", "actual-data", "err %"]);
+    header(&[
+        "layer",
+        "sim cycles",
+        "uniform",
+        "err %",
+        "actual-data",
+        "err %",
+    ]);
     let net = mobilenet_v1();
     let mut rng = StdRng::seed_from_u64(0xE2);
     let mut tot_sim = 0.0;
@@ -38,7 +45,9 @@ fn main() {
             .enumerate()
             .map(|(i, spec)| {
                 let shape = Shape::new(
-                    layer.einsum.tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
+                    layer
+                        .einsum
+                        .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
                 );
                 if spec.kind == TensorKind::Output {
                     SparseTensor::from_triplets(shape, &[])
@@ -52,9 +61,13 @@ fn main() {
         // actual-data density model evaluation on the same mapping
         let w_act = Workload::with_models(
             layer.einsum.clone(),
-            tensors.iter().map(|t| {
-                Arc::new(ActualData::new(t.clone())) as Arc<dyn sparseloop_density::DensityModel>
-            }).collect(),
+            tensors
+                .iter()
+                .map(|t| {
+                    Arc::new(ActualData::new(t.clone()))
+                        as Arc<dyn sparseloop_density::DensityModel>
+                })
+                .collect(),
         );
         let act_eval = sparseloop_core::Model::new(w_act, dp.arch.clone(), dp.safs.clone())
             .evaluate(&mapping)

@@ -22,8 +22,7 @@ fn main() {
     for d in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1] {
         let l = spmspm(32, 32, 32, d, d);
         let dp = dstc::design(&l.einsum);
-        let m = sparseloop_designs::common::matmul_mapping_3level(
-            &l.einsum, 1, 8, 16, 4, true); // temporal-only: single-PE validation
+        let m = sparseloop_designs::common::matmul_mapping_3level(&l.einsum, 1, 8, 16, 4, true); // temporal-only: single-PE validation
         let eval = dp.evaluate(&l, &m).unwrap();
         let tensors: Vec<SparseTensor> = l
             .einsum
@@ -31,8 +30,10 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, spec)| {
-                let shape =
-                    Shape::new(l.einsum.tensor_shape(sparseloop_tensor::einsum::TensorId(i)));
+                let shape = Shape::new(
+                    l.einsum
+                        .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
+                );
                 if spec.kind == TensorKind::Output {
                     SparseTensor::from_triplets(shape, &[])
                 } else {

@@ -24,7 +24,9 @@ fn layer(m_block: Option<u64>, input_density: f64) -> Layer {
     let inputs = if input_density >= 1.0 {
         DensityModelSpec::Dense
     } else {
-        DensityModelSpec::Uniform { density: input_density }
+        DensityModelSpec::Uniform {
+            density: input_density,
+        }
     };
     Layer {
         name: "res4a".into(),
@@ -47,7 +49,12 @@ fn main() {
     let base = eval(&stc::stc(&dense.einsum), &dense, &stc_map);
 
     header(&["design", "sparsity", "norm cycles", "norm EDP"]);
-    for (tag, mb) in [("dense", None), ("2:4", Some(4u64)), ("2:6", Some(6)), ("2:8", Some(8))] {
+    for (tag, mb) in [
+        ("dense", None),
+        ("2:4", Some(4u64)),
+        ("2:6", Some(6)),
+        ("2:8", Some(8)),
+    ] {
         let l = layer(mb, id);
         let m_block = mb.unwrap_or(4);
         let designs: Vec<(DesignPoint, &sparseloop_mapping::Mapping)> = vec![

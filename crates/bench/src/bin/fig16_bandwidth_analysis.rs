@@ -7,7 +7,14 @@ use sparseloop_bench::{header, row};
 
 fn main() {
     println!("== Fig 16: bandwidth requirements for ideal speedup (relative to 1x = nonzero weights) ==\n");
-    header(&["ratio", "weights", "inputs", "CP meta(bits)", "RLE meta(bits)", "B meta(bits)"]);
+    header(&[
+        "ratio",
+        "weights",
+        "inputs",
+        "CP meta(bits)",
+        "RLE meta(bits)",
+        "B meta(bits)",
+    ]);
     for m in [4u64, 6, 8] {
         let weights = 1.0;
         let inputs = m as f64 / 2.0;

@@ -9,7 +9,14 @@ use sparseloop_workloads::spmspm;
 
 fn main() {
     println!("== Fig 17: EDP normalized to ReuseABZ.InnermostSkip (spMspM 256^3) ==\n");
-    header(&["density", "ABZ.Inner", "ABZ.Hier", "AZ.Inner", "AZ.Hier", "best"]);
+    header(&[
+        "density",
+        "ABZ.Inner",
+        "ABZ.Hier",
+        "AZ.Inner",
+        "AZ.Hier",
+        "best",
+    ]);
     let grid = [
         (Dataflow::ReuseAbz, SafChoice::InnermostSkip, "ABZ.Inner"),
         (Dataflow::ReuseAbz, SafChoice::HierarchicalSkip, "ABZ.Hier"),

@@ -37,19 +37,38 @@ fn main() {
     // matmul workloads (BERT) run on the conv designs through their
     // matmul-compatible mapspace; designs bind SAFs per tensor name.
     header(&["design", "ResNet50", "BERT-base", "VGG16", "AlexNet"]);
-    let designs: Vec<(&str, Box<dyn Fn(&sparseloop_tensor::Einsum) -> DesignPoint>)> = vec![
-        ("Eyeriss", Box::new(|e: &sparseloop_tensor::Einsum| {
-            if e.tensor_id("Weights").is_some() { eyeriss::design(e) }
-            else { sparseloop_designs::fig1::bitmask_design(e) }
-        })),
-        ("EyerissV2-PE", Box::new(|e: &sparseloop_tensor::Einsum| {
-            if e.tensor_id("Weights").is_some() { eyeriss_v2::design(e) }
-            else { sparseloop_designs::fig1::coordinate_list_design(e) }
-        })),
-        ("SCNN", Box::new(|e: &sparseloop_tensor::Einsum| {
-            if e.tensor_id("Weights").is_some() { scnn::design(e) }
-            else { sparseloop_designs::fig1::coordinate_list_design(e) }
-        })),
+    type DesignFactory = Box<dyn Fn(&sparseloop_tensor::Einsum) -> DesignPoint>;
+    let designs: Vec<(&str, DesignFactory)> = vec![
+        (
+            "Eyeriss",
+            Box::new(|e: &sparseloop_tensor::Einsum| {
+                if e.tensor_id("Weights").is_some() {
+                    eyeriss::design(e)
+                } else {
+                    sparseloop_designs::fig1::bitmask_design(e)
+                }
+            }),
+        ),
+        (
+            "EyerissV2-PE",
+            Box::new(|e: &sparseloop_tensor::Einsum| {
+                if e.tensor_id("Weights").is_some() {
+                    eyeriss_v2::design(e)
+                } else {
+                    sparseloop_designs::fig1::coordinate_list_design(e)
+                }
+            }),
+        ),
+        (
+            "SCNN",
+            Box::new(|e: &sparseloop_tensor::Einsum| {
+                if e.tensor_id("Weights").is_some() {
+                    scnn::design(e)
+                } else {
+                    sparseloop_designs::fig1::coordinate_list_design(e)
+                }
+            }),
+        ),
     ];
     let mut best_cphc: f64 = 0.0;
     for (name, f) in &designs {
@@ -79,8 +98,11 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, spec)| {
-            let shape =
-                Shape::new(layer.einsum.tensor_shape(sparseloop_tensor::einsum::TensorId(i)));
+            let shape = Shape::new(
+                layer
+                    .einsum
+                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
+            );
             if spec.kind == TensorKind::Output {
                 SparseTensor::from_triplets(shape, &[])
             } else {
@@ -89,9 +111,89 @@ fn main() {
             }
         })
         .collect();
-    let (sim, secs) = timed(|| RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run());
+    let (sim, secs) =
+        timed(|| RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run());
     let sim_cphc = cphc(sim.computes_total(), secs);
     println!("reference simulator CPHC: {}", fnum(sim_cphc));
     println!("best analytical CPHC:     {}", fnum(best_cphc));
-    println!("speedup: {:.0}x (paper: >2000x vs cycle-level STONNE, CPHC < 0.5)", best_cphc / sim_cphc);
+    println!(
+        "speedup: {:.0}x (paper: >2000x vs cycle-level STONNE, CPHC < 0.5)",
+        best_cphc / sim_cphc
+    );
+
+    // machine-readable search-throughput record, tracked across PRs
+    let path = write_mapper_bench();
+    println!("\nwrote search-throughput record to {path}");
+}
+
+/// Measures mapper search throughput (mappings evaluated per second) on a
+/// fixed, capacity-constrained spMspM workload and writes
+/// `BENCH_mapper.json` next to the working directory. The fixed scenario
+/// makes the numbers comparable across commits.
+fn write_mapper_bench() -> String {
+    use sparseloop_core::Objective;
+
+    let (model, space, mapper) = sparseloop_bench::tight_search_scenario();
+
+    // warm the model's format/density caches so all variants compare
+    // steady-state throughput
+    let _ = model.search_with_stats(&space, mapper, Objective::Edp);
+
+    let (seq, seq_secs) = timed(|| {
+        model
+            .search_with_stats(&space, mapper, Objective::Edp)
+            .expect("search succeeds")
+    });
+    let stats = seq.2;
+    let (unpruned, unpruned_secs) = timed(|| {
+        mapper
+            .search(&space, |m: &sparseloop_mapping::Mapping| {
+                model.evaluate(m).ok().map(|e| e.edp)
+            })
+            .expect("search succeeds")
+    });
+    let (par, par_secs) = timed(|| {
+        model
+            .search_parallel_with_stats(&space, mapper, Objective::Edp, None)
+            .expect("search succeeds")
+    });
+    assert_eq!(seq.0, par.0, "parallel/sequential parity");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scenario\": \"spmspm64_bitmask_tight1024_exhaustive\",\n",
+            "  \"generated\": {},\n",
+            "  \"pruned\": {},\n",
+            "  \"evaluated\": {},\n",
+            "  \"invalid\": {},\n",
+            "  \"wall_time_s\": {{\n",
+            "    \"sequential_unpruned\": {:.6},\n",
+            "    \"sequential_pruned\": {:.6},\n",
+            "    \"parallel\": {:.6}\n",
+            "  }},\n",
+            "  \"mappings_per_sec\": {{\n",
+            "    \"sequential_unpruned\": {:.1},\n",
+            "    \"sequential_pruned\": {:.1},\n",
+            "    \"parallel\": {:.1}\n",
+            "  }},\n",
+            "  \"threads\": {}\n",
+            "}}\n"
+        ),
+        stats.generated,
+        stats.pruned,
+        stats.evaluated,
+        stats.invalid,
+        unpruned_secs,
+        seq_secs,
+        par_secs,
+        unpruned.stats.generated as f64 / unpruned_secs.max(1e-12),
+        stats.generated as f64 / seq_secs.max(1e-12),
+        stats.generated as f64 / par_secs.max(1e-12),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+    let path = "BENCH_mapper.json";
+    std::fs::write(path, json).expect("write BENCH_mapper.json");
+    path.to_string()
 }

@@ -20,8 +20,11 @@ fn concrete_tensors(layer: &Layer, seed: u64) -> Vec<SparseTensor> {
         .iter()
         .enumerate()
         .map(|(i, spec)| {
-            let shape =
-                Shape::new(layer.einsum.tensor_shape(sparseloop_tensor::einsum::TensorId(i)));
+            let shape = Shape::new(
+                layer
+                    .einsum
+                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
+            );
             if spec.kind == TensorKind::Output {
                 SparseTensor::from_triplets(shape, &[])
             } else {
@@ -46,7 +49,11 @@ fn main() {
         let tensors = concrete_tensors(&layer, 11);
         let sim = RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run();
         let err = rel_err_pct(eval.sparse.compute.ops.actual, sim.computes_actual);
-        row(&["SCNN".into(), "runtime activities".into(), format!("{:.1}", 100.0 - err)]);
+        row(&[
+            "SCNN".into(),
+            "runtime activities".into(),
+            format!("{:.1}", 100.0 - err),
+        ]);
     }
 
     // Eyeriss V2 PE: processing latency
@@ -58,7 +65,11 @@ fn main() {
         let tensors = concrete_tensors(&layer, 12);
         let sim = RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run();
         let err = rel_err_pct(eval.cycles, sim.cycles);
-        row(&["EyerissV2-PE".into(), "processing latency".into(), format!("{:.1}", 100.0 - err)]);
+        row(&[
+            "EyerissV2-PE".into(),
+            "processing latency".into(),
+            format!("{:.1}", 100.0 - err),
+        ]);
     }
 
     // DSTC: normalized latency across densities
@@ -76,7 +87,11 @@ fn main() {
             errs.push(rel_err_pct(eval.cycles / bm, sim.cycles / bs));
         }
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
-        row(&["DSTC".into(), "processing latency".into(), format!("{:.1}", 100.0 - avg)]);
+        row(&[
+            "DSTC".into(),
+            "processing latency".into(),
+            format!("{:.1}", 100.0 - avg),
+        ]);
     }
 
     // STC: exact 2x on 2:4 (deterministic)
@@ -86,7 +101,11 @@ fn main() {
             name: "stc".into(),
             einsum: e.clone(),
             densities: vec![
-                DensityModelSpec::FixedStructured { n: 2, m: 4, axis: 1 },
+                DensityModelSpec::FixedStructured {
+                    n: 2,
+                    m: 4,
+                    axis: 1,
+                },
                 DensityModelSpec::Dense,
                 DensityModelSpec::Dense,
             ],
@@ -102,7 +121,11 @@ fn main() {
         let d = dp.evaluate(&dense_l, &m).unwrap();
         let speedup = d.uarch.compute_cycles / s.uarch.compute_cycles;
         let err = rel_err_pct(speedup, 2.0);
-        row(&["STC".into(), "2:4 speedup (=2x)".into(), format!("{:.1}", 100.0 - err)]);
+        row(&[
+            "STC".into(),
+            "2:4 speedup (=2x)".into(),
+            format!("{:.1}", 100.0 - err),
+        ]);
     }
 
     println!("\npaper band: 0.1% to 8% average error across designs (92%-100% accuracy).");

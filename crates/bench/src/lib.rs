@@ -7,6 +7,8 @@
 //! Run an experiment with e.g.
 //! `cargo run --release -p sparseloop-bench --bin fig01_format_tradeoff`.
 
+use sparseloop_core::{Model, Workload};
+use sparseloop_mapping::{Mapper, Mapspace};
 use std::time::Instant;
 
 /// Nominal host clock used to convert wall time into "host cycles" for
@@ -90,5 +92,43 @@ mod tests {
         assert_eq!(fnum(0.0), "0");
         assert!(fnum(1234567.0).contains('e'));
         assert_eq!(fnum(1.5), "1.500");
+    }
+}
+
+/// The fixed capacity-constrained search scenario used by both the
+/// `bench_mapper` criterion benches and the `BENCH_mapper.json` record
+/// written by `table5_modeling_speed` — one definition so the tracked
+/// throughput trajectory always measures the same thing.
+///
+/// spMspM 64x64x64 at 50% density on the Fig. 1 bitmask design with the
+/// buffer shrunk to 1024 words (a realistic on-chip size, so tiling
+/// actually fights for capacity and the precheck has work to do).
+pub fn tight_search_scenario() -> (Model, Mapspace, Mapper) {
+    let layer = sparseloop_workloads::spmspm(64, 64, 64, 0.5, 0.5);
+    let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+    let mut levels = dp.arch.levels().to_vec();
+    levels[1].capacity_words = Some(1024);
+    let arch = sparseloop_arch::Architecture::new("tight", levels, dp.arch.compute().clone());
+    let model = Model::new(
+        Workload::new(layer.einsum.clone(), layer.densities.clone()),
+        arch.clone(),
+        dp.safs.clone(),
+    );
+    let space = Mapspace::all_temporal(&layer.einsum, &arch);
+    (model, space, Mapper::Exhaustive { limit: 4000 })
+}
+
+#[cfg(test)]
+mod scenario_tests {
+    use super::*;
+
+    #[test]
+    fn tight_scenario_prunes_candidates() {
+        let (model, space, mapper) = tight_search_scenario();
+        let (_, _, stats) = model
+            .search_with_stats(&space, mapper, sparseloop_core::Objective::Edp)
+            .expect("scenario must contain valid mappings");
+        assert!(stats.pruned > 0, "the tight buffer must reject some tiles");
+        assert!(stats.evaluated > 0);
     }
 }

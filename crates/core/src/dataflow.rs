@@ -99,8 +99,8 @@ pub fn analyze(einsum: &Einsum, mapping: &Mapping) -> DenseTraffic {
     let mut pos = vec![0usize; num_levels + 1];
     {
         let mut idx = 0usize;
-        for l in 0..num_levels {
-            pos[l] = idx;
+        for (l, slot) in pos.iter_mut().take(num_levels).enumerate() {
+            *slot = idx;
             idx += mapping.nests()[l].len();
         }
         pos[num_levels] = idx;
@@ -143,16 +143,16 @@ pub fn analyze(einsum: &Einsum, mapping: &Mapping) -> DenseTraffic {
         // Walk boundaries outermost -> innermost. `prev_fill_events` is
         // the number of fresh-tile instantiations at the parent, used for
         // output first-update elision.
-        let tensor_size: f64 = einsum
-            .tensor_shape(t)
-            .iter()
-            .product::<u64>()
-            .max(1) as f64;
+        let tensor_size: f64 = einsum.tensor_shape(t).iter().product::<u64>().max(1) as f64;
         let mut distinct_at_parent = tensor_size;
 
         for i in 0..chain.len() {
             let p = chain[i];
-            let pos_c = if i + 1 < chain.len() { pos[chain[i + 1]] } else { compute_pos };
+            let pos_c = if i + 1 < chain.len() {
+                pos[chain[i + 1]]
+            } else {
+                compute_pos
+            };
             let child_bounds = mapping.tile_bounds_inside(pos_c, num_dims);
             let child_shape = einsum.tensor_tile_shape(t, &child_bounds);
             let child_size: f64 = child_shape.iter().product::<u64>().max(1) as f64;

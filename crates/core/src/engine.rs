@@ -8,7 +8,10 @@ use crate::uarch::{self, CapacityMode, UarchReport};
 use crate::workload::Workload;
 use sparseloop_arch::Architecture;
 use sparseloop_energy::EnergyTable;
-use sparseloop_mapping::{Mapper, Mapping, MappingError, Mapspace};
+use sparseloop_mapping::{
+    CandidateEvaluator, Mapper, Mapping, MappingError, Mapspace, SearchStats,
+};
+use sparseloop_tensor::einsum::TensorId;
 use std::fmt;
 
 /// What the mapper minimizes.
@@ -89,18 +92,27 @@ pub struct Model {
     safs: SafSpec,
     energy: EnergyTable,
     capacity_mode: CapacityMode,
+    /// Per-(level, tensor, tile-shape) memo of format footprint analyses,
+    /// shared by the capacity precheck and the sparse modeling step.
+    format_cache: sparse::FormatAnalysisCache,
 }
 
 impl Model {
     /// Builds a model with the default 45 nm energy table and
     /// expected-occupancy capacity checking.
+    ///
+    /// The workload's density models are wrapped in per-tile-shape
+    /// memoization caches ([`Workload::memoized`]): search evaluates many
+    /// candidates whose tiles repeat shapes, so occupancy statistics and
+    /// distributions are computed once per shape.
     pub fn new(workload: Workload, arch: Architecture, safs: SafSpec) -> Self {
         Model {
-            workload,
+            workload: workload.memoized(),
             arch,
             safs,
             energy: EnergyTable::default_45nm(),
             capacity_mode: CapacityMode::Expected,
+            format_cache: sparse::FormatAnalysisCache::default(),
         }
     }
 
@@ -131,6 +143,97 @@ impl Model {
         &self.safs
     }
 
+    /// Cheap capacity pre-pass: whether every storage level can hold its
+    /// resident tiles (payload plus metadata, under the model's
+    /// [`CapacityMode`]) — without running any traffic math.
+    ///
+    /// For structurally valid mappings (everything a [`Mapspace`]
+    /// generates), `false` is returned exactly when
+    /// [`evaluate`](Model::evaluate) would return
+    /// [`EvalError::CapacityExceeded`]: tile shapes are derived the same
+    /// way as the dataflow step derives them, occupancies come from the
+    /// same (memoized) format/density analysis, and the fit rule is the
+    /// shared [`uarch::level_fits`]. Mappings that fail the cheap
+    /// structural guards return `true` so the full pipeline gets to
+    /// report the richer [`EvalError::InvalidMapping`]; full validation
+    /// is deliberately *not* repeated here — it would cost a significant
+    /// fraction of the evaluation this pre-pass exists to avoid.
+    ///
+    /// The mapper's pruned search paths call this before the 3-step
+    /// pipeline, skipping the dense→sparse→uarch evaluation for
+    /// candidates whose tiles cannot fit.
+    pub fn precheck(&self, mapping: &Mapping) -> bool {
+        let einsum = self.workload.einsum();
+        let num_dims = einsum.dims().len();
+        let num_tensors = einsum.tensors().len();
+        let num_levels = self.arch.num_levels();
+        // structural guards only — enough to make the arithmetic below
+        // well-defined; evaluate() performs the full validation
+        if mapping.num_levels() != num_levels
+            || mapping
+                .keep_matrix()
+                .iter()
+                .any(|row| row.len() < num_tensors)
+            || mapping
+                .nests()
+                .iter()
+                .flatten()
+                .any(|lp| lp.dim.0 >= num_dims)
+        {
+            return true;
+        }
+        // Per-dimension bounds of the tile held at each level: the
+        // product of loop bounds at-and-below the level. One reverse
+        // pass, innermost to outermost, checking capacity as levels
+        // complete.
+        let mut bounds = vec![1u64; num_dims];
+        for l in (0..num_levels).rev() {
+            for lp in &mapping.nests()[l] {
+                bounds[lp.dim.0] *= lp.bound;
+            }
+            let spec = &self.arch.levels()[l];
+            if spec.capacity_words.is_none() {
+                continue; // unbounded levels always fit
+            }
+            let mut occupancy_words = 0.0f64;
+            let mut occupancy_metadata_bits = 0.0f64;
+            for t in 0..num_tensors {
+                let tid = TensorId(t);
+                if !mapping.keeps(l, tid) {
+                    continue;
+                }
+                let shape = einsum.tensor_tile_shape(tid, &bounds);
+                match self.safs.format_at(l, tid) {
+                    Some(format) => {
+                        let held = self.format_cache.analyze(
+                            l,
+                            tid,
+                            format,
+                            &shape,
+                            self.workload.density(tid).as_ref(),
+                        );
+                        let (words, meta) = match self.capacity_mode {
+                            CapacityMode::Expected => (held.payload_words, held.metadata_bits),
+                            CapacityMode::WorstCase => {
+                                (held.max_payload_words, held.max_metadata_bits)
+                            }
+                        };
+                        occupancy_words += words;
+                        occupancy_metadata_bits += meta;
+                    }
+                    None => {
+                        // uncompressed: dense footprint in both modes
+                        occupancy_words += shape.iter().product::<u64>().max(1) as f64;
+                    }
+                }
+            }
+            if !uarch::level_fits(spec, occupancy_words, occupancy_metadata_bits) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Evaluates one mapping through all three modeling steps.
     ///
     /// # Errors
@@ -141,15 +244,20 @@ impl Model {
             .validate(self.workload.einsum(), &self.arch)
             .map_err(EvalError::InvalidMapping)?;
         let dense = dataflow::analyze(self.workload.einsum(), mapping);
-        let sparse = sparse::analyze(&self.workload, &dense, &self.safs);
+        let sparse = sparse::analyze_with_cache(
+            &self.workload,
+            &dense,
+            &self.safs,
+            Some(&self.format_cache),
+        );
         let uarch = uarch::analyze(&self.arch, &sparse, &self.energy, self.capacity_mode);
         if !uarch.valid {
             return Err(EvalError::CapacityExceeded {
                 level: uarch.overflow_level.clone().unwrap_or_default(),
             });
         }
-        let utilization = dense.utilized_parallelism as f64
-            / self.arch.compute().instances.max(1) as f64;
+        let utilization =
+            dense.utilized_parallelism as f64 / self.arch.compute().instances.max(1) as f64;
         Ok(Evaluation {
             cycles: uarch.cycles,
             energy_pj: uarch.energy_pj,
@@ -161,21 +269,76 @@ impl Model {
         })
     }
 
+    /// The model as a two-stage mapper evaluator: [`Model::precheck`]
+    /// prunes capacity-infeasible candidates, the full pipeline scores
+    /// the rest under `objective`.
+    pub fn evaluator(&self, objective: Objective) -> ModelEvaluator<'_> {
+        ModelEvaluator {
+            model: self,
+            objective,
+        }
+    }
+
     /// Searches a mapspace for the best mapping under `objective`.
     /// Returns `None` if no candidate mapping is valid.
+    ///
+    /// Candidates stream out of the mapspace lazily and pass through the
+    /// capacity precheck before the full pipeline runs (see
+    /// [`Model::precheck`]).
     pub fn search(
         &self,
         space: &Mapspace,
         mapper: Mapper,
         objective: Objective,
     ) -> Option<(Mapping, Evaluation)> {
-        let result = mapper.search(space, |m| {
-            self.evaluate(m).ok().map(|e| e.metric(objective))
-        })?;
+        self.search_with_stats(space, mapper, objective)
+            .map(|(mapping, eval, _)| (mapping, eval))
+    }
+
+    /// Like [`search`](Model::search), also returning the
+    /// generated/pruned/evaluated/invalid counters of the run.
+    pub fn search_with_stats(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+    ) -> Option<(Mapping, Evaluation, SearchStats)> {
+        let result = mapper.search_pruned(space, &self.evaluator(objective))?;
         let eval = self
             .evaluate(&result.mapping)
             .expect("winning mapping must re-evaluate");
-        Some((result.mapping, eval))
+        Some((result.mapping, eval, result.stats))
+    }
+
+    /// Parallel mapspace search: same winner as [`search`](Model::search)
+    /// — bit-identical `(mapping, objective)` thanks to the mapper's
+    /// deterministic `(value, candidate index)` reduction — using
+    /// `threads` workers (default: all available cores).
+    pub fn search_parallel(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+        threads: Option<usize>,
+    ) -> Option<(Mapping, Evaluation)> {
+        self.search_parallel_with_stats(space, mapper, objective, threads)
+            .map(|(mapping, eval, _)| (mapping, eval))
+    }
+
+    /// Like [`search_parallel`](Model::search_parallel), also returning
+    /// the run's counters.
+    pub fn search_parallel_with_stats(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+        threads: Option<usize>,
+    ) -> Option<(Mapping, Evaluation, SearchStats)> {
+        let result = mapper.par_search(space, &self.evaluator(objective), threads)?;
+        let eval = self
+            .evaluate(&result.mapping)
+            .expect("winning mapping must re-evaluate");
+        Some((result.mapping, eval, result.stats))
     }
 
     /// Convenience: builds the default all-temporal mapspace for this
@@ -190,12 +353,33 @@ impl Model {
     }
 }
 
+/// [`CandidateEvaluator`] adapter binding a [`Model`] to an
+/// [`Objective`] (see [`Model::evaluator`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelEvaluator<'a> {
+    model: &'a Model,
+    objective: Objective,
+}
+
+impl CandidateEvaluator for ModelEvaluator<'_> {
+    fn precheck(&self, mapping: &Mapping) -> bool {
+        self.model.precheck(mapping)
+    }
+
+    fn evaluate(&self, mapping: &Mapping) -> Option<f64> {
+        self.model
+            .evaluate(mapping)
+            .ok()
+            .map(|e| e.metric(self.objective))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
     use sparseloop_density::DensityModelSpec;
-    use sparseloop_mapping::{Mapspace, MappingBuilder};
+    use sparseloop_mapping::{MappingBuilder, Mapspace};
     use sparseloop_tensor::einsum::{DimId, Einsum};
 
     fn model(density_a: f64) -> Model {
@@ -210,7 +394,11 @@ mod tests {
         );
         let arch = ArchitectureBuilder::new("t")
             .level(StorageLevel::new("DRAM").with_class(ComponentClass::Dram))
-            .level(StorageLevel::new("Buffer").with_capacity(512).with_instances(1))
+            .level(
+                StorageLevel::new("Buffer")
+                    .with_capacity(512)
+                    .with_instances(1),
+            )
             .compute(ComputeSpec::new("MAC", 4))
             .build()
             .unwrap();

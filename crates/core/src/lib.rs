@@ -64,8 +64,8 @@ pub mod uarch;
 pub mod workload;
 
 pub use dataflow::{DenseTraffic, TensorLevelTraffic};
-pub use engine::{EvalError, Evaluation, Model, Objective};
+pub use engine::{EvalError, Evaluation, Model, ModelEvaluator, Objective};
 pub use saf::{ActionOpt, ComputeSaf, FormatSaf, IntersectionSaf, SafSpec};
 pub use sparse::{ActionBreakdown, SparseCompute, SparseTensorLevel, SparseTraffic};
-pub use uarch::{LevelCost, UarchReport};
+pub use uarch::{level_fits, LevelCost, UarchReport};
 pub use workload::Workload;

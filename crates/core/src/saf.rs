@@ -91,7 +91,11 @@ impl SafSpec {
 
     /// Builder-style: adds a representation format.
     pub fn with_format(mut self, level: usize, tensor: TensorId, format: TensorFormat) -> Self {
-        self.formats.push(FormatSaf { level, tensor, format });
+        self.formats.push(FormatSaf {
+            level,
+            tensor,
+            format,
+        });
         self
     }
 
@@ -122,20 +126,25 @@ impl SafSpec {
     /// Builder-style: adds a double-sided skipping intersection
     /// (`Skip a ↔ b`) as the pair of leader-follower SAFs.
     pub fn with_double_sided_skip(self, level: usize, a: TensorId, b: TensorId) -> Self {
-        self.with_skip(level, a, vec![b]).with_skip(level, b, vec![a])
+        self.with_skip(level, a, vec![b])
+            .with_skip(level, b, vec![a])
     }
 
     /// Builder-style: gates leftover ineffectual computes
     /// (`Gate Compute`).
     pub fn with_gate_compute(mut self) -> Self {
-        self.compute = Some(ComputeSaf { action: ActionOpt::Gate });
+        self.compute = Some(ComputeSaf {
+            action: ActionOpt::Gate,
+        });
         self
     }
 
     /// Builder-style: skips leftover ineffectual computes
     /// (`Skip Compute`).
     pub fn with_skip_compute(mut self) -> Self {
-        self.compute = Some(ComputeSaf { action: ActionOpt::Skip });
+        self.compute = Some(ComputeSaf {
+            action: ActionOpt::Skip,
+        });
         self
     }
 
@@ -157,8 +166,15 @@ impl SafSpec {
 
     /// Whether any skipping SAF exists anywhere in the design.
     pub fn has_skipping(&self) -> bool {
-        self.intersections.iter().any(|s| s.action == ActionOpt::Skip)
-            || matches!(self.compute, Some(ComputeSaf { action: ActionOpt::Skip }))
+        self.intersections
+            .iter()
+            .any(|s| s.action == ActionOpt::Skip)
+            || matches!(
+                self.compute,
+                Some(ComputeSaf {
+                    action: ActionOpt::Skip
+                })
+            )
     }
 }
 
@@ -206,7 +222,12 @@ mod tests {
     #[test]
     fn gate_compute_recorded() {
         let s = SafSpec::dense().with_gate_compute();
-        assert_eq!(s.compute, Some(ComputeSaf { action: ActionOpt::Gate }));
+        assert_eq!(
+            s.compute,
+            Some(ComputeSaf {
+                action: ActionOpt::Gate
+            })
+        );
         assert!(!s.has_skipping());
         let s = SafSpec::dense().with_skip_compute();
         assert!(s.has_skipping());

@@ -31,8 +31,94 @@ use crate::dataflow::DenseTraffic;
 use crate::saf::{ActionOpt, SafSpec};
 use crate::workload::Workload;
 
+use sparseloop_density::DensityModel;
+use sparseloop_format::{FormatOverhead, TensorFormat};
 use sparseloop_tensor::einsum::{TensorId, TensorKind};
 use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// Maximum tile shapes the format-analysis cache retains per
+/// `(level, tensor)` slot; beyond it, results are computed without being
+/// stored.
+pub const FORMAT_CACHE_CAP: usize = 8192;
+
+/// A thread-safe memo of format footprint analyses keyed by
+/// `(level, tensor, tile shape)`.
+///
+/// Mapspace search evaluates thousands of candidates whose per-level tile
+/// shapes repeat (the factorization space reuses factors), and the same
+/// analysis runs in both the capacity pre-pass (`Model::precheck`) and
+/// the sparse modeling step — so one model-owned cache removes the
+/// dominant repeated cost on both paths. The level is part of the key
+/// because each storage level may bind a different [`TensorFormat`] to
+/// the same tensor.
+/// Cache storage: (level, tensor index) -> tile shape -> footprint. The
+/// two-level split lets hit-path lookups borrow the shape as `&[u64]`
+/// (no per-query key allocation); the `RwLock` keeps warm-cache hits
+/// from serializing parallel-search workers.
+type FormatOverheadMap = RwLock<HashMap<(usize, usize), HashMap<Vec<u64>, FormatOverhead>>>;
+
+/// Crate-private by design: results are keyed by `(level, tensor, tile
+/// shape)` only, which is sound solely because a [`Model`]'s `SafSpec`
+/// (hence each slot's format) and density models are fixed for its
+/// lifetime — a freestanding cache shared across differing specs would
+/// silently serve stale footprints.
+///
+/// [`Model`]: crate::Model
+#[derive(Debug, Default)]
+pub(crate) struct FormatAnalysisCache {
+    map: FormatOverheadMap,
+}
+
+impl Clone for FormatAnalysisCache {
+    /// Cloning a model starts the clone with a fresh (empty) cache; the
+    /// cache is a performance artifact, not model state.
+    fn clone(&self) -> Self {
+        FormatAnalysisCache::default()
+    }
+}
+
+impl FormatAnalysisCache {
+    /// `format.analyze(shape, model)`, memoized per
+    /// `(level, tensor, shape)`.
+    pub(crate) fn analyze(
+        &self,
+        level: usize,
+        tensor: TensorId,
+        format: &TensorFormat,
+        shape: &[u64],
+        model: &dyn DensityModel,
+    ) -> FormatOverhead {
+        {
+            let cache = self.map.read().expect("format cache poisoned");
+            if let Some(hit) = cache
+                .get(&(level, tensor.0))
+                .and_then(|by_shape| by_shape.get(shape))
+            {
+                return *hit;
+            }
+        }
+        // compute outside the lock; misses are the expensive path
+        let overhead = format.analyze(shape, model);
+        let mut cache = self.map.write().expect("format cache poisoned");
+        let by_shape = cache.entry((level, tensor.0)).or_default();
+        if by_shape.len() < FORMAT_CACHE_CAP {
+            by_shape.insert(shape.to_vec(), overhead);
+        }
+        overhead
+    }
+
+    /// Number of cached analyses (for tests / diagnostics).
+    #[allow(dead_code)]
+    pub(crate) fn entries(&self) -> usize {
+        self.map
+            .read()
+            .expect("format cache poisoned")
+            .values()
+            .map(|by_shape| by_shape.len())
+            .sum()
+    }
+}
 
 /// A count of fine-grained actions split by what happened to them.
 ///
@@ -51,7 +137,11 @@ pub struct ActionBreakdown {
 impl ActionBreakdown {
     /// A breakdown with everything actual.
     pub fn dense(count: f64) -> Self {
-        ActionBreakdown { actual: count, gated: 0.0, skipped: 0.0 }
+        ActionBreakdown {
+            actual: count,
+            gated: 0.0,
+            skipped: 0.0,
+        }
     }
 
     /// Total operations across classes.
@@ -176,10 +266,17 @@ impl ElimTracker {
 }
 
 /// Runs the sparse modeling step.
-pub fn analyze(
+pub fn analyze(workload: &Workload, dense: &DenseTraffic, safs: &SafSpec) -> SparseTraffic {
+    analyze_with_cache(workload, dense, safs, None)
+}
+
+/// Runs the sparse modeling step, memoizing format footprint analyses in
+/// `cache` when one is provided (see [`FormatAnalysisCache`]).
+pub(crate) fn analyze_with_cache(
     workload: &Workload,
     dense: &DenseTraffic,
     safs: &SafSpec,
+    cache: Option<&FormatAnalysisCache>,
 ) -> SparseTraffic {
     let einsum = workload.einsum();
     let mut trackers: HashMap<usize, ElimTracker> = HashMap::new();
@@ -202,12 +299,8 @@ pub fn analyze(
         let mut self_gate_here = false;
         let mut self_skip_here = false;
         for saf in safs.intersections_at(de.level, t) {
-            let cross_leaders: Vec<TensorId> = saf
-                .leaders
-                .iter()
-                .copied()
-                .filter(|&l| l != t)
-                .collect();
+            let cross_leaders: Vec<TensorId> =
+                saf.leaders.iter().copied().filter(|&l| l != t).collect();
             if cross_leaders.len() < saf.leaders.len() {
                 // self part: word-granularity zero elimination
                 match saf.action {
@@ -275,11 +368,15 @@ pub fn analyze(
         let format = safs.format_at(de.level, t).cloned();
         let compressed = format.as_ref().map(|f| f.is_compressed()).unwrap_or(false);
         let model = workload.density(t);
+        let analyze_tile = |f: &TensorFormat, shape: &[u64]| match cache {
+            Some(c) => c.analyze(de.level, t, f, shape, model.as_ref()),
+            None => f.analyze(shape, model.as_ref()),
+        };
         let (occ_words, occ_meta, max_words, max_meta, md_per_read_tile, md_per_fill_tile) =
             match &format {
                 Some(f) => {
-                    let held = f.analyze(&de.tile_shape, model.as_ref());
-                    let child = f.analyze(&de.child_tile_shape, model.as_ref());
+                    let held = analyze_tile(f, &de.tile_shape);
+                    let child = analyze_tile(f, &de.child_tile_shape);
                     (
                         held.payload_words,
                         held.metadata_bits,
@@ -289,14 +386,7 @@ pub fn analyze(
                         held.metadata_bits,
                     )
                 }
-                None => (
-                    de.tile_size,
-                    0.0,
-                    de.tile_size,
-                    0.0,
-                    0.0,
-                    0.0,
-                ),
+                None => (de.tile_size, 0.0, de.tile_size, 0.0, 0.0, 0.0),
             };
 
         // --- classify the traffic --------------------------------------
@@ -330,8 +420,7 @@ pub fn analyze(
         let drains = classify(de.drains);
 
         // Metadata moves with surviving (non-skipped) transfer events.
-        let surviving_transfers =
-            de.read_transfers * surv_above_skip * (1.0 - local_skip);
+        let surviving_transfers = de.read_transfers * surv_above_skip * (1.0 - local_skip);
         let fill_transfers = if de.tile_size > 0.0 {
             de.fills / de.tile_size
         } else {
@@ -427,7 +516,7 @@ mod tests {
     use crate::dataflow;
     use sparseloop_density::DensityModelSpec;
     use sparseloop_format::TensorFormat;
-    
+
     use sparseloop_mapping::MappingBuilder;
     use sparseloop_tensor::einsum::{DimId, Einsum};
 
@@ -661,7 +750,11 @@ mod tests {
         let w = Workload::new(
             e,
             vec![
-                DensityModelSpec::FixedStructured { n: 2, m: 4, axis: 1 },
+                DensityModelSpec::FixedStructured {
+                    n: 2,
+                    m: 4,
+                    axis: 1,
+                },
                 DensityModelSpec::Dense,
                 DensityModelSpec::Dense,
             ],

@@ -74,6 +74,38 @@ impl UarchReport {
     }
 }
 
+/// Whether a tile of `occupancy_words` payload plus
+/// `occupancy_metadata_bits` of metadata fits storage level `spec`:
+/// metadata goes to the dedicated metadata store when one exists,
+/// otherwise shares the data capacity as word equivalents; the remainder
+/// is divided across the level's instances. Levels without a stated
+/// capacity always fit.
+///
+/// This is the single source of truth for capacity validity — shared by
+/// [`analyze`] and the mapper's cheap pre-pass
+/// (`Model::precheck`), which guarantees the pre-pass prunes exactly the
+/// mappings the full pipeline would reject as `CapacityExceeded`.
+pub fn level_fits(
+    spec: &sparseloop_arch::StorageLevel,
+    occupancy_words: f64,
+    occupancy_metadata_bits: f64,
+) -> bool {
+    let Some(capacity) = spec.capacity_words else {
+        return true;
+    };
+    let meta_words = match spec.metadata_capacity_bits {
+        Some(meta_capacity) => {
+            if occupancy_metadata_bits > meta_capacity as f64 {
+                return false;
+            }
+            0.0
+        }
+        None => occupancy_metadata_bits / spec.word_bits as f64,
+    };
+    let per_instance = (occupancy_words + meta_words) / spec.instances as f64;
+    per_instance <= capacity as f64 + 1e-9
+}
+
 /// Runs the micro-architecture step.
 pub fn analyze(
     arch: &Architecture,
@@ -105,8 +137,7 @@ pub fn analyze(
             // energy: actual at full cost, gated at gated cost
             cost.energy_pj += (e.reads.actual + e.drains.actual) * act.read
                 + (e.fills.actual + e.updates.actual) * act.write
-                + (e.reads.gated + e.fills.gated + e.updates.gated + e.drains.gated)
-                    * act.gated
+                + (e.reads.gated + e.fills.gated + e.updates.gated + e.drains.gated) * act.gated
                 + act.metadata(e.metadata_read_bits + e.metadata_write_bits);
             cost.occupancy_words += match capacity_mode {
                 CapacityMode::Expected => e.occupancy_words,
@@ -123,24 +154,9 @@ pub fn analyze(
 
         // capacity check: data words plus metadata (in words) share the
         // level's capacity unless a dedicated metadata store exists
-        if let Some(capacity) = spec.capacity_words {
-            let meta_words = if spec.metadata_capacity_bits.is_some() {
-                if cost.occupancy_metadata_bits
-                    > spec.metadata_capacity_bits.unwrap_or(0) as f64
-                {
-                    valid = false;
-                    overflow_level.get_or_insert_with(|| spec.name.clone());
-                }
-                0.0
-            } else {
-                cost.occupancy_metadata_bits / spec.word_bits as f64
-            };
-            let per_instance =
-                (cost.occupancy_words + meta_words) / spec.instances as f64;
-            if per_instance > capacity as f64 + 1e-9 {
-                valid = false;
-                overflow_level.get_or_insert_with(|| spec.name.clone());
-            }
+        if !level_fits(spec, cost.occupancy_words, cost.occupancy_metadata_bits) {
+            valid = false;
+            overflow_level.get_or_insert_with(|| spec.name.clone());
         }
 
         // bandwidth throttling: aggregate words (+ metadata as word
@@ -179,9 +195,7 @@ mod tests {
     use crate::saf::SafSpec;
     use crate::workload::Workload;
     use crate::{dataflow, sparse};
-    use sparseloop_arch::{
-        ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel,
-    };
+    use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
     use sparseloop_density::DensityModelSpec;
     use sparseloop_mapping::{Mapping, MappingBuilder};
     use sparseloop_tensor::einsum::{DimId, Einsum};
@@ -257,8 +271,7 @@ mod tests {
         let a = w.einsum().tensor_id("A").unwrap();
         let dense_r = run(&w, &arch, &map, &SafSpec::dense(), CapacityMode::Expected);
         assert!(!dense_r.valid);
-        let safs = SafSpec::dense()
-            .with_format(1, a, sparseloop_format::TensorFormat::coo(2));
+        let safs = SafSpec::dense().with_format(1, a, sparseloop_format::TensorFormat::coo(2));
         let r = run(&w, &arch, &map, &safs, CapacityMode::Expected);
         assert!(r.valid, "compressed tile should fit");
     }
@@ -267,8 +280,7 @@ mod tests {
     fn worst_case_mode_is_stricter() {
         let (w, arch, map) = setup(0.25, 26, None);
         let a = w.einsum().tensor_id("A").unwrap();
-        let safs = SafSpec::dense()
-            .with_format(1, a, sparseloop_format::TensorFormat::coo(2));
+        let safs = SafSpec::dense().with_format(1, a, sparseloop_format::TensorFormat::coo(2));
         let exp = run(&w, &arch, &map, &safs, CapacityMode::Expected);
         let wc = run(&w, &arch, &map, &safs, CapacityMode::WorstCase);
         assert!(exp.valid);
@@ -282,8 +294,20 @@ mod tests {
     fn bandwidth_throttling_extends_latency() {
         let (w, arch_fast, map) = setup(1.0, 4096, Some(100.0));
         let (_, arch_slow, _) = setup(1.0, 4096, Some(0.25));
-        let fast = run(&w, &arch_fast, &map, &SafSpec::dense(), CapacityMode::Expected);
-        let slow = run(&w, &arch_slow, &map, &SafSpec::dense(), CapacityMode::Expected);
+        let fast = run(
+            &w,
+            &arch_fast,
+            &map,
+            &SafSpec::dense(),
+            CapacityMode::Expected,
+        );
+        let slow = run(
+            &w,
+            &arch_slow,
+            &map,
+            &SafSpec::dense(),
+            CapacityMode::Expected,
+        );
         assert!(slow.cycles > fast.cycles);
     }
 
@@ -342,7 +366,9 @@ mod tests {
             sparseloop_format::RankFormat::Uncompressed,
             sparseloop_format::RankFormat::Bitmask,
         ]);
-        let safs = SafSpec::dense().with_format(1, a, fmt).with_gate(1, a, vec![a]);
+        let safs = SafSpec::dense()
+            .with_format(1, a, fmt)
+            .with_gate(1, a, vec![a]);
         let tagged = run(&w, &arch, &map, &safs, CapacityMode::Expected);
         let lvl_plain = &plain.levels[1];
         let lvl_tagged = &tagged.levels[1];

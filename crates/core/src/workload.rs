@@ -1,6 +1,6 @@
 //! Workload specification: an Einsum plus per-tensor density models.
 
-use sparseloop_density::{DensityModel, DensityModelSpec};
+use sparseloop_density::{DensityModel, DensityModelSpec, Memoized};
 use sparseloop_tensor::einsum::{Einsum, TensorId};
 use std::fmt;
 use std::sync::Arc;
@@ -11,6 +11,8 @@ use std::sync::Arc;
 pub struct Workload {
     einsum: Einsum,
     densities: Vec<Arc<dyn DensityModel>>,
+    /// Whether the density models are wrapped in per-shape caches.
+    memoized: bool,
 }
 
 impl Workload {
@@ -35,7 +37,11 @@ impl Workload {
                 s.instantiate(&shape)
             })
             .collect();
-        Workload { einsum, densities }
+        Workload {
+            einsum,
+            densities,
+            memoized: false,
+        }
     }
 
     /// Builds a workload from already-instantiated density models (e.g.
@@ -50,7 +56,23 @@ impl Workload {
             einsum.tensors().len(),
             "one density model per tensor required"
         );
-        Workload { einsum, densities: models }
+        Workload {
+            einsum,
+            densities: models,
+            memoized: false,
+        }
+    }
+
+    /// Wraps every density model in a per-tile-shape memoization cache
+    /// ([`Memoized`]). Mapspace search re-queries the same tile shapes
+    /// across thousands of candidates, so [`Model`](crate::Model) applies
+    /// this automatically at construction. Idempotent.
+    pub fn memoized(mut self) -> Self {
+        if !self.memoized {
+            self.densities = self.densities.drain(..).map(Memoized::wrap).collect();
+            self.memoized = true;
+        }
+        self
     }
 
     /// A fully dense workload.

@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 use sparseloop_arch::{ArchitectureBuilder, ComputeSpec, StorageLevel};
-use sparseloop_core::{dataflow, sparse, SafSpec, Workload};
+use sparseloop_core::{dataflow, sparse, EvalError, Model, Objective, SafSpec, Workload};
 use sparseloop_density::DensityModelSpec;
-use sparseloop_mapping::Mapspace;
+use sparseloop_mapping::{Mapper, Mapspace};
 use sparseloop_tensor::einsum::{Einsum, TensorKind};
 
 fn arch2() -> sparseloop_arch::Architecture {
@@ -162,5 +162,102 @@ proptest! {
         prop_assert!(skip.compute.ops.cycle_consuming() <= none.compute.ops.cycle_consuming() + 1e-6);
         // energy-relevant actual ops: gate <= none
         prop_assert!(gate.compute.ops.actual <= none.compute.ops.actual + 1e-6);
+    }
+
+    /// The cheap capacity precheck agrees with the full pipeline exactly:
+    /// a mapping is precheck-rejected if and only if `evaluate` reports
+    /// `CapacityExceeded` — across dimensions, densities, capacities,
+    /// compressed and uncompressed designs, and both capacity modes.
+    #[test]
+    fn precheck_matches_capacity_errors(
+        m in 1u64..10, n in 1u64..10, k in 1u64..10,
+        da_pct in 5u64..=100,
+        capacity in 2u64..200,
+        compressed in 0u64..2,
+        worst_case in 0u64..2,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let a = e.tensor_id("A").unwrap();
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1").with_capacity(capacity))
+            .compute(ComputeSpec::new("MAC", 1))
+            .build()
+            .unwrap();
+        let mut safs = SafSpec::dense();
+        if compressed == 1 {
+            safs = safs.with_format(1, a, sparseloop_format::TensorFormat::coo(2));
+        }
+        let mut model = Model::new(w, arch.clone(), safs);
+        if worst_case == 1 {
+            model = model.with_worst_case_capacity();
+        }
+        let space = Mapspace::all_temporal(&e, &arch);
+        for mapping in space.iter_enumerate(60) {
+            let rejected = !model.precheck(&mapping);
+            let capacity_error = matches!(
+                model.evaluate(&mapping),
+                Err(EvalError::CapacityExceeded { .. })
+            );
+            prop_assert_eq!(
+                rejected,
+                capacity_error,
+                "precheck {} but evaluate capacity-error {} for {:?}",
+                rejected, capacity_error, mapping
+            );
+        }
+    }
+
+    /// Parallel and sequential model search agree bit-for-bit on the
+    /// all-temporal matmul mapspace, for every thread count.
+    #[test]
+    fn parallel_search_parity(
+        m in 1u64..8, n in 1u64..8, k in 1u64..8,
+        da_pct in 10u64..=100,
+        threads in 2usize..5,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1").with_capacity(64))
+            .compute(ComputeSpec::new("MAC", 1))
+            .build()
+            .unwrap();
+        let model = Model::new(w, arch.clone(), SafSpec::dense());
+        let space = Mapspace::all_temporal(&e, &arch);
+        let seq = model.search_with_stats(&space, Mapper::Exhaustive { limit: 500 }, Objective::Edp);
+        let par = model.search_parallel_with_stats(
+            &space,
+            Mapper::Exhaustive { limit: 500 },
+            Objective::Edp,
+            Some(threads),
+        );
+        match (seq, par) {
+            (None, None) => {}
+            (Some((sm, se, ss)), Some((pm, pe, ps))) => {
+                prop_assert_eq!(&sm, &pm, "winning mappings must be identical");
+                prop_assert_eq!(se.edp, pe.edp, "objective must be bit-identical");
+                prop_assert_eq!(ss, ps, "stats must agree");
+            }
+            (s, p) => {
+                prop_assert!(false, "one path found a mapping, the other did not: seq={} par={}", s.is_some(), p.is_some());
+            }
+        }
     }
 }

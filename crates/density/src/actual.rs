@@ -27,10 +27,13 @@ use std::sync::Mutex;
 /// // Exactly one of the four 2x2 tiles is non-empty.
 /// assert!((m.occupancy(&[2, 2]).prob_empty - 0.75).abs() < 1e-12);
 /// ```
+/// Cached per-shape histograms: tile shape -> (occupancy, tile count).
+type HistogramCache = Mutex<HashMap<Vec<u64>, Vec<(u64, u64)>>>;
+
 #[derive(Debug)]
 pub struct ActualData {
     tensor: SparseTensor,
-    cache: Mutex<HashMap<Vec<u64>, Vec<(u64, u64)>>>,
+    cache: HistogramCache,
 }
 
 impl ActualData {
@@ -115,11 +118,7 @@ mod tests {
     fn exact_statistics() {
         let t = SparseTensor::from_triplets(
             Shape::new(vec![4, 4]),
-            &[
-                (vec![0, 0], 1.0),
-                (vec![0, 1], 1.0),
-                (vec![2, 2], 1.0),
-            ],
+            &[(vec![0, 0], 1.0), (vec![0, 1], 1.0), (vec![2, 2], 1.0)],
         );
         let m = ActualData::new(t);
         let s = m.occupancy(&[2, 2]);

@@ -81,7 +81,10 @@ impl Banded {
     fn band_histogram(&self, tile_shape: &[u64]) -> Vec<(u64, u64)> {
         assert_eq!(tile_shape.len(), 2, "banded model requires 2D tiles");
         let (rows, cols) = (self.shape[0], self.shape[1]);
-        let (tr, tc) = (tile_shape[0].max(1).min(rows), tile_shape[1].max(1).min(cols));
+        let (tr, tc) = (
+            tile_shape[0].max(1).min(rows),
+            tile_shape[1].max(1).min(cols),
+        );
         let grid_r = rows.div_ceil(tr);
         let grid_c = cols.div_ceil(tc);
         let mut hist: BTreeMap<u64, u64> = BTreeMap::new();
@@ -127,7 +130,11 @@ impl DensityModel for Banded {
             prob_empty += w * p_empty_tile;
             max = max.max(b);
         }
-        OccupancyStats { expected, prob_empty, max }
+        OccupancyStats {
+            expected,
+            prob_empty,
+            max,
+        }
     }
 
     fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
@@ -136,10 +143,11 @@ impl DensityModel for Banded {
         let mut out: BTreeMap<u64, f64> = BTreeMap::new();
         for &(b, count) in &hist {
             let w = count as f64 / total_tiles as f64;
-            if b == 0 || self.fill >= 1.0 {
-                *out.entry((b as f64 * self.fill).round() as u64).or_insert(0.0) += w;
-            } else if b > BINOMIAL_SUPPORT_CAP {
-                *out.entry((b as f64 * self.fill).round() as u64).or_insert(0.0) += w;
+            if b == 0 || self.fill >= 1.0 || b > BINOMIAL_SUPPORT_CAP {
+                // deterministic occupancy (or support too large for an
+                // explicit binomial): collapse to the rounded expectation
+                *out.entry((b as f64 * self.fill).round() as u64)
+                    .or_insert(0.0) += w;
             } else {
                 for k in 0..=b {
                     let p = binomial_pmf(b, k, self.fill);
@@ -180,7 +188,7 @@ mod tests {
     #[test]
     fn full_fill_prob_empty_only_from_geometry() {
         let m = Banded::new(16, 16, 0, 1.0); // pure diagonal
-        // 4x4 tiles: 4 diagonal tiles non-empty, 12 off-diagonal empty
+                                             // 4x4 tiles: 4 diagonal tiles non-empty, 12 off-diagonal empty
         let s = m.occupancy(&[4, 4]);
         assert!((s.prob_empty - 12.0 / 16.0).abs() < 1e-12);
         assert_eq!(s.max, 4);

@@ -26,12 +26,14 @@
 pub mod actual;
 pub mod banded;
 pub mod math;
+pub mod memo;
 pub mod model;
 pub mod structured;
 pub mod uniform;
 
 pub use actual::ActualData;
 pub use banded::Banded;
+pub use memo::Memoized;
 pub use model::{DensityModel, DensityModelExt, DensityModelSpec, OccupancyStats};
 pub use structured::FixedStructured;
 pub use uniform::Uniform;

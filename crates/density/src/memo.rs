@@ -1,0 +1,198 @@
+//! A memoizing [`DensityModel`] wrapper.
+//!
+//! Mapspace search evaluates thousands of candidate mappings against the
+//! same workload, and different mappings routinely induce the *same* tile
+//! shapes per storage level — the factorization space reuses factors.
+//! Density queries (occupancy statistics and full distributions) depend
+//! only on the tile shape for every model in this crate, so caching them
+//! per shape removes the dominant repeated cost in Sparseloop's sparse
+//! modeling step (format footprint analysis and leader-tile emptiness
+//! both bottom out in these queries).
+//!
+//! [`Memoized`] is thread-safe (`RwLock`-guarded maps — warm hits take
+//! only the read lock), so one wrapped model
+//! can serve the mapper's parallel search workers concurrently. The cache
+//! is bounded: once [`CACHE_CAP`] distinct shapes have been recorded per
+//! query kind, further shapes are computed without being stored — search
+//! working sets are far below the cap in practice, and the bound keeps
+//! adversarial workloads from growing the maps without limit.
+
+use crate::model::{DensityModel, OccupancyStats};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Maximum distinct tile shapes cached per query kind.
+pub const CACHE_CAP: usize = 4096;
+
+/// A [`DensityModel`] decorator caching `occupancy` and
+/// `occupancy_distribution` results per tile shape.
+/// Cached distributions: tile shape -> (occupancy, probability) pairs.
+/// Stored by value: the `DensityModel` trait returns owned `Vec`s, so a
+/// hit clones either way and shared ownership would buy nothing.
+type DistributionCache = RwLock<HashMap<Vec<u64>, Vec<(u64, f64)>>>;
+
+#[derive(Debug)]
+pub struct Memoized {
+    inner: Arc<dyn DensityModel>,
+    occupancy: RwLock<HashMap<Vec<u64>, OccupancyStats>>,
+    distribution: DistributionCache,
+}
+
+impl Memoized {
+    /// Wraps a model in a fresh cache.
+    pub fn new(inner: Arc<dyn DensityModel>) -> Self {
+        Memoized {
+            inner,
+            occupancy: RwLock::new(HashMap::new()),
+            distribution: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Convenience: wraps and erases back to a trait object.
+    pub fn wrap(inner: Arc<dyn DensityModel>) -> Arc<dyn DensityModel> {
+        Arc::new(Memoized::new(inner))
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &Arc<dyn DensityModel> {
+        &self.inner
+    }
+
+    /// Number of cached occupancy entries (for tests / diagnostics).
+    pub fn occupancy_entries(&self) -> usize {
+        self.occupancy
+            .read()
+            .expect("occupancy cache poisoned")
+            .len()
+    }
+}
+
+impl DensityModel for Memoized {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn density(&self) -> f64 {
+        self.inner.density()
+    }
+
+    fn tensor_shape(&self) -> &[u64] {
+        self.inner.tensor_shape()
+    }
+
+    fn occupancy(&self, tile_shape: &[u64]) -> OccupancyStats {
+        {
+            let cache = self.occupancy.read().expect("occupancy cache poisoned");
+            if let Some(hit) = cache.get(tile_shape) {
+                return *hit;
+            }
+        }
+        // compute outside the lock: misses may be expensive and other
+        // workers should not serialize behind them
+        let stats = self.inner.occupancy(tile_shape);
+        let mut cache = self.occupancy.write().expect("occupancy cache poisoned");
+        if cache.len() < CACHE_CAP {
+            cache.insert(tile_shape.to_vec(), stats);
+        }
+        stats
+    }
+
+    fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
+        {
+            let cache = self
+                .distribution
+                .read()
+                .expect("distribution cache poisoned");
+            if let Some(hit) = cache.get(tile_shape) {
+                return hit.clone();
+            }
+        }
+        let dist = self.inner.occupancy_distribution(tile_shape);
+        let mut cache = self
+            .distribution
+            .write()
+            .expect("distribution cache poisoned");
+        if cache.len() < CACHE_CAP {
+            cache.insert(tile_shape.to_vec(), dist.clone());
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::Uniform;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Counts how often the underlying model is actually queried.
+    #[derive(Debug)]
+    struct Counting {
+        inner: Uniform,
+        occupancy_calls: AtomicUsize,
+    }
+
+    impl DensityModel for Counting {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn density(&self) -> f64 {
+            self.inner.density()
+        }
+        fn tensor_shape(&self) -> &[u64] {
+            self.inner.tensor_shape()
+        }
+        fn occupancy(&self, tile_shape: &[u64]) -> OccupancyStats {
+            self.occupancy_calls.fetch_add(1, Ordering::SeqCst);
+            self.inner.occupancy(tile_shape)
+        }
+        fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
+            self.inner.occupancy_distribution(tile_shape)
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let counting = Arc::new(Counting {
+            inner: Uniform::new(vec![16, 16], 0.25),
+            occupancy_calls: AtomicUsize::new(0),
+        });
+        let memo = Memoized::new(counting.clone() as Arc<dyn DensityModel>);
+        let a = memo.occupancy(&[4, 4]);
+        for _ in 0..10 {
+            let b = memo.occupancy(&[4, 4]);
+            assert_eq!(a, b);
+        }
+        assert_eq!(counting.occupancy_calls.load(Ordering::SeqCst), 1);
+        assert_eq!(memo.occupancy_entries(), 1);
+    }
+
+    #[test]
+    fn results_match_the_inner_model() {
+        let inner = Arc::new(Uniform::new(vec![8, 8], 0.5));
+        let memo = Memoized::new(inner.clone() as Arc<dyn DensityModel>);
+        for shape in [[1u64, 1], [2, 4], [8, 8]] {
+            assert_eq!(memo.occupancy(&shape), inner.occupancy(&shape));
+            assert_eq!(
+                memo.occupancy_distribution(&shape),
+                inner.occupancy_distribution(&shape)
+            );
+            // cached second query still matches
+            assert_eq!(memo.occupancy(&shape), inner.occupancy(&shape));
+        }
+        assert_eq!(memo.density(), inner.density());
+        assert_eq!(memo.tensor_shape(), inner.tensor_shape());
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let memo = Memoized::new(Arc::new(Uniform::new(vec![8192, 1], 0.5)));
+        for i in 1..=(CACHE_CAP as u64 + 64) {
+            memo.occupancy(&[i, 1]);
+        }
+        assert!(memo.occupancy_entries() <= CACHE_CAP);
+        // shapes beyond the cap still compute correctly
+        let fresh = memo.occupancy(&[8000, 1]);
+        assert!(fresh.expected > 0.0);
+    }
+}

@@ -160,18 +160,28 @@ mod tests {
             "uniform"
         );
         assert_eq!(
-            DensityModelSpec::FixedStructured { n: 2, m: 4, axis: 1 }
-                .instantiate(&shape)
-                .name(),
+            DensityModelSpec::FixedStructured {
+                n: 2,
+                m: 4,
+                axis: 1
+            }
+            .instantiate(&shape)
+            .name(),
             "fixed_structured"
         );
         assert_eq!(
-            DensityModelSpec::Banded { half_width: 1, fill: 1.0 }
-                .instantiate(&shape)
-                .name(),
+            DensityModelSpec::Banded {
+                half_width: 1,
+                fill: 1.0
+            }
+            .instantiate(&shape)
+            .name(),
             "banded"
         );
-        assert_eq!(DensityModelSpec::Dense.instantiate(&shape).name(), "uniform");
+        assert_eq!(
+            DensityModelSpec::Dense.instantiate(&shape).name(),
+            "uniform"
+        );
     }
 
     #[test]
@@ -181,15 +191,27 @@ mod tests {
 
     #[test]
     fn expected_if_nonempty_bounds() {
-        let s = OccupancyStats { expected: 0.5, prob_empty: 0.5, max: 4 };
+        let s = OccupancyStats {
+            expected: 0.5,
+            prob_empty: 0.5,
+            max: 4,
+        };
         assert!((s.expected_if_nonempty() - 1.0).abs() < 1e-12);
-        let sure_empty = OccupancyStats { expected: 0.0, prob_empty: 1.0, max: 0 };
+        let sure_empty = OccupancyStats {
+            expected: 0.0,
+            prob_empty: 1.0,
+            max: 0,
+        };
         assert_eq!(sure_empty.expected_if_nonempty(), 0.0);
     }
 
     #[test]
     fn spec_serde_roundtrip() {
-        let spec = DensityModelSpec::FixedStructured { n: 2, m: 4, axis: 0 };
+        let spec = DensityModelSpec::FixedStructured {
+            n: 2,
+            m: 4,
+            axis: 0,
+        };
         let txt = format!("{spec:?}");
         assert!(txt.contains("FixedStructured"));
     }

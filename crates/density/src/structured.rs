@@ -59,7 +59,7 @@ impl FixedStructured {
         if self.n == 0 {
             return vec![(0, 1.0)];
         }
-        if t % self.m == 0 {
+        if t.is_multiple_of(self.m) {
             // whole blocks: deterministic
             return vec![(t / self.m * self.n, 1.0)];
         }
@@ -112,7 +112,11 @@ impl DensityModel for FixedStructured {
         let (t_axis, others) = self.window_counts(tile_shape);
         let expected = (t_axis * others) as f64 * self.density();
         if self.n == 0 {
-            return OccupancyStats { expected: 0.0, prob_empty: 1.0, max: 0 };
+            return OccupancyStats {
+                expected: 0.0,
+                prob_empty: 1.0,
+                max: 0,
+            };
         }
         let per_window_empty = if t_axis >= self.m {
             0.0 // any window covering a full block holds >= n nonzeros
@@ -221,7 +225,11 @@ mod tests {
             let d = m.occupancy_distribution(&tile);
             let e: f64 = d.iter().map(|&(k, p)| k as f64 * p).sum();
             let s = m.occupancy(&tile);
-            assert!((e - s.expected).abs() < 1e-6, "tile {tile:?}: {e} vs {}", s.expected);
+            assert!(
+                (e - s.expected).abs() < 1e-6,
+                "tile {tile:?}: {e} vs {}",
+                s.expected
+            );
         }
     }
 

@@ -9,7 +9,10 @@ use sparseloop_tensor::{point::Shape, SparseTensor};
 fn check_distribution(model: &dyn DensityModel, tile: &[u64]) -> Result<(), TestCaseError> {
     let dist = model.occupancy_distribution(tile);
     let total: f64 = dist.iter().map(|&(_, p)| p).sum();
-    prop_assert!((total - 1.0).abs() < 1e-6, "distribution sums to 1, got {total}");
+    prop_assert!(
+        (total - 1.0).abs() < 1e-6,
+        "distribution sums to 1, got {total}"
+    );
     let stats = model.occupancy(tile);
     let mean: f64 = dist.iter().map(|&(k, p)| k as f64 * p).sum();
     prop_assert!(
@@ -17,7 +20,11 @@ fn check_distribution(model: &dyn DensityModel, tile: &[u64]) -> Result<(), Test
         "expectation consistent: {mean} vs {}",
         stats.expected
     );
-    let p0 = dist.iter().find(|&&(k, _)| k == 0).map(|&(_, p)| p).unwrap_or(0.0);
+    let p0 = dist
+        .iter()
+        .find(|&&(k, _)| k == 0)
+        .map(|&(_, p)| p)
+        .unwrap_or(0.0);
     prop_assert!(
         (p0 - stats.prob_empty).abs() < 1e-6,
         "prob_empty consistent: {p0} vs {}",

@@ -43,7 +43,11 @@ impl DesignPoint {
     ) -> Option<(Mapping, sparseloop_core::Evaluation)> {
         self.model(layer).search(
             space,
-            Mapper::Hybrid { enumerate: 256, samples: 128, seed: 0xD0E5 },
+            Mapper::Hybrid {
+                enumerate: 256,
+                samples: 128,
+                seed: 0xD0E5,
+            },
             sparseloop_core::Objective::Edp,
         )
     }
@@ -75,7 +79,10 @@ pub fn conv_ids(e: &Einsum) -> (TensorId, TensorId, TensorId) {
 
 /// Largest divisor of `n` that is `<= cap`.
 pub fn divisor_at_most(n: u64, cap: u64) -> u64 {
-    (1..=cap.min(n)).rev().find(|d| n % d == 0).unwrap_or(1)
+    (1..=cap.min(n))
+        .rev()
+        .find(|d| n.is_multiple_of(*d))
+        .unwrap_or(1)
 }
 
 /// A canonical two-level matmul mapping (output-stationary inner loop):

@@ -61,7 +61,11 @@ pub fn design(e: &Einsum) -> DesignPoint {
         .with_skip(1, z, vec![a, b])
         .with_skip(2, z, vec![a, b])
         .with_skip_compute();
-    DesignPoint { name: "DSTC".into(), arch: arch(), safs }
+    DesignPoint {
+        name: "DSTC".into(),
+        arch: arch(),
+        safs,
+    }
 }
 
 /// DSTC's outer-product-flavored mapping: the reduction dimension `k`

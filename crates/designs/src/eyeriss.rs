@@ -55,7 +55,11 @@ pub fn safs(e: &Einsum) -> SafSpec {
 
 /// The Eyeriss design point for a conv workload.
 pub fn design(e: &Einsum) -> DesignPoint {
-    DesignPoint { name: "Eyeriss".into(), arch: arch(), safs: safs(e) }
+    DesignPoint {
+        name: "Eyeriss".into(),
+        arch: arch(),
+        safs: safs(e),
+    }
 }
 
 #[cfg(test)]

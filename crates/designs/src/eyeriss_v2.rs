@@ -59,7 +59,11 @@ pub fn safs(e: &Einsum) -> SafSpec {
 
 /// The Eyeriss V2 PE design point.
 pub fn design(e: &Einsum) -> DesignPoint {
-    DesignPoint { name: "EyerissV2-PE".into(), arch: arch(), safs: safs(e) }
+    DesignPoint {
+        name: "EyerissV2-PE".into(),
+        arch: arch(),
+        safs: safs(e),
+    }
 }
 
 #[cfg(test)]
@@ -90,8 +94,7 @@ mod tests {
         let w_id = layer.einsum.tensor_id("Weights").unwrap();
         let i_id = layer.einsum.tensor_id("Inputs").unwrap();
         let model = dp.model(&layer);
-        let d_joint = model.workload().tensor_density(w_id)
-            * model.workload().tensor_density(i_id);
+        let d_joint = model.workload().tensor_density(w_id) * model.workload().tensor_density(i_id);
         let frac = eval.sparse.compute.ops.actual / eval.dense.computes;
         assert!(
             (frac - d_joint).abs() < 0.05,

@@ -49,7 +49,11 @@ pub fn bitmask_design(e: &Einsum) -> DesignPoint {
         .with_gate(1, a, vec![a])
         .with_gate(1, b, vec![b])
         .with_gate_compute();
-    DesignPoint { name: "Bitmask".into(), arch: arch("fig1-bitmask"), safs }
+    DesignPoint {
+        name: "Bitmask".into(),
+        arch: arch("fig1-bitmask"),
+        safs,
+    }
 }
 
 /// The coordinate-list design: CP format + skipping everywhere.

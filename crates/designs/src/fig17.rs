@@ -65,7 +65,9 @@ pub fn design(e: &Einsum, dataflow: Dataflow, saf: SafChoice) -> DesignPoint {
         .with_skip(1, z, vec![a, b])
         .with_skip_compute();
     if saf == SafChoice::HierarchicalSkip {
-        safs = safs.with_double_sided_skip(0, a, b).with_skip(0, z, vec![a, b]);
+        safs = safs
+            .with_double_sided_skip(0, a, b)
+            .with_skip(0, z, vec![a, b]);
     }
     let name = format!(
         "{}.{}",
@@ -78,7 +80,11 @@ pub fn design(e: &Einsum, dataflow: Dataflow, saf: SafChoice) -> DesignPoint {
             SafChoice::HierarchicalSkip => "HierarchicalSkip",
         }
     );
-    DesignPoint { name, arch: arch("fig17"), safs }
+    DesignPoint {
+        name,
+        arch: arch("fig17"),
+        safs,
+    }
 }
 
 /// The dataflow-specific mapping.

@@ -64,7 +64,11 @@ pub fn safs(e: &Einsum) -> SafSpec {
 
 /// The SCNN design point.
 pub fn design(e: &Einsum) -> DesignPoint {
-    DesignPoint { name: "SCNN".into(), arch: arch(), safs: safs(e) }
+    DesignPoint {
+        name: "SCNN".into(),
+        arch: arch(),
+        safs: safs(e),
+    }
 }
 
 #[cfg(test)]
@@ -82,7 +86,10 @@ mod tests {
         let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
         let (_, eval) = dp.search(&layer, &space).expect("valid mapping");
         let frac = eval.sparse.compute.ops.actual / eval.dense.computes;
-        assert!((frac - 0.4 * 0.55).abs() < 0.05, "cartesian product fraction {frac}");
+        assert!(
+            (frac - 0.4 * 0.55).abs() < 0.05,
+            "cartesian product fraction {frac}"
+        );
     }
 
     #[test]
@@ -93,9 +100,13 @@ mod tests {
         let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
         let (map, eval) = dp.search(&layer, &space).unwrap();
         let o = layer.einsum.tensor_id("Outputs").unwrap();
-        let plain = DesignPoint { name: "d".into(), arch: arch(), safs: SafSpec::dense() }
-            .evaluate(&layer, &map)
-            .unwrap();
+        let plain = DesignPoint {
+            name: "d".into(),
+            arch: arch(),
+            safs: SafSpec::dense(),
+        }
+        .evaluate(&layer, &map)
+        .unwrap();
         let skipped = eval
             .sparse
             .get(o, 2)

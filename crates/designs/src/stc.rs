@@ -55,7 +55,9 @@ fn weight_format_cp(m_block: u64) -> TensorFormat {
     let bits = (64 - (m_block - 1).leading_zeros()).max(1);
     TensorFormat::new(vec![
         FormatLevel::simple(RankFormat::Uncompressed),
-        FormatLevel::simple(RankFormat::CoordinatePayload { coord_bits: Some(bits) }),
+        FormatLevel::simple(RankFormat::CoordinatePayload {
+            coord_bits: Some(bits),
+        }),
     ])
 }
 
@@ -67,7 +69,9 @@ fn weight_format_rle(m_block: u64) -> TensorFormat {
     let bits = (64 - span.leading_zeros()).max(1);
     TensorFormat::new(vec![
         FormatLevel::simple(RankFormat::Uncompressed),
-        FormatLevel::simple(RankFormat::RunLength { run_bits: Some(bits.saturating_sub(1).max(1)) }),
+        FormatLevel::simple(RankFormat::RunLength {
+            run_bits: Some(bits.saturating_sub(1).max(1)),
+        }),
     ])
 }
 
@@ -149,7 +153,11 @@ mod tests {
             name: "stc-layer".into(),
             einsum: e,
             densities: vec![
-                DensityModelSpec::FixedStructured { n: 2, m: m_block, axis: 1 },
+                DensityModelSpec::FixedStructured {
+                    n: 2,
+                    m: m_block,
+                    axis: 1,
+                },
                 input,
                 DensityModelSpec::Dense,
             ],
@@ -209,7 +217,9 @@ mod tests {
         let l = structured_layer(8, 0.4);
         let m = mapping(&l.einsum);
         let naive = stc_flexible(&l.einsum, 8).evaluate(&l, &m).unwrap();
-        let dual = stc_flexible_rle_dual(&l.einsum, 8).evaluate(&l, &m).unwrap();
+        let dual = stc_flexible_rle_dual(&l.einsum, 8)
+            .evaluate(&l, &m)
+            .unwrap();
         assert!(
             dual.cycles < naive.cycles,
             "dual compress should speed up: {} vs {}",

@@ -81,7 +81,9 @@ impl Default for EnergyTable {
 impl EnergyTable {
     /// The reference table with 45 nm-era component ratios.
     pub fn default_45nm() -> Self {
-        EnergyTable { technology_scale: 1.0 }
+        EnergyTable {
+            technology_scale: 1.0,
+        }
     }
 
     /// Energy per 16-bit word access for a storage level, before width
@@ -184,10 +186,14 @@ mod tests {
     fn word_width_scales_linearly() {
         let t = table();
         let w16 = t.storage(
-            &StorageLevel::new("s").with_capacity(64 * 1024).with_word_bits(16),
+            &StorageLevel::new("s")
+                .with_capacity(64 * 1024)
+                .with_word_bits(16),
         );
         let w32 = t.storage(
-            &StorageLevel::new("s").with_capacity(32 * 1024).with_word_bits(32),
+            &StorageLevel::new("s")
+                .with_capacity(32 * 1024)
+                .with_word_bits(32),
         );
         // same byte capacity, doubled width -> doubled per-word energy
         assert!((w32.read / w16.read - 2.0).abs() < 0.01);
@@ -204,14 +210,24 @@ mod tests {
     #[test]
     fn compute_width_quadratic() {
         let t = table();
-        let m8 = t.compute(&ComputeSpec { name: "m".into(), instances: 1, datawidth: 8 });
-        let m16 = t.compute(&ComputeSpec { name: "m".into(), instances: 1, datawidth: 16 });
+        let m8 = t.compute(&ComputeSpec {
+            name: "m".into(),
+            instances: 1,
+            datawidth: 8,
+        });
+        let m16 = t.compute(&ComputeSpec {
+            name: "m".into(),
+            instances: 1,
+            datawidth: 16,
+        });
         assert!((m16.mac / m8.mac - 4.0).abs() < 1e-9);
     }
 
     #[test]
     fn technology_scale_applies_everywhere() {
-        let t = EnergyTable { technology_scale: 0.5 };
+        let t = EnergyTable {
+            technology_scale: 0.5,
+        };
         let base = table();
         let l = StorageLevel::new("s").with_capacity(1024);
         assert!((t.storage(&l).read / base.storage(&l).read - 0.5).abs() < 1e-12);

@@ -24,7 +24,7 @@ pub struct RleEntry {
 /// run of zeros is encoded with a final zero-value entry so the stream
 /// length is recoverable.
 pub fn rle_encode(values: &[f64], run_bits: u32) -> Vec<RleEntry> {
-    assert!(run_bits >= 1 && run_bits <= 63, "run_bits must be in 1..=63");
+    assert!((1..=63).contains(&run_bits), "run_bits must be in 1..=63");
     let max_run = (1u64 << run_bits) - 1;
     let mut out = Vec::new();
     let mut run = 0u64;
@@ -33,7 +33,10 @@ pub fn rle_encode(values: &[f64], run_bits: u32) -> Vec<RleEntry> {
             run += 1;
             if run == max_run + 1 {
                 // overflow: emit a padding entry carrying max_run zeros
-                out.push(RleEntry { run: max_run, value: 0.0 });
+                out.push(RleEntry {
+                    run: max_run,
+                    value: 0.0,
+                });
                 run = 0;
             }
         } else {
@@ -42,7 +45,10 @@ pub fn rle_encode(values: &[f64], run_bits: u32) -> Vec<RleEntry> {
         }
     }
     if run > 0 {
-        out.push(RleEntry { run: run - 1, value: 0.0 });
+        out.push(RleEntry {
+            run: run - 1,
+            value: 0.0,
+        });
     }
     out
 }
@@ -51,9 +57,7 @@ pub fn rle_encode(values: &[f64], run_bits: u32) -> Vec<RleEntry> {
 pub fn rle_decode(entries: &[RleEntry], len: usize) -> Vec<f64> {
     let mut out = Vec::with_capacity(len);
     for e in entries {
-        for _ in 0..e.run {
-            out.push(0.0);
-        }
+        out.resize(out.len() + e.run as usize, 0.0);
         out.push(e.value);
     }
     // A final padding entry may re-add one zero slot as its "value".
@@ -101,7 +105,13 @@ pub fn bitmask_decode(s: &BitmaskStream) -> Vec<f64> {
     let mut it = s.payloads.iter();
     s.mask
         .iter()
-        .map(|&m| if m { *it.next().expect("mask/payload mismatch") } else { 0.0 })
+        .map(|&m| {
+            if m {
+                *it.next().expect("mask/payload mismatch")
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 
@@ -141,7 +151,11 @@ pub fn csr_encode(dense: &[f64], rows: usize, cols: usize) -> CsrMatrix {
         }
         row_ptr.push(values.len() as u64);
     }
-    CsrMatrix { row_ptr, col_idx, values }
+    CsrMatrix {
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 /// Inverse of [`csr_encode`].

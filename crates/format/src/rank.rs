@@ -162,7 +162,9 @@ mod tests {
 
     #[test]
     fn cp_explicit_width_respected() {
-        let cp = RankFormat::CoordinatePayload { coord_bits: Some(2) };
+        let cp = RankFormat::CoordinatePayload {
+            coord_bits: Some(2),
+        };
         assert_eq!(cp.metadata_bits(1.0, 16, 4.0, 0), 8.0);
     }
 
@@ -190,7 +192,12 @@ mod tests {
 
     #[test]
     fn compressed_prunes_to_occupied() {
-        for f in [RankFormat::Bitmask, RankFormat::cp(), RankFormat::rle(), RankFormat::uop()] {
+        for f in [
+            RankFormat::Bitmask,
+            RankFormat::cp(),
+            RankFormat::rle(),
+            RankFormat::uop(),
+        ] {
             assert_eq!(f.represented(4.0, 8, 2.5), 2.5);
             assert!(f.is_compressed());
         }

@@ -27,7 +27,10 @@ pub struct FormatLevel {
 impl FormatLevel {
     /// A level covering a single tensor rank.
     pub fn simple(format: RankFormat) -> Self {
-        FormatLevel { format, flattened_ranks: 1 }
+        FormatLevel {
+            format,
+            flattened_ranks: 1,
+        }
     }
 }
 
@@ -157,7 +160,10 @@ impl TensorFormat {
     /// # Panics
     /// Panics if `tile_shape` is empty.
     pub fn analyze(&self, tile_shape: &[u64], model: &dyn DensityModel) -> FormatOverhead {
-        assert!(!tile_shape.is_empty(), "tile shape must have at least one rank");
+        assert!(
+            !tile_shape.is_empty(),
+            "tile shape must have at least one rank"
+        );
         // Group tile ranks into fibertree levels per the flattening spec.
         let groups = self.group_ranks(tile_shape);
         let full_stats = model.occupancy(&clamp_to_model(tile_shape, model));
@@ -178,8 +184,12 @@ impl TensorFormat {
             // Probability a position at this level is non-empty = 1 −
             // P(empty subtile spanning all lower levels).
             let sub_shape = subtile_shape(&groups, li, tile_shape.len());
-            let p_nonempty = 1.0 - model.occupancy(&clamp_to_model(&sub_shape, model)).prob_empty;
-            let occupied = (dense_positions * p_nonempty).min(total_expected_nnz.max(dense_positions * p_nonempty));
+            let p_nonempty = 1.0
+                - model
+                    .occupancy(&clamp_to_model(&sub_shape, model))
+                    .prob_empty;
+            let occupied = (dense_positions * p_nonempty)
+                .min(total_expected_nnz.max(dense_positions * p_nonempty));
             let occupied = if li + 1 == groups.len() {
                 // leaf level: occupied positions are exactly the nonzeros
                 total_expected_nnz

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use sparseloop_density::{ActualData, Uniform};
 use sparseloop_format::encode::{
-    bitmask_bits, bitmask_decode, bitmask_encode, csr_decode, csr_encode, rle_bits,
-    rle_decode, rle_encode,
+    bitmask_bits, bitmask_decode, bitmask_encode, csr_decode, csr_encode, rle_bits, rle_decode,
+    rle_encode,
 };
 use sparseloop_format::{RankFormat, TensorFormat};
 use sparseloop_tensor::{point::Shape, Point, SparseTensor};
@@ -19,7 +19,13 @@ fn random_stream(len: usize, dens_pct: u64, seed: u64) -> Vec<f64> {
         &mut rng,
     );
     (0..len as u64)
-        .map(|i| if t.is_nonzero(&Point::new(vec![i])) { (i + 1) as f64 } else { 0.0 })
+        .map(|i| {
+            if t.is_nonzero(&Point::new(vec![i])) {
+                (i + 1) as f64
+            } else {
+                0.0
+            }
+        })
         .collect()
 }
 

@@ -21,5 +21,5 @@ pub mod mapper;
 pub mod mapspace;
 
 pub use loops::{Loop, LoopKind, Mapping, MappingBuilder, MappingError};
-pub use mapper::{Mapper, SearchResult, SearchStats};
-pub use mapspace::{factorizations, Mapspace};
+pub use mapper::{CandidateEvaluator, Mapper, SearchResult, SearchStats};
+pub use mapspace::{factorizations, EnumerateIter, Mapspace, SampleIter};

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 use sparseloop_arch::Architecture;
 use sparseloop_tensor::einsum::{DimId, Einsum, TensorId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Whether a loop iterates in time or across spatial instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -28,12 +29,20 @@ pub struct Loop {
 impl Loop {
     /// A temporal loop.
     pub fn temporal(dim: DimId, bound: u64) -> Self {
-        Loop { dim, bound, kind: LoopKind::Temporal }
+        Loop {
+            dim,
+            bound,
+            kind: LoopKind::Temporal,
+        }
     }
 
     /// A spatial (parallel-for) loop.
     pub fn spatial(dim: DimId, bound: u64) -> Self {
-        Loop { dim, bound, kind: LoopKind::Spatial }
+        Loop {
+            dim,
+            bound,
+            kind: LoopKind::Spatial,
+        }
     }
 }
 
@@ -84,14 +93,25 @@ impl fmt::Display for MappingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MappingError::LevelCountMismatch { mapping, arch } => {
-                write!(f, "mapping has {mapping} level nests but architecture has {arch}")
+                write!(
+                    f,
+                    "mapping has {mapping} level nests but architecture has {arch}"
+                )
             }
-            MappingError::BadFactorization { dim, product, expected } => write!(
+            MappingError::BadFactorization {
+                dim,
+                product,
+                expected,
+            } => write!(
                 f,
                 "dim {} loop bounds multiply to {product}, workload bound is {expected}",
                 dim.0
             ),
-            MappingError::SpatialOverflow { level, product, fanout } => write!(
+            MappingError::SpatialOverflow {
+                level,
+                product,
+                fanout,
+            } => write!(
                 f,
                 "spatial bounds at level {level} multiply to {product}, exceeding fanout {fanout}"
             ),
@@ -99,7 +119,11 @@ impl fmt::Display for MappingError {
                 write!(f, "tensor {} is bypassed at every level", t.0)
             }
             MappingError::OutermostBypassed(t) => {
-                write!(f, "tensor {} bypassed at the outermost (backing) level", t.0)
+                write!(
+                    f,
+                    "tensor {} bypassed at the outermost (backing) level",
+                    t.0
+                )
             }
             MappingError::ZeroBound { level } => {
                 write!(f, "zero loop bound at level {level}")
@@ -115,15 +139,28 @@ impl std::error::Error for MappingError {}
 /// `nests[0]` belongs to the outermost storage level; loops within a nest
 /// are ordered outermost-first. `keep[l][t]` is `true` when storage level
 /// `l` holds tensor `t` (i.e. the tensor is *not* bypassed there).
+///
+/// The keep matrix is reference-counted: every candidate a [`Mapspace`]
+/// generates shares one bypass configuration, so cloning it per
+/// candidate would be pure overhead on the mapper's hot path (and inside
+/// the parallel search's serialized stream section).
+///
+/// [`Mapspace`]: crate::Mapspace
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mapping {
     nests: Vec<Vec<Loop>>,
-    keep: Vec<Vec<bool>>,
+    keep: Arc<Vec<Vec<bool>>>,
 }
 
 impl Mapping {
     /// Builds a mapping from raw parts; prefer [`MappingBuilder`].
     pub fn new(nests: Vec<Vec<Loop>>, keep: Vec<Vec<bool>>) -> Self {
+        Mapping::with_shared_keep(nests, Arc::new(keep))
+    }
+
+    /// Builds a mapping sharing an existing keep matrix (used by mapspace
+    /// candidate generation to avoid per-candidate clones).
+    pub fn with_shared_keep(nests: Vec<Vec<Loop>>, keep: Arc<Vec<Vec<bool>>>) -> Self {
         assert_eq!(nests.len(), keep.len(), "nest/keep level counts differ");
         Mapping { nests, keep }
     }
@@ -168,12 +205,16 @@ impl Mapping {
 
     /// Product of *all* spatial bounds (total parallelism used).
     pub fn total_spatial_fanout(&self) -> u64 {
-        (0..self.nests.len()).map(|l| self.spatial_fanout_at(l)).product()
+        (0..self.nests.len())
+            .map(|l| self.spatial_fanout_at(l))
+            .product()
     }
 
     /// The levels that keep tensor `t`, outermost first.
     pub fn storage_chain(&self, t: TensorId) -> Vec<usize> {
-        (0..self.keep.len()).filter(|&l| self.keep[l][t.0]).collect()
+        (0..self.keep.len())
+            .filter(|&l| self.keep[l][t.0])
+            .collect()
     }
 
     /// Per-dimension tile bounds covered by all loops strictly *inside*
@@ -225,7 +266,11 @@ impl Mapping {
             let product = self.spatial_fanout_at(l);
             let fanout = arch.fanout_below(sparseloop_arch::LevelId(l));
             if product > fanout {
-                return Err(MappingError::SpatialOverflow { level: l, product, fanout });
+                return Err(MappingError::SpatialOverflow {
+                    level: l,
+                    product,
+                    fanout,
+                });
             }
         }
         // storage chains
@@ -373,14 +418,20 @@ mod tests {
             .temporal(1, k, 4) // should be 8
             .build();
         let err = map.validate(&e, &arch2(1)).unwrap_err();
-        assert!(matches!(err, MappingError::BadFactorization { dim: DimId(2), .. }));
+        assert!(matches!(
+            err,
+            MappingError::BadFactorization { dim: DimId(2), .. }
+        ));
     }
 
     #[test]
     fn spatial_overflow_detected() {
         let (e, map) = matmul_mapping();
         let err = map.validate(&e, &arch2(1)).unwrap_err();
-        assert!(matches!(err, MappingError::SpatialOverflow { level: 1, .. }));
+        assert!(matches!(
+            err,
+            MappingError::SpatialOverflow { level: 1, .. }
+        ));
     }
 
     #[test]

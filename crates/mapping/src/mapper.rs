@@ -7,20 +7,39 @@
 //! micro-architectural step). Keeping the evaluator abstract lets the
 //! mapping crate stay independent of the model crate, mirroring the
 //! paper's separation between mapspace construction and evaluation.
+//!
+//! # Search pipeline
+//!
+//! Candidates stream out of the mapspace iterators
+//! ([`Mapspace::iter_enumerate`] / [`Mapspace::iter_sample`]) — O(1)
+//! memory in the candidate count — and flow through a two-stage
+//! evaluation: a cheap [`CandidateEvaluator::precheck`] rejects
+//! obviously-invalid candidates (e.g. oversized tiles) before the full
+//! objective runs. [`Mapper::par_search`] distributes the same stream
+//! over worker threads and reduces with a deterministic
+//! `(objective, candidate index)` tie-break, so parallel and sequential
+//! searches return bit-identical winners.
 
 use crate::loops::Mapping;
 use crate::mapspace::Mapspace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Statistics from one mapper run.
+///
+/// Invariant: `generated == pruned + evaluated + invalid`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SearchStats {
-    /// Mappings generated from the mapspace.
+    /// Mappings drawn from the mapspace's candidate stream.
     pub generated: usize,
+    /// Mappings rejected by the cheap precheck before full evaluation.
+    pub pruned: usize,
     /// Mappings the objective accepted (returned `Some`).
     pub evaluated: usize,
-    /// Mappings rejected as invalid (objective returned `None`).
+    /// Mappings rejected as invalid by the full evaluation (objective
+    /// returned `None`).
     pub invalid: usize,
 }
 
@@ -34,6 +53,38 @@ pub struct SearchResult {
     /// Search statistics.
     pub stats: SearchStats,
 }
+
+/// A two-stage candidate evaluator: a cheap validity pre-pass followed by
+/// the full objective.
+///
+/// `precheck` should be a conservative, fast filter: returning `false`
+/// asserts the full evaluation would reject the mapping (return `None`),
+/// so the pipeline may skip it entirely; returning `true` just means "run
+/// the full evaluation". Any `Fn(&Mapping) -> Option<f64> + Sync` closure
+/// is an evaluator whose precheck accepts everything.
+pub trait CandidateEvaluator: Sync {
+    /// Cheap pre-pass; `false` prunes the candidate before evaluation.
+    fn precheck(&self, _mapping: &Mapping) -> bool {
+        true
+    }
+
+    /// Full evaluation: the metric to minimize, or `None` when invalid.
+    fn evaluate(&self, mapping: &Mapping) -> Option<f64>;
+}
+
+impl<F> CandidateEvaluator for F
+where
+    F: Fn(&Mapping) -> Option<f64> + Sync,
+{
+    fn evaluate(&self, mapping: &Mapping) -> Option<f64> {
+        self(mapping)
+    }
+}
+
+/// Candidates pulled from the shared stream per lock acquisition in
+/// [`Mapper::par_search`]; amortizes lock traffic without letting any
+/// worker run far ahead of the stream.
+const PAR_BATCH: usize = 32;
 
 /// Mapspace search strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,43 +114,197 @@ pub enum Mapper {
 }
 
 impl Mapper {
+    /// The strategy's candidate stream over `space`: a lazy, deterministic
+    /// iterator (for a fixed strategy, including seeds) shared by the
+    /// sequential and parallel search paths.
+    pub fn candidates<'a>(
+        &self,
+        space: &'a Mapspace,
+    ) -> Box<dyn Iterator<Item = Mapping> + Send + 'a> {
+        match *self {
+            Mapper::Exhaustive { limit } => Box::new(space.iter_enumerate(limit)),
+            Mapper::Random { samples, seed } => {
+                Box::new(space.iter_sample(samples, StdRng::seed_from_u64(seed)))
+            }
+            Mapper::Hybrid {
+                enumerate,
+                samples,
+                seed,
+            } => Box::new(
+                space
+                    .iter_enumerate(enumerate)
+                    .chain(space.iter_sample(samples, StdRng::seed_from_u64(seed))),
+            ),
+        }
+    }
+
     /// Runs the search, returning the best mapping by the minimized
     /// objective, or `None` when no candidate evaluates successfully.
+    ///
+    /// Candidates are streamed: memory use is O(1) in the mapspace size
+    /// and `stats.generated` counts candidates as they are drawn.
     pub fn search<F>(&self, space: &Mapspace, mut objective: F) -> Option<SearchResult>
     where
         F: FnMut(&Mapping) -> Option<f64>,
     {
-        let candidates: Vec<Mapping> = match *self {
-            Mapper::Exhaustive { limit } => space.enumerate(limit),
-            Mapper::Random { samples, seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                space.sample(samples, &mut rng)
-            }
-            Mapper::Hybrid { enumerate, samples, seed } => {
-                let mut c = space.enumerate(enumerate);
-                let mut rng = StdRng::seed_from_u64(seed);
-                c.extend(space.sample(samples, &mut rng));
-                c
-            }
-        };
-        let mut stats = SearchStats {
-            generated: candidates.len(),
-            ..SearchStats::default()
-        };
+        let mut stats = SearchStats::default();
         let mut best: Option<(Mapping, f64)> = None;
-        for m in candidates {
+        for m in self.candidates(space) {
+            stats.generated += 1;
             match objective(&m) {
-                Some(v) => {
+                // NaN objectives are rejected (counted invalid): they are
+                // unordered, which would make the winner depend on
+                // evaluation order
+                Some(v) if !v.is_nan() => {
                     stats.evaluated += 1;
                     let better = best.as_ref().map(|(_, b)| v < *b).unwrap_or(true);
                     if better {
                         best = Some((m, v));
                     }
                 }
-                None => stats.invalid += 1,
+                _ => stats.invalid += 1,
             }
         }
-        best.map(|(mapping, objective)| SearchResult { mapping, objective, stats })
+        best.map(|(mapping, objective)| SearchResult {
+            mapping,
+            objective,
+            stats,
+        })
+    }
+
+    /// Sequential search through a two-stage [`CandidateEvaluator`]:
+    /// candidates failing the cheap precheck are pruned (counted in
+    /// `stats.pruned`) without running the full evaluation.
+    ///
+    /// Returns the same winner as [`search`](Mapper::search) over the
+    /// same stream whenever the precheck is consistent (only rejects
+    /// candidates the full evaluation would reject).
+    pub fn search_pruned<E: CandidateEvaluator + ?Sized>(
+        &self,
+        space: &Mapspace,
+        evaluator: &E,
+    ) -> Option<SearchResult> {
+        let mut stats = SearchStats::default();
+        let mut best: Option<(Mapping, f64)> = None;
+        for m in self.candidates(space) {
+            stats.generated += 1;
+            if !evaluator.precheck(&m) {
+                stats.pruned += 1;
+                continue;
+            }
+            match evaluator.evaluate(&m) {
+                // NaN handling mirrors search(): unordered values are
+                // counted invalid so the winner is order-independent
+                Some(v) if !v.is_nan() => {
+                    stats.evaluated += 1;
+                    let better = best.as_ref().map(|(_, b)| v < *b).unwrap_or(true);
+                    if better {
+                        best = Some((m, v));
+                    }
+                }
+                _ => stats.invalid += 1,
+            }
+        }
+        best.map(|(mapping, objective)| SearchResult {
+            mapping,
+            objective,
+            stats,
+        })
+    }
+
+    /// Parallel search: distributes the candidate stream over `threads`
+    /// workers (default: all available cores) and reduces
+    /// deterministically.
+    ///
+    /// Workers pull fixed-size batches off the shared stream, evaluate
+    /// through the two-stage pipeline, and keep a thread-local best keyed
+    /// by `(objective value, candidate index)`. The final reduction takes
+    /// the lexicographic minimum of those keys, which is exactly the
+    /// candidate the sequential scan would keep (first strict minimum in
+    /// stream order) — so `par_search` and
+    /// [`search_pruned`](Mapper::search_pruned) return bit-identical
+    /// `(mapping, objective)` regardless of thread count or scheduling.
+    pub fn par_search<E: CandidateEvaluator + ?Sized>(
+        &self,
+        space: &Mapspace,
+        evaluator: &E,
+        threads: Option<usize>,
+    ) -> Option<SearchResult> {
+        let workers = threads.unwrap_or_else(rayon::current_num_threads).max(1);
+        if workers == 1 {
+            return self.search_pruned(space, evaluator);
+        }
+
+        let stream = Mutex::new(self.candidates(space).enumerate());
+        let generated = AtomicUsize::new(0);
+        let pruned = AtomicUsize::new(0);
+        let evaluated = AtomicUsize::new(0);
+        let invalid = AtomicUsize::new(0);
+        // best = (objective value, candidate index, mapping)
+        let best: Mutex<Option<(f64, usize, Mapping)>> = Mutex::new(None);
+
+        let beats = |v: f64, idx: usize, cur: &Option<(f64, usize, Mapping)>| match cur {
+            None => true,
+            Some((bv, bidx, _)) => v < *bv || (v == *bv && idx < *bidx),
+        };
+
+        rayon::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| {
+                    let mut local: Option<(f64, usize, Mapping)> = None;
+                    loop {
+                        let batch: Vec<(usize, Mapping)> = {
+                            let mut it = stream.lock().expect("candidate stream poisoned");
+                            it.by_ref().take(PAR_BATCH).collect()
+                        };
+                        if batch.is_empty() {
+                            break;
+                        }
+                        generated.fetch_add(batch.len(), Ordering::Relaxed);
+                        for (idx, m) in batch {
+                            if !evaluator.precheck(&m) {
+                                pruned.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            match evaluator.evaluate(&m) {
+                                // NaN counted invalid, as in the
+                                // sequential paths: NaN is unordered and
+                                // would break the deterministic reduction
+                                Some(v) if !v.is_nan() => {
+                                    evaluated.fetch_add(1, Ordering::Relaxed);
+                                    if beats(v, idx, &local) {
+                                        local = Some((v, idx, m));
+                                    }
+                                }
+                                _ => {
+                                    invalid.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    if let Some((v, idx, m)) = local {
+                        let mut global = best.lock().expect("best slot poisoned");
+                        if beats(v, idx, &global) {
+                            *global = Some((v, idx, m));
+                        }
+                    }
+                });
+            }
+        });
+
+        let stats = SearchStats {
+            generated: generated.into_inner(),
+            pruned: pruned.into_inner(),
+            evaluated: evaluated.into_inner(),
+            invalid: invalid.into_inner(),
+        };
+        best.into_inner()
+            .expect("best slot poisoned")
+            .map(|(objective, _, mapping)| SearchResult {
+                mapping,
+                objective,
+                stats,
+            })
     }
 }
 
@@ -141,7 +346,10 @@ mod tests {
     #[test]
     fn random_search_reproducible() {
         let space = setup();
-        let m = Mapper::Random { samples: 64, seed: 42 };
+        let m = Mapper::Random {
+            samples: 64,
+            seed: 42,
+        };
         let a = m.search(&space, toy_objective).unwrap();
         let b = m.search(&space, toy_objective).unwrap();
         assert_eq!(a.objective, b.objective);
@@ -155,7 +363,7 @@ mod tests {
         let r = Mapper::Exhaustive { limit: 50 }
             .search(&space, |m| {
                 calls += 1;
-                if calls % 2 == 0 {
+                if calls.is_multiple_of(2) {
                     None
                 } else {
                     toy_objective(m)
@@ -176,9 +384,150 @@ mod tests {
     #[test]
     fn hybrid_covers_both_sources() {
         let space = setup();
-        let r = Mapper::Hybrid { enumerate: 10, samples: 10, seed: 1 }
+        let r = Mapper::Hybrid {
+            enumerate: 10,
+            samples: 10,
+            seed: 1,
+        }
+        .search(&space, toy_objective)
+        .unwrap();
+        assert_eq!(r.stats.generated, 20);
+    }
+
+    #[test]
+    fn generated_counted_from_stream() {
+        // the stream is lazy: generated reflects candidates actually
+        // drawn, and a tiny limit draws no more than that
+        let space = setup();
+        let r = Mapper::Exhaustive { limit: 7 }
             .search(&space, toy_objective)
             .unwrap();
-        assert_eq!(r.stats.generated, 20);
+        assert_eq!(r.stats.generated, 7);
+    }
+
+    /// Evaluator pruning even innermost-products, matching an objective
+    /// that rejects them.
+    struct EvenPruner;
+
+    impl CandidateEvaluator for EvenPruner {
+        fn precheck(&self, m: &Mapping) -> bool {
+            let inner: u64 = m.nests()[1].iter().map(|l| l.bound).product();
+            !inner.is_multiple_of(2)
+        }
+
+        fn evaluate(&self, m: &Mapping) -> Option<f64> {
+            let inner: u64 = m.nests()[1].iter().map(|l| l.bound).product();
+            if inner.is_multiple_of(2) {
+                None
+            } else {
+                Some(1.0 / inner as f64)
+            }
+        }
+    }
+
+    #[test]
+    fn precheck_prunes_and_accounts() {
+        let space = setup();
+        let r = Mapper::Exhaustive { limit: 10_000 }
+            .search_pruned(&space, &EvenPruner)
+            .unwrap();
+        assert!(r.stats.pruned > 0, "some candidates must be pruned");
+        assert_eq!(
+            r.stats.pruned + r.stats.evaluated + r.stats.invalid,
+            r.stats.generated
+        );
+        // pruning must not change the winner vs. the plain objective
+        let plain = Mapper::Exhaustive { limit: 10_000 }
+            .search(&space, |m| EvenPruner.evaluate(m))
+            .unwrap();
+        assert_eq!(r.objective, plain.objective);
+        assert_eq!(r.mapping, plain.mapping);
+    }
+
+    #[test]
+    fn par_search_matches_sequential_exhaustive() {
+        let space = setup();
+        let objective = |m: &Mapping| toy_objective(m);
+        let seq = Mapper::Exhaustive { limit: 100_000 }
+            .search_pruned(&space, &objective)
+            .unwrap();
+        for threads in [2, 3, 8] {
+            let par = Mapper::Exhaustive { limit: 100_000 }
+                .par_search(&space, &objective, Some(threads))
+                .unwrap();
+            assert_eq!(par.objective, seq.objective, "threads={threads}");
+            assert_eq!(par.mapping, seq.mapping, "threads={threads}");
+            assert_eq!(par.stats, seq.stats, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_search_matches_sequential_random_and_hybrid() {
+        let space = setup();
+        let objective = |m: &Mapping| toy_objective(m);
+        for mapper in [
+            Mapper::Random {
+                samples: 200,
+                seed: 9,
+            },
+            Mapper::Hybrid {
+                enumerate: 64,
+                samples: 64,
+                seed: 5,
+            },
+        ] {
+            let seq = mapper.search_pruned(&space, &objective).unwrap();
+            let par = mapper.par_search(&space, &objective, Some(4)).unwrap();
+            assert_eq!(par.objective, seq.objective);
+            assert_eq!(par.mapping, seq.mapping);
+        }
+    }
+
+    #[test]
+    fn par_search_with_pruning_evaluator() {
+        let space = setup();
+        let seq = Mapper::Exhaustive { limit: 50_000 }
+            .search_pruned(&space, &EvenPruner)
+            .unwrap();
+        let par = Mapper::Exhaustive { limit: 50_000 }
+            .par_search(&space, &EvenPruner, Some(4))
+            .unwrap();
+        assert_eq!(par.objective, seq.objective);
+        assert_eq!(par.mapping, seq.mapping);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn nan_objectives_counted_invalid_and_deterministic() {
+        let space = setup();
+        // poison the optimum with NaN: it must be rejected, not win
+        let nan_obj = |m: &Mapping| {
+            let inner: u64 = m.nests()[1].iter().map(|l| l.bound).product();
+            if inner == 512 {
+                Some(f64::NAN)
+            } else {
+                Some(1.0 / inner as f64)
+            }
+        };
+        let seq = Mapper::Exhaustive { limit: 100_000 }
+            .search(&space, nan_obj)
+            .unwrap();
+        assert!(seq.stats.invalid > 0, "NaN candidates count as invalid");
+        assert!(!seq.objective.is_nan());
+        let par = Mapper::Exhaustive { limit: 100_000 }
+            .par_search(&space, &nan_obj, Some(4))
+            .unwrap();
+        assert_eq!(par.objective, seq.objective);
+        assert_eq!(par.mapping, seq.mapping);
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn par_search_all_invalid_returns_none() {
+        let space = setup();
+        let reject = |_: &Mapping| -> Option<f64> { None };
+        assert!(Mapper::Exhaustive { limit: 10 }
+            .par_search(&space, &reject, Some(4))
+            .is_none());
     }
 }

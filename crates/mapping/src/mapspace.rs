@@ -8,11 +8,12 @@
 //! "mapspace constraints" input (§5.1): the user supplies partial loop
 //! orders, Sparseloop locates the best concrete schedule.
 
-use crate::loops::{Mapping, MappingBuilder};
+use crate::loops::{Loop, Mapping};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use sparseloop_arch::Architecture;
 use sparseloop_tensor::einsum::{DimId, Einsum, TensorId};
+use std::sync::Arc;
 
 /// All ordered factorizations of `n` into `k` positive factors.
 ///
@@ -49,7 +50,7 @@ pub fn factorizations(n: u64, k: usize, limit: Option<usize>) -> Vec<Vec<u64>> {
             return;
         }
         for d in 1..=n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 current.push(d);
                 rec(n / d, k - 1, current, out, limit);
                 current.pop();
@@ -66,7 +67,7 @@ pub fn random_factorization(n: u64, k: usize, rng: &mut impl Rng) -> Vec<u64> {
     let mut rest = n;
     // Peel random divisors into random positions until rest is 1.
     while rest > 1 {
-        let divisors: Vec<u64> = (2..=rest).filter(|d| rest % d == 0).collect();
+        let divisors: Vec<u64> = (2..=rest).filter(|d| rest.is_multiple_of(*d)).collect();
         let d = divisors[rng.gen_range(0..divisors.len())];
         // take a prime-ish chunk: smallest prime factor of d
         let p = smallest_prime_factor(d);
@@ -80,7 +81,7 @@ pub fn random_factorization(n: u64, k: usize, rng: &mut impl Rng) -> Vec<u64> {
 fn smallest_prime_factor(n: u64) -> u64 {
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return d;
         }
         d += 1;
@@ -153,16 +154,39 @@ impl Mapspace {
         self
     }
 
+    /// Number of storage levels the space's mappings cover.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
+    }
+
+    /// Number of workload tensors.
+    pub fn num_tensors(&self) -> usize {
+        self.num_tensors
+    }
+
+    /// Number of workload dimensions.
+    pub fn num_dims(&self) -> usize {
+        self.num_dims
+    }
+
     /// The ordered loop slots of this mapspace (levels outermost-first;
     /// spatial slots before temporal slots within a level).
     fn slots(&self) -> Vec<Slot> {
         let mut slots = Vec::new();
         for l in 0..self.num_levels {
             for &d in &self.spatial_dims[l] {
-                slots.push(Slot { level: l, dim: d, spatial: true });
+                slots.push(Slot {
+                    level: l,
+                    dim: d,
+                    spatial: true,
+                });
             }
             for &d in &self.temporal_order[l] {
-                slots.push(Slot { level: l, dim: d, spatial: false });
+                slots.push(Slot {
+                    level: l,
+                    dim: d,
+                    spatial: false,
+                });
             }
         }
         slots
@@ -170,9 +194,14 @@ impl Mapspace {
 
     /// Builds the mapping corresponding to per-slot factors, dropping
     /// factor-1 loops. Returns `None` if a spatial fanout budget is
-    /// exceeded.
-    fn mapping_from_factors(&self, slots: &[Slot], factors: &[u64]) -> Option<Mapping> {
-        let mut builder = MappingBuilder::new(self.num_levels, self.num_tensors);
+    /// exceeded. `keep` is the shared bypass configuration snapshot the
+    /// iterator took from this space (see [`Mapping::with_shared_keep`]).
+    fn mapping_from_factors(
+        &self,
+        slots: &[Slot],
+        factors: &[u64],
+        keep: &Arc<Vec<Vec<bool>>>,
+    ) -> Option<Mapping> {
         for l in 0..self.num_levels {
             let spatial_product: u64 = slots
                 .iter()
@@ -184,110 +213,228 @@ impl Mapspace {
                 return None;
             }
         }
+        let mut nests: Vec<Vec<Loop>> = vec![Vec::new(); self.num_levels];
         for (s, &f) in slots.iter().zip(factors) {
             if f > 1 {
-                builder = if s.spatial {
-                    builder.spatial(s.level, s.dim, f)
+                nests[s.level].push(if s.spatial {
+                    Loop::spatial(s.dim, f)
                 } else {
-                    builder.temporal(s.level, s.dim, f)
-                };
+                    Loop::temporal(s.dim, f)
+                });
             }
         }
-        let mapping = builder.build();
-        Some(Mapping::new(mapping.nests().to_vec(), self.keep.clone()))
+        Some(Mapping::with_shared_keep(nests, Arc::clone(keep)))
     }
 
-    /// Enumerates up to `limit` mappings deterministically.
-    pub fn enumerate(&self, limit: usize) -> Vec<Mapping> {
+    /// Precomputes the slot layout shared by enumeration and sampling.
+    /// `feasible` is false when a dimension with bound > 1 has no slot to
+    /// live in (the space contains no mapping at all).
+    fn plan(&self) -> SlotPlan {
         let slots = self.slots();
-        // per-dim slot indices
         let mut per_dim: Vec<Vec<usize>> = vec![Vec::new(); self.num_dims];
         for (i, s) in slots.iter().enumerate() {
             per_dim[s.dim.0].push(i);
         }
-        // dims with no slots must have bound 1
-        for d in 0..self.num_dims {
-            if per_dim[d].is_empty() && self.dim_bounds[d] != 1 {
-                return Vec::new();
-            }
+        let feasible =
+            (0..self.num_dims).all(|d| !per_dim[d].is_empty() || self.dim_bounds[d] == 1);
+        SlotPlan {
+            slots,
+            per_dim,
+            feasible,
+            keep: Arc::new(self.keep.clone()),
         }
-        // enumerate the cross product of per-dim factorizations
+    }
+
+    /// Streaming deterministic enumeration of up to `limit` mappings.
+    ///
+    /// Candidates are produced lazily in the same order [`enumerate`]
+    /// (a thin collecting wrapper) returns them, so exhaustive search
+    /// over a combinatorially large mapspace needs O(1) memory in the
+    /// candidate count.
+    ///
+    /// **Coverage caveat** (inherited from the original `enumerate`):
+    /// each dimension's ordered-factorization list is *also* capped at
+    /// `limit`, so when a single dimension admits more than `limit`
+    /// factorizations, the tail of that list — and every candidate using
+    /// it — is silently unreachable. Choose `limit` at least as large as
+    /// the biggest per-dimension factorization count when true
+    /// exhaustiveness matters.
+    ///
+    /// [`enumerate`]: Mapspace::enumerate
+    pub fn iter_enumerate(&self, limit: usize) -> EnumerateIter<'_> {
+        let plan = self.plan();
+        // per-dim ordered factorizations (small: one list per dimension,
+        // each capped at `limit`); the cross product is what stays lazy
         let dim_factorizations: Vec<Vec<Vec<u64>>> = (0..self.num_dims)
             .map(|d| {
-                if per_dim[d].is_empty() {
+                if plan.per_dim[d].is_empty() {
                     vec![Vec::new()]
                 } else {
-                    factorizations(self.dim_bounds[d], per_dim[d].len(), Some(limit))
+                    factorizations(self.dim_bounds[d], plan.per_dim[d].len(), Some(limit))
                 }
             })
             .collect();
-        let mut out = Vec::new();
-        let mut choice = vec![0usize; self.num_dims];
-        'outer: loop {
-            // assemble factors for this choice
-            let mut factors = vec![1u64; slots.len()];
-            for d in 0..self.num_dims {
-                for (j, &slot_idx) in per_dim[d].iter().enumerate() {
-                    factors[slot_idx] = dim_factorizations[d][choice[d]]
-                        .get(j)
-                        .copied()
-                        .unwrap_or(1);
-                }
+        EnumerateIter {
+            space: self,
+            choice: vec![0usize; self.num_dims],
+            dim_factorizations,
+            produced: 0,
+            limit,
+            exhausted: !plan.feasible || limit == 0,
+            plan,
+        }
+    }
+
+    /// Streaming random sampling of up to `count` mappings (duplicates
+    /// possible). Draws stop after `count` valid mappings or `20 × count`
+    /// attempts, whichever comes first — identical semantics to
+    /// [`sample`](Mapspace::sample), which collects this iterator.
+    pub fn iter_sample<R: Rng>(&self, count: usize, rng: R) -> SampleIter<'_, R> {
+        let plan = self.plan();
+        SampleIter {
+            space: self,
+            plan,
+            rng,
+            produced: 0,
+            attempts: 0,
+            count,
+        }
+    }
+
+    /// Enumerates up to `limit` mappings deterministically, materialized.
+    ///
+    /// Prefer [`iter_enumerate`](Mapspace::iter_enumerate) in search
+    /// loops; this wrapper exists for callers that genuinely need the
+    /// whole candidate list at once.
+    pub fn enumerate(&self, limit: usize) -> Vec<Mapping> {
+        self.iter_enumerate(limit).collect()
+    }
+
+    /// Samples `count` random mappings (duplicates possible),
+    /// materialized. Prefer [`iter_sample`](Mapspace::iter_sample) in
+    /// search loops.
+    pub fn sample(&self, count: usize, rng: &mut impl Rng) -> Vec<Mapping> {
+        self.iter_sample(count, rng).collect()
+    }
+}
+
+/// Slot layout shared by the candidate iterators.
+struct SlotPlan {
+    slots: Vec<Slot>,
+    /// Slot indices owned by each dimension.
+    per_dim: Vec<Vec<usize>>,
+    /// False when some dimension with bound > 1 has no slot.
+    feasible: bool,
+    /// Bypass configuration shared by every generated mapping.
+    keep: Arc<Vec<Vec<bool>>>,
+}
+
+impl SlotPlan {
+    /// Writes the per-slot factors for one per-dim factorization choice.
+    fn assemble<'a>(&self, factors: &mut [u64], mut pick: impl FnMut(usize) -> &'a [u64]) {
+        factors.fill(1);
+        for (d, slots) in self.per_dim.iter().enumerate() {
+            let f = pick(d);
+            for (j, &slot_idx) in slots.iter().enumerate() {
+                factors[slot_idx] = f.get(j).copied().unwrap_or(1);
             }
-            if let Some(m) = self.mapping_from_factors(&slots, &factors) {
-                out.push(m);
-                if out.len() >= limit {
-                    break;
-                }
-            }
+        }
+    }
+}
+
+/// Lazy deterministic mapspace enumeration
+/// (see [`Mapspace::iter_enumerate`]).
+pub struct EnumerateIter<'a> {
+    space: &'a Mapspace,
+    plan: SlotPlan,
+    /// Per-dim ordered factorization lists; the iterator walks their
+    /// cross product with a mixed-radix counter.
+    dim_factorizations: Vec<Vec<Vec<u64>>>,
+    choice: Vec<usize>,
+    produced: usize,
+    limit: usize,
+    exhausted: bool,
+}
+
+impl Iterator for EnumerateIter<'_> {
+    type Item = Mapping;
+
+    fn next(&mut self) -> Option<Mapping> {
+        let num_dims = self.space.num_dims;
+        let mut factors = vec![1u64; self.plan.slots.len()];
+        while !self.exhausted && self.produced < self.limit {
+            let (plan, dim_factorizations, choice) =
+                (&self.plan, &self.dim_factorizations, &self.choice);
+            plan.assemble(&mut factors, |d| &dim_factorizations[d][choice[d]]);
+            let candidate =
+                self.space
+                    .mapping_from_factors(&self.plan.slots, &factors, &self.plan.keep);
             // advance the mixed-radix counter
             let mut d = 0;
             loop {
-                if d == self.num_dims {
-                    break 'outer;
-                }
-                choice[d] += 1;
-                if choice[d] < dim_factorizations[d].len() {
+                if d == num_dims {
+                    self.exhausted = true;
                     break;
                 }
-                choice[d] = 0;
+                self.choice[d] += 1;
+                if self.choice[d] < self.dim_factorizations[d].len() {
+                    break;
+                }
+                self.choice[d] = 0;
                 d += 1;
             }
+            if let Some(m) = candidate {
+                self.produced += 1;
+                return Some(m);
+            }
         }
-        out
+        None
     }
+}
 
-    /// Samples `count` random mappings (duplicates possible).
-    pub fn sample(&self, count: usize, rng: &mut impl Rng) -> Vec<Mapping> {
-        let slots = self.slots();
-        let mut per_dim: Vec<Vec<usize>> = vec![Vec::new(); self.num_dims];
-        for (i, s) in slots.iter().enumerate() {
-            per_dim[s.dim.0].push(i);
+/// Lazy random mapspace sampling (see [`Mapspace::iter_sample`]).
+pub struct SampleIter<'a, R: Rng> {
+    space: &'a Mapspace,
+    plan: SlotPlan,
+    rng: R,
+    produced: usize,
+    attempts: usize,
+    count: usize,
+}
+
+impl<R: Rng> Iterator for SampleIter<'_, R> {
+    type Item = Mapping;
+
+    fn next(&mut self) -> Option<Mapping> {
+        if !self.plan.feasible {
+            return None;
         }
-        for d in 0..self.num_dims {
-            if per_dim[d].is_empty() && self.dim_bounds[d] != 1 {
-                return Vec::new();
+        let mut factors = vec![1u64; self.plan.slots.len()];
+        while self.produced < self.count && self.attempts < self.count * 20 {
+            self.attempts += 1;
+            let draws: Vec<Vec<u64>> = (0..self.space.num_dims)
+                .map(|d| {
+                    if self.plan.per_dim[d].is_empty() {
+                        Vec::new()
+                    } else {
+                        random_factorization(
+                            self.space.dim_bounds[d],
+                            self.plan.per_dim[d].len(),
+                            &mut self.rng,
+                        )
+                    }
+                })
+                .collect();
+            self.plan.assemble(&mut factors, |d| &draws[d]);
+            if let Some(m) =
+                self.space
+                    .mapping_from_factors(&self.plan.slots, &factors, &self.plan.keep)
+            {
+                self.produced += 1;
+                return Some(m);
             }
         }
-        let mut out = Vec::new();
-        let mut attempts = 0usize;
-        while out.len() < count && attempts < count * 20 {
-            attempts += 1;
-            let mut factors = vec![1u64; slots.len()];
-            for d in 0..self.num_dims {
-                if per_dim[d].is_empty() {
-                    continue;
-                }
-                let f = random_factorization(self.dim_bounds[d], per_dim[d].len(), rng);
-                for (j, &slot_idx) in per_dim[d].iter().enumerate() {
-                    factors[slot_idx] = f[j];
-                }
-            }
-            if let Some(m) = self.mapping_from_factors(&slots, &factors) {
-                out.push(m);
-            }
-        }
-        out
+        None
     }
 }
 
@@ -351,8 +498,7 @@ mod tests {
     fn spatial_budget_enforced() {
         let e = Einsum::matmul(8, 8, 8);
         let a = arch(); // fanout below Buf is 4
-        let space = Mapspace::all_temporal(&e, &a)
-            .with_spatial_dims(1, vec![DimId(1)]);
+        let space = Mapspace::all_temporal(&e, &a).with_spatial_dims(1, vec![DimId(1)]);
         let maps = space.enumerate(5000);
         for m in &maps {
             assert!(m.spatial_fanout_at(1) <= 4);
@@ -389,12 +535,58 @@ mod tests {
     }
 
     #[test]
+    fn iter_enumerate_matches_collected_enumerate() {
+        let e = Einsum::matmul(8, 8, 8);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a).with_spatial_dims(1, vec![DimId(1)]);
+        for limit in [1, 7, 100, 5000] {
+            let streamed: Vec<_> = space.iter_enumerate(limit).collect();
+            assert_eq!(streamed, space.enumerate(limit), "limit={limit}");
+        }
+    }
+
+    #[test]
+    fn iter_enumerate_is_lazy_and_resumable() {
+        let e = Einsum::matmul(8, 8, 8);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a);
+        let all = space.enumerate(1000);
+        // taking a prefix then continuing yields the same stream
+        let mut it = space.iter_enumerate(1000);
+        let head: Vec<_> = it.by_ref().take(5).collect();
+        let tail: Vec<_> = it.collect();
+        assert_eq!(head, all[..5].to_vec());
+        assert_eq!(tail, all[5..].to_vec());
+    }
+
+    #[test]
+    fn iter_sample_matches_collected_sample() {
+        let e = Einsum::matmul(16, 16, 16);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a).with_spatial_dims(1, vec![DimId(0)]);
+        let collected = space.sample(40, &mut StdRng::seed_from_u64(11));
+        let streamed: Vec<_> = space.iter_sample(40, StdRng::seed_from_u64(11)).collect();
+        assert_eq!(streamed, collected);
+    }
+
+    #[test]
+    fn infeasible_space_yields_nothing() {
+        // no slots for any dim but nonunit bounds -> empty space
+        let e = Einsum::matmul(4, 4, 4);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a)
+            .with_temporal_order(0, vec![])
+            .with_temporal_order(1, vec![]);
+        assert_eq!(space.iter_enumerate(10).count(), 0);
+        assert_eq!(space.iter_sample(10, StdRng::seed_from_u64(0)).count(), 0);
+    }
+
+    #[test]
     fn restricted_order_respected() {
         let e = Einsum::matmul(4, 4, 4);
         let a = arch();
         // only k may tile at the buffer level
-        let space = Mapspace::all_temporal(&e, &a)
-            .with_temporal_order(1, vec![DimId(2)]);
+        let space = Mapspace::all_temporal(&e, &a).with_temporal_order(1, vec![DimId(2)]);
         for m in space.enumerate(500) {
             for lp in &m.nests()[1] {
                 assert_eq!(lp.dim, DimId(2));

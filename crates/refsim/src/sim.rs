@@ -235,8 +235,7 @@ impl<'a> RefSim<'a> {
                 let t = TensorId(ti);
                 // Tile identity is the *projected* window origin: loops
                 // over irrelevant dims leave the data stationary.
-                let (tile_origin, _) =
-                    self.window(t, &vals, &boundaries[b].child_bounds);
+                let (tile_origin, _) = self.window(t, &vals, &boundaries[b].child_bounds);
                 if boundaries[b].last_tile.as_ref() == Some(&tile_origin) {
                     continue;
                 }
@@ -244,11 +243,10 @@ impl<'a> RefSim<'a> {
                 // outer suppression: if the enclosing chain boundary's
                 // resident tile was skipped, this transfer never happens
                 let outer_suppressed = ci > 0
-                    && boundaries.iter().any(|ob| {
-                        ob.tensor == ti && ob.chain_idx + 1 == ci && ob.suppressed
-                    });
-                let (origin, extent) =
-                    self.window(t, &vals, &boundaries[b].child_bounds.clone());
+                    && boundaries
+                        .iter()
+                        .any(|ob| ob.tensor == ti && ob.chain_idx + 1 == ci && ob.suppressed);
+                let (origin, extent) = self.window(t, &vals, &boundaries[b].child_bounds.clone());
                 let dense_words: u64 = extent.iter().product::<u64>().max(1);
                 let nnz = if origin.is_empty() {
                     1
@@ -262,12 +260,8 @@ impl<'a> RefSim<'a> {
                 let mut self_gate = false;
                 if !skipped {
                     for saf in self.safs.intersections_at(lvl, t) {
-                        let cross: Vec<TensorId> = saf
-                            .leaders
-                            .iter()
-                            .copied()
-                            .filter(|&l| l != t)
-                            .collect();
+                        let cross: Vec<TensorId> =
+                            saf.leaders.iter().copied().filter(|&l| l != t).collect();
                         if cross.len() < saf.leaders.len() {
                             match saf.action {
                                 ActionOpt::Skip => self_skip = true,
@@ -275,9 +269,9 @@ impl<'a> RefSim<'a> {
                             }
                         }
                         if !cross.is_empty() {
-                            let any_empty = cross.iter().any(|&l| {
-                                self.leader_empty(l, &vals, &boundaries[b].reuse_bounds)
-                            });
+                            let any_empty = cross
+                                .iter()
+                                .any(|&l| self.leader_empty(l, &vals, &boundaries[b].reuse_bounds));
                             if any_empty {
                                 match saf.action {
                                     ActionOpt::Skip => skipped = true,
@@ -335,7 +329,13 @@ impl<'a> RefSim<'a> {
                         // metadata: coordinate-style cost per nonzero
                         let bits: u32 = extent
                             .iter()
-                            .map(|&e| if e <= 1 { 1 } else { 64 - (e - 1).leading_zeros() })
+                            .map(|&e| {
+                                if e <= 1 {
+                                    1
+                                } else {
+                                    64 - (e - 1).leading_zeros()
+                                }
+                            })
                             .sum();
                         c.metadata_bits += nnz as f64 * bits.max(1) as f64;
                     }
@@ -394,9 +394,7 @@ impl<'a> RefSim<'a> {
                     });
                     let any_self_skip_semantics = any_compressed
                         && self.safs.intersections.iter().any(|s| {
-                            s.target == t
-                                && s.leaders.contains(&t)
-                                && s.action == ActionOpt::Skip
+                            s.target == t && s.leaders.contains(&t) && s.action == ActionOpt::Skip
                         });
                     if any_self_skip_semantics {
                         op_suppressed = true;
@@ -478,8 +476,8 @@ impl<'a> RefSim<'a> {
                     + act.metadata(c.metadata_bits);
             }
             if let Some(bw) = spec.bandwidth_words_per_cycle {
-                let cyc = (words + meta_bits / spec.word_bits as f64)
-                    / (bw * spec.instances as f64);
+                let cyc =
+                    (words + meta_bits / spec.word_bits as f64) / (bw * spec.instances as f64);
                 max_level_cycles = max_level_cycles.max(cyc);
             }
         }
@@ -520,10 +518,7 @@ mod tests {
             .unwrap()
     }
 
-    fn matmul_setup(
-        da: f64,
-        seed: u64,
-    ) -> (Einsum, Mapping, Vec<SparseTensor>) {
+    fn matmul_setup(da: f64, seed: u64) -> (Einsum, Mapping, Vec<SparseTensor>) {
         let e = Einsum::matmul(8, 8, 8);
         let (m, n, k) = (DimId(0), DimId(1), DimId(2));
         let map = MappingBuilder::new(2, 3)
@@ -595,22 +590,22 @@ mod tests {
         );
         let d = dataflow::analyze(&e, &map);
         let s = sparse::analyze(&w, &d, &safs);
-        let rel = (r.computes_actual - s.compute.ops.actual).abs()
-            / r.computes_actual.max(1.0);
+        let rel = (r.computes_actual - s.compute.ops.actual).abs() / r.computes_actual.max(1.0);
         assert!(rel < 0.05, "actual-data model within 5%: {rel}");
 
         // analytical with the uniform statistical model: small error
         let w2 = Workload::new(
             e.clone(),
             vec![
-                DensityModelSpec::Uniform { density: tensors[0].density() },
+                DensityModelSpec::Uniform {
+                    density: tensors[0].density(),
+                },
                 DensityModelSpec::Dense,
                 DensityModelSpec::Dense,
             ],
         );
         let s2 = sparse::analyze(&w2, &d, &safs);
-        let rel2 = (r.computes_actual - s2.compute.ops.actual).abs()
-            / r.computes_actual.max(1.0);
+        let rel2 = (r.computes_actual - s2.compute.ops.actual).abs() / r.computes_actual.max(1.0);
         assert!(rel2 < 0.05, "uniform model within 5%: {rel2}");
     }
 
@@ -635,8 +630,12 @@ mod tests {
         let (e, map, tensors) = matmul_setup(0.25, 9);
         let arch = arch();
         let a_id = e.tensor_id("A").unwrap();
-        let gate = SafSpec::dense().with_gate(1, a_id, vec![a_id]).with_gate_compute();
-        let skip = SafSpec::dense().with_skip(1, a_id, vec![a_id]).with_skip_compute();
+        let gate = SafSpec::dense()
+            .with_gate(1, a_id, vec![a_id])
+            .with_gate_compute();
+        let skip = SafSpec::dense()
+            .with_skip(1, a_id, vec![a_id])
+            .with_skip_compute();
         let g = RefSim::new(&e, &arch, &map, &gate, &tensors).run();
         let s = RefSim::new(&e, &arch, &map, &skip, &tensors).run();
         assert!(s.cycles < g.cycles);

@@ -68,7 +68,10 @@ impl RankProjection {
     /// A rank driven by a sum of unit-stride dimensions (e.g. `p + r`).
     pub fn sum(dims: &[DimId]) -> Self {
         RankProjection {
-            terms: dims.iter().map(|&dim| ProjectionTerm { dim, coef: 1 }).collect(),
+            terms: dims
+                .iter()
+                .map(|&dim| ProjectionTerm { dim, coef: 1 })
+                .collect(),
         }
     }
 
@@ -76,8 +79,14 @@ impl RankProjection {
     pub fn strided(outer: DimId, stride: u64, inner: DimId) -> Self {
         RankProjection {
             terms: vec![
-                ProjectionTerm { dim: outer, coef: stride },
-                ProjectionTerm { dim: inner, coef: 1 },
+                ProjectionTerm {
+                    dim: outer,
+                    coef: stride,
+                },
+                ProjectionTerm {
+                    dim: inner,
+                    coef: 1,
+                },
             ],
         }
     }
@@ -149,7 +158,10 @@ impl Einsum {
     /// Panics if any dimension bound is zero, any projection references a
     /// missing dimension, or tensor names collide.
     pub fn new(name: impl Into<String>, dims: Vec<Dim>, tensors: Vec<TensorSpec>) -> Self {
-        assert!(dims.iter().all(|d| d.bound > 0), "dimension bounds must be positive");
+        assert!(
+            dims.iter().all(|d| d.bound > 0),
+            "dimension bounds must be positive"
+        );
         for t in &tensors {
             for r in &t.ranks {
                 for term in &r.terms {
@@ -191,7 +203,10 @@ impl Einsum {
 
     /// Looks a tensor up by name.
     pub fn tensor_id(&self, name: &str) -> Option<TensorId> {
-        self.tensors.iter().position(|t| t.name == name).map(TensorId)
+        self.tensors
+            .iter()
+            .position(|t| t.name == name)
+            .map(TensorId)
     }
 
     /// Looks a dimension up by name.
@@ -237,14 +252,26 @@ impl Einsum {
     /// Full (untiled) shape of tensor `t` under this workload's bounds.
     pub fn tensor_shape(&self, t: TensorId) -> Vec<u64> {
         let bounds = self.bounds();
-        self.tensors[t.0].ranks.iter().map(|r| r.extent(&bounds)).collect()
+        self.tensors[t.0]
+            .ranks
+            .iter()
+            .map(|r| r.extent(&bounds))
+            .collect()
     }
 
     /// Shape of tensor `t`'s tile when each dimension `d` spans
     /// `0..tile_bounds[d]` (the footprint of a loop-nest region).
     pub fn tensor_tile_shape(&self, t: TensorId, tile_bounds: &[u64]) -> Vec<u64> {
-        assert_eq!(tile_bounds.len(), self.dims.len(), "tile bound count mismatch");
-        self.tensors[t.0].ranks.iter().map(|r| r.extent(tile_bounds)).collect()
+        assert_eq!(
+            tile_bounds.len(),
+            self.dims.len(),
+            "tile bound count mismatch"
+        );
+        self.tensors[t.0]
+            .ranks
+            .iter()
+            .map(|r| r.extent(tile_bounds))
+            .collect()
     }
 
     /// Dense footprint (number of coordinates) of tensor `t`'s tile for the
@@ -255,7 +282,13 @@ impl Einsum {
 
     /// Projects a full iteration-space point onto tensor `t`'s coordinates.
     pub fn project(&self, t: TensorId, values: &[u64]) -> Point {
-        Point::new(self.tensors[t.0].ranks.iter().map(|r| r.eval(values)).collect())
+        Point::new(
+            self.tensors[t.0]
+                .ranks
+                .iter()
+                .map(|r| r.eval(values))
+                .collect(),
+        )
     }
 
     /// Dimensions that do *not* project onto tensor `t` (its reuse
@@ -278,9 +311,18 @@ impl Einsum {
         Einsum::new(
             "matmul",
             vec![
-                Dim { name: "m".into(), bound: m },
-                Dim { name: "n".into(), bound: n },
-                Dim { name: "k".into(), bound: k },
+                Dim {
+                    name: "m".into(),
+                    bound: m,
+                },
+                Dim {
+                    name: "n".into(),
+                    bound: n,
+                },
+                Dim {
+                    name: "k".into(),
+                    bound: k,
+                },
             ],
             vec![
                 TensorSpec {
@@ -309,18 +351,46 @@ impl Einsum {
     /// `Inputs`, `Outputs`.
     #[allow(clippy::too_many_arguments)]
     pub fn conv2d(n: u64, m: u64, c: u64, p: u64, q: u64, r: u64, s: u64, stride: u64) -> Self {
-        let (dn, dm, dc, dp, dq, dr, ds) =
-            (DimId(0), DimId(1), DimId(2), DimId(3), DimId(4), DimId(5), DimId(6));
+        let (dn, dm, dc, dp, dq, dr, ds) = (
+            DimId(0),
+            DimId(1),
+            DimId(2),
+            DimId(3),
+            DimId(4),
+            DimId(5),
+            DimId(6),
+        );
         Einsum::new(
             "conv2d",
             vec![
-                Dim { name: "n".into(), bound: n },
-                Dim { name: "m".into(), bound: m },
-                Dim { name: "c".into(), bound: c },
-                Dim { name: "p".into(), bound: p },
-                Dim { name: "q".into(), bound: q },
-                Dim { name: "r".into(), bound: r },
-                Dim { name: "s".into(), bound: s },
+                Dim {
+                    name: "n".into(),
+                    bound: n,
+                },
+                Dim {
+                    name: "m".into(),
+                    bound: m,
+                },
+                Dim {
+                    name: "c".into(),
+                    bound: c,
+                },
+                Dim {
+                    name: "p".into(),
+                    bound: p,
+                },
+                Dim {
+                    name: "q".into(),
+                    bound: q,
+                },
+                Dim {
+                    name: "r".into(),
+                    bound: r,
+                },
+                Dim {
+                    name: "s".into(),
+                    bound: s,
+                },
             ],
             vec![
                 TensorSpec {
@@ -360,17 +430,34 @@ impl Einsum {
     /// Depthwise 2D convolution (one filter per channel, no `m`):
     /// `O[n,c,p,q] = Σ_{r,s} W[c,r,s] · I[n,c,p+r,q+s]`.
     pub fn depthwise_conv2d(n: u64, c: u64, p: u64, q: u64, r: u64, s: u64, stride: u64) -> Self {
-        let (dn, dc, dp, dq, dr, ds) =
-            (DimId(0), DimId(1), DimId(2), DimId(3), DimId(4), DimId(5));
+        let (dn, dc, dp, dq, dr, ds) = (DimId(0), DimId(1), DimId(2), DimId(3), DimId(4), DimId(5));
         Einsum::new(
             "depthwise_conv2d",
             vec![
-                Dim { name: "n".into(), bound: n },
-                Dim { name: "c".into(), bound: c },
-                Dim { name: "p".into(), bound: p },
-                Dim { name: "q".into(), bound: q },
-                Dim { name: "r".into(), bound: r },
-                Dim { name: "s".into(), bound: s },
+                Dim {
+                    name: "n".into(),
+                    bound: n,
+                },
+                Dim {
+                    name: "c".into(),
+                    bound: c,
+                },
+                Dim {
+                    name: "p".into(),
+                    bound: p,
+                },
+                Dim {
+                    name: "q".into(),
+                    bound: q,
+                },
+                Dim {
+                    name: "r".into(),
+                    bound: r,
+                },
+                Dim {
+                    name: "s".into(),
+                    bound: s,
+                },
             ],
             vec![
                 TensorSpec {
@@ -412,7 +499,10 @@ impl Einsum {
         let dk = DimId(0);
         Einsum::new(
             "dot_product",
-            vec![Dim { name: "k".into(), bound: k }],
+            vec![Dim {
+                name: "k".into(),
+                bound: k,
+            }],
             vec![
                 TensorSpec {
                     name: "A".into(),
@@ -546,7 +636,10 @@ mod tests {
         let d = DimId(0);
         Einsum::new(
             "bad",
-            vec![Dim { name: "k".into(), bound: 2 }],
+            vec![Dim {
+                name: "k".into(),
+                bound: 2,
+            }],
             vec![
                 TensorSpec {
                     name: "A".into(),

@@ -36,7 +36,10 @@ pub struct Fiber {
 impl Fiber {
     /// An empty fiber of the given dense extent.
     pub fn empty(shape: u64) -> Self {
-        Fiber { shape, entries: Vec::new() }
+        Fiber {
+            shape,
+            entries: Vec::new(),
+        }
     }
 
     /// Number of non-empty coordinates in this fiber.
@@ -108,7 +111,11 @@ impl FiberTree {
     /// Panics if `rank_names.len()` differs from the tensor rank, or the
     /// tensor has rank 0.
     pub fn from_tensor(t: &SparseTensor, rank_names: &[&str]) -> Self {
-        assert_eq!(rank_names.len(), t.shape().rank(), "rank name count mismatch");
+        assert_eq!(
+            rank_names.len(),
+            t.shape().rank(),
+            "rank name count mismatch"
+        );
         assert!(t.shape().rank() > 0, "fibertree requires rank >= 1");
         let mut triplets: Vec<(Point, f64)> = t.iter().collect();
         triplets.sort_by(|a, b| a.0.cmp(&b.0));
@@ -259,10 +266,7 @@ mod tests {
 
     #[test]
     fn one_dimensional_tree() {
-        let t = SparseTensor::from_triplets(
-            Shape::new(vec![8]),
-            &[(vec![1], 1.0), (vec![5], 2.0)],
-        );
+        let t = SparseTensor::from_triplets(Shape::new(vec![8]), &[(vec![1], 1.0), (vec![5], 2.0)]);
         let ft = FiberTree::from_tensor(&t, &["K"]);
         assert_eq!(ft.rank(), 1);
         assert_eq!(ft.root().occupancy(), 2);

@@ -57,15 +57,26 @@ impl SparseTensor {
         let mut pairs: Vec<(u64, f64)> = map.into_iter().collect();
         pairs.sort_unstable_by_key(|(i, _)| *i);
         let (indices, values) = pairs.into_iter().unzip();
-        SparseTensor { shape, indices, values }
+        SparseTensor {
+            shape,
+            indices,
+            values,
+        }
     }
 
     /// Builds a tensor from already-sorted unique linear indices with unit
     /// values. Used by generators.
     fn from_sorted_indices(shape: Shape, indices: Vec<u64>) -> Self {
-        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "indices must be sorted unique");
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be sorted unique"
+        );
         let values = vec![1.0; indices.len()];
-        SparseTensor { shape, indices, values }
+        SparseTensor {
+            shape,
+            indices,
+            values,
+        }
     }
 
     /// The tensor's shape.
@@ -231,12 +242,7 @@ impl SparseTensor {
     ///
     /// # Panics
     /// Panics if the shape is not 2D or `fill` is outside `[0, 1]`.
-    pub fn gen_banded(
-        shape: Shape,
-        half_width: u64,
-        fill: f64,
-        rng: &mut impl rand::Rng,
-    ) -> Self {
+    pub fn gen_banded(shape: Shape, half_width: u64, fill: f64, rng: &mut impl rand::Rng) -> Self {
         assert_eq!(shape.rank(), 2, "banded generator requires a matrix");
         assert!((0.0..=1.0).contains(&fill), "fill must be in [0,1]");
         let (rows, cols) = (shape.extent(0), shape.extent(1));

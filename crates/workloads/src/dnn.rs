@@ -83,7 +83,11 @@ fn conv(
         density(id), // Inputs
         DensityModelSpec::Dense,
     ];
-    Layer { name: name.to_string(), einsum, densities }
+    Layer {
+        name: name.to_string(),
+        einsum,
+        densities,
+    }
 }
 
 /// Builds a matmul layer (BERT-style) with the given operand densities.
@@ -215,8 +219,8 @@ pub fn mobilenet_v1() -> Network {
     ];
     for (i, &(cin, cout, sp, id)) in cfg.iter().enumerate() {
         // depthwise 3x3 (weights moderately sparse after pruning)
-        let dw = Einsum::depthwise_conv2d(1, cin, sp, sp, 3, 3, 1)
-            .with_name(format!("dw{}", i + 1));
+        let dw =
+            Einsum::depthwise_conv2d(1, cin, sp, sp, 3, 3, 1).with_name(format!("dw{}", i + 1));
         layers.push(Layer {
             name: format!("dw{}", i + 1),
             einsum: dw,
@@ -236,7 +240,10 @@ pub fn mobilenet_v1() -> Network {
             id,
         ));
     }
-    Network { name: "MobileNetV1".into(), layers }
+    Network {
+        name: "MobileNetV1".into(),
+        layers,
+    }
 }
 
 /// BERT-base encoder layer matmuls at the given sequence length
@@ -298,7 +305,13 @@ mod tests {
 
     #[test]
     fn densities_align_with_tensors() {
-        for net in [alexnet(), vgg16(), resnet50(), mobilenet_v1(), bert_base(128)] {
+        for net in [
+            alexnet(),
+            vgg16(),
+            resnet50(),
+            mobilenet_v1(),
+            bert_base(128),
+        ] {
             for l in &net.layers {
                 assert_eq!(
                     l.densities.len(),

@@ -1,7 +1,7 @@
 //! Compare two sparse accelerator designs across workload densities —
 //! the Fig. 1 experiment as a library use case.
 //!
-//! Run with: `cargo run -p sparseloop-core --example design_comparison`
+//! Run with: `cargo run -p sparseloop --example design_comparison`
 
 use sparseloop_designs::common::matmul_mapping_2level;
 use sparseloop_designs::fig1;
@@ -18,7 +18,11 @@ fn main() {
         let cl = fig1::coordinate_list_design(&layer.einsum)
             .evaluate(&layer, &mapping)
             .expect("valid");
-        let winner = if bm.edp < cl.edp { "bitmask" } else { "coordlist" };
+        let winner = if bm.edp < cl.edp {
+            "bitmask"
+        } else {
+            "coordlist"
+        };
         println!(
             "{d:<7}  {:>8.0} / {:>9.0}  {:>8.0} / {:>9.0}   {winner}",
             bm.cycles, bm.energy_pj, cl.cycles, cl.energy_pj

@@ -2,7 +2,7 @@
 //! mapper search per layer, aggregating network-level energy and cycles
 //! (the paper's per-layer DNN evaluation methodology, §6.1).
 //!
-//! Run with: `cargo run --release -p sparseloop-core --example dnn_layer_sweep`
+//! Run with: `cargo run --release -p sparseloop --example dnn_layer_sweep`
 
 use sparseloop_designs::common::conv_mapspace;
 use sparseloop_designs::eyeriss;
@@ -12,7 +12,10 @@ fn main() {
     let net = alexnet();
     let mut total_cycles = 0.0;
     let mut total_energy = 0.0;
-    println!("{:<8} {:>14} {:>12} {:>14}", "layer", "MACs", "cycles", "energy(pJ)");
+    println!(
+        "{:<8} {:>14} {:>12} {:>14}",
+        "layer", "MACs", "cycles", "energy(pJ)"
+    );
     for layer in &net.layers {
         let dp = eyeriss::design(&layer.einsum);
         let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
@@ -31,5 +34,8 @@ fn main() {
             None => println!("{:<8} no valid mapping found", layer.name),
         }
     }
-    println!("\n{}: {:.3e} cycles, {:.3e} pJ total", net.name, total_cycles, total_energy);
+    println!(
+        "\n{}: {:.3e} cycles, {:.3e} pJ total",
+        net.name, total_cycles, total_energy
+    );
 }

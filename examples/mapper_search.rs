@@ -3,7 +3,7 @@
 //! mappings by EDP (the reason the paper insists on fast models:
 //! characterizing a design fairly requires searching its mapspace).
 //!
-//! Run with: `cargo run -p sparseloop-core --example mapper_search`
+//! Run with: `cargo run -p sparseloop --example mapper_search`
 
 use sparseloop_core::{Model, Objective, Workload};
 use sparseloop_designs::fig1;
@@ -16,8 +16,8 @@ fn main() {
     let dp = fig1::coordinate_list_design(&layer.einsum);
     let workload = Workload::new(layer.einsum.clone(), layer.densities.clone());
     let model = Model::new(workload, dp.arch.clone(), dp.safs.clone());
-    let space = Mapspace::all_temporal(&layer.einsum, &dp.arch)
-        .with_spatial_dims(1, vec![DimId(1)]);
+    let space =
+        Mapspace::all_temporal(&layer.einsum, &dp.arch).with_spatial_dims(1, vec![DimId(1)]);
 
     // collect every valid candidate's EDP
     let mut edps = Vec::new();
@@ -31,9 +31,24 @@ fn main() {
     edps.sort_by(|a, b| a.partial_cmp(b).unwrap());
     assert!(!edps.is_empty(), "mapspace should contain valid mappings");
 
-    let (best, eval) = model
+    // the production path: streaming candidates through the capacity
+    // precheck, fanned out over all cores, deterministically reduced
+    let (best, eval, stats) = model
+        .search_parallel_with_stats(
+            &space,
+            Mapper::Exhaustive { limit: 3000 },
+            Objective::Edp,
+            None,
+        )
+        .expect("search succeeds");
+    let (seq_best, seq_eval) = model
         .search(&space, Mapper::Exhaustive { limit: 3000 }, Objective::Edp)
         .expect("search succeeds");
+    assert_eq!(best, seq_best, "parallel and sequential winners agree");
+    assert_eq!(eval.edp, seq_eval.edp);
+    println!("candidates generated : {}", stats.generated);
+    println!("capacity-prechecked  : {} pruned", stats.pruned);
+    println!("fully evaluated      : {}", stats.evaluated);
     println!("candidates evaluated : {}", edps.len());
     println!("best EDP             : {:.3e}", edps[0]);
     println!("median EDP           : {:.3e}", edps[edps.len() / 2]);

@@ -4,7 +4,7 @@
 //! architecture running `Z = A·B` with a 25%-dense A — adds a skipping
 //! SAF, and prints the three-step evaluation.
 //!
-//! Run with: `cargo run -p sparseloop-core --example quickstart`
+//! Run with: `cargo run -p sparseloop --example quickstart`
 
 use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
 use sparseloop_core::{Model, SafSpec, Workload};
@@ -70,9 +70,7 @@ fn main() {
     println!("utilization   : {:.0}%", eval.utilization * 100.0);
     println!(
         "computes      : {:.0} actual / {:.0} skipped (of {:.0} dense)",
-        eval.sparse.compute.ops.actual,
-        eval.sparse.compute.ops.skipped,
-        eval.dense.computes
+        eval.sparse.compute.ops.actual, eval.sparse.compute.ops.skipped, eval.dense.computes
     );
     for lvl in &eval.uarch.levels {
         println!(

@@ -2,7 +2,7 @@
 //! different SAF combinations, showing the actual/gated/skipped action
 //! breakdown each SAF produces.
 //!
-//! Run with: `cargo run -p sparseloop-core --example saf_walkthrough`
+//! Run with: `cargo run -p sparseloop --example saf_walkthrough`
 
 use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
 use sparseloop_core::{Model, SafSpec, Workload};
@@ -33,10 +33,23 @@ fn main() {
     let variants: [(&str, SafSpec); 4] = [
         ("baseline (no SAFs)", SafSpec::dense()),
         ("Gate Compute", SafSpec::dense().with_gate_compute()),
-        ("Gate B <- A", SafSpec::dense().with_gate(0, b, vec![a]).with_gate_compute()),
-        ("Skip B <- A", SafSpec::dense().with_skip(0, b, vec![a]).with_gate_compute()),
+        (
+            "Gate B <- A",
+            SafSpec::dense()
+                .with_gate(0, b, vec![a])
+                .with_gate_compute(),
+        ),
+        (
+            "Skip B <- A",
+            SafSpec::dense()
+                .with_skip(0, b, vec![a])
+                .with_gate_compute(),
+        ),
     ];
-    println!("{:<22} {:>21} {:>27}", "SAFs", "compute a/g/s", "B reads a/g/s");
+    println!(
+        "{:<22} {:>21} {:>27}",
+        "SAFs", "compute a/g/s", "B reads a/g/s"
+    );
     for (name, safs) in variants {
         let model = Model::new(workload.clone(), arch.clone(), safs);
         let eval = model.evaluate(&mapping).expect("valid mapping");

@@ -22,13 +22,24 @@ fn searched_mapping_beats_naive_mapping() {
         .temporal(1, DimId(2), 32)
         .build();
     let naive_eval = model.evaluate(&naive);
-    let space = Mapspace::all_temporal(&layer.einsum, &dp.arch)
-        .with_spatial_dims(1, vec![DimId(1)]);
+    let space =
+        Mapspace::all_temporal(&layer.einsum, &dp.arch).with_spatial_dims(1, vec![DimId(1)]);
     let (_, best) = model
-        .search(&space, Mapper::Hybrid { enumerate: 512, samples: 256, seed: 7 }, Objective::Edp)
+        .search(
+            &space,
+            Mapper::Hybrid {
+                enumerate: 512,
+                samples: 256,
+                seed: 7,
+            },
+            Objective::Edp,
+        )
         .expect("search finds a mapping");
     if let Ok(n) = naive_eval {
-        assert!(best.edp <= n.edp * 1.0001, "search should not lose to naive");
+        assert!(
+            best.edp <= n.edp * 1.0001,
+            "search should not lose to naive"
+        );
     }
 }
 
@@ -52,7 +63,11 @@ fn capacity_constraints_prune_candidates() {
         sparseloop_core::SafSpec::dense(),
     );
     if let Some((mapping, eval)) = model.search_default(
-        Mapper::Hybrid { enumerate: 1024, samples: 512, seed: 3 },
+        Mapper::Hybrid {
+            enumerate: 1024,
+            samples: 512,
+            seed: 3,
+        },
         Objective::Edp,
     ) {
         // whatever wins must actually fit
@@ -74,11 +89,22 @@ fn random_and_exhaustive_agree_on_small_spaces() {
     );
     let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
     let ex = model
-        .search(&space, Mapper::Exhaustive { limit: 100_000 }, Objective::Edp)
+        .search(
+            &space,
+            Mapper::Exhaustive { limit: 100_000 },
+            Objective::Edp,
+        )
         .unwrap()
         .1;
     let rnd = model
-        .search(&space, Mapper::Random { samples: 4000, seed: 9 }, Objective::Edp)
+        .search(
+            &space,
+            Mapper::Random {
+                samples: 4000,
+                seed: 9,
+            },
+            Objective::Edp,
+        )
         .unwrap()
         .1;
     // random sampling should get within 2x of the optimum on this space

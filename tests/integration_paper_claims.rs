@@ -15,14 +15,25 @@ fn fig1_crossover_in_energy_efficiency() {
     // better energy. (Section 2.2's motivating observation.)
     let sparse = spmspm(64, 64, 64, 0.1, 0.1);
     let m = matmul_mapping_2level(&sparse.einsum, 16, 8);
-    let bm_s = fig1::bitmask_design(&sparse.einsum).evaluate(&sparse, &m).unwrap();
-    let cl_s = fig1::coordinate_list_design(&sparse.einsum).evaluate(&sparse, &m).unwrap();
+    let bm_s = fig1::bitmask_design(&sparse.einsum)
+        .evaluate(&sparse, &m)
+        .unwrap();
+    let cl_s = fig1::coordinate_list_design(&sparse.einsum)
+        .evaluate(&sparse, &m)
+        .unwrap();
     assert!(cl_s.edp < bm_s.edp, "coordinate list wins when sparse");
 
     let dense = spmspm(64, 64, 64, 0.95, 0.95);
-    let bm_d = fig1::bitmask_design(&dense.einsum).evaluate(&dense, &m).unwrap();
-    let cl_d = fig1::coordinate_list_design(&dense.einsum).evaluate(&dense, &m).unwrap();
-    assert!(bm_d.energy_pj < cl_d.energy_pj, "bitmask more efficient when dense");
+    let bm_d = fig1::bitmask_design(&dense.einsum)
+        .evaluate(&dense, &m)
+        .unwrap();
+    let cl_d = fig1::coordinate_list_design(&dense.einsum)
+        .evaluate(&dense, &m)
+        .unwrap();
+    assert!(
+        bm_d.energy_pj < cl_d.energy_pj,
+        "bitmask more efficient when dense"
+    );
 }
 
 #[test]
@@ -38,7 +49,14 @@ fn stc_two_four_speedup_is_exact() {
     let dp = stc::stc(&e);
     let m = stc::mapping(&e);
     let s = dp
-        .evaluate(&mk(DensityModelSpec::FixedStructured { n: 2, m: 4, axis: 1 }), &m)
+        .evaluate(
+            &mk(DensityModelSpec::FixedStructured {
+                n: 2,
+                m: 4,
+                axis: 1,
+            }),
+            &m,
+        )
         .unwrap();
     let d = dp.evaluate(&mk(DensityModelSpec::Dense), &m).unwrap();
     assert!((d.uarch.compute_cycles / s.uarch.compute_cycles - 2.0).abs() < 1e-9);
@@ -98,9 +116,13 @@ fn gating_saves_energy_only_skipping_saves_both() {
     let l = spmspm(32, 32, 32, 0.2, 0.2);
     let m = matmul_mapping_2level(&l.einsum, 16, 4);
     let gate = fig1::bitmask_design(&l.einsum).evaluate(&l, &m).unwrap();
-    let skip = fig1::coordinate_list_design(&l.einsum).evaluate(&l, &m).unwrap();
+    let skip = fig1::coordinate_list_design(&l.einsum)
+        .evaluate(&l, &m)
+        .unwrap();
     let dense_l = spmspm(32, 32, 32, 1.0, 1.0);
-    let dense = fig1::bitmask_design(&dense_l.einsum).evaluate(&dense_l, &m).unwrap();
+    let dense = fig1::bitmask_design(&dense_l.einsum)
+        .evaluate(&dense_l, &m)
+        .unwrap();
     assert!((gate.cycles - dense.cycles).abs() / dense.cycles < 0.05);
     assert!(gate.energy_pj < dense.energy_pj);
     assert!(skip.cycles < 0.5 * dense.cycles);

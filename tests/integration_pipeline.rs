@@ -101,8 +101,14 @@ fn banded_scientific_workload_end_to_end() {
         name: "banded_solver".into(),
         einsum: einsum.clone(),
         densities: vec![
-            DensityModelSpec::Banded { half_width: 4, fill: 0.9 },
-            DensityModelSpec::Banded { half_width: 4, fill: 0.9 },
+            DensityModelSpec::Banded {
+                half_width: 4,
+                fill: 0.9,
+            },
+            DensityModelSpec::Banded {
+                half_width: 4,
+                fill: 0.9,
+            },
             DensityModelSpec::Dense,
         ],
     };
@@ -118,8 +124,14 @@ fn banded_scientific_workload_end_to_end() {
     // dense-band comparison: narrower band -> strictly less work
     let wide = Layer {
         densities: vec![
-            DensityModelSpec::Banded { half_width: 32, fill: 0.9 },
-            DensityModelSpec::Banded { half_width: 32, fill: 0.9 },
+            DensityModelSpec::Banded {
+                half_width: 32,
+                fill: 0.9,
+            },
+            DensityModelSpec::Banded {
+                half_width: 32,
+                fill: 0.9,
+            },
             DensityModelSpec::Dense,
         ],
         ..layer.clone()

@@ -59,7 +59,9 @@ fn actual_data_model_is_exact_on_compute() {
     // B dense so the check isolates A's (exact) marginal statistics;
     // joint-operand counts are only approximate under independence.
     let ts = tensors(&e, &[0.3, 1.0, 1.0], 21);
-    let safs = SafSpec::dense().with_skip(1, a, vec![a]).with_skip_compute();
+    let safs = SafSpec::dense()
+        .with_skip(1, a, vec![a])
+        .with_skip_compute();
     let arch = arch();
     let map = mapping(&e);
     let sim = RefSim::new(&e, &arch, &map, &safs, &ts).run();
@@ -67,7 +69,9 @@ fn actual_data_model_is_exact_on_compute() {
     let w = Workload::with_models(
         e.clone(),
         ts.iter()
-            .map(|t| Arc::new(ActualData::new(t.clone())) as Arc<dyn sparseloop_density::DensityModel>)
+            .map(|t| {
+                Arc::new(ActualData::new(t.clone())) as Arc<dyn sparseloop_density::DensityModel>
+            })
             .collect(),
     );
     let d = dataflow::analyze(&e, &map);
@@ -97,15 +101,18 @@ fn uniform_model_error_is_small_on_uniform_data() {
     let w = Workload::new(
         e.clone(),
         vec![
-            DensityModelSpec::Uniform { density: ts[0].density() },
-            DensityModelSpec::Uniform { density: ts[1].density() },
+            DensityModelSpec::Uniform {
+                density: ts[0].density(),
+            },
+            DensityModelSpec::Uniform {
+                density: ts[1].density(),
+            },
             DensityModelSpec::Dense,
         ],
     );
     let d = dataflow::analyze(&e, &map);
     let s = sparse::analyze(&w, &d, &safs);
-    let rel = (s.compute.ops.skipped - sim.computes_skipped).abs()
-        / sim.computes_skipped.max(1.0);
+    let rel = (s.compute.ops.skipped - sim.computes_skipped).abs() / sim.computes_skipped.max(1.0);
     assert!(rel < 0.02, "relative error {rel}");
 }
 

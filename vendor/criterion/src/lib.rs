@@ -1,0 +1,170 @@
+//! Offline stub of `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the criterion 0.5
+//! API subset this workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], `b.iter(..)`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark warms up briefly, picks an
+//! iteration count targeting ~200 ms of measurement, and reports the mean
+//! time per iteration plus throughput. No statistics beyond the mean are
+//! computed — enough to track relative performance across commits in a
+//! hermetic environment.
+
+use std::hint::black_box as hint_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough (re-export of
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`group/function/param`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter rendering.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f`.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    // warmup + calibration: find an iteration count worth ~200 ms
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let target = Duration::from_millis(200);
+    let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+    let per_sec = 1e9 / ns_per_iter.max(1e-9);
+    println!(
+        "bench {name:<48} {:>14.1} ns/iter {:>14.2} iter/s ({iters} iters)",
+        ns_per_iter, per_sec
+    );
+}
+
+/// Top-level bench registry (stub of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports one benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running the given functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 3), &4u64, |b, &x| {
+            b.iter(|| x * 2);
+            total += x;
+        });
+        g.finish();
+        // the harness invokes the closure once to calibrate and once to
+        // measure
+        assert_eq!(total, 8);
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stub of `rand` (0.8-compatible API subset).
+//!
+//! The workspace builds hermetically, so this crate re-implements exactly
+//! the surface the code uses: [`Rng::gen_range`] over half-open integer
+//! ranges, [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`]. The
+//! generator is xoshiro256** seeded via SplitMix64 — deterministic,
+//! high-quality, and stable across platforms, which is all the seeded
+//! reproducibility tests require. It is NOT the same stream as the real
+//! `StdRng` (ChaCha12); only determinism, not stream identity, is relied
+//! upon here.
+
+use std::ops::Range;
+
+/// Low-level entropy source: 64 random bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value API (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniform draw from a half-open integer range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// A value from the type's standard distribution (`[0, 1)` for
+    /// floats, full domain for integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+/// Types drawable with [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws from the standard distribution.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Integer types drawable with [`Rng::gen_range`].
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `range` using `rng`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased bounded draw via Lemire-style rejection on the modulus.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    // rejection zone keeps the draw unbiased
+    let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample from an empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + bounded_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u64, u32, usize);
+
+/// RNGs constructible from a seed (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u32..3);
+            assert!(v < 3);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn roughly_uniform_low_bits() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800 && c < 1200, "bucket count {c} far from uniform");
+        }
+    }
+}

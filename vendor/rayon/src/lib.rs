@@ -1,0 +1,100 @@
+//! Offline stub of `rayon`.
+//!
+//! The workspace builds hermetically, so this crate provides the small
+//! structured-parallelism surface the mapper's parallel search needs —
+//! [`scope`], [`Scope::spawn`], [`join`], and [`current_num_threads`] —
+//! implemented directly on `std::thread::scope`. Unlike real rayon there
+//! is no work-stealing pool: each `spawn` is an OS thread, so callers
+//! should spawn O(num-threads) long-lived workers (which is exactly what
+//! `Mapper::par_search` does), not O(items) tasks. Panics in spawned
+//! closures propagate out of [`scope`] like rayon's.
+
+use std::thread;
+
+/// Number of worker threads a parallel region should use: the machine's
+/// available parallelism (1 if it cannot be queried).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scope in which borrowed-data threads may be spawned; all threads are
+/// joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker inside the scope. The closure may borrow from the
+    /// environment of the enclosing [`scope`] call and receives a scope
+    /// handle for nested spawns — the same signature as real rayon's
+    /// `Scope::spawn`, so swapping this stub for the real crate is a
+    /// manifest-only change.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned worker finished.
+///
+/// # Panics
+/// Panics if any spawned worker panicked (mirroring `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures and returns both results. The stub executes the
+/// second on the calling thread after spawning the first, preserving
+/// rayon's potential-parallelism contract.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let ha = s.spawn(a);
+        let rb = b();
+        (ha.join().expect("rayon::join closure panicked"), rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn at_least_one_thread_reported() {
+        assert!(current_num_threads() >= 1);
+    }
+}

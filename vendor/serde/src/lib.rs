@@ -1,0 +1,15 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and
+//! derive-macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No actual
+//! (de)serialization is implemented; swap in the real crates when the
+//! build environment has registry access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
