@@ -3,14 +3,20 @@
 //! operand densities. Expected shape: CP always at least as fast (skipping
 //! saves cycles, gating does not); bitmask more energy-efficient at high
 //! density where CP's per-nonzero coordinates dominate.
+//!
+//! Driven by the `fig1_format_tradeoff` scenario of the registry.
 
 use sparseloop_bench::{fnum, header, row};
-use sparseloop_designs::common::matmul_mapping_2level;
-use sparseloop_designs::fig1;
-use sparseloop_workloads::spmspm;
+use sparseloop_core::EvalSession;
+use sparseloop_designs::scenario::FIG1_DENSITIES;
+use sparseloop_designs::ScenarioRegistry;
 
 fn main() {
     println!("== Fig 1: representation format trade-off (spMspM 64x64x64) ==\n");
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("fig1_format_tradeoff")
+        .run(&session, None);
     header(&[
         "density",
         "BM cycles",
@@ -20,13 +26,15 @@ fn main() {
         "CP speedup",
         "BM en. adv.",
     ]);
-    for d in [0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0] {
-        let l = spmspm(64, 64, 64, d, d);
-        let m = matmul_mapping_2level(&l.einsum, 16, 8);
-        let bm = fig1::bitmask_design(&l.einsum).evaluate(&l, &m).unwrap();
-        let cl = fig1::coordinate_list_design(&l.einsum)
-            .evaluate(&l, &m)
-            .unwrap();
+    for d in FIG1_DENSITIES {
+        let bm = &out
+            .result(&format!("Bitmask@{d}"))
+            .expect("bitmask point evaluates")
+            .eval;
+        let cl = &out
+            .result(&format!("CoordinateList@{d}"))
+            .expect("coordinate-list point evaluates")
+            .eval;
         row(&[
             format!("{d}"),
             fnum(bm.cycles),

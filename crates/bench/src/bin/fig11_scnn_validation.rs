@@ -2,53 +2,33 @@
 //! counts (uniform density model) are compared against the actual-data
 //! reference simulator for every storage component and compute; the paper
 //! reports <1% error on all components.
+//!
+//! Driven by the `fig11_scnn_validation` scenario of the registry: the
+//! scenario supplies the design, layer and searched mapping; this binary
+//! adds the reference-simulation half.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparseloop_bench::{fnum, header, rel_err_pct, row};
-use sparseloop_core::{dataflow, sparse, Workload};
-use sparseloop_designs::scnn;
+use sparseloop_bench::{concrete_tensors, fnum, header, rel_err_pct, row};
+use sparseloop_core::EvalSession;
+use sparseloop_designs::ScenarioRegistry;
 use sparseloop_refsim::RefSim;
 use sparseloop_tensor::einsum::TensorKind;
-use sparseloop_tensor::{point::Shape, SparseTensor};
-use sparseloop_workloads::alexnet;
 
 fn main() {
     println!("== Fig 11: SCNN runtime activity validation (scaled AlexNet conv3) ==\n");
-    let mut layer = alexnet().layers[2].scaled_to(300_000);
-    layer.densities[0] = sparseloop_density::DensityModelSpec::Uniform { density: 0.35 };
-    let dp = scnn::design(&layer.einsum);
-    // single-PE (temporal-only) mapping: the paper's Fig 11 validates
-    // per-component activity of one SCNN PE
-    let space = sparseloop_mapping::Mapspace::all_temporal(&layer.einsum, &dp.arch);
-    let (mapping, _) = dp.search(&layer, &space).expect("valid mapping");
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("fig11_scnn_validation")
+        .run(&session, None);
+    let (exp, res) = out
+        .succeeded()
+        .next()
+        .expect("scenario finds a valid mapping");
+    let (dp, layer) = (&exp.design, &exp.layer);
 
     // concrete tensors matching the statistical specs
-    let mut rng = StdRng::seed_from_u64(0x5C44);
-    let tensors: Vec<SparseTensor> = layer
-        .einsum
-        .tensors()
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let shape = Shape::new(
-                layer
-                    .einsum
-                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
-            );
-            if spec.kind == TensorKind::Output {
-                SparseTensor::from_triplets(shape, &[])
-            } else {
-                let d = layer.densities[i].nominal_density(shape.extents());
-                SparseTensor::gen_uniform(shape, d, &mut rng)
-            }
-        })
-        .collect();
-
-    let sim = RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run();
-    let w = Workload::new(layer.einsum.clone(), layer.densities.clone());
-    let dtraf = dataflow::analyze(&layer.einsum, &mapping);
-    let straf = sparse::analyze(&w, &dtraf, &dp.safs);
+    let tensors = concrete_tensors(layer, 0x5C44);
+    let sim = RefSim::new(&layer.einsum, &dp.arch, &res.mapping, &dp.safs, &tensors).run();
+    let straf = &res.eval.sparse;
 
     header(&["component", "analytical", "simulated", "error %"]);
     let mut worst: f64 = 0.0;

@@ -3,17 +3,16 @@
 //! against the actual-data reference simulator; the paper reports >99%
 //! total-cycle accuracy, with up to ~7% per-layer error for the uniform
 //! model on doubly-compressed layers and ~0% for the actual-data model.
+//!
+//! Driven by the `fig12_eyerissv2_validation` scenario of the registry:
+//! the scenario searches each layer's mapping; this binary adds the
+//! reference simulation and the actual-data model re-evaluation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparseloop_bench::{fnum, header, rel_err_pct, row};
-use sparseloop_core::Workload;
+use sparseloop_bench::{concrete_tensors, fnum, header, rel_err_pct, row};
+use sparseloop_core::{EvalSession, Workload};
 use sparseloop_density::ActualData;
-use sparseloop_designs::eyeriss_v2;
+use sparseloop_designs::ScenarioRegistry;
 use sparseloop_refsim::RefSim;
-use sparseloop_tensor::einsum::TensorKind;
-use sparseloop_tensor::{point::Shape, SparseTensor};
-use sparseloop_workloads::mobilenet_v1;
 use std::sync::Arc;
 
 fn main() {
@@ -26,38 +25,21 @@ fn main() {
         "actual-data",
         "err %",
     ]);
-    let net = mobilenet_v1();
-    let mut rng = StdRng::seed_from_u64(0xE2);
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("fig12_eyerissv2_validation")
+        .run(&session, None);
     let mut tot_sim = 0.0;
     let mut tot_uni = 0.0;
     let mut tot_act = 0.0;
-    for layer in net.layers.iter().skip(1).step_by(5).take(5) {
-        let layer = layer.scaled_to(120_000);
-        let dp = eyeriss_v2::design(&layer.einsum);
-        let space = sparseloop_mapping::Mapspace::all_temporal(&layer.einsum, &dp.arch);
-        let Some((mapping, uni_eval)) = dp.search(&layer, &space) else {
-            continue;
-        };
-        let tensors: Vec<SparseTensor> = layer
-            .einsum
-            .tensors()
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let shape = Shape::new(
-                    layer
-                        .einsum
-                        .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
-                );
-                if spec.kind == TensorKind::Output {
-                    SparseTensor::from_triplets(shape, &[])
-                } else {
-                    let d = layer.densities[i].nominal_density(shape.extents());
-                    SparseTensor::gen_uniform(shape, d, &mut rng)
-                }
-            })
-            .collect();
-        let sim = RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run();
+    // seeds are tied to each experiment's stable registry position, so
+    // one failing layer cannot shift the tensors (and numbers) of the
+    // rows after it
+    for (idx, (exp, res)) in out.experiments.iter().zip(&out.results).enumerate() {
+        let Ok(res) = res else { continue };
+        let (dp, layer) = (&exp.design, &exp.layer);
+        let tensors = concrete_tensors(layer, 0xE2 + idx as u64);
+        let sim = RefSim::new(&layer.einsum, &dp.arch, &res.mapping, &dp.safs, &tensors).run();
         // actual-data density model evaluation on the same mapping
         let w_act = Workload::with_models(
             layer.einsum.clone(),
@@ -69,20 +51,21 @@ fn main() {
                 })
                 .collect(),
         );
-        let act_eval = sparseloop_core::Model::new(w_act, dp.arch.clone(), dp.safs.clone())
-            .evaluate(&mapping)
+        let act_eval = session
+            .model(w_act, dp.arch.clone(), dp.safs.clone())
+            .evaluate(&res.mapping)
             .unwrap();
         let (su, sa) = (
-            rel_err_pct(uni_eval.cycles, sim.cycles),
+            rel_err_pct(res.eval.cycles, sim.cycles),
             rel_err_pct(act_eval.cycles, sim.cycles),
         );
         tot_sim += sim.cycles;
-        tot_uni += uni_eval.cycles;
+        tot_uni += res.eval.cycles;
         tot_act += act_eval.cycles;
         row(&[
             layer.name.clone(),
             fnum(sim.cycles),
-            fnum(uni_eval.cycles),
+            fnum(res.eval.cycles),
             format!("{su:.2}"),
             fnum(act_eval.cycles),
             format!("{sa:.2}"),

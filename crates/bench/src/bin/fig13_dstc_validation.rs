@@ -2,49 +2,45 @@
 //! analytical model vs actual-data reference simulation. The paper
 //! reports a 7.6% average error against DSTC's cycle-level baseline, with
 //! Sparseloop slightly optimistic (no bank conflicts).
+//!
+//! Driven by the `fig13_dstc_validation` scenario of the registry.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparseloop_bench::{header, rel_err_pct, row};
-use sparseloop_designs::dstc;
+use sparseloop_bench::{concrete_tensors, header, rel_err_pct, row};
+use sparseloop_core::EvalSession;
+use sparseloop_designs::scenario::FIG13_DENSITIES;
+use sparseloop_designs::ScenarioRegistry;
 use sparseloop_refsim::RefSim;
-use sparseloop_tensor::einsum::TensorKind;
-use sparseloop_tensor::{point::Shape, SparseTensor};
-use sparseloop_workloads::spmspm;
 
 fn main() {
     println!("== Fig 13: DSTC normalized latency vs operand density (matmul 32^3) ==\n");
     header(&["density", "model (norm)", "sim (norm)", "error %"]);
-    let mut rng = StdRng::seed_from_u64(0xD57C);
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("fig13_dstc_validation")
+        .run(&session, None);
     let mut base_model = None;
     let mut base_sim = None;
     let mut errs = Vec::new();
-    for d in [1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1] {
-        let l = spmspm(32, 32, 32, d, d);
-        let dp = dstc::design(&l.einsum);
-        let m = sparseloop_designs::common::matmul_mapping_3level(&l.einsum, 1, 8, 16, 4, true); // temporal-only: single-PE validation
-        let eval = dp.evaluate(&l, &m).unwrap();
-        let tensors: Vec<SparseTensor> = l
-            .einsum
-            .tensors()
+    for (seed_off, d) in FIG13_DENSITIES.into_iter().enumerate() {
+        let label = format!("DSTC@{d}");
+        let exp = out
+            .experiments
             .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let shape = Shape::new(
-                    l.einsum
-                        .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
-                );
-                if spec.kind == TensorKind::Output {
-                    SparseTensor::from_triplets(shape, &[])
-                } else {
-                    SparseTensor::gen_uniform(shape, d, &mut rng)
-                }
-            })
-            .collect();
-        let sim = RefSim::new(&l.einsum, &dp.arch, &m, &dp.safs, &tensors).run();
-        let bm = *base_model.get_or_insert(eval.cycles);
+            .find(|e| e.label == label)
+            .expect("registered density point");
+        let res = out.result(&label).expect("density point evaluates");
+        let tensors = concrete_tensors(&exp.layer, 0xD57C + seed_off as u64);
+        let sim = RefSim::new(
+            &exp.layer.einsum,
+            &exp.design.arch,
+            &res.mapping,
+            &exp.design.safs,
+            &tensors,
+        )
+        .run();
+        let bm = *base_model.get_or_insert(res.eval.cycles);
         let bs = *base_sim.get_or_insert(sim.cycles);
-        let (nm, ns) = (eval.cycles / bm, sim.cycles / bs);
+        let (nm, ns) = (res.eval.cycles / bm, sim.cycles / bs);
         let err = rel_err_pct(nm, ns);
         errs.push(err);
         row(&[

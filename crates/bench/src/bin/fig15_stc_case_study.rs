@@ -6,74 +6,45 @@
 //! Conv layers are lowered to implicit-GEMM matmuls
 //! (M = out channels, N = output pixels, K = C*R*S) — the natural tensor
 //! core formulation.
+//!
+//! Driven by the `fig15_stc_case_study` scenario of the registry; rows
+//! are normalized to STC on the dense workload.
 
 use sparseloop_bench::{header, row};
-use sparseloop_core::Evaluation;
-use sparseloop_density::DensityModelSpec;
-use sparseloop_designs::{dstc, stc, DesignPoint};
-use sparseloop_tensor::einsum::Einsum;
-use sparseloop_workloads::Layer;
-
-/// ResNet50 res4a-like implicit GEMM: M=256, N=14*14=196->192, K=64*9=576.
-fn layer(m_block: Option<u64>, input_density: f64) -> Layer {
-    let e = Einsum::matmul(256, 192, 576).with_name("res4a_gemm");
-    let weights = match m_block {
-        None => DensityModelSpec::Dense,
-        Some(m) => DensityModelSpec::FixedStructured { n: 2, m, axis: 1 },
-    };
-    let inputs = if input_density >= 1.0 {
-        DensityModelSpec::Dense
-    } else {
-        DensityModelSpec::Uniform {
-            density: input_density,
-        }
-    };
-    Layer {
-        name: "res4a".into(),
-        einsum: e,
-        densities: vec![weights, inputs, DensityModelSpec::Dense],
-    }
-}
-
-fn eval(dp: &DesignPoint, l: &Layer, mapping: &sparseloop_mapping::Mapping) -> Evaluation {
-    dp.evaluate(l, mapping).expect("fig15 mapping valid")
-}
+use sparseloop_core::EvalSession;
+use sparseloop_designs::scenario::FIG15_SPARSITIES;
+use sparseloop_designs::ScenarioRegistry;
 
 fn main() {
     println!("== Fig 15: tensor-core case study, ResNet50-like layer, input density 0.45 ==");
     println!("(cycles and EDP normalized to STC on the dense workload)\n");
-    let id = 0.45;
-    let dense = layer(None, id);
-    let stc_map = stc::mapping(&dense.einsum);
-    let dstc_map = dstc::mapping(&dense.einsum);
-    let base = eval(&stc::stc(&dense.einsum), &dense, &stc_map);
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("fig15_stc_case_study")
+        .run(&session, None);
+    let base = &out
+        .result("STC@dense")
+        .expect("dense STC baseline evaluates")
+        .eval;
 
     header(&["design", "sparsity", "norm cycles", "norm EDP"]);
-    for (tag, mb) in [
-        ("dense", None),
-        ("2:4", Some(4u64)),
-        ("2:6", Some(6)),
-        ("2:8", Some(8)),
-    ] {
-        let l = layer(mb, id);
-        let m_block = mb.unwrap_or(4);
-        let designs: Vec<(DesignPoint, &sparseloop_mapping::Mapping)> = vec![
-            (dstc::design(&l.einsum), &dstc_map),
-            (stc::stc(&l.einsum), &stc_map),
-            (stc::stc_flexible(&l.einsum, m_block), &stc_map),
-            (stc::stc_flexible_rle(&l.einsum, m_block), &stc_map),
-            (stc::stc_flexible_rle_dual(&l.einsum, m_block), &stc_map),
-        ];
-        for (dp, map) in designs {
-            // STC can only exploit 2:4; on other ratios it treats weights
-            // as unstructured-dense streams (no skipping benefit beyond
-            // what its 2:4 selection gives) — model it on the 2:4 layer.
-            let e = eval(&dp, &l, map);
+    for (tag, _) in FIG15_SPARSITIES {
+        // every grid point is required: a silently dropped row would
+        // make the table lie about a capacity/model regression
+        for (exp, res) in out
+            .experiments
+            .iter()
+            .zip(&out.results)
+            .filter(|(e, _)| e.label.ends_with(&format!("@{tag}")))
+        {
+            let res = res.as_ref().unwrap_or_else(|e| {
+                panic!("fig15 grid point {} failed to evaluate: {e}", exp.label)
+            });
             row(&[
-                dp.name.clone(),
+                exp.design.name.clone(),
                 tag.to_string(),
-                format!("{:.3}", e.cycles / base.cycles),
-                format!("{:.3}", e.edp / base.edp),
+                format!("{:.3}", res.eval.cycles / base.cycles),
+                format!("{:.3}", res.eval.edp / base.edp),
             ]);
         }
         println!();

@@ -2,10 +2,14 @@
 //! densities. ReuseAZ.HierarchicalSkip wins in hyper-sparse regimes;
 //! ReuseABZ.InnermostSkip wins for NN-like densities (>~6%);
 //! ReuseABZ.HierarchicalSkip is never the best.
+//!
+//! Driven by the `fig17_codesign_study` scenario of the registry.
 
 use sparseloop_bench::{header, row};
-use sparseloop_designs::fig17::{design, mapping, Dataflow, SafChoice};
-use sparseloop_workloads::spmspm;
+use sparseloop_core::EvalSession;
+use sparseloop_designs::ScenarioRegistry;
+
+const CELLS: [&str; 4] = ["ABZ.Inner", "ABZ.Hier", "AZ.Inner", "AZ.Hier"];
 
 fn main() {
     println!("== Fig 17: EDP normalized to ReuseABZ.InnermostSkip (spMspM 256^3) ==\n");
@@ -17,29 +21,27 @@ fn main() {
         "AZ.Hier",
         "best",
     ]);
-    let grid = [
-        (Dataflow::ReuseAbz, SafChoice::InnermostSkip, "ABZ.Inner"),
-        (Dataflow::ReuseAbz, SafChoice::HierarchicalSkip, "ABZ.Hier"),
-        (Dataflow::ReuseAz, SafChoice::InnermostSkip, "AZ.Inner"),
-        (Dataflow::ReuseAz, SafChoice::HierarchicalSkip, "AZ.Hier"),
-    ];
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("fig17_codesign_study")
+        .run(&session, None);
     for d in sparseloop_workloads::spmspm::density_sweep() {
-        let l = spmspm(256, 256, 256, d, d);
-        let edps: Vec<f64> = grid
+        let edps: Vec<f64> = CELLS
             .iter()
-            .map(|(df, saf, _)| {
-                let dp = design(&l.einsum, *df, *saf);
-                dp.evaluate(&l, &mapping(&l.einsum, *df)).unwrap().edp
+            .map(|cell| {
+                out.result(&format!("{cell}@{d}"))
+                    .expect("grid cell evaluates")
+                    .eval
+                    .edp
             })
             .collect();
         let base = edps[0];
-        let best = grid[edps
+        let best = CELLS[edps
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
-            .0]
-            .2;
+            .0];
         row(&[
             format!("{d}"),
             "1.000".into(),

@@ -1,0 +1,57 @@
+//! Scenario smoke test: runs every registered scenario once through one
+//! shared evaluation session and fails (non-zero exit) when any scenario
+//! panics, produces no experiments, or returns an empty result. CI runs
+//! this in release mode so a scenario that silently stops producing
+//! results cannot land.
+
+use sparseloop_bench::{fnum, header, row};
+use sparseloop_core::EvalSession;
+use sparseloop_designs::ScenarioRegistry;
+
+fn main() {
+    let registry = ScenarioRegistry::standard();
+    let session = EvalSession::new();
+    println!(
+        "== scenario smoke: {} registered scenarios ==\n",
+        registry.scenarios().len()
+    );
+    header(&["scenario", "experiments", "ok", "wall s", "mappings/s"]);
+    let mut failures = Vec::new();
+    for sc in registry.scenarios() {
+        let out = sc.run(&session, None);
+        let ok = out.results.iter().filter(|r| r.is_ok()).count();
+        row(&[
+            sc.name().to_string(),
+            out.experiments.len().to_string(),
+            ok.to_string(),
+            format!("{:.3}", out.wall_seconds),
+            fnum(out.mappings_per_sec()),
+        ]);
+        if out.experiments.is_empty() {
+            failures.push(format!("{}: no experiments", sc.name()));
+        }
+        if ok == 0 && !out.experiments.is_empty() {
+            failures.push(format!("{}: every experiment came back empty", sc.name()));
+        }
+        for (exp, res) in out.experiments.iter().zip(&out.results) {
+            if let Err(e) = res {
+                if exp.required {
+                    failures.push(format!("{}: {} failed: {e}", sc.name(), exp.label));
+                }
+            }
+        }
+    }
+    let stats = session.stats();
+    println!(
+        "\nsession: {} format analyses, {} cache hits, {} shared density models, {} slots",
+        stats.format.misses, stats.format.hits, stats.density_models, stats.format_slots
+    );
+    if !failures.is_empty() {
+        eprintln!("\nscenario smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall scenarios produced results");
+}

@@ -3,116 +3,80 @@
 //! AlexNet — plus the >2000x contrast against the per-element reference
 //! simulator (the stand-in for cycle-level simulation, which walks every
 //! compute like STONNE does).
+//!
+//! Every row is a registered scenario (`table5_<design>_<net>`) run
+//! through one shared [`EvalSession`], and *every* scenario in the
+//! registry contributes a throughput row to `BENCH_mapper.json` — the
+//! tracked perf trajectory covers each paper design, not one fixed case.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparseloop_bench::{cphc, fnum, header, row, timed};
-use sparseloop_designs::common::{conv_mapspace, DesignPoint};
-use sparseloop_designs::{eyeriss, eyeriss_v2, scnn};
+use sparseloop_bench::{concrete_tensors, cphc, fnum, header, row, timed};
+use sparseloop_core::EvalSession;
+use sparseloop_designs::scenario::{table5_name, Table5Design, Table5Net};
+use sparseloop_designs::{ScenarioOutcome, ScenarioRegistry};
 use sparseloop_refsim::RefSim;
-use sparseloop_tensor::einsum::TensorKind;
-use sparseloop_tensor::{point::Shape, SparseTensor};
-use sparseloop_workloads::{alexnet, bert_base, resnet50, vgg16, Network};
-
-fn net_cphc(design_for: &dyn Fn(&sparseloop_tensor::Einsum) -> DesignPoint, net: &Network) -> f64 {
-    let mut computes = 0.0;
-    let (_, secs) = timed(|| {
-        for layer in &net.layers {
-            // per-layer evaluation with a small mapper search, exactly the
-            // workflow the paper times
-            let dp = design_for(&layer.einsum);
-            let spatial_level = dp.arch.num_levels() - 1;
-            let space = conv_mapspace(&layer.einsum, &dp.arch, spatial_level);
-            if dp.search(layer, &space).is_some() {
-                computes += layer.computes() as f64;
-            }
-        }
-    });
-    cphc(computes, secs)
-}
 
 fn main() {
     println!("== Table 5: computes simulated per host cycle (CPHC) ==\n");
-    let nets: Vec<Network> = vec![resnet50(), bert_base(512), vgg16(), alexnet()];
-    // matmul workloads (BERT) run on the conv designs through their
-    // matmul-compatible mapspace; designs bind SAFs per tensor name.
-    header(&["design", "ResNet50", "BERT-base", "VGG16", "AlexNet"]);
-    type DesignFactory = Box<dyn Fn(&sparseloop_tensor::Einsum) -> DesignPoint>;
-    let designs: Vec<(&str, DesignFactory)> = vec![
-        (
-            "Eyeriss",
-            Box::new(|e: &sparseloop_tensor::Einsum| {
-                if e.tensor_id("Weights").is_some() {
-                    eyeriss::design(e)
-                } else {
-                    sparseloop_designs::fig1::bitmask_design(e)
-                }
-            }),
-        ),
-        (
-            "EyerissV2-PE",
-            Box::new(|e: &sparseloop_tensor::Einsum| {
-                if e.tensor_id("Weights").is_some() {
-                    eyeriss_v2::design(e)
-                } else {
-                    sparseloop_designs::fig1::coordinate_list_design(e)
-                }
-            }),
-        ),
-        (
-            "SCNN",
-            Box::new(|e: &sparseloop_tensor::Einsum| {
-                if e.tensor_id("Weights").is_some() {
-                    scnn::design(e)
-                } else {
-                    sparseloop_designs::fig1::coordinate_list_design(e)
-                }
-            }),
-        ),
-    ];
-    let mut best_cphc: f64 = 0.0;
-    for (name, f) in &designs {
-        let cells: Vec<String> = nets
+    let registry = ScenarioRegistry::standard();
+    // a FRESH session per scenario: each recorded row starts from cold
+    // caches, so the tracked per-scenario timings stay comparable across
+    // commits regardless of registry order (caches still share across
+    // the scenario's own layers/candidates — that is the per-scenario
+    // metric; scenario_smoke demonstrates the one-shared-session mode).
+    // Sessions drop right after their run; only the counters are kept.
+    let mut cache_totals = (0u64, 0u64);
+    let outcomes: Vec<ScenarioOutcome> = registry
+        .scenarios()
+        .iter()
+        .map(|sc| {
+            let session = EvalSession::new();
+            let out = sc.run(&session, None);
+            let st = session.stats();
+            cache_totals.0 += st.format.misses;
+            cache_totals.1 += st.format.hits;
+            out
+        })
+        .collect();
+    let outcome = |name: &str| {
+        outcomes
             .iter()
-            .map(|n| {
-                let v = net_cphc(f.as_ref(), n);
-                best_cphc = best_cphc.max(v);
-                fnum(v)
-            })
-            .collect();
-        let mut r = vec![name.to_string()];
-        r.extend(cells);
-        row(&r);
+            .find(|o| o.name == name)
+            .expect("scenario ran")
+    };
+
+    let mut cols = vec!["design".to_string()];
+    cols.extend(Table5Net::ALL.iter().map(|n| n.name().to_string()));
+    header(&cols.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut best_cphc: f64 = 0.0;
+    for design in Table5Design::ALL {
+        let mut cells = vec![design.name().to_string()];
+        for net in Table5Net::ALL {
+            let out = outcome(&table5_name(design, net));
+            let v = cphc(out.modeled_computes(), out.wall_seconds);
+            best_cphc = best_cphc.max(v);
+            cells.push(fnum(v));
+        }
+        row(&cells);
     }
 
     // The per-element baseline on a scaled workload: CPHC << 1.
     println!("\n-- cycle-level-style baseline (per-element reference simulator) --");
-    let layer = alexnet().layers[2].scaled_to(200_000);
-    let dp = eyeriss::design(&layer.einsum);
-    let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
-    let (mapping, _) = dp.search(&layer, &space).expect("valid mapping");
-    let mut rng = StdRng::seed_from_u64(1);
-    let tensors: Vec<SparseTensor> = layer
-        .einsum
-        .tensors()
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let shape = Shape::new(
-                layer
-                    .einsum
-                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
-            );
-            if spec.kind == TensorKind::Output {
-                SparseTensor::from_triplets(shape, &[])
-            } else {
-                let d = layer.densities[i].nominal_density(shape.extents());
-                SparseTensor::gen_uniform(shape, d, &mut rng)
-            }
-        })
-        .collect();
-    let (sim, secs) =
-        timed(|| RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run());
+    let base = outcome("table5_refsim_baseline");
+    let (exp, res) = base
+        .succeeded()
+        .next()
+        .expect("baseline scenario finds a mapping");
+    let tensors = concrete_tensors(&exp.layer, 1);
+    let (sim, secs) = timed(|| {
+        RefSim::new(
+            &exp.layer.einsum,
+            &exp.design.arch,
+            &res.mapping,
+            &exp.design.safs,
+            &tensors,
+        )
+        .run()
+    });
     let sim_cphc = cphc(sim.computes_total(), secs);
     println!("reference simulator CPHC: {}", fnum(sim_cphc));
     println!("best analytical CPHC:     {}", fnum(best_cphc));
@@ -121,16 +85,20 @@ fn main() {
         best_cphc / sim_cphc
     );
 
+    println!(
+        "\nper-scenario session caches: {} format analyses, {} hits",
+        cache_totals.0, cache_totals.1
+    );
+
     // machine-readable search-throughput record, tracked across PRs
-    let path = write_mapper_bench();
+    let path = write_mapper_bench(&outcomes);
     println!("\nwrote search-throughput record to {path}");
 }
 
-/// Measures mapper search throughput (mappings evaluated per second) on a
-/// fixed, capacity-constrained spMspM workload and writes
-/// `BENCH_mapper.json` next to the working directory. The fixed scenario
-/// makes the numbers comparable across commits.
-fn write_mapper_bench() -> String {
+/// Writes `BENCH_mapper.json`: the fixed capacity-constrained spMspM
+/// search (comparable across commits) plus one throughput row per
+/// registered scenario.
+fn write_mapper_bench(outcomes: &[ScenarioOutcome]) -> String {
     use sparseloop_core::Objective;
 
     let (model, space, mapper) = sparseloop_bench::tight_search_scenario();
@@ -158,6 +126,30 @@ fn write_mapper_bench() -> String {
             .expect("search succeeds")
     });
     assert_eq!(seq.0, par.0, "parallel/sequential parity");
+
+    let scenario_rows: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            let t = o.total_stats();
+            let ok = o.results.iter().filter(|r| r.is_ok()).count();
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"experiments\": {}, \"succeeded\": {}, ",
+                    "\"generated\": {}, \"pruned\": {}, \"evaluated\": {}, ",
+                    "\"wall_time_s\": {:.6}, \"mappings_per_sec\": {:.1}}}"
+                ),
+                o.name,
+                o.experiments.len(),
+                ok,
+                t.generated,
+                t.pruned,
+                t.evaluated,
+                o.wall_seconds,
+                o.mappings_per_sec(),
+            )
+        })
+        .collect();
+
     let json = format!(
         concat!(
             "{{\n",
@@ -176,7 +168,8 @@ fn write_mapper_bench() -> String {
             "    \"sequential_pruned\": {:.1},\n",
             "    \"parallel\": {:.1}\n",
             "  }},\n",
-            "  \"threads\": {}\n",
+            "  \"threads\": {},\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
             "}}\n"
         ),
         stats.generated,
@@ -192,6 +185,7 @@ fn write_mapper_bench() -> String {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        scenario_rows.join(",\n"),
     );
     let path = "BENCH_mapper.json";
     std::fs::write(path, json).expect("write BENCH_mapper.json");

@@ -1,54 +1,51 @@
 //! Table 6: validation summary. Re-runs compact versions of the per-design
 //! validations (Figs. 11/12/13, Table 7, STC 2x) and reports the average
 //! accuracy per design, mirroring the paper's 0.1%-8% average error band.
+//!
+//! Driven by the `table6_validation_summary` scenario of the registry:
+//! every (design, layer, mapping) triple comes from the scenario; this
+//! binary adds the reference simulations and accuracy arithmetic.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparseloop_bench::{header, rel_err_pct, row};
-use sparseloop_density::DensityModelSpec;
-use sparseloop_designs::{dstc, eyeriss_v2, scnn, stc};
+use sparseloop_bench::{concrete_tensors, header, rel_err_pct, row};
+use sparseloop_core::{EvalSession, JobOutcome};
+use sparseloop_designs::scenario::TABLE6_DSTC_DENSITIES;
+use sparseloop_designs::{Experiment, ScenarioRegistry};
 use sparseloop_refsim::RefSim;
-use sparseloop_tensor::einsum::{Einsum, TensorKind};
-use sparseloop_tensor::{point::Shape, SparseTensor};
-use sparseloop_workloads::{alexnet, mobilenet_v1, spmspm, Layer};
 
-fn concrete_tensors(layer: &Layer, seed: u64) -> Vec<SparseTensor> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    layer
-        .einsum
-        .tensors()
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let shape = Shape::new(
-                layer
-                    .einsum
-                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
-            );
-            if spec.kind == TensorKind::Output {
-                SparseTensor::from_triplets(shape, &[])
-            } else {
-                let d = layer.densities[i].nominal_density(shape.extents());
-                SparseTensor::gen_uniform(shape, d, &mut rng)
-            }
-        })
-        .collect()
+fn simulate(exp: &Experiment, res: &JobOutcome, seed: u64) -> sparseloop_refsim::SimResult {
+    let tensors = concrete_tensors(&exp.layer, seed);
+    RefSim::new(
+        &exp.layer.einsum,
+        &exp.design.arch,
+        &res.mapping,
+        &exp.design.safs,
+        &tensors,
+    )
+    .run()
 }
 
 fn main() {
     println!("== Table 6: validation summary (analytical vs actual-data reference) ==\n");
     header(&["design", "output", "accuracy %"]);
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("table6_validation_summary")
+        .run(&session, None);
+    let pair = |label: &str| {
+        let exp = out
+            .experiments
+            .iter()
+            .find(|e| e.label == label)
+            .expect("registered row");
+        let res = out.result(label).expect("row evaluates");
+        (exp, res)
+    };
 
     // SCNN: runtime activities (compute count proxy)
     {
-        let mut layer = alexnet().layers[2].scaled_to(200_000);
-        layer.densities[0] = DensityModelSpec::Uniform { density: 0.35 };
-        let dp = scnn::design(&layer.einsum);
-        let space = sparseloop_mapping::Mapspace::all_temporal(&layer.einsum, &dp.arch);
-        let (mapping, eval) = dp.search(&layer, &space).unwrap();
-        let tensors = concrete_tensors(&layer, 11);
-        let sim = RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run();
-        let err = rel_err_pct(eval.sparse.compute.ops.actual, sim.computes_actual);
+        let (exp, res) = pair("SCNN@conv3");
+        let sim = simulate(exp, res, 11);
+        let err = rel_err_pct(res.eval.sparse.compute.ops.actual, sim.computes_actual);
         row(&[
             "SCNN".into(),
             "runtime activities".into(),
@@ -58,13 +55,9 @@ fn main() {
 
     // Eyeriss V2 PE: processing latency
     {
-        let layer = mobilenet_v1().layers[2].scaled_to(120_000);
-        let dp = eyeriss_v2::design(&layer.einsum);
-        let space = sparseloop_mapping::Mapspace::all_temporal(&layer.einsum, &dp.arch);
-        let (mapping, eval) = dp.search(&layer, &space).unwrap();
-        let tensors = concrete_tensors(&layer, 12);
-        let sim = RefSim::new(&layer.einsum, &dp.arch, &mapping, &dp.safs, &tensors).run();
-        let err = rel_err_pct(eval.cycles, sim.cycles);
+        let (exp, res) = pair("EyerissV2-PE@pw1");
+        let sim = simulate(exp, res, 12);
+        let err = rel_err_pct(res.eval.cycles, sim.cycles);
         row(&[
             "EyerissV2-PE".into(),
             "processing latency".into(),
@@ -76,15 +69,11 @@ fn main() {
     {
         let mut errs = Vec::new();
         let mut base: Option<(f64, f64)> = None;
-        for d in [1.0, 0.6, 0.3] {
-            let l = spmspm(32, 32, 32, d, d);
-            let dp = dstc::design(&l.einsum);
-            let m = sparseloop_designs::common::matmul_mapping_3level(&l.einsum, 1, 8, 16, 4, true);
-            let eval = dp.evaluate(&l, &m).unwrap();
-            let tensors = concrete_tensors(&l, 13);
-            let sim = RefSim::new(&l.einsum, &dp.arch, &m, &dp.safs, &tensors).run();
-            let (bm, bs) = *base.get_or_insert((eval.cycles, sim.cycles));
-            errs.push(rel_err_pct(eval.cycles / bm, sim.cycles / bs));
+        for d in TABLE6_DSTC_DENSITIES {
+            let (exp, res) = pair(&format!("DSTC@{d}"));
+            let sim = simulate(exp, res, 13);
+            let (bm, bs) = *base.get_or_insert((res.eval.cycles, sim.cycles));
+            errs.push(rel_err_pct(res.eval.cycles / bm, sim.cycles / bs));
         }
         let avg = errs.iter().sum::<f64>() / errs.len() as f64;
         row(&[
@@ -96,30 +85,9 @@ fn main() {
 
     // STC: exact 2x on 2:4 (deterministic)
     {
-        let e = Einsum::matmul(64, 64, 64);
-        let sparse_l = Layer {
-            name: "stc".into(),
-            einsum: e.clone(),
-            densities: vec![
-                DensityModelSpec::FixedStructured {
-                    n: 2,
-                    m: 4,
-                    axis: 1,
-                },
-                DensityModelSpec::Dense,
-                DensityModelSpec::Dense,
-            ],
-        };
-        let dense_l = Layer {
-            name: "stc-dense".into(),
-            einsum: e.clone(),
-            densities: vec![DensityModelSpec::Dense; 3],
-        };
-        let dp = stc::stc(&e);
-        let m = stc::mapping(&e);
-        let s = dp.evaluate(&sparse_l, &m).unwrap();
-        let d = dp.evaluate(&dense_l, &m).unwrap();
-        let speedup = d.uarch.compute_cycles / s.uarch.compute_cycles;
+        let (_, sparse) = pair("STC@2:4");
+        let (_, dense) = pair("STC@dense");
+        let speedup = dense.eval.uarch.compute_cycles / sparse.eval.uarch.compute_cycles;
         let err = rel_err_pct(speedup, 2.0);
         row(&[
             "STC".into(),

@@ -3,25 +3,51 @@
 //! overflow padding, Eyeriss-style 5-bit runs / 16-bit values) against
 //! the analytical format model. Paper reports 1.2/1.4/1.7/1.9/1.9 with
 //! ~1% average error.
+//!
+//! Driven by the `table7_eyeriss_rlc` scenario of the registry: each
+//! experiment binds the published post-ReLU output density into its
+//! layer, and the codec under test is the Eyeriss design's DRAM
+//! activation format (`eyeriss::dram_rlc_format`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparseloop_bench::{header, row};
+use sparseloop_core::EvalSession;
 use sparseloop_density::Uniform;
+use sparseloop_designs::{eyeriss, ScenarioRegistry};
 use sparseloop_format::encode::rle_compression_rate;
-use sparseloop_format::{RankFormat, TensorFormat};
+use sparseloop_tensor::einsum::TensorKind;
 use sparseloop_tensor::{point::Shape, SparseTensor};
-use sparseloop_workloads::dnn::alexnet_output_densities;
-
-const RUN_BITS: u32 = 5;
-const VALUE_BITS: u32 = 16;
 
 fn main() {
     println!("== Table 7: Eyeriss DRAM RLC compression rate, AlexNet output activations ==\n");
     header(&["layer", "density", "actual rate", "model rate", "paper"]);
     let paper = [1.2, 1.4, 1.7, 1.9, 1.9];
+    let fmt = eyeriss::dram_rlc_format();
+    let session = EvalSession::new();
+    let out = ScenarioRegistry::standard()
+        .expect("table7_eyeriss_rlc")
+        .run(&session, None);
     let mut rng = StdRng::seed_from_u64(0xE1E);
-    for ((name, d), p) in alexnet_output_densities().into_iter().zip(paper) {
+    for ((exp, res), p) in out.experiments.iter().zip(&out.results).zip(paper) {
+        // every row is required: a silently dropped layer would shift
+        // the remaining rows onto the wrong paper reference values
+        let res = res
+            .as_ref()
+            .unwrap_or_else(|e| panic!("table7 layer {} failed to evaluate: {e}", exp.label));
+        assert!(res.eval.energy_pj > 0.0);
+        let out_idx = exp
+            .layer
+            .einsum
+            .tensors()
+            .iter()
+            .position(|t| t.kind == TensorKind::Output)
+            .expect("conv layer has an output");
+        let out_shape = exp
+            .layer
+            .einsum
+            .tensor_shape(sparseloop_tensor::einsum::TensorId(out_idx));
+        let d = exp.layer.densities[out_idx].nominal_density(&out_shape);
         // activation-map-sized stream
         let len = 64 * 1024u64;
         let t = SparseTensor::gen_uniform(Shape::new(vec![len]), d, &mut rng);
@@ -34,16 +60,17 @@ fn main() {
                 }
             })
             .collect();
-        let actual = rle_compression_rate(&values, RUN_BITS, VALUE_BITS);
-        // analytical: RLE format model over the same statistics
+        let actual = rle_compression_rate(
+            &values,
+            eyeriss::DRAM_RLC_RUN_BITS,
+            eyeriss::DRAM_RLC_VALUE_BITS,
+        );
+        // analytical: the design's RLE format model over the same stats
         let model = Uniform::new(vec![len], d);
-        let fmt = TensorFormat::from_ranks(&[RankFormat::RunLength {
-            run_bits: Some(RUN_BITS),
-        }]);
         let o = fmt.analyze(&[len], &model);
-        let analytical = o.compression_rate(len as f64, VALUE_BITS);
+        let analytical = o.compression_rate(len as f64, eyeriss::DRAM_RLC_VALUE_BITS);
         row(&[
-            name,
+            exp.layer.name.trim_end_matches("-scaled").to_string(),
             format!("{d:.2}"),
             format!("{actual:.2}"),
             format!("{analytical:.2}"),

@@ -7,8 +7,13 @@
 //! Run an experiment with e.g.
 //! `cargo run --release -p sparseloop-bench --bin fig01_format_tradeoff`.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sparseloop_core::{Model, Workload};
 use sparseloop_mapping::{Mapper, Mapspace};
+use sparseloop_tensor::einsum::TensorKind;
+use sparseloop_tensor::{point::Shape, SparseTensor};
+use sparseloop_workloads::Layer;
 use std::time::Instant;
 
 /// Nominal host clock used to convert wall time into "host cycles" for
@@ -93,6 +98,33 @@ mod tests {
         assert!(fnum(1234567.0).contains('e'));
         assert_eq!(fnum(1.5), "1.500");
     }
+}
+
+/// Concrete random tensors matching a layer's statistical density specs
+/// (inputs drawn uniformly at the spec's nominal density, outputs
+/// empty), for driving the per-element reference simulator against the
+/// analytical model. Shared by every validation binary.
+pub fn concrete_tensors(layer: &Layer, seed: u64) -> Vec<SparseTensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    layer
+        .einsum
+        .tensors()
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let shape = Shape::new(
+                layer
+                    .einsum
+                    .tensor_shape(sparseloop_tensor::einsum::TensorId(i)),
+            );
+            if spec.kind == TensorKind::Output {
+                SparseTensor::from_triplets(shape, &[])
+            } else {
+                let d = layer.densities[i].nominal_density(shape.extents());
+                SparseTensor::gen_uniform(shape, d, &mut rng)
+            }
+        })
+        .collect()
 }
 
 /// The fixed capacity-constrained search scenario used by both the

@@ -7,12 +7,14 @@ use crate::sparse::{self, SparseTraffic};
 use crate::uarch::{self, CapacityMode, UarchReport};
 use crate::workload::Workload;
 use sparseloop_arch::Architecture;
+use sparseloop_density::MemoStats;
 use sparseloop_energy::EnergyTable;
 use sparseloop_mapping::{
     CandidateEvaluator, Mapper, Mapping, MappingError, Mapspace, SearchStats,
 };
 use sparseloop_tensor::einsum::TensorId;
 use std::fmt;
+use std::sync::Arc;
 
 /// What the mapper minimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,9 +94,15 @@ pub struct Model {
     safs: SafSpec,
     energy: EnergyTable,
     capacity_mode: CapacityMode,
-    /// Per-(level, tensor, tile-shape) memo of format footprint analyses,
-    /// shared by the capacity precheck and the sparse modeling step.
-    format_cache: sparse::FormatAnalysisCache,
+    /// Memo of format footprint analyses, shared by the capacity
+    /// precheck and the sparse modeling step. Standalone models own a
+    /// private cache; session-built models share the session's (clones
+    /// share either way — the cache is a performance artifact, and its
+    /// keying identity is fixed by `format_slots`).
+    format_cache: Arc<sparse::FormatAnalysisCache>,
+    /// Cache slot per `(level, tensor)`, row-major. See
+    /// [`sparse::FormatAnalysisCache`] for the soundness contract.
+    format_slots: Vec<u64>,
 }
 
 impl Model {
@@ -106,14 +114,63 @@ impl Model {
     /// candidates whose tiles repeat shapes, so occupancy statistics and
     /// distributions are computed once per shape.
     pub fn new(workload: Workload, arch: Architecture, safs: SafSpec) -> Self {
+        let num_tensors = workload.einsum().tensors().len();
+        // private cache: one slot per (level, tensor) pair, whose format
+        // and density model are fixed for the model's lifetime
+        let format_slots = (0..arch.num_levels() * num_tensors)
+            .map(|i| i as u64)
+            .collect();
         Model {
             workload: workload.memoized(),
             arch,
             safs,
             energy: EnergyTable::default_45nm(),
             capacity_mode: CapacityMode::Expected,
-            format_cache: sparse::FormatAnalysisCache::default(),
+            format_cache: Arc::new(sparse::FormatAnalysisCache::default()),
+            format_slots,
         }
+    }
+
+    /// Builds a model whose format analyses go through a shared
+    /// session cache with session-interned slots (see
+    /// [`EvalSession`](crate::EvalSession)). The caller guarantees the
+    /// slot ids respect the cache's soundness contract.
+    pub(crate) fn with_session_cache(
+        workload: Workload,
+        arch: Architecture,
+        safs: SafSpec,
+        format_cache: Arc<sparse::FormatAnalysisCache>,
+        format_slots: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(
+            format_slots.len(),
+            arch.num_levels() * workload.einsum().tensors().len()
+        );
+        Model {
+            workload: workload.memoized(),
+            arch,
+            safs,
+            energy: EnergyTable::default_45nm(),
+            capacity_mode: CapacityMode::Expected,
+            format_cache,
+            format_slots,
+        }
+    }
+
+    /// The model's view into its format-analysis cache.
+    fn cache_view(&self) -> sparse::FormatCacheView<'_> {
+        sparse::FormatCacheView {
+            cache: &self.format_cache,
+            slots: &self.format_slots,
+            num_tensors: self.workload.einsum().tensors().len(),
+        }
+    }
+
+    /// Hit/miss/entry counters of the format-analysis cache this model
+    /// reads (the session's cache for session-built models). Misses
+    /// count real `TensorFormat::analyze` runs.
+    pub fn format_cache_stats(&self) -> MemoStats {
+        self.format_cache.stats()
     }
 
     /// Builder-style: overrides the energy table.
@@ -205,7 +262,7 @@ impl Model {
                 let shape = einsum.tensor_tile_shape(tid, &bounds);
                 match self.safs.format_at(l, tid) {
                     Some(format) => {
-                        let held = self.format_cache.analyze(
+                        let held = self.cache_view().analyze(
                             l,
                             tid,
                             format,
@@ -248,7 +305,7 @@ impl Model {
             &self.workload,
             &dense,
             &self.safs,
-            Some(&self.format_cache),
+            Some(&self.cache_view()),
         );
         let uarch = uarch::analyze(&self.arch, &sparse, &self.energy, self.capacity_mode);
         if !uarch.valid {
@@ -334,11 +391,28 @@ impl Model {
         objective: Objective,
         threads: Option<usize>,
     ) -> Option<(Mapping, Evaluation, SearchStats)> {
-        let result = mapper.par_search(space, &self.evaluator(objective), threads)?;
-        let eval = self
-            .evaluate(&result.mapping)
-            .expect("winning mapping must re-evaluate");
-        Some((result.mapping, eval, result.stats))
+        let (outcome, stats) = self.search_parallel_counted(space, mapper, objective, threads);
+        outcome.map(|(mapping, eval)| (mapping, eval, stats))
+    }
+
+    /// Parallel search returning the run's counters even when no
+    /// candidate is valid: a fruitless search still walked its stream,
+    /// and batch throughput accounting wants that work visible.
+    pub fn search_parallel_counted(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+        threads: Option<usize>,
+    ) -> (Option<(Mapping, Evaluation)>, SearchStats) {
+        let (result, stats) = mapper.par_search_counted(space, &self.evaluator(objective), threads);
+        let outcome = result.map(|r| {
+            let eval = self
+                .evaluate(&r.mapping)
+                .expect("winning mapping must re-evaluate");
+            (r.mapping, eval)
+        });
+        (outcome, stats)
     }
 
     /// Convenience: builds the default all-temporal mapspace for this

@@ -59,6 +59,7 @@
 pub mod dataflow;
 pub mod engine;
 pub mod saf;
+pub mod session;
 pub mod sparse;
 pub mod uarch;
 pub mod workload;
@@ -66,6 +67,11 @@ pub mod workload;
 pub use dataflow::{DenseTraffic, TensorLevelTraffic};
 pub use engine::{EvalError, Evaluation, Model, ModelEvaluator, Objective};
 pub use saf::{ActionOpt, ComputeSaf, FormatSaf, IntersectionSaf, SafSpec};
+pub use session::{EvalJob, EvalSession, JobError, JobOutcome, JobPlan, SessionStats};
 pub use sparse::{ActionBreakdown, SparseCompute, SparseTensorLevel, SparseTraffic};
 pub use uarch::{level_fits, LevelCost, UarchReport};
 pub use workload::Workload;
+
+// the cache-counter type surfaced by `Model::format_cache_stats` /
+// `EvalSession::format_stats`
+pub use sparseloop_density::MemoStats;

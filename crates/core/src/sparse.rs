@@ -31,56 +31,81 @@ use crate::dataflow::DenseTraffic;
 use crate::saf::{ActionOpt, SafSpec};
 use crate::workload::Workload;
 
-use sparseloop_density::DensityModel;
+use sparseloop_density::{DensityModel, MemoStats, ShapeMemo};
 use sparseloop_format::{FormatOverhead, TensorFormat};
 use sparseloop_tensor::einsum::{TensorId, TensorKind};
 use std::collections::HashMap;
-use std::sync::RwLock;
 
-/// Maximum tile shapes the format-analysis cache retains per
-/// `(level, tensor)` slot; beyond it, results are computed without being
-/// stored.
+/// Maximum tile shapes the format-analysis cache retains per slot;
+/// beyond it, results are computed without being stored.
 pub const FORMAT_CACHE_CAP: usize = 8192;
 
-/// A thread-safe memo of format footprint analyses keyed by
-/// `(level, tensor, tile shape)`.
+/// A thread-safe memo of format footprint analyses, keyed by an opaque
+/// *slot* plus the tile shape (built on the shared
+/// [`ShapeMemo`] primitive from `sparseloop-density`).
 ///
 /// Mapspace search evaluates thousands of candidates whose per-level tile
 /// shapes repeat (the factorization space reuses factors), and the same
 /// analysis runs in both the capacity pre-pass (`Model::precheck`) and
-/// the sparse modeling step — so one model-owned cache removes the
-/// dominant repeated cost on both paths. The level is part of the key
-/// because each storage level may bind a different [`TensorFormat`] to
-/// the same tensor.
-/// Cache storage: (level, tensor index) -> tile shape -> footprint. The
-/// two-level split lets hit-path lookups borrow the shape as `&[u64]`
-/// (no per-query key allocation); the `RwLock` keeps warm-cache hits
-/// from serializing parallel-search workers.
-type FormatOverheadMap = RwLock<HashMap<(usize, usize), HashMap<Vec<u64>, FormatOverhead>>>;
-
-/// Crate-private by design: results are keyed by `(level, tensor, tile
-/// shape)` only, which is sound solely because a [`Model`]'s `SafSpec`
-/// (hence each slot's format) and density models are fixed for its
-/// lifetime — a freestanding cache shared across differing specs would
-/// silently serve stale footprints.
+/// the sparse modeling step — so one cache removes the dominant repeated
+/// cost on both paths.
+///
+/// **Soundness contract**: a slot id must pin down the full analysis
+/// identity — the [`TensorFormat`] *and* the density statistics it is
+/// analyzed against. A standalone [`Model`] assigns each
+/// `(level, tensor)` pair its own slot (format and density model are
+/// fixed per pair for the model's lifetime, exactly the seed's keying);
+/// an [`EvalSession`](crate::EvalSession) interns slots by
+/// `(format, density cache key)` so identical analyses are shared across
+/// the session's models/layers. Sharing a cache across models without
+/// that discipline would silently serve stale footprints.
 ///
 /// [`Model`]: crate::Model
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct FormatAnalysisCache {
-    map: FormatOverheadMap,
+    memo: ShapeMemo<FormatOverhead>,
 }
 
-impl Clone for FormatAnalysisCache {
-    /// Cloning a model starts the clone with a fresh (empty) cache; the
-    /// cache is a performance artifact, not model state.
-    fn clone(&self) -> Self {
-        FormatAnalysisCache::default()
+impl Default for FormatAnalysisCache {
+    fn default() -> Self {
+        FormatAnalysisCache {
+            memo: ShapeMemo::new(FORMAT_CACHE_CAP),
+        }
     }
 }
 
 impl FormatAnalysisCache {
-    /// `format.analyze(shape, model)`, memoized per
-    /// `(level, tensor, shape)`.
+    /// `format.analyze(shape, model)`, memoized per `(slot, shape)`.
+    pub(crate) fn analyze(
+        &self,
+        slot: u64,
+        format: &TensorFormat,
+        shape: &[u64],
+        model: &dyn DensityModel,
+    ) -> FormatOverhead {
+        *self
+            .memo
+            .get_or_compute(slot, shape, || format.analyze(shape, model))
+    }
+
+    /// Hit/miss/entry counters (misses = real analyses performed).
+    pub(crate) fn stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+}
+
+/// A format cache bound to one model's `(level, tensor) -> slot` table —
+/// the handle the evaluation pipeline threads through
+/// [`analyze_with_cache`].
+#[derive(Clone, Copy)]
+pub(crate) struct FormatCacheView<'a> {
+    pub(crate) cache: &'a FormatAnalysisCache,
+    /// Slot per `(level, tensor)`, row-major `level * num_tensors + t`.
+    pub(crate) slots: &'a [u64],
+    pub(crate) num_tensors: usize,
+}
+
+impl FormatCacheView<'_> {
     pub(crate) fn analyze(
         &self,
         level: usize,
@@ -89,34 +114,8 @@ impl FormatAnalysisCache {
         shape: &[u64],
         model: &dyn DensityModel,
     ) -> FormatOverhead {
-        {
-            let cache = self.map.read().expect("format cache poisoned");
-            if let Some(hit) = cache
-                .get(&(level, tensor.0))
-                .and_then(|by_shape| by_shape.get(shape))
-            {
-                return *hit;
-            }
-        }
-        // compute outside the lock; misses are the expensive path
-        let overhead = format.analyze(shape, model);
-        let mut cache = self.map.write().expect("format cache poisoned");
-        let by_shape = cache.entry((level, tensor.0)).or_default();
-        if by_shape.len() < FORMAT_CACHE_CAP {
-            by_shape.insert(shape.to_vec(), overhead);
-        }
-        overhead
-    }
-
-    /// Number of cached analyses (for tests / diagnostics).
-    #[allow(dead_code)]
-    pub(crate) fn entries(&self) -> usize {
-        self.map
-            .read()
-            .expect("format cache poisoned")
-            .values()
-            .map(|by_shape| by_shape.len())
-            .sum()
+        let slot = self.slots[level * self.num_tensors + tensor.0];
+        self.cache.analyze(slot, format, shape, model)
     }
 }
 
@@ -276,7 +275,7 @@ pub(crate) fn analyze_with_cache(
     workload: &Workload,
     dense: &DenseTraffic,
     safs: &SafSpec,
-    cache: Option<&FormatAnalysisCache>,
+    cache: Option<&FormatCacheView<'_>>,
 ) -> SparseTraffic {
     let einsum = workload.einsum();
     let mut trackers: HashMap<usize, ElimTracker> = HashMap::new();
@@ -369,7 +368,7 @@ pub(crate) fn analyze_with_cache(
         let compressed = format.as_ref().map(|f| f.is_compressed()).unwrap_or(false);
         let model = workload.density(t);
         let analyze_tile = |f: &TensorFormat, shape: &[u64]| match cache {
-            Some(c) => c.analyze(de.level, t, f, shape, model.as_ref()),
+            Some(view) => view.analyze(de.level, t, f, shape, model.as_ref()),
             None => f.analyze(shape, model.as_ref()),
         };
         let (occ_words, occ_meta, max_words, max_meta, md_per_read_tile, md_per_fill_tile) =

@@ -75,6 +75,21 @@ impl Workload {
         self
     }
 
+    /// Builds a workload from models that are already memoization-backed
+    /// (the batch evaluation session interns shared [`Memoized`] wrappers
+    /// across layers); [`memoized`](Workload::memoized) becomes a no-op
+    /// so the shared caches are not re-wrapped per model.
+    pub(crate) fn with_memoized_models(einsum: Einsum, models: Vec<Arc<dyn DensityModel>>) -> Self {
+        let mut w = Workload::with_models(einsum, models);
+        w.memoized = true;
+        w
+    }
+
+    /// Whether the density models are memoization-backed already.
+    pub(crate) fn is_memoized(&self) -> bool {
+        self.memoized
+    }
+
     /// A fully dense workload.
     pub fn dense(einsum: Einsum) -> Self {
         let n = einsum.tensors().len();

@@ -159,6 +159,13 @@ impl DensityModel for Banded {
         }
         out.into_iter().collect()
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!(
+            "banded:{:?}:{}:{}",
+            self.shape, self.half_width, self.fill
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,191 @@
+//! The shared shape-keyed memoization primitive.
+//!
+//! Sparseloop's two hot caches — per-tile-shape density aggregates
+//! ([`Memoized`](crate::Memoized)) and per-(level, tensor, tile-shape)
+//! format footprint analyses in `sparseloop-core` — used to repeat the
+//! same double-checked `RwLock` pattern with separate capacity knobs.
+//! [`ShapeMemo`] is that pattern extracted once: a thread-safe,
+//! bounded, two-level map from `(slot, tile shape)` to `Arc<V>`.
+//!
+//! * **Slots** partition the key space cheaply: a slot is whatever the
+//!   caller needs results to be distinguished by — a query kind, a
+//!   `(level, tensor)` pair, or a session-interned
+//!   `(format, density-model)` identity. The two-level split also lets
+//!   hit-path lookups borrow the shape as `&[u64]` (no per-query key
+//!   allocation).
+//! * **`Arc` results** make warm hits O(1) even for heavyweight values
+//!   (occupancy distributions clone a `Vec` no more).
+//! * **Double-checked locking**: hits take only the read lock; misses
+//!   compute *outside* any lock (the expensive path must not serialize
+//!   parallel-search workers) and then race benignly on insert.
+//! * **Bounded**: once `cap` distinct shapes are recorded per slot,
+//!   further shapes are computed without being stored — search working
+//!   sets stay far below the cap in practice, and the bound keeps
+//!   adversarial workloads from growing the maps without limit.
+//! * **Counters**: `hits()` / `misses()` expose how many queries were
+//!   served from the cache versus computed, so callers (the batch
+//!   evaluation session in particular) can *prove* sharing happened.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// slot -> tile shape -> value; two levels so hit-path lookups borrow
+/// the shape without allocating a composite key.
+type SlotMap<V> = HashMap<u64, HashMap<Vec<u64>, Arc<V>>>;
+
+/// A bounded, thread-safe memo from `(slot, tile shape)` to `Arc<V>`.
+#[derive(Debug)]
+pub struct ShapeMemo<V> {
+    map: RwLock<SlotMap<V>>,
+    /// Maximum distinct shapes retained per slot.
+    cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Hit/miss/entry counters of a [`ShapeMemo`] (or a cache built on one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Queries served from the cache.
+    pub hits: u64,
+    /// Queries that had to compute (the number of real analyses run).
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+impl MemoStats {
+    /// Total queries observed.
+    pub fn queries(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+impl<V> ShapeMemo<V> {
+    /// An empty memo retaining up to `cap` shapes per slot.
+    pub fn new(cap: usize) -> Self {
+        ShapeMemo {
+            map: RwLock::new(HashMap::new()),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached value for `(slot, shape)`, computing and
+    /// (capacity permitting) storing it on a miss.
+    ///
+    /// `compute` runs outside every lock; when two workers miss the same
+    /// key concurrently both compute, and the first insert wins — the
+    /// duplicate work is bounded and lock-free, which beats serializing
+    /// all workers behind one expensive analysis.
+    pub fn get_or_compute(&self, slot: u64, shape: &[u64], compute: impl FnOnce() -> V) -> Arc<V> {
+        {
+            let map = self.map.read().expect("shape memo poisoned");
+            if let Some(hit) = map.get(&slot).and_then(|by_shape| by_shape.get(shape)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(hit);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        let mut map = self.map.write().expect("shape memo poisoned");
+        let by_shape = map.entry(slot).or_default();
+        if let Some(existing) = by_shape.get(shape) {
+            // another worker inserted while we computed; keep theirs so
+            // every caller observes one canonical Arc per key
+            return Arc::clone(existing);
+        }
+        if by_shape.len() < self.cap {
+            by_shape.insert(shape.to_vec(), Arc::clone(&value));
+        }
+        value
+    }
+
+    /// Total entries stored across all slots.
+    pub fn entries(&self) -> usize {
+        self.map
+            .read()
+            .expect("shape memo poisoned")
+            .values()
+            .map(|by_shape| by_shape.len())
+            .sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn hits_return_the_same_arc() {
+        let memo: ShapeMemo<Vec<u64>> = ShapeMemo::new(16);
+        let a = memo.get_or_compute(0, &[2, 2], || vec![1, 2, 3]);
+        let b = memo.get_or_compute(0, &[2, 2], || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b), "warm hit shares the Arc");
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn slots_partition_the_key_space() {
+        let memo: ShapeMemo<u64> = ShapeMemo::new(16);
+        let a = memo.get_or_compute(0, &[4], || 1);
+        let b = memo.get_or_compute(1, &[4], || 2);
+        assert_eq!((*a, *b), (1, 2));
+        assert_eq!(memo.entries(), 2);
+    }
+
+    #[test]
+    fn capacity_bounds_each_slot() {
+        let memo: ShapeMemo<u64> = ShapeMemo::new(4);
+        for i in 0..10u64 {
+            memo.get_or_compute(0, &[i], || i);
+        }
+        assert!(memo.entries() <= 4);
+        // beyond-cap shapes still compute correctly (twice: never stored)
+        assert_eq!(*memo.get_or_compute(0, &[9], || 99), 99);
+    }
+
+    #[test]
+    fn compute_runs_once_per_key_when_sequential() {
+        let calls = AtomicUsize::new(0);
+        let memo: ShapeMemo<u64> = ShapeMemo::new(16);
+        for _ in 0..10 {
+            memo.get_or_compute(7, &[3, 3], || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                42
+            });
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(memo.stats().hits, 9);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let memo: Arc<ShapeMemo<u64>> = Arc::new(ShapeMemo::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let memo = Arc::clone(&memo);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let v = memo.get_or_compute(t % 2, &[i % 8], || (i % 8) * 10);
+                        assert_eq!(*v, (i % 8) * 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.entries(), 16); // 2 slots x 8 shapes
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod actual;
 pub mod banded;
+pub mod cache;
 pub mod math;
 pub mod memo;
 pub mod model;
@@ -33,6 +34,7 @@ pub mod uniform;
 
 pub use actual::ActualData;
 pub use banded::Banded;
+pub use cache::{MemoStats, ShapeMemo};
 pub use memo::Memoized;
 pub use model::{DensityModel, DensityModelExt, DensityModelSpec, OccupancyStats};
 pub use structured::FixedStructured;

@@ -9,33 +9,28 @@
 //! modeling step (format footprint analysis and leader-tile emptiness
 //! both bottom out in these queries).
 //!
-//! [`Memoized`] is thread-safe (`RwLock`-guarded maps — warm hits take
-//! only the read lock), so one wrapped model
-//! can serve the mapper's parallel search workers concurrently. The cache
-//! is bounded: once [`CACHE_CAP`] distinct shapes have been recorded per
-//! query kind, further shapes are computed without being stored — search
-//! working sets are far below the cap in practice, and the bound keeps
-//! adversarial workloads from growing the maps without limit.
+//! [`Memoized`] is a thin binding of the shared [`ShapeMemo`] primitive
+//! (see [`crate::cache`]) to the [`DensityModel`] trait: thread-safe
+//! (warm hits take only a read lock, so one wrapped model can serve the
+//! mapper's parallel search workers concurrently), bounded at
+//! [`CACHE_CAP`] distinct shapes per query kind, and `Arc`-backed — a
+//! warm distribution hit shares the cached `Vec` instead of cloning it
+//! (use [`DensityModel::occupancy_distribution_arc`] to benefit).
 
+use crate::cache::{MemoStats, ShapeMemo};
 use crate::model::{DensityModel, OccupancyStats};
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Maximum distinct tile shapes cached per query kind.
 pub const CACHE_CAP: usize = 4096;
 
 /// A [`DensityModel`] decorator caching `occupancy` and
 /// `occupancy_distribution` results per tile shape.
-/// Cached distributions: tile shape -> (occupancy, probability) pairs.
-/// Stored by value: the `DensityModel` trait returns owned `Vec`s, so a
-/// hit clones either way and shared ownership would buy nothing.
-type DistributionCache = RwLock<HashMap<Vec<u64>, Vec<(u64, f64)>>>;
-
 #[derive(Debug)]
 pub struct Memoized {
     inner: Arc<dyn DensityModel>,
-    occupancy: RwLock<HashMap<Vec<u64>, OccupancyStats>>,
-    distribution: DistributionCache,
+    occupancy: ShapeMemo<OccupancyStats>,
+    distribution: ShapeMemo<Vec<(u64, f64)>>,
 }
 
 impl Memoized {
@@ -43,8 +38,8 @@ impl Memoized {
     pub fn new(inner: Arc<dyn DensityModel>) -> Self {
         Memoized {
             inner,
-            occupancy: RwLock::new(HashMap::new()),
-            distribution: RwLock::new(HashMap::new()),
+            occupancy: ShapeMemo::new(CACHE_CAP),
+            distribution: ShapeMemo::new(CACHE_CAP),
         }
     }
 
@@ -60,10 +55,12 @@ impl Memoized {
 
     /// Number of cached occupancy entries (for tests / diagnostics).
     pub fn occupancy_entries(&self) -> usize {
-        self.occupancy
-            .read()
-            .expect("occupancy cache poisoned")
-            .len()
+        self.occupancy.entries()
+    }
+
+    /// Hit/miss counters of the occupancy cache.
+    pub fn occupancy_stats(&self) -> MemoStats {
+        self.occupancy.stats()
     }
 }
 
@@ -81,41 +78,25 @@ impl DensityModel for Memoized {
     }
 
     fn occupancy(&self, tile_shape: &[u64]) -> OccupancyStats {
-        {
-            let cache = self.occupancy.read().expect("occupancy cache poisoned");
-            if let Some(hit) = cache.get(tile_shape) {
-                return *hit;
-            }
-        }
-        // compute outside the lock: misses may be expensive and other
-        // workers should not serialize behind them
-        let stats = self.inner.occupancy(tile_shape);
-        let mut cache = self.occupancy.write().expect("occupancy cache poisoned");
-        if cache.len() < CACHE_CAP {
-            cache.insert(tile_shape.to_vec(), stats);
-        }
-        stats
+        *self
+            .occupancy
+            .get_or_compute(0, tile_shape, || self.inner.occupancy(tile_shape))
     }
 
     fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
-        {
-            let cache = self
-                .distribution
-                .read()
-                .expect("distribution cache poisoned");
-            if let Some(hit) = cache.get(tile_shape) {
-                return hit.clone();
-            }
-        }
-        let dist = self.inner.occupancy_distribution(tile_shape);
-        let mut cache = self
-            .distribution
-            .write()
-            .expect("distribution cache poisoned");
-        if cache.len() < CACHE_CAP {
-            cache.insert(tile_shape.to_vec(), dist.clone());
-        }
-        dist
+        self.occupancy_distribution_arc(tile_shape).to_vec()
+    }
+
+    fn occupancy_distribution_arc(&self, tile_shape: &[u64]) -> Arc<Vec<(u64, f64)>> {
+        self.distribution.get_or_compute(0, tile_shape, || {
+            self.inner.occupancy_distribution(tile_shape)
+        })
+    }
+
+    fn cache_key(&self) -> Option<String> {
+        // the decorator is transparent: sharing identity is the inner
+        // model's
+        self.inner.cache_key()
     }
 }
 
@@ -130,6 +111,17 @@ mod tests {
     struct Counting {
         inner: Uniform,
         occupancy_calls: AtomicUsize,
+        distribution_calls: AtomicUsize,
+    }
+
+    impl Counting {
+        fn new(inner: Uniform) -> Self {
+            Counting {
+                inner,
+                occupancy_calls: AtomicUsize::new(0),
+                distribution_calls: AtomicUsize::new(0),
+            }
+        }
     }
 
     impl DensityModel for Counting {
@@ -147,16 +139,14 @@ mod tests {
             self.inner.occupancy(tile_shape)
         }
         fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)> {
+            self.distribution_calls.fetch_add(1, Ordering::SeqCst);
             self.inner.occupancy_distribution(tile_shape)
         }
     }
 
     #[test]
     fn repeated_shapes_hit_the_cache() {
-        let counting = Arc::new(Counting {
-            inner: Uniform::new(vec![16, 16], 0.25),
-            occupancy_calls: AtomicUsize::new(0),
-        });
+        let counting = Arc::new(Counting::new(Uniform::new(vec![16, 16], 0.25)));
         let memo = Memoized::new(counting.clone() as Arc<dyn DensityModel>);
         let a = memo.occupancy(&[4, 4]);
         for _ in 0..10 {
@@ -165,6 +155,19 @@ mod tests {
         }
         assert_eq!(counting.occupancy_calls.load(Ordering::SeqCst), 1);
         assert_eq!(memo.occupancy_entries(), 1);
+        assert_eq!(memo.occupancy_stats().hits, 10);
+    }
+
+    #[test]
+    fn warm_distribution_hits_share_the_arc() {
+        let counting = Arc::new(Counting::new(Uniform::new(vec![16, 16], 0.5)));
+        let memo = Memoized::new(counting.clone() as Arc<dyn DensityModel>);
+        let a = memo.occupancy_distribution_arc(&[4, 4]);
+        let b = memo.occupancy_distribution_arc(&[4, 4]);
+        assert!(Arc::ptr_eq(&a, &b), "warm hit must not clone the Vec");
+        assert_eq!(counting.distribution_calls.load(Ordering::SeqCst), 1);
+        // the by-value accessor stays available and consistent
+        assert_eq!(memo.occupancy_distribution(&[4, 4]), *a);
     }
 
     #[test]
@@ -182,6 +185,7 @@ mod tests {
         }
         assert_eq!(memo.density(), inner.density());
         assert_eq!(memo.tensor_shape(), inner.tensor_shape());
+        assert_eq!(memo.cache_key(), inner.cache_key());
     }
 
     #[test]

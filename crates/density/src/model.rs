@@ -57,6 +57,34 @@ pub trait DensityModel: Debug + Send + Sync {
     /// Full occupancy distribution for a tile of the given shape, as
     /// sorted `(occupancy, probability)` pairs summing to ~1.
     fn occupancy_distribution(&self, tile_shape: &[u64]) -> Vec<(u64, f64)>;
+
+    /// Shared-ownership variant of
+    /// [`occupancy_distribution`](DensityModel::occupancy_distribution).
+    ///
+    /// The default wraps a fresh computation; caching decorators
+    /// ([`Memoized`](crate::Memoized)) override it so warm hits hand
+    /// back the cached `Arc` instead of cloning the distribution `Vec`.
+    /// Callers that query distributions repeatedly for the same shapes
+    /// (or hold one for bucketing/statistics, like the Fig. 9 binary)
+    /// should prefer this accessor.
+    fn occupancy_distribution_arc(&self, tile_shape: &[u64]) -> Arc<Vec<(u64, f64)>> {
+        Arc::new(self.occupancy_distribution(tile_shape))
+    }
+
+    /// A stable identity for cross-model result sharing, or `None` when
+    /// results must stay private to this instance.
+    ///
+    /// Two models returning the same key MUST answer every occupancy
+    /// query identically — the key therefore encodes the model kind, its
+    /// parameters *and* the tensor shape. Statistical models (uniform,
+    /// structured, banded) are pure functions of those and return keys;
+    /// data-backed models ([`ActualData`](crate::ActualData)) return
+    /// `None`. The batch evaluation session uses the key to intern one
+    /// memoized model (and one format-analysis cache slot) per distinct
+    /// statistic, sharing aggregates across workload layers.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Convenience helpers derived from the required methods.

@@ -147,6 +147,13 @@ impl DensityModel for FixedStructured {
         }
         convolve_power(&per_window, others, 1e-12)
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!(
+            "structured:{:?}:{}:{}:{}",
+            self.shape, self.n, self.m, self.axis
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,10 @@ impl DensityModel for Uniform {
             .filter(|&(_, p)| p > 0.0)
             .collect()
     }
+
+    fn cache_key(&self) -> Option<String> {
+        Some(format!("uniform:{:?}:{}", self.shape, self.nnz))
+    }
 }
 
 #[cfg(test)]

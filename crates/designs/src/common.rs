@@ -6,6 +6,15 @@ use sparseloop_mapping::{Mapper, Mapping, Mapspace};
 use sparseloop_tensor::einsum::{DimId, Einsum, TensorId};
 use sparseloop_workloads::Layer;
 
+/// The default search strategy of [`DesignPoint::search`] and the
+/// scenario registry's search experiments: a hybrid that enumerates a
+/// deterministic prefix and tops it up with deduplicated random samples.
+pub const DEFAULT_MAPPER: Mapper = Mapper::Hybrid {
+    enumerate: 256,
+    samples: 128,
+    seed: 0xD0E5,
+};
+
 /// A fully-bound design point: architecture + SAFs for a specific
 /// workload, ready to evaluate.
 #[derive(Debug, Clone)]
@@ -41,15 +50,8 @@ impl DesignPoint {
         layer: &Layer,
         space: &Mapspace,
     ) -> Option<(Mapping, sparseloop_core::Evaluation)> {
-        self.model(layer).search(
-            space,
-            Mapper::Hybrid {
-                enumerate: 256,
-                samples: 128,
-                seed: 0xD0E5,
-            },
-            sparseloop_core::Objective::Edp,
-        )
+        self.model(layer)
+            .search(space, DEFAULT_MAPPER, sparseloop_core::Objective::Edp)
     }
 }
 

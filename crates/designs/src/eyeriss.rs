@@ -62,6 +62,21 @@ pub fn design(e: &Einsum) -> DesignPoint {
     }
 }
 
+/// Run-length field width of Eyeriss' DRAM RLC codec (5-bit runs).
+pub const DRAM_RLC_RUN_BITS: u32 = 5;
+
+/// Value width of Eyeriss' DRAM RLC codec (16-bit activations).
+pub const DRAM_RLC_VALUE_BITS: u32 = 16;
+
+/// The DRAM activation codec as a tensor format (Table 7's analytical
+/// side): one run-length rank with Eyeriss' 5-bit runs over a flattened
+/// activation stream.
+pub fn dram_rlc_format() -> TensorFormat {
+    TensorFormat::from_ranks(&[sparseloop_format::RankFormat::RunLength {
+        run_bits: Some(DRAM_RLC_RUN_BITS),
+    }])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,14 @@ fn arch(name: &str) -> Architecture {
         )
         .level(
             StorageLevel::new("Buffer")
-                .with_capacity(8 * 1024)
+                // sized so the fully-dense 64^3 sweep point fits even in
+                // CP format (per-nonzero coordinates roughly double the
+                // footprint at density 1.0; 8K words overflowed there).
+                // Note the energy table scales access cost with
+                // sqrt(capacity), so this raises *both* designs' buffer
+                // energy uniformly; the figure's claims are relative and
+                // the crossover shape is locked by tests.
+                .with_capacity(12 * 1024)
                 .with_bandwidth(64.0),
         )
         .compute(ComputeSpec::new("MAC", 16))

@@ -21,7 +21,9 @@ pub mod eyeriss;
 pub mod eyeriss_v2;
 pub mod fig1;
 pub mod fig17;
+pub mod scenario;
 pub mod scnn;
 pub mod stc;
 
 pub use common::DesignPoint;
+pub use scenario::{Experiment, MappingPolicy, Scenario, ScenarioOutcome, ScenarioRegistry};

@@ -16,7 +16,7 @@ pub(crate) fn coord_bits_for(n: u64) -> u32 {
 /// Each variant defines how one fibertree rank encodes which of its
 /// coordinates are non-empty, and therefore how much metadata the rank
 /// carries and whether empty positions are pruned from lower ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 pub enum RankFormat {
     /// `U` — all coordinates stored explicitly (zeros included); no

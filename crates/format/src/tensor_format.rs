@@ -15,7 +15,7 @@ use std::fmt;
 
 /// One level of a hierarchical format: a per-rank format applied to one
 /// or more flattened tensor ranks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FormatLevel {
     /// The per-rank format for this fibertree level.
     pub format: RankFormat,
@@ -75,7 +75,7 @@ impl FormatOverhead {
 /// assert_eq!(TensorFormat::coo(2).to_string(), "CP^2");
 /// assert_eq!(TensorFormat::csf(3).to_string(), "CP-CP-CP");
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TensorFormat {
     levels: Vec<FormatLevel>,
 }

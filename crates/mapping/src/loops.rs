@@ -16,7 +16,7 @@ pub enum LoopKind {
 }
 
 /// One loop of the nest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Loop {
     /// The iteration dimension this loop tiles.
     pub dim: DimId,
@@ -146,10 +146,21 @@ impl std::error::Error for MappingError {}
 /// the parallel search's serialized stream section).
 ///
 /// [`Mapspace`]: crate::Mapspace
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mapping {
     nests: Vec<Vec<Loop>>,
     keep: Arc<Vec<Vec<bool>>>,
+}
+
+/// Hashes by content (nests plus the keep matrix behind the `Arc`),
+/// consistent with the derived `PartialEq` — two mappings with equal
+/// schedules hash alike even when their keep matrices are distinct
+/// allocations. Enables the mapper's hybrid-strategy dedup set.
+impl std::hash::Hash for Mapping {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.nests.hash(state);
+        (*self.keep).hash(state);
+    }
 }
 
 impl Mapping {

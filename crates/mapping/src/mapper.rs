@@ -102,7 +102,10 @@ pub enum Mapper {
         seed: u64,
     },
     /// Enumerate up to a cap, then top up with random samples — a simple
-    /// hybrid that works well on medium mapspaces.
+    /// hybrid that works well on medium mapspaces. Samples that duplicate
+    /// an enumerated candidate are dropped from the stream (the strategy
+    /// keeps a set of the enumerated prefix, so memory is O(`enumerate`)),
+    /// ensuring random draws only ever explore beyond the prefix.
     Hybrid {
         /// Enumeration cap.
         enumerate: usize,
@@ -130,11 +133,34 @@ impl Mapper {
                 enumerate,
                 samples,
                 seed,
-            } => Box::new(
-                space
-                    .iter_enumerate(enumerate)
-                    .chain(space.iter_sample(samples, StdRng::seed_from_u64(seed))),
-            ),
+            } => {
+                // dedup sampled candidates against the enumerated prefix:
+                // re-evaluating a mapping enumeration already scored
+                // wastes the sample budget without changing the winner.
+                // The prefix stays streaming (O(1) beyond the dedup set
+                // itself): each enumerated candidate is recorded into a
+                // shared set as it is yielded, and the sample tail
+                // filters against it. The Mutex is uncontended — one
+                // iterator is polled at a time (par_search serializes
+                // the stream behind its own lock).
+                let seen =
+                    std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
+                let record = std::sync::Arc::clone(&seen);
+                Box::new(
+                    space
+                        .iter_enumerate(enumerate)
+                        .inspect(move |m| {
+                            record.lock().expect("hybrid dedup set").insert(m.clone());
+                        })
+                        .chain(
+                            space
+                                .iter_sample(samples, StdRng::seed_from_u64(seed))
+                                .filter(move |m| {
+                                    !seen.lock().expect("hybrid dedup set").contains(m)
+                                }),
+                        ),
+                )
+            }
         }
     }
 
@@ -184,6 +210,18 @@ impl Mapper {
         space: &Mapspace,
         evaluator: &E,
     ) -> Option<SearchResult> {
+        self.search_pruned_counted(space, evaluator).0
+    }
+
+    /// Like [`search_pruned`](Mapper::search_pruned), but the run's
+    /// counters are returned even when no candidate evaluates
+    /// successfully — an all-invalid stream was still walked, and
+    /// throughput accounting should see that work.
+    pub fn search_pruned_counted<E: CandidateEvaluator + ?Sized>(
+        &self,
+        space: &Mapspace,
+        evaluator: &E,
+    ) -> (Option<SearchResult>, SearchStats) {
         let mut stats = SearchStats::default();
         let mut best: Option<(Mapping, f64)> = None;
         for m in self.candidates(space) {
@@ -205,11 +243,12 @@ impl Mapper {
                 _ => stats.invalid += 1,
             }
         }
-        best.map(|(mapping, objective)| SearchResult {
+        let result = best.map(|(mapping, objective)| SearchResult {
             mapping,
             objective,
             stats,
-        })
+        });
+        (result, stats)
     }
 
     /// Parallel search: distributes the candidate stream over `threads`
@@ -230,9 +269,21 @@ impl Mapper {
         evaluator: &E,
         threads: Option<usize>,
     ) -> Option<SearchResult> {
+        self.par_search_counted(space, evaluator, threads).0
+    }
+
+    /// Like [`par_search`](Mapper::par_search), but the run's counters
+    /// are returned even when no candidate evaluates successfully (see
+    /// [`search_pruned_counted`](Mapper::search_pruned_counted)).
+    pub fn par_search_counted<E: CandidateEvaluator + ?Sized>(
+        &self,
+        space: &Mapspace,
+        evaluator: &E,
+        threads: Option<usize>,
+    ) -> (Option<SearchResult>, SearchStats) {
         let workers = threads.unwrap_or_else(rayon::current_num_threads).max(1);
         if workers == 1 {
-            return self.search_pruned(space, evaluator);
+            return self.search_pruned_counted(space, evaluator);
         }
 
         let stream = Mutex::new(self.candidates(space).enumerate());
@@ -298,13 +349,15 @@ impl Mapper {
             evaluated: evaluated.into_inner(),
             invalid: invalid.into_inner(),
         };
-        best.into_inner()
-            .expect("best slot poisoned")
-            .map(|(objective, _, mapping)| SearchResult {
-                mapping,
-                objective,
-                stats,
-            })
+        let result =
+            best.into_inner()
+                .expect("best slot poisoned")
+                .map(|(objective, _, mapping)| SearchResult {
+                    mapping,
+                    objective,
+                    stats,
+                });
+        (result, stats)
     }
 }
 
@@ -391,7 +444,24 @@ mod tests {
         }
         .search(&space, toy_objective)
         .unwrap();
-        assert_eq!(r.stats.generated, 20);
+        // at least the enumerated prefix; sampled duplicates of the
+        // prefix are dropped, so the total may fall short of 20
+        assert!(r.stats.generated >= 10 && r.stats.generated <= 20);
+    }
+
+    #[test]
+    fn hybrid_samples_never_repeat_the_enumerated_prefix() {
+        let space = setup();
+        let mapper = Mapper::Hybrid {
+            enumerate: 200,
+            samples: 500,
+            seed: 3,
+        };
+        let stream: Vec<Mapping> = mapper.candidates(&space).collect();
+        let prefix: std::collections::HashSet<&Mapping> = stream.iter().take(200).collect();
+        for m in stream.iter().skip(200) {
+            assert!(!prefix.contains(m), "sampled candidate repeats prefix");
+        }
     }
 
     #[test]

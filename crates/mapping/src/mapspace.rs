@@ -252,25 +252,32 @@ impl Mapspace {
     /// over a combinatorially large mapspace needs O(1) memory in the
     /// candidate count.
     ///
-    /// **Coverage caveat** (inherited from the original `enumerate`):
-    /// each dimension's ordered-factorization list is *also* capped at
-    /// `limit`, so when a single dimension admits more than `limit`
-    /// factorizations, the tail of that list — and every candidate using
-    /// it — is silently unreachable. Choose `limit` at least as large as
-    /// the biggest per-dimension factorization count when true
-    /// exhaustiveness matters.
+    /// `limit` caps only the *output*: each dimension's ordered
+    /// factorization list is materialized in full, so every candidate of
+    /// the space is reachable given a large enough `limit` — a dimension
+    /// with many factorizations no longer silently loses its tail (the
+    /// seed capped the per-dimension lists at `limit` too, which made
+    /// small limits skip late-but-valid candidates entirely).
+    ///
+    /// Memory note: the per-dimension lists are built eagerly, costing
+    /// O(number of ordered factorizations) vectors per dimension before
+    /// the first candidate streams out. For tensor-workload bounds (a
+    /// few thousand, a handful of slots) this is a few hundred small
+    /// vectors; callers exploring astronomically composite bounds
+    /// should constrain the temporal orders (fewer slots per dim) to
+    /// keep the lists small.
     ///
     /// [`enumerate`]: Mapspace::enumerate
     pub fn iter_enumerate(&self, limit: usize) -> EnumerateIter<'_> {
         let plan = self.plan();
-        // per-dim ordered factorizations (small: one list per dimension,
-        // each capped at `limit`); the cross product is what stays lazy
+        // per-dim ordered factorizations (small: one list per dimension);
+        // the cross product is what stays lazy
         let dim_factorizations: Vec<Vec<Vec<u64>>> = (0..self.num_dims)
             .map(|d| {
                 if plan.per_dim[d].is_empty() {
                     vec![Vec::new()]
                 } else {
-                    factorizations(self.dim_bounds[d], plan.per_dim[d].len(), Some(limit))
+                    factorizations(self.dim_bounds[d], plan.per_dim[d].len(), None)
                 }
             })
             .collect();
@@ -567,6 +574,27 @@ mod tests {
         let collected = space.sample(40, &mut StdRng::seed_from_u64(11));
         let streamed: Vec<_> = space.iter_sample(40, StdRng::seed_from_u64(11)).collect();
         assert_eq!(streamed, collected);
+    }
+
+    #[test]
+    fn enumeration_limit_does_not_truncate_dimension_tails() {
+        // m=64 owns two slots: an outer temporal and an inner spatial
+        // bounded by fanout 4. The lexicographic factorization list
+        // [1,64], [2,32], ... puts the only fanout-respecting splits at
+        // the tail ([16,4], [32,2], [64,1]); the seed's per-dimension cap
+        // of `limit` truncated the list to its invalid head, so a small
+        // limit produced nothing at all.
+        let e = Einsum::matmul(64, 1, 1);
+        let a = arch(); // fanout below Buf is 4
+        let space = Mapspace::all_temporal(&e, &a)
+            .with_temporal_order(0, vec![DimId(0)])
+            .with_temporal_order(1, vec![])
+            .with_spatial_dims(1, vec![DimId(0)]);
+        let maps = space.enumerate(3);
+        assert_eq!(maps.len(), 3, "tail factorizations must be reachable");
+        for m in &maps {
+            m.validate(&e, &a).unwrap();
+        }
     }
 
     #[test]

@@ -36,30 +36,49 @@ fn spmspm_on_fig1_designs_end_to_end() {
 
 #[test]
 fn conv_designs_search_valid_mappings() {
+    // driven as scenario experiments through a shared session, the same
+    // path the registry's experiments take
     let layer = alexnet().layers[4].scaled_to(1_000_000);
-    for (dp, spatial_level) in [
-        (eyeriss::design(&layer.einsum), 2usize),
-        (scnn::design(&layer.einsum), 2usize),
-    ] {
-        let space = conv_mapspace(&layer.einsum, &dp.arch, spatial_level);
-        let (mapping, eval) = dp.search(&layer, &space).expect("valid mapping exists");
-        mapping.validate(&layer.einsum, &dp.arch).unwrap();
-        assert!(eval.cycles > 0.0, "{}", dp.name);
+    let session = sparseloop_core::EvalSession::new();
+    for dp in [eyeriss::design(&layer.einsum), scnn::design(&layer.einsum)] {
+        let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
+        let exp = sparseloop_designs::Experiment::search(
+            format!("{}@conv5", dp.name),
+            dp,
+            layer.clone(),
+            space,
+        );
+        let outcome = session.search_batch(&[exp.job()], Some(2));
+        let res = outcome[0].as_ref().expect("valid mapping exists");
+        res.mapping
+            .validate(&layer.einsum, &exp.design.arch)
+            .unwrap();
+        assert!(res.eval.cycles > 0.0, "{}", exp.label);
     }
 }
 
 #[test]
 fn network_level_aggregation() {
-    // per-layer evaluation then aggregation, the paper's DNN methodology
+    // per-layer evaluation then aggregation, the paper's DNN methodology,
+    // run as one batch through the session
     let net = vgg16();
-    let mut total = 0.0;
-    for layer in net.layers.iter().take(3) {
-        let layer = layer.scaled_to(2_000_000);
-        let dp = eyeriss::design(&layer.einsum);
-        let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
-        let (_, eval) = dp.search(&layer, &space).unwrap();
-        total += eval.energy_pj;
-    }
+    let session = sparseloop_core::EvalSession::new();
+    let jobs: Vec<sparseloop_core::EvalJob> = net
+        .layers
+        .iter()
+        .take(3)
+        .map(|layer| {
+            let layer = layer.scaled_to(2_000_000);
+            let dp = eyeriss::design(&layer.einsum);
+            let space = conv_mapspace(&layer.einsum, &dp.arch, 2);
+            sparseloop_designs::Experiment::search(layer.name.clone(), dp, layer, space).job()
+        })
+        .collect();
+    let total: f64 = session
+        .search_batch(&jobs, Some(2))
+        .iter()
+        .map(|r| r.as_ref().expect("layer maps").eval.energy_pj)
+        .sum();
     assert!(total > 0.0);
 }
 

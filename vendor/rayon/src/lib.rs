@@ -3,13 +3,25 @@
 //! The workspace builds hermetically, so this crate provides the small
 //! structured-parallelism surface the mapper's parallel search needs —
 //! [`scope`], [`Scope::spawn`], [`join`], and [`current_num_threads`] —
-//! implemented directly on `std::thread::scope`. Unlike real rayon there
-//! is no work-stealing pool: each `spawn` is an OS thread, so callers
-//! should spawn O(num-threads) long-lived workers (which is exactly what
-//! `Mapper::par_search` does), not O(items) tasks. Panics in spawned
-//! closures propagate out of [`scope`] like rayon's.
+//! backed by one **persistent worker pool** instead of real rayon's
+//! work-stealing deques. The pool is created lazily on first use and
+//! lives for the process: repeated `scope` calls (a batch evaluation
+//! session searching many small mapspaces) reuse the same OS threads
+//! rather than paying a spawn/join round trip per scope. Panics in
+//! spawned closures propagate out of [`scope`] like rayon's.
+//!
+//! Scheduling is deliberately simple: one global injector queue, one
+//! condvar. While a scope drains, its *calling* thread helps execute
+//! queued tasks instead of blocking, so nested scopes (a task spawning
+//! its own scope) cannot deadlock the fixed-size pool and small batches
+//! finish without a context switch.
 
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::thread;
+use std::time::Duration;
 
 /// Number of worker threads a parallel region should use: the machine's
 /// available parallelism (1 if it cannot be queried).
@@ -19,14 +31,107 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// A scope in which borrowed-data threads may be spawned; all threads are
-/// joined before [`scope`] returns.
+/// A queued unit of work. Tasks are boxed `'static` closures; the
+/// lifetime erasure is performed (unsafely, see [`Scope::spawn`]) by the
+/// scope that owns the borrow and is justified by the scope blocking
+/// until its task count drains to zero.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The process-wide worker pool.
+struct Pool {
+    queue: Mutex<VecDeque<Task>>,
+    /// Signalled when a task is pushed (workers wait on this).
+    work_ready: Condvar,
+    /// Worker thread count (fixed at creation; read by tests asserting
+    /// pool reuse).
+    #[cfg_attr(not(test), allow(dead_code))]
+    workers: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let workers = current_num_threads();
+        for i in 0..workers {
+            thread::Builder::new()
+                .name(format!("sparseloop-worker-{i}"))
+                .spawn(worker_loop)
+                .expect("spawn pool worker");
+        }
+        Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            workers,
+        }
+    })
+}
+
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let task = {
+            let mut queue = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = pool
+                    .work_ready
+                    .wait(queue)
+                    .expect("pool queue poisoned while waiting");
+            }
+        };
+        task();
+    }
+}
+
+/// Pops one queued task without blocking (used by draining scopes to
+/// help instead of waiting).
+fn try_steal() -> Option<Task> {
+    pool()
+        .queue
+        .lock()
+        .expect("pool queue poisoned")
+        .pop_front()
+}
+
+fn inject(task: Task) {
+    let pool = pool();
+    pool.queue
+        .lock()
+        .expect("pool queue poisoned")
+        .push_back(task);
+    pool.work_ready.notify_one();
+}
+
+/// Shared completion state of one `scope` call.
+///
+/// Heap-allocated behind an `Arc`: every queued task owns a clone, so
+/// the state (mutex + condvar) outlives any late `notify_all` even if
+/// the scope's caller has already observed `pending == 0` and moved on
+/// — the borrowed *environment*'s lifetime is what the drain loop
+/// protects, not the state's.
+#[derive(Default)]
+struct ScopeState {
+    /// Tasks spawned but not yet finished.
+    pending: Mutex<usize>,
+    /// Signalled whenever a task of this scope finishes.
+    changed: Condvar,
+    /// First panic payload observed in a task, re-thrown by `scope`.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// A scope in which borrowed-data tasks may be spawned; all tasks finish
+/// before [`scope`] returns.
 pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope thread::Scope<'scope, 'env>,
+    state: std::sync::Arc<ScopeState>,
+    _scope: std::marker::PhantomData<&'scope mut &'scope ()>,
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
 }
 
 impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawns a worker inside the scope. The closure may borrow from the
+    /// Spawns a task onto the pool. The closure may borrow from the
     /// environment of the enclosing [`scope`] call and receives a scope
     /// handle for nested spawns — the same signature as real rayon's
     /// `Scope::spawn`, so swapping this stub for the real crate is a
@@ -35,25 +140,106 @@ impl<'scope, 'env> Scope<'scope, 'env> {
     where
         F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
     {
-        let inner = self.inner;
-        self.inner.spawn(move || f(&Scope { inner }));
+        let state = std::sync::Arc::clone(&self.state);
+        *state.pending.lock().expect("scope counter poisoned") += 1;
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                state: std::sync::Arc::clone(&state),
+                _scope: std::marker::PhantomData,
+                _env: std::marker::PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| f(&nested)));
+            if let Err(payload) = result {
+                let mut slot = state.panic.lock().expect("scope panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            // decrement last: the drain loop only finishes once this
+            // hits zero, which is what makes the lifetime erasure below
+            // sound; the task's own Arc keeps `state` alive through the
+            // notify even if the caller races ahead
+            *state.pending.lock().expect("scope counter poisoned") -= 1;
+            state.changed.notify_all();
+        });
+        // SAFETY: `scope` drains `pending` to zero before returning on
+        // both the normal and the panic path (the closure runs under
+        // catch_unwind), so everything `task` borrows from the caller's
+        // environment strictly outlives its execution on a pool worker;
+        // the ScopeState itself is Arc-owned by the task. This is the
+        // same argument std::thread::scope makes, restated for a pool
+        // that cannot express the lifetime in types.
+        let task: Task = unsafe { std::mem::transmute(task) };
+        inject(task);
     }
 }
 
-/// Runs `f` with a [`Scope`]; returns once every spawned worker finished.
+/// Blocks until `state.pending` reaches zero, helping run queued tasks
+/// (this scope's or another's) instead of only sleeping. The timeout
+/// bounds the window where another scope injects work that would not
+/// signal this scope's condvar.
+fn drain(state: &ScopeState) {
+    loop {
+        if *state.pending.lock().expect("scope counter poisoned") == 0 {
+            break;
+        }
+        if let Some(task) = try_steal() {
+            task();
+            continue;
+        }
+        let guard = state.pending.lock().expect("scope counter poisoned");
+        if *guard == 0 {
+            break;
+        }
+        let _ = state
+            .changed
+            .wait_timeout(guard, Duration::from_millis(1))
+            .expect("scope counter poisoned while waiting");
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+/// Tasks execute on the persistent pool; the calling thread helps drain
+/// the queue while it waits.
 ///
 /// # Panics
-/// Panics if any spawned worker panicked (mirroring `std::thread::scope`).
+/// Panics if any spawned task panicked, or if `f` itself panicked —
+/// in both cases only *after* every spawned task finished (mirroring
+/// `std::thread::scope`: a panicking closure must not unwind while
+/// tasks still borrow the enclosing environment).
 pub fn scope<'env, F, R>(f: F) -> R
 where
     F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
 {
-    thread::scope(|s| f(&Scope { inner: s }))
+    let state = std::sync::Arc::new(ScopeState::default());
+    let result = {
+        let handle = Scope {
+            state: std::sync::Arc::clone(&state),
+            _scope: std::marker::PhantomData,
+            _env: std::marker::PhantomData,
+        };
+        // catch a panicking closure so the drain below still runs:
+        // unwinding past in-flight tasks would free the environment
+        // they borrow
+        catch_unwind(AssertUnwindSafe(|| f(&handle)))
+    };
+    drain(&state);
+    let result = match result {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    };
+    if let Some(payload) = state
+        .panic
+        .lock()
+        .expect("scope panic slot poisoned")
+        .take()
+    {
+        resume_unwind(payload);
+    }
+    result
 }
 
 /// Runs both closures and returns both results. The stub executes the
-/// second on the calling thread after spawning the first, preserving
-/// rayon's potential-parallelism contract.
+/// second on the calling thread while the first runs on the pool,
+/// preserving rayon's potential-parallelism contract.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -61,17 +247,25 @@ where
     RA: Send,
     RB: Send,
 {
-    thread::scope(|s| {
-        let ha = s.spawn(a);
-        let rb = b();
-        (ha.join().expect("rayon::join closure panicked"), rb)
-    })
+    let mut ra: Option<RA> = None;
+    let rb = {
+        let ra_ref = &mut ra;
+        scope(|s| {
+            s.spawn(move |_| {
+                *ra_ref = Some(a());
+            });
+            b()
+        })
+    };
+    (ra.expect("join closure did not run"), rb)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn scope_joins_all_workers() {
@@ -96,5 +290,115 @@ mod tests {
     #[test]
     fn at_least_one_thread_reported() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn scopes_reuse_the_persistent_pool() {
+        // Across many scopes, the same named pool workers keep serving
+        // tasks. (A strict thread-count bound would be flaky here: a
+        // concurrently running test's drain loop may legitimately steal
+        // tasks onto its own caller thread, so only pool *participation*
+        // and name-based identity are asserted.)
+        let names: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+        for _ in 0..8 {
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        // small sleep so waiting pool workers (not just
+                        // the helping caller) pick up a share
+                        thread::sleep(Duration::from_micros(200));
+                        if let Some(name) = thread::current().name() {
+                            if name.starts_with("sparseloop-worker-") {
+                                names.lock().unwrap().insert(name.to_string());
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        let workers_seen = names.lock().unwrap().len();
+        assert!(
+            workers_seen >= 1,
+            "persistent pool workers must execute tasks across scopes"
+        );
+        assert!(
+            workers_seen <= pool().workers,
+            "worker names are bounded by the fixed pool size"
+        );
+    }
+
+    #[test]
+    fn nested_scopes_complete() {
+        let counter = AtomicUsize::new(0);
+        scope(|outer| {
+            for _ in 0..3 {
+                outer.spawn(|_| {
+                    scope(|inner| {
+                        for _ in 0..3 {
+                            inner.spawn(|_| {
+                                counter.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn panicking_scope_closure_still_drains_its_tasks() {
+        // if the closure itself panics, in-flight tasks must finish
+        // before the unwind frees the environment they borrow
+        let counter = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        thread::sleep(Duration::from_millis(2));
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+                panic!("closure boom");
+            });
+        }));
+        assert!(result.is_err(), "closure panic must propagate");
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            8,
+            "all tasks ran to completion before scope unwound"
+        );
+    }
+
+    #[test]
+    fn join_survives_a_panicking_second_closure() {
+        // join's b() runs in the scope closure; its panic must not
+        // unwind past the queued a() (which writes through a borrow of
+        // join's frame)
+        let result = std::panic::catch_unwind(|| {
+            join(
+                || thread::sleep(Duration::from_millis(2)),
+                || panic!("b boom"),
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn task_panics_propagate_out_of_scope() {
+        let result = std::panic::catch_unwind(|| {
+            scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+            });
+        });
+        assert!(result.is_err(), "scope must rethrow task panics");
+        // the pool survives the panic and keeps serving scopes
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 }
