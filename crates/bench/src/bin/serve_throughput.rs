@@ -1,0 +1,192 @@
+//! Serving throughput record: drives the queue-driven evaluation
+//! service with (a) every registered scenario and (b) a stream of
+//! distinct workloads 3x larger than the session recycling budget, then
+//! splices a `"serve"` row — requests/sec, mappings/sec, recycling
+//! evidence — into `BENCH_mapper.json` next to the search-throughput
+//! records written by `table5_modeling_speed`.
+
+use sparseloop_bench::{fnum, timed};
+use sparseloop_core::{EvalJob, JobPlan, Objective, Workload};
+use sparseloop_designs::ScenarioRegistry;
+use sparseloop_mapping::{Mapper, Mapspace};
+use sparseloop_serve::{EvalService, ServeConfig, ServeRequest};
+use sparseloop_workloads::spmspm;
+
+/// Intern-slot budget for the recycling phase.
+const SLOT_BUDGET: usize = 24;
+/// Distinct workloads pushed through the recycling phase (>= 3x the
+/// budget, so the session must recycle several times).
+const DISTINCT_WORKLOADS: usize = 3 * SLOT_BUDGET;
+
+/// A search job over a unique workload statistic (distinct density per
+/// index), so every job interns fresh session slots.
+fn distinct_job(i: usize) -> EvalJob {
+    let d = 0.05 + 0.9 * (i as f64) / (DISTINCT_WORKLOADS as f64);
+    let layer = spmspm(16, 16, 16, d, d);
+    let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+    let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+    EvalJob {
+        workload: Workload::new(layer.einsum.clone(), layer.densities.clone()),
+        arch: dp.arch.clone(),
+        safs: dp.safs.clone(),
+        plan: JobPlan::Search {
+            space,
+            mapper: Mapper::Exhaustive { limit: 400 },
+            objective: Objective::Edp,
+        },
+    }
+}
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 4);
+    let shards = 2usize;
+    let registry = ScenarioRegistry::standard();
+    let names: Vec<String> = registry.names().iter().map(|n| n.to_string()).collect();
+
+    // -- phase 1: scenario throughput through the queue --
+    println!(
+        "== serve throughput: {} scenarios, {workers} workers, {shards} shards ==",
+        names.len()
+    );
+    let service = EvalService::start(
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_shards(shards)
+            .with_queue_capacity(names.len().max(1)),
+    );
+    let mut experiments = 0usize;
+    let mut generated = 0usize;
+    let (_, wall_s) = timed(|| {
+        let tickets: Vec<_> = names
+            .iter()
+            .map(|n| {
+                service
+                    .submit_blocking(ServeRequest::Scenario(n.clone()))
+                    .expect("admission")
+            })
+            .collect();
+        for t in tickets {
+            let reply = t.wait().expect("scenario reply").into_scenario();
+            experiments += reply.results.len();
+            generated += sparseloop_bench::results_generated(&reply.results);
+        }
+    });
+    let stats = service.shutdown();
+    let requests_per_sec = names.len() as f64 / wall_s.max(1e-12);
+    let mappings_per_sec = generated as f64 / wall_s.max(1e-12);
+    println!(
+        "{} requests ({experiments} experiments) in {:.3}s: {} requests/s, {} mappings/s",
+        names.len(),
+        wall_s,
+        fnum(requests_per_sec),
+        fnum(mappings_per_sec)
+    );
+    println!(
+        "queue: {} submitted, {} completed, peak {} intern slots",
+        stats.submitted, stats.completed, stats.peak_slots
+    );
+
+    // -- phase 2: session recycling under a slot budget --
+    println!(
+        "\n== recycling: {DISTINCT_WORKLOADS} distinct workloads, budget {SLOT_BUDGET} slots =="
+    );
+    let recycler = EvalService::start(
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_shards(shards)
+            .with_queue_capacity(16)
+            .with_recycle_slot_budget(SLOT_BUDGET),
+    );
+    let (_, recycle_wall_s) = timed(|| {
+        let tickets: Vec<_> = (0..DISTINCT_WORKLOADS)
+            .map(|i| {
+                recycler
+                    .submit_blocking(ServeRequest::Job(Box::new(distinct_job(i))))
+                    .expect("admission")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("job reply").into_job().expect("job result");
+        }
+    });
+    let recycle_stats = recycler.shutdown();
+    println!(
+        "{} recycles, peak {} slots (budget {SLOT_BUDGET}), live session {} slots, {:.3}s",
+        recycle_stats.recycles,
+        recycle_stats.peak_slots,
+        recycle_stats.session_slots,
+        recycle_wall_s
+    );
+    assert!(
+        recycle_stats.recycles >= 2,
+        "3x-budget distinct workloads must recycle the session repeatedly"
+    );
+
+    // -- record --
+    let serve_json = format!(
+        concat!(
+            "\"serve\": {{\n",
+            "    \"workers\": {},\n",
+            "    \"shards\": {},\n",
+            "    \"scenario_requests\": {},\n",
+            "    \"experiments\": {},\n",
+            "    \"wall_time_s\": {:.6},\n",
+            "    \"requests_per_sec\": {:.2},\n",
+            "    \"mappings_per_sec\": {:.1},\n",
+            "    \"recycling\": {{\n",
+            "      \"slot_budget\": {},\n",
+            "      \"distinct_workloads\": {},\n",
+            "      \"recycles\": {},\n",
+            "      \"peak_slots\": {},\n",
+            "      \"final_session_slots\": {},\n",
+            "      \"wall_time_s\": {:.6}\n",
+            "    }}\n",
+            "  }}"
+        ),
+        workers,
+        shards,
+        names.len(),
+        experiments,
+        wall_s,
+        requests_per_sec,
+        mappings_per_sec,
+        SLOT_BUDGET,
+        DISTINCT_WORKLOADS,
+        recycle_stats.recycles,
+        recycle_stats.peak_slots,
+        recycle_stats.session_slots,
+        recycle_wall_s,
+    );
+    let path = "BENCH_mapper.json";
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) => splice_serve_row(&existing, &serve_json),
+        Err(_) => format!("{{\n  {serve_json}\n}}\n"),
+    };
+    std::fs::write(path, merged).expect("write BENCH_mapper.json");
+    println!("\nwrote serve throughput row into {path}");
+}
+
+/// Splices the serve row into an existing `BENCH_mapper.json`: replaces
+/// a previous `"serve"` row if present (idempotent reruns), otherwise
+/// inserts before the final closing brace.
+fn splice_serve_row(existing: &str, serve_json: &str) -> String {
+    let trimmed = existing.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("BENCH_mapper.json must be a JSON object");
+    let body = match body.find("\"serve\":") {
+        // drop everything from a previous serve row onward (it is
+        // always the last key this tool writes)
+        Some(at) => body[..at].trim_end().trim_end_matches(','),
+        None => body.trim_end(),
+    };
+    if body.trim() == "{" {
+        // the serve row is the object's only key: no separating comma
+        format!("{{\n  {serve_json}\n}}\n")
+    } else {
+        format!("{body},\n  {serve_json}\n}}\n")
+    }
+}

@@ -74,6 +74,23 @@ pub fn cphc(computes: f64, seconds: f64) -> f64 {
     computes / (seconds.max(1e-12) * NOMINAL_HOST_HZ)
 }
 
+/// Candidates drawn from the mapspace streams across a batch of job
+/// results — fruitless searches included (their streams were walked
+/// too), failed fixed-mapping evaluations excluded (nothing streamed).
+/// Shared by the serving binaries' throughput accounting.
+pub fn results_generated(
+    results: &[Result<sparseloop_core::JobOutcome, sparseloop_core::JobError>],
+) -> usize {
+    results
+        .iter()
+        .map(|r| match r {
+            Ok(o) => o.stats.generated,
+            Err(sparseloop_core::JobError::NoValidCandidate { stats }) => stats.generated,
+            Err(sparseloop_core::JobError::Eval(_)) => 0,
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -415,6 +415,45 @@ impl Model {
         (outcome, stats)
     }
 
+    /// Sharded mapspace search: partitions the candidate stream into
+    /// `shards` disjoint, collectively exhaustive sub-streams (split on
+    /// the outermost factorization dimensions, see [`Mapspace::shards`])
+    /// evaluated concurrently, merging shard winners with the same
+    /// deterministic `(objective, candidate position)` reduction as
+    /// [`search_parallel`](Model::search_parallel) — results are
+    /// bit-identical to the unsharded searches at any shard count.
+    pub fn search_sharded(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+        shards: usize,
+    ) -> Option<(Mapping, Evaluation)> {
+        let (outcome, _) = self.search_sharded_counted(space, mapper, objective, shards);
+        outcome
+    }
+
+    /// Like [`search_sharded`](Model::search_sharded), returning the
+    /// run's counters even when no candidate is valid (see
+    /// [`search_parallel_counted`](Model::search_parallel_counted)).
+    pub fn search_sharded_counted(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+        shards: usize,
+    ) -> (Option<(Mapping, Evaluation)>, SearchStats) {
+        let (result, stats) =
+            mapper.search_sharded_counted(space, &self.evaluator(objective), shards);
+        let outcome = result.map(|r| {
+            let eval = self
+                .evaluate(&r.mapping)
+                .expect("winning mapping must re-evaluate");
+            (r.mapping, eval)
+        });
+        (outcome, stats)
+    }
+
     /// Convenience: builds the default all-temporal mapspace for this
     /// model and searches it.
     pub fn search_default(

@@ -31,7 +31,7 @@ use crate::saf::SafSpec;
 use crate::sparse::FormatAnalysisCache;
 use crate::workload::Workload;
 use sparseloop_arch::Architecture;
-use sparseloop_density::{DensityModel, MemoStats, Memoized};
+use sparseloop_density::{DensityKey, DensityModel, MemoStats, Memoized};
 use sparseloop_format::TensorFormat;
 use sparseloop_mapping::{Mapper, Mapping, Mapspace, SearchStats};
 use std::collections::HashMap;
@@ -124,17 +124,21 @@ pub struct SessionStats {
 
 #[derive(Default)]
 struct SessionInner {
-    /// `DensityModel::cache_key` -> shared memoized model.
-    densities: HashMap<String, Arc<dyn DensityModel>>,
+    /// `DensityModel::cache_key` -> shared memoized model. The key is a
+    /// pre-hashed [`DensityKey`] (packed words, hash computed once at
+    /// construction), so the per-`model()` intern probes — the session
+    /// hot path at large batch counts — allocate nothing and hash eight
+    /// bytes instead of a formatted string.
+    densities: HashMap<DensityKey, Arc<dyn DensityModel>>,
     /// `(format, density key)` -> format-cache slot. Keyed by the
     /// [`TensorFormat`] *value* (`Eq + Hash`), so slot identity is tied
     /// to the type itself rather than any printable rendering of it.
-    slots: HashMap<(TensorFormat, String), u64>,
+    slots: HashMap<(TensorFormat, DensityKey), u64>,
     next_slot: u64,
 }
 
 impl SessionInner {
-    fn intern_slot(&mut self, format: TensorFormat, density_key: String) -> u64 {
+    fn intern_slot(&mut self, format: TensorFormat, density_key: DensityKey) -> u64 {
         *self.slots.entry((format, density_key)).or_insert_with(|| {
             let id = self.next_slot;
             self.next_slot += 1;
@@ -186,7 +190,7 @@ impl EvalSession {
         let mut inner = self.inner.lock().expect("session interner poisoned");
 
         let mut models: Vec<Arc<dyn DensityModel>> = Vec::with_capacity(num_tensors);
-        let mut density_keys: Vec<Option<String>> = Vec::with_capacity(num_tensors);
+        let mut density_keys: Vec<Option<DensityKey>> = Vec::with_capacity(num_tensors);
         for t in 0..num_tensors {
             let raw = Arc::clone(workload.density(sparseloop_tensor::einsum::TensorId(t)));
             match raw.cache_key() {
@@ -232,7 +236,7 @@ impl EvalSession {
             for (t, density_key) in density_keys.iter().enumerate() {
                 let slot = match safs.format_at(level, sparseloop_tensor::einsum::TensorId(t)) {
                     Some(format) => {
-                        let key = density_key.as_deref().expect("keyed workload").to_string();
+                        let key = density_key.clone().expect("keyed workload");
                         inner.intern_slot(format.clone(), key)
                     }
                     // formatless (uncompressed) pairs never query the
@@ -272,6 +276,46 @@ impl EvalSession {
         jobs: &[EvalJob],
         threads: Option<usize>,
     ) -> Vec<Result<JobOutcome, JobError>> {
+        self.run_batch(jobs, &|model, space, mapper, objective| {
+            model.search_parallel_counted(space, mapper, objective, threads)
+        })
+    }
+
+    /// Like [`search_batch`](EvalSession::search_batch), but each search
+    /// job partitions its candidate stream into `shards` disjoint
+    /// sub-streams evaluated concurrently
+    /// ([`Model::search_sharded_counted`]).
+    ///
+    /// Winners and counters are bit-identical to
+    /// [`search_batch`](EvalSession::search_batch) — and therefore to
+    /// per-layer [`Model::search_parallel`] — at any shard count; only
+    /// the work distribution changes. This is the serving layer's
+    /// search mode: one queue worker drives one job while the candidate
+    /// stream itself fans out over the shared worker pool.
+    pub fn search_batch_sharded(
+        &self,
+        jobs: &[EvalJob],
+        shards: usize,
+    ) -> Vec<Result<JobOutcome, JobError>> {
+        self.run_batch(jobs, &|model, space, mapper, objective| {
+            model.search_sharded_counted(space, mapper, objective, shards)
+        })
+    }
+
+    /// Shared batch driver: evaluates fixed-mapping jobs directly and
+    /// delegates search jobs to `search`.
+    #[allow(clippy::type_complexity)]
+    fn run_batch(
+        &self,
+        jobs: &[EvalJob],
+        search: &(dyn Fn(
+            &Model,
+            &Mapspace,
+            Mapper,
+            Objective,
+        ) -> (Option<(Mapping, Evaluation)>, SearchStats)
+              + Sync),
+    ) -> Vec<Result<JobOutcome, JobError>> {
         let run = |job: &EvalJob| -> Result<JobOutcome, JobError> {
             let model = self.model(job.workload.clone(), job.arch.clone(), job.safs.clone());
             match &job.plan {
@@ -292,8 +336,7 @@ impl EvalSession {
                     mapper,
                     objective,
                 } => {
-                    let (outcome, stats) =
-                        model.search_parallel_counted(space, *mapper, *objective, threads);
+                    let (outcome, stats) = search(&model, space, *mapper, *objective);
                     outcome
                         .map(|(mapping, eval)| JobOutcome {
                             mapping,
@@ -310,6 +353,7 @@ impl EvalSession {
         let mut results: Vec<Option<Result<JobOutcome, JobError>>> =
             jobs.iter().map(|_| None).collect();
         rayon::scope(|s| {
+            let run = &run;
             for (slot, job) in results.iter_mut().zip(jobs) {
                 s.spawn(move |_| *slot = Some(run(job)));
             }
@@ -467,6 +511,25 @@ mod tests {
         let after = session.stats();
         assert!(after.density_models > before.density_models);
         assert!(after.format_slots > before.format_slots);
+    }
+
+    #[test]
+    fn sharded_batch_matches_plain_batch_bit_identically() {
+        let jobs = [job(0.25), job(0.5), job(0.25)];
+        let session = EvalSession::new();
+        let reference = session.search_batch(&jobs, Some(2));
+        for shards in [1, 2, 3, 7] {
+            let sharded_session = EvalSession::new();
+            let sharded = sharded_session.search_batch_sharded(&jobs, shards);
+            for (a, b) in sharded.iter().zip(&reference) {
+                let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+                assert_eq!(a.mapping, b.mapping, "shards={shards}");
+                assert_eq!(a.eval.edp, b.eval.edp, "shards={shards}");
+                assert_eq!(a.eval.cycles, b.eval.cycles, "shards={shards}");
+                assert_eq!(a.eval.energy_pj, b.eval.energy_pj, "shards={shards}");
+                assert_eq!(a.stats, b.stats, "shards={shards}");
+            }
+        }
     }
 
     #[test]

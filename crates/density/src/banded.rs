@@ -8,6 +8,7 @@
 //! over all tile positions — the defining property of a
 //! coordinate-dependent model in the paper's taxonomy.
 
+use crate::key::DensityKey;
 use crate::math::binomial_pmf;
 use crate::model::{DensityModel, OccupancyStats};
 use std::collections::BTreeMap;
@@ -160,10 +161,13 @@ impl DensityModel for Banded {
         out.into_iter().collect()
     }
 
-    fn cache_key(&self) -> Option<String> {
-        Some(format!(
-            "banded:{:?}:{}:{}",
-            self.shape, self.half_width, self.fill
+    fn cache_key(&self) -> Option<DensityKey> {
+        Some(DensityKey::new(
+            "banded",
+            self.shape
+                .iter()
+                .copied()
+                .chain([self.half_width, self.fill.to_bits()]),
         ))
     }
 }

@@ -1,0 +1,206 @@
+//! Pre-hashed, allocation-light sharing identities for density models.
+//!
+//! `EvalSession`-style batch layers intern one shared memoized model
+//! (and one format-analysis cache slot) per distinct tensor statistic,
+//! keyed by [`DensityModel::cache_key`]. The key is built on **every**
+//! `model()` call of every batch job, so its cost is on the session's
+//! hot path: the original `String` keys allocated, formatted and were
+//! re-hashed byte-by-byte on every map probe. A [`DensityKey`] instead
+//! packs the model's parameters into a handful of `u64` words stored
+//! inline (spilling to a shared allocation only past
+//! [`DensityKey::INLINE_WORDS`] words) and carries a **precomputed
+//! hash**, so map probes hash eight bytes regardless of key size and
+//! construction performs no heap allocation for every model shipped in
+//! this crate.
+//!
+//! Equality stays exact — the kind tag and every word are compared, the
+//! hash is only a fast path — so two keys are equal iff they encode the
+//! same model kind, parameters and tensor shape: precisely the contract
+//! [`DensityModel::cache_key`] demands.
+//!
+//! [`DensityModel::cache_key`]: crate::DensityModel::cache_key
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// FNV-1a over a byte slice (the kind tag's contribution to the hash).
+fn fnv1a_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Word storage: inline for every model in this crate, shared-heap for
+/// exotic keys.
+#[derive(Debug, Clone)]
+enum Words {
+    Inline {
+        len: u8,
+        buf: [u64; DensityKey::INLINE_WORDS],
+    },
+    Spilled(Arc<[u64]>),
+}
+
+/// A compact, pre-hashed sharing identity for a density model (see the
+/// [module docs](self)).
+///
+/// Two keys compare equal iff their kind tags and parameter words match
+/// exactly; the precomputed hash only accelerates map probes.
+#[derive(Debug, Clone)]
+pub struct DensityKey {
+    kind: &'static str,
+    words: Words,
+    hash: u64,
+}
+
+impl DensityKey {
+    /// Parameter words stored inline before spilling to the heap.
+    pub const INLINE_WORDS: usize = 8;
+
+    /// Builds a key for a model `kind` from its parameter words
+    /// (tensor shape, counts, and `f64::to_bits` of real parameters).
+    ///
+    /// The kind tag participates in equality and hashing, so models of
+    /// different kinds can never share a key even when their parameter
+    /// words coincide.
+    pub fn new(kind: &'static str, params: impl IntoIterator<Item = u64>) -> Self {
+        let mut buf = [0u64; Self::INLINE_WORDS];
+        let mut len = 0usize;
+        let mut spill: Vec<u64> = Vec::new();
+        let mut hash = fnv1a_bytes(FNV_OFFSET, kind.as_bytes());
+        for w in params {
+            hash = fnv1a_bytes(hash, &w.to_le_bytes());
+            if len < Self::INLINE_WORDS {
+                buf[len] = w;
+            } else {
+                if spill.is_empty() {
+                    spill.extend_from_slice(&buf);
+                }
+                spill.push(w);
+            }
+            len += 1;
+        }
+        let words = if spill.is_empty() {
+            Words::Inline {
+                len: len as u8,
+                buf,
+            }
+        } else {
+            Words::Spilled(spill.into())
+        };
+        DensityKey { kind, words, hash }
+    }
+
+    /// The model kind tag the key was built for.
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The packed parameter words.
+    pub fn words(&self) -> &[u64] {
+        match &self.words {
+            Words::Inline { len, buf } => &buf[..*len as usize],
+            Words::Spilled(words) => words,
+        }
+    }
+
+    /// The precomputed hash (what [`Hash`] feeds to map hashers).
+    pub fn precomputed_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl PartialEq for DensityKey {
+    fn eq(&self, other: &Self) -> bool {
+        // hash first: a cheap reject for the overwhelmingly common
+        // unequal case; equality itself stays exact
+        self.hash == other.hash && self.kind == other.kind && self.words() == other.words()
+    }
+}
+
+impl Eq for DensityKey {}
+
+impl Hash for DensityKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equal_parameters_equal_keys() {
+        let a = DensityKey::new("uniform", [16, 16, 64]);
+        let b = DensityKey::new("uniform", [16, 16, 64]);
+        assert_eq!(a, b);
+        assert_eq!(a.precomputed_hash(), b.precomputed_hash());
+    }
+
+    #[test]
+    fn kind_tag_separates_equal_words() {
+        let a = DensityKey::new("uniform", [16, 16]);
+        let b = DensityKey::new("banded", [16, 16]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parameter_order_and_value_matter() {
+        assert_ne!(
+            DensityKey::new("uniform", [16, 8]),
+            DensityKey::new("uniform", [8, 16])
+        );
+        assert_ne!(
+            DensityKey::new("uniform", [16]),
+            DensityKey::new("uniform", [16, 0])
+        );
+    }
+
+    #[test]
+    fn long_keys_spill_and_stay_exact() {
+        let long: Vec<u64> = (0..20).collect();
+        let a = DensityKey::new("structured", long.clone());
+        let b = DensityKey::new("structured", long.clone());
+        assert_eq!(a, b);
+        assert_eq!(a.words(), long.as_slice());
+        let mut shorter = long.clone();
+        shorter.pop();
+        assert_ne!(a, DensityKey::new("structured", shorter));
+    }
+
+    #[test]
+    fn f64_parameters_roundtrip_via_bits() {
+        let a = DensityKey::new("banded", [0.25f64.to_bits()]);
+        let b = DensityKey::new("banded", [0.25f64.to_bits()]);
+        let c = DensityKey::new("banded", [0.5f64.to_bits()]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn works_as_a_map_key() {
+        let mut map: HashMap<DensityKey, usize> = HashMap::new();
+        map.insert(DensityKey::new("uniform", [4, 4, 8]), 1);
+        map.insert(DensityKey::new("uniform", [4, 4, 9]), 2);
+        assert_eq!(map[&DensityKey::new("uniform", [4, 4, 8])], 1);
+        assert_eq!(map[&DensityKey::new("uniform", [4, 4, 9])], 2);
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn inline_capacity_boundary() {
+        let at = DensityKey::new("t", 0..DensityKey::INLINE_WORDS as u64);
+        assert_eq!(at.words().len(), DensityKey::INLINE_WORDS);
+        let over = DensityKey::new("t", 0..(DensityKey::INLINE_WORDS as u64 + 1));
+        assert_eq!(over.words().len(), DensityKey::INLINE_WORDS + 1);
+        assert_ne!(at, over);
+    }
+}

@@ -26,6 +26,7 @@
 pub mod actual;
 pub mod banded;
 pub mod cache;
+pub mod key;
 pub mod math;
 pub mod memo;
 pub mod model;
@@ -35,6 +36,7 @@ pub mod uniform;
 pub use actual::ActualData;
 pub use banded::Banded;
 pub use cache::{MemoStats, ShapeMemo};
+pub use key::DensityKey;
 pub use memo::Memoized;
 pub use model::{DensityModel, DensityModelExt, DensityModelSpec, OccupancyStats};
 pub use structured::FixedStructured;

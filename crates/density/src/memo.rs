@@ -18,6 +18,7 @@
 //! (use [`DensityModel::occupancy_distribution_arc`] to benefit).
 
 use crate::cache::{MemoStats, ShapeMemo};
+use crate::key::DensityKey;
 use crate::model::{DensityModel, OccupancyStats};
 use std::sync::Arc;
 
@@ -93,7 +94,7 @@ impl DensityModel for Memoized {
         })
     }
 
-    fn cache_key(&self) -> Option<String> {
+    fn cache_key(&self) -> Option<DensityKey> {
         // the decorator is transparent: sharing identity is the inner
         // model's
         self.inner.cache_key()

@@ -1,5 +1,6 @@
 //! The [`DensityModel`] trait and serde-facing model specification.
 
+use crate::key::DensityKey;
 use serde::{Deserialize, Serialize};
 use std::fmt::Debug;
 use std::sync::Arc;
@@ -82,7 +83,13 @@ pub trait DensityModel: Debug + Send + Sync {
     /// `None`. The batch evaluation session uses the key to intern one
     /// memoized model (and one format-analysis cache slot) per distinct
     /// statistic, sharing aggregates across workload layers.
-    fn cache_key(&self) -> Option<String> {
+    ///
+    /// Keys are built per session `model()` call, so they are
+    /// [`DensityKey`]s — pre-hashed packed words rather than formatted
+    /// strings — keeping the session's intern probes off the allocator
+    /// and away from long-string rehashing (the hot spot at large batch
+    /// counts).
+    fn cache_key(&self) -> Option<DensityKey> {
         None
     }
 }

@@ -7,6 +7,7 @@
 //! §6.3.5: "structured sparsity introduces deterministic behaviors"),
 //! while sub-block tiles follow a within-block hypergeometric law.
 
+use crate::key::DensityKey;
 use crate::math::{convolve_power, hypergeometric_pmf, hypergeometric_prob_zero};
 use crate::model::{DensityModel, OccupancyStats};
 
@@ -148,10 +149,13 @@ impl DensityModel for FixedStructured {
         convolve_power(&per_window, others, 1e-12)
     }
 
-    fn cache_key(&self) -> Option<String> {
-        Some(format!(
-            "structured:{:?}:{}:{}:{}",
-            self.shape, self.n, self.m, self.axis
+    fn cache_key(&self) -> Option<DensityKey> {
+        Some(DensityKey::new(
+            "structured",
+            self.shape
+                .iter()
+                .copied()
+                .chain([self.n, self.m, self.axis as u64]),
         ))
     }
 }

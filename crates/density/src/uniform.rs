@@ -7,6 +7,7 @@
 //! visualizes in Fig. 9 ("a tile's shape varies inversely with the
 //! deviation in its density").
 
+use crate::key::DensityKey;
 use crate::math::{hypergeometric_pmf, hypergeometric_prob_zero};
 use crate::model::{DensityModel, OccupancyStats};
 
@@ -91,8 +92,11 @@ impl DensityModel for Uniform {
             .collect()
     }
 
-    fn cache_key(&self) -> Option<String> {
-        Some(format!("uniform:{:?}:{}", self.shape, self.nnz))
+    fn cache_key(&self) -> Option<DensityKey> {
+        Some(DensityKey::new(
+            "uniform",
+            self.shape.iter().copied().chain([self.nnz]),
+        ))
     }
 }
 

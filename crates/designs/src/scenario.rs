@@ -142,10 +142,28 @@ impl Scenario {
     /// Runs every experiment through `session`'s shared caches (see
     /// [`EvalSession::search_batch`]), timing the whole batch.
     pub fn run(&self, session: &EvalSession, threads: Option<usize>) -> ScenarioOutcome {
+        self.run_with(|jobs| session.search_batch(jobs, threads))
+    }
+
+    /// Like [`run`](Scenario::run), but each search experiment shards
+    /// its candidate stream over `shards` disjoint sub-iterators (see
+    /// [`EvalSession::search_batch_sharded`]) — results are
+    /// bit-identical to [`run`](Scenario::run) at any shard count. The
+    /// serving layer's scenario mode.
+    pub fn run_sharded(&self, session: &EvalSession, shards: usize) -> ScenarioOutcome {
+        self.run_with(|jobs| session.search_batch_sharded(jobs, shards))
+    }
+
+    /// Shared driver: builds the jobs, times the batch, assembles the
+    /// outcome.
+    fn run_with(
+        &self,
+        batch: impl FnOnce(&[EvalJob]) -> Vec<Result<JobOutcome, JobError>>,
+    ) -> ScenarioOutcome {
         let experiments = self.experiments();
         let jobs: Vec<EvalJob> = experiments.iter().map(Experiment::job).collect();
         let start = Instant::now();
-        let results = session.search_batch(&jobs, threads);
+        let results = batch(&jobs);
         ScenarioOutcome {
             name: self.name.clone(),
             experiments,
@@ -239,6 +257,13 @@ pub struct ScenarioRegistry {
 }
 
 impl ScenarioRegistry {
+    /// A registry over caller-supplied scenarios (the serving layer
+    /// accepts custom registries; most callers want
+    /// [`standard`](ScenarioRegistry::standard)).
+    pub fn new(scenarios: Vec<Scenario>) -> Self {
+        ScenarioRegistry { scenarios }
+    }
+
     /// All experiments of the paper's evaluation, by name:
     /// `fig1_format_tradeoff`, `fig11_scnn_validation`,
     /// `fig12_eyerissv2_validation`, `fig13_dstc_validation`,

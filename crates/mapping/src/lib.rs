@@ -21,5 +21,8 @@ pub mod mapper;
 pub mod mapspace;
 
 pub use loops::{Loop, LoopKind, Mapping, MappingBuilder, MappingError};
-pub use mapper::{CandidateEvaluator, Mapper, SearchResult, SearchStats};
-pub use mapspace::{factorizations, EnumerateIter, Mapspace, SampleIter};
+pub use mapper::{CandidateEvaluator, Mapper, SampleStrategy, SearchResult, SearchStats};
+pub use mapspace::{
+    factorizations, CandidateKey, EnumerateIter, HaltonSampleIter, Mapspace, MapspaceShard,
+    SampleIter,
+};

@@ -21,9 +21,10 @@
 //! searches return bit-identical winners.
 
 use crate::loops::Mapping;
-use crate::mapspace::Mapspace;
+use crate::mapspace::{CandidateKey, Mapspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -86,6 +87,20 @@ where
 /// worker run far ahead of the stream.
 const PAR_BATCH: usize = 32;
 
+/// How [`Mapper::Hybrid`] draws its sample tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SampleStrategy {
+    /// Independent uniform draws from a seeded RNG
+    /// ([`Mapspace::iter_sample`]).
+    #[default]
+    Uniform,
+    /// Low-discrepancy Halton draws: consecutive samples spread evenly
+    /// over the factorization space instead of clustering
+    /// ([`Mapspace::iter_sample_halton`]), so a fixed sample budget
+    /// covers more distinct candidates.
+    Halton,
+}
+
 /// Mapspace search strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mapper {
@@ -101,18 +116,21 @@ pub enum Mapper {
         /// RNG seed.
         seed: u64,
     },
-    /// Enumerate up to a cap, then top up with random samples — a simple
+    /// Enumerate up to a cap, then top up with samples — a simple
     /// hybrid that works well on medium mapspaces. Samples that duplicate
     /// an enumerated candidate are dropped from the stream (the strategy
     /// keeps a set of the enumerated prefix, so memory is O(`enumerate`)),
-    /// ensuring random draws only ever explore beyond the prefix.
+    /// ensuring sampled draws only ever explore beyond the prefix.
     Hybrid {
         /// Enumeration cap.
         enumerate: usize,
-        /// Additional random samples.
+        /// Additional samples.
         samples: usize,
-        /// RNG seed.
+        /// Sample seed (RNG seed for uniform draws, sequence offset for
+        /// Halton draws).
         seed: u64,
+        /// How the sample tail is drawn.
+        sampling: SampleStrategy,
     },
 }
 
@@ -133,6 +151,7 @@ impl Mapper {
                 enumerate,
                 samples,
                 seed,
+                sampling,
             } => {
                 // dedup sampled candidates against the enumerated prefix:
                 // re-evaluating a mapping enumeration already scored
@@ -153,11 +172,9 @@ impl Mapper {
                             record.lock().expect("hybrid dedup set").insert(m.clone());
                         })
                         .chain(
-                            space
-                                .iter_sample(samples, StdRng::seed_from_u64(seed))
-                                .filter(move |m| {
-                                    !seen.lock().expect("hybrid dedup set").contains(m)
-                                }),
+                            sample_tail(space, samples, seed, sampling).filter(move |m| {
+                                !seen.lock().expect("hybrid dedup set").contains(m)
+                            }),
                         ),
                 )
             }
@@ -359,6 +376,193 @@ impl Mapper {
                 });
         (result, stats)
     }
+
+    /// Sharded deterministic search: partitions the enumerated candidate
+    /// stream into `shards` disjoint sub-streams ([`Mapspace::shards`]),
+    /// evaluates them concurrently on the worker pool, and reduces the
+    /// per-shard winners by `(objective value, candidate position)`.
+    ///
+    /// Winners are **bit-identical** to [`par_search`](Mapper::par_search)
+    /// / [`search_pruned`](Mapper::search_pruned) at any shard count:
+    /// shard candidates carry globally comparable [`CandidateKey`]s whose
+    /// order is exactly the unsharded stream order, so the lexicographic
+    /// minimum of `(value, key)` is the same candidate the sequential
+    /// scan keeps. A hybrid strategy shards its enumerated prefix and
+    /// runs the (inherently sequential) seeded sample tail afterwards,
+    /// deduplicated against the full prefix exactly like the unsharded
+    /// stream; a pure random strategy has no enumeration to shard and
+    /// falls back to [`par_search`](Mapper::par_search).
+    pub fn search_sharded<E: CandidateEvaluator + ?Sized>(
+        &self,
+        space: &Mapspace,
+        evaluator: &E,
+        shards: usize,
+    ) -> Option<SearchResult> {
+        self.search_sharded_counted(space, evaluator, shards).0
+    }
+
+    /// Like [`search_sharded`](Mapper::search_sharded), but the run's
+    /// counters are returned even when no candidate evaluates
+    /// successfully (see
+    /// [`search_pruned_counted`](Mapper::search_pruned_counted)).
+    pub fn search_sharded_counted<E: CandidateEvaluator + ?Sized>(
+        &self,
+        space: &Mapspace,
+        evaluator: &E,
+        shards: usize,
+    ) -> (Option<SearchResult>, SearchStats) {
+        match *self {
+            Mapper::Exhaustive { limit } => {
+                let (best, stats) = sharded_enumerate_search(space, evaluator, limit, shards, None);
+                finish_sharded(best, stats)
+            }
+            Mapper::Random { .. } => self.par_search_counted(space, evaluator, None),
+            Mapper::Hybrid {
+                enumerate,
+                samples,
+                seed,
+                sampling,
+            } => {
+                let record = Mutex::new(HashSet::new());
+                let (mut best, mut stats) =
+                    sharded_enumerate_search(space, evaluator, enumerate, shards, Some(&record));
+                let seen = record.into_inner().expect("hybrid dedup set");
+                // the sample tail is one seeded sequence: it runs
+                // sequentially after the sharded prefix, deduplicated
+                // against the complete prefix exactly like the unsharded
+                // hybrid stream (sampled keys order after all enumerated
+                // keys, matching the tail's stream position)
+                for (i, m) in sample_tail(space, samples, seed, sampling)
+                    .filter(|m| !seen.contains(m))
+                    .enumerate()
+                {
+                    let key = CandidateKey::sampled(i as u64);
+                    stats.generated += 1;
+                    if !evaluator.precheck(&m) {
+                        stats.pruned += 1;
+                        continue;
+                    }
+                    match evaluator.evaluate(&m) {
+                        Some(v) if !v.is_nan() => {
+                            stats.evaluated += 1;
+                            if beats_key(v, key, &best) {
+                                best = Some((v, key, m));
+                            }
+                        }
+                        _ => stats.invalid += 1,
+                    }
+                }
+                finish_sharded(best, stats)
+            }
+        }
+    }
+}
+
+/// The hybrid strategy's sample tail as a boxed stream (uniform RNG or
+/// Halton low-discrepancy draws).
+fn sample_tail<'a>(
+    space: &'a Mapspace,
+    samples: usize,
+    seed: u64,
+    sampling: SampleStrategy,
+) -> Box<dyn Iterator<Item = Mapping> + Send + 'a> {
+    match sampling {
+        SampleStrategy::Uniform => {
+            Box::new(space.iter_sample(samples, StdRng::seed_from_u64(seed)))
+        }
+        SampleStrategy::Halton => Box::new(space.iter_sample_halton(samples, seed)),
+    }
+}
+
+/// `(value, key)` lexicographic improvement test of the sharded
+/// reduction — the exact analogue of `par_search`'s `(value, index)`
+/// rule under the globally comparable shard keys.
+fn beats_key(v: f64, key: CandidateKey, cur: &Option<(f64, CandidateKey, Mapping)>) -> bool {
+    match cur {
+        None => true,
+        Some((bv, bkey, _)) => v < *bv || (v == *bv && key < *bkey),
+    }
+}
+
+fn finish_sharded(
+    best: Option<(f64, CandidateKey, Mapping)>,
+    stats: SearchStats,
+) -> (Option<SearchResult>, SearchStats) {
+    let result = best.map(|(objective, _, mapping)| SearchResult {
+        mapping,
+        objective,
+        stats,
+    });
+    (result, stats)
+}
+
+/// Evaluates every shard of the space's enumerated stream concurrently,
+/// returning the `(value, key)`-minimal winner plus summed counters.
+/// `record` (the hybrid prefix dedup set) receives every produced
+/// candidate when present.
+fn sharded_enumerate_search<E: CandidateEvaluator + ?Sized>(
+    space: &Mapspace,
+    evaluator: &E,
+    limit: usize,
+    shards: usize,
+    record: Option<&Mutex<HashSet<Mapping>>>,
+) -> (Option<(f64, CandidateKey, Mapping)>, SearchStats) {
+    let generated = AtomicUsize::new(0);
+    let pruned = AtomicUsize::new(0);
+    let evaluated = AtomicUsize::new(0);
+    let invalid = AtomicUsize::new(0);
+    let best: Mutex<Option<(f64, CandidateKey, Mapping)>> = Mutex::new(None);
+
+    rayon::scope(|s| {
+        let (generated, pruned, evaluated, invalid, best) =
+            (&generated, &pruned, &evaluated, &invalid, &best);
+        for shard in space.shards(shards, limit) {
+            s.spawn(move |_| {
+                let mut local: Option<(f64, CandidateKey, Mapping)> = None;
+                let (mut gen_n, mut pruned_n, mut eval_n, mut invalid_n) = (0, 0, 0, 0);
+                for (key, m) in shard {
+                    gen_n += 1;
+                    if let Some(rec) = record {
+                        rec.lock().expect("hybrid dedup set").insert(m.clone());
+                    }
+                    if !evaluator.precheck(&m) {
+                        pruned_n += 1;
+                        continue;
+                    }
+                    match evaluator.evaluate(&m) {
+                        // NaN counted invalid, as in every other search
+                        // path: unordered values would break the
+                        // deterministic reduction
+                        Some(v) if !v.is_nan() => {
+                            eval_n += 1;
+                            if beats_key(v, key, &local) {
+                                local = Some((v, key, m));
+                            }
+                        }
+                        _ => invalid_n += 1,
+                    }
+                }
+                generated.fetch_add(gen_n, Ordering::Relaxed);
+                pruned.fetch_add(pruned_n, Ordering::Relaxed);
+                evaluated.fetch_add(eval_n, Ordering::Relaxed);
+                invalid.fetch_add(invalid_n, Ordering::Relaxed);
+                if let Some((v, key, m)) = local {
+                    let mut global = best.lock().expect("best slot poisoned");
+                    if beats_key(v, key, &global) {
+                        *global = Some((v, key, m));
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = SearchStats {
+        generated: generated.into_inner(),
+        pruned: pruned.into_inner(),
+        evaluated: evaluated.into_inner(),
+        invalid: invalid.into_inner(),
+    };
+    (best.into_inner().expect("best slot poisoned"), stats)
 }
 
 #[cfg(test)]
@@ -441,6 +645,7 @@ mod tests {
             enumerate: 10,
             samples: 10,
             seed: 1,
+            sampling: SampleStrategy::Uniform,
         }
         .search(&space, toy_objective)
         .unwrap();
@@ -456,6 +661,7 @@ mod tests {
             enumerate: 200,
             samples: 500,
             seed: 3,
+            sampling: SampleStrategy::Uniform,
         };
         let stream: Vec<Mapping> = mapper.candidates(&space).collect();
         let prefix: std::collections::HashSet<&Mapping> = stream.iter().take(200).collect();
@@ -544,6 +750,7 @@ mod tests {
                 enumerate: 64,
                 samples: 64,
                 seed: 5,
+                sampling: SampleStrategy::Uniform,
             },
         ] {
             let seq = mapper.search_pruned(&space, &objective).unwrap();
@@ -590,6 +797,104 @@ mod tests {
         assert_eq!(par.objective, seq.objective);
         assert_eq!(par.mapping, seq.mapping);
         assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn search_sharded_matches_par_search_exhaustive() {
+        let space = setup();
+        let objective = |m: &Mapping| toy_objective(m);
+        // limits both above and *below* the space size: the census must
+        // reproduce the exact global cutoff
+        for limit in [7, 100, 100_000] {
+            let mapper = Mapper::Exhaustive { limit };
+            let (seq, seq_stats) = mapper.search_pruned_counted(&space, &objective);
+            for shards in [1, 2, 3, 7] {
+                let (got, stats) = mapper.search_sharded_counted(&space, &objective, shards);
+                match (&got, &seq) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.objective, b.objective, "shards={shards} limit={limit}");
+                        assert_eq!(a.mapping, b.mapping, "shards={shards} limit={limit}");
+                    }
+                    (None, None) => {}
+                    other => panic!("sharded/sequential disagree: {other:?}"),
+                }
+                assert_eq!(stats, seq_stats, "shards={shards} limit={limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_sharded_matches_par_search_hybrid_and_random() {
+        let space = setup();
+        let objective = |m: &Mapping| toy_objective(m);
+        for mapper in [
+            Mapper::Hybrid {
+                enumerate: 64,
+                samples: 64,
+                seed: 5,
+                sampling: SampleStrategy::Uniform,
+            },
+            Mapper::Hybrid {
+                enumerate: 32,
+                samples: 100,
+                seed: 11,
+                sampling: SampleStrategy::Halton,
+            },
+            Mapper::Random {
+                samples: 200,
+                seed: 9,
+            },
+        ] {
+            let (seq, seq_stats) = mapper.search_pruned_counted(&space, &objective);
+            for shards in [1, 2, 3] {
+                let (got, stats) = mapper.search_sharded_counted(&space, &objective, shards);
+                let (a, b) = (got.unwrap(), seq.clone().unwrap());
+                assert_eq!(a.objective, b.objective, "shards={shards} {mapper:?}");
+                assert_eq!(a.mapping, b.mapping, "shards={shards} {mapper:?}");
+                assert_eq!(stats, seq_stats, "shards={shards} {mapper:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_sharded_with_pruning_evaluator() {
+        let space = setup();
+        let seq = Mapper::Exhaustive { limit: 50_000 }
+            .search_pruned(&space, &EvenPruner)
+            .unwrap();
+        let sharded = Mapper::Exhaustive { limit: 50_000 }
+            .search_sharded(&space, &EvenPruner, 4)
+            .unwrap();
+        assert_eq!(sharded.objective, seq.objective);
+        assert_eq!(sharded.mapping, seq.mapping);
+        assert_eq!(sharded.stats, seq.stats);
+    }
+
+    #[test]
+    fn search_sharded_all_invalid_returns_none_with_stats() {
+        let space = setup();
+        let reject = |_: &Mapping| -> Option<f64> { None };
+        let (result, stats) =
+            Mapper::Exhaustive { limit: 10 }.search_sharded_counted(&space, &reject, 3);
+        assert!(result.is_none());
+        assert_eq!(stats.generated, 10);
+        assert_eq!(stats.invalid, 10);
+    }
+
+    #[test]
+    fn hybrid_halton_tail_skips_enumerated_prefix() {
+        let space = setup();
+        let mapper = Mapper::Hybrid {
+            enumerate: 200,
+            samples: 300,
+            seed: 3,
+            sampling: SampleStrategy::Halton,
+        };
+        let stream: Vec<Mapping> = mapper.candidates(&space).collect();
+        let prefix: std::collections::HashSet<&Mapping> = stream.iter().take(200).collect();
+        for m in stream.iter().skip(200) {
+            assert!(!prefix.contains(m), "halton sample repeats prefix");
+        }
     }
 
     #[test]

@@ -89,6 +89,172 @@ fn smallest_prime_factor(n: u64) -> u64 {
     n
 }
 
+/// The prime factors of `n` with multiplicity, ascending (`n >= 1`;
+/// `1` has no prime factors).
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    while n > 1 {
+        let p = smallest_prime_factor(n);
+        out.push(p);
+        n /= p;
+    }
+    out
+}
+
+/// The first `count` primes (the Halton sampler's per-decision bases).
+fn first_primes(count: usize) -> Vec<u64> {
+    let mut primes: Vec<u64> = Vec::with_capacity(count);
+    let mut candidate = 2u64;
+    while primes.len() < count {
+        if primes.iter().all(|p| !candidate.is_multiple_of(*p)) {
+            primes.push(candidate);
+        }
+        candidate += 1;
+    }
+    primes
+}
+
+/// Radical inverse (van der Corput sequence) of `i` in `base`: the digits
+/// of `i` mirrored around the radix point, a low-discrepancy point in
+/// `[0, 1)`.
+fn radical_inverse(mut i: u64, base: u64) -> f64 {
+    let inv = 1.0 / base as f64;
+    let mut f = inv;
+    let mut r = 0.0;
+    while i > 0 {
+        r += f * (i % base) as f64;
+        i /= base;
+        f *= inv;
+    }
+    r
+}
+
+/// Lazy, memoizing stream of the ordered factorizations of `n` into `k`
+/// positive factors, produced in exactly the order [`factorizations`]
+/// returns them.
+///
+/// [`Mapspace::iter_enumerate`] walks a mixed-radix counter over one
+/// stream per workload dimension. The counter revisits indices, so
+/// produced factorizations are cached for O(1) re-access — but nothing
+/// past the highest index the counter has touched is ever computed, so an
+/// enumeration stopped early by its output `limit` no longer pays the
+/// full ordered-factor list of an astronomically composite bound up front
+/// (the eager per-dimension allocation previously flagged in ROADMAP).
+///
+/// `k == 0` models a dimension that owns no loop slots: the stream holds
+/// exactly one empty factorization (a unit radix in the counter).
+struct FactorizationStream {
+    n: u64,
+    k: usize,
+    cache: Vec<Vec<u64>>,
+    /// DFS continuation: one frame per already-chosen factor position.
+    stack: Vec<Frame>,
+    /// Factors chosen by the frames, index-aligned with `stack`.
+    current: Vec<u64>,
+    started: bool,
+    done: bool,
+}
+
+/// One suspended level of [`FactorizationStream`]'s depth-first walk.
+struct Frame {
+    /// Value left to factor at this position (before its choice).
+    remaining: u64,
+    /// Next divisor candidate to try here on backtrack.
+    next: u64,
+}
+
+impl FactorizationStream {
+    fn new(n: u64, k: usize) -> Self {
+        assert!(n >= 1, "need n >= 1");
+        FactorizationStream {
+            n,
+            k,
+            cache: Vec::new(),
+            stack: Vec::new(),
+            current: Vec::new(),
+            started: false,
+            done: false,
+        }
+    }
+
+    /// Number of factorizations materialized so far (laziness probe).
+    #[cfg(test)]
+    fn materialized(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The `i`-th factorization, extending the cache as needed; `None`
+    /// past the end of the stream.
+    fn get(&mut self, i: usize) -> Option<&[u64]> {
+        while self.cache.len() <= i && self.advance() {}
+        self.cache.get(i).map(Vec::as_slice)
+    }
+
+    /// The `i`-th factorization, which must already be materialized.
+    fn cached(&self, i: usize) -> &[u64] {
+        &self.cache[i]
+    }
+
+    /// Materializes the next factorization; `false` once exhausted.
+    fn advance(&mut self) -> bool {
+        if self.done {
+            return false;
+        }
+        if self.k == 0 {
+            self.done = true;
+            self.cache.push(Vec::new());
+            return true;
+        }
+        if !self.started {
+            self.started = true;
+            let tail = self.descend(self.n);
+            self.emit(tail);
+            return true;
+        }
+        loop {
+            let Some(frame) = self.stack.last_mut() else {
+                self.done = true;
+                return false;
+            };
+            // next divisor of this level's remaining value
+            let mut d = frame.next;
+            while d <= frame.remaining && !frame.remaining.is_multiple_of(d) {
+                d += 1;
+            }
+            if d > frame.remaining {
+                self.stack.pop();
+                self.current.pop();
+                continue;
+            }
+            frame.next = d + 1;
+            let rest = frame.remaining / d;
+            *self.current.last_mut().expect("frame has a chosen factor") = d;
+            let tail = self.descend(rest);
+            self.emit(tail);
+            return true;
+        }
+    }
+
+    /// Chooses factor 1 at every level below the current one, down to
+    /// depth `k - 1`; returns the value left for the final position.
+    fn descend(&mut self, rest: u64) -> u64 {
+        while self.stack.len() < self.k - 1 {
+            self.stack.push(Frame {
+                remaining: rest,
+                next: 2,
+            });
+            self.current.push(1);
+        }
+        rest
+    }
+
+    fn emit(&mut self, tail: u64) {
+        let mut f = self.current.clone();
+        f.push(tail);
+        self.cache.push(f);
+    }
+}
+
 /// One loop *slot* of a mapspace: a level plus position where a dimension
 /// may receive a tiling factor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -202,16 +368,8 @@ impl Mapspace {
         factors: &[u64],
         keep: &Arc<Vec<Vec<bool>>>,
     ) -> Option<Mapping> {
-        for l in 0..self.num_levels {
-            let spatial_product: u64 = slots
-                .iter()
-                .zip(factors)
-                .filter(|(s, _)| s.level == l && s.spatial)
-                .map(|(_, &f)| f)
-                .product();
-            if spatial_product > self.fanout[l] {
-                return None;
-            }
+        if !self.fanout_ok(slots, factors) {
+            return None;
         }
         let mut nests: Vec<Vec<Loop>> = vec![Vec::new(); self.num_levels];
         for (s, &f) in slots.iter().zip(factors) {
@@ -224,6 +382,49 @@ impl Mapspace {
             }
         }
         Some(Mapping::with_shared_keep(nests, Arc::clone(keep)))
+    }
+
+    /// Whether per-slot factors respect every level's spatial fanout
+    /// budget — the exact validity test [`mapping_from_factors`] applies
+    /// before building a mapping (shared with the shard census, which
+    /// must count candidates without paying for their construction).
+    ///
+    /// [`mapping_from_factors`]: Mapspace::mapping_from_factors
+    fn fanout_ok(&self, slots: &[Slot], factors: &[u64]) -> bool {
+        for l in 0..self.num_levels {
+            let spatial_product: u64 = slots
+                .iter()
+                .zip(factors)
+                .filter(|(s, _)| s.level == l && s.spatial)
+                .map(|(_, &f)| f)
+                .product();
+            if spatial_product > self.fanout[l] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lazy factorization streams for the dims in `range` (unit streams
+    /// for dimensions that own no slots), each with index 0
+    /// pre-materialized so a counter's initial state is addressable
+    /// (every stream holds >= 1 factorization). Shared by the
+    /// enumeration iterator, the shard census, and the shards
+    /// themselves — one definition, so they cannot drift apart.
+    fn dim_streams(
+        &self,
+        plan: &SlotPlan,
+        range: std::ops::Range<usize>,
+    ) -> Vec<FactorizationStream> {
+        range
+            .map(|d| {
+                let mut stream =
+                    FactorizationStream::new(self.dim_bounds[d], plan.per_dim[d].len());
+                let first = stream.get(0);
+                debug_assert!(first.is_some());
+                stream
+            })
+            .collect()
     }
 
     /// Precomputes the slot layout shared by enumeration and sampling.
@@ -252,39 +453,27 @@ impl Mapspace {
     /// over a combinatorially large mapspace needs O(1) memory in the
     /// candidate count.
     ///
-    /// `limit` caps only the *output*: each dimension's ordered
-    /// factorization list is materialized in full, so every candidate of
-    /// the space is reachable given a large enough `limit` — a dimension
-    /// with many factorizations no longer silently loses its tail (the
-    /// seed capped the per-dimension lists at `limit` too, which made
-    /// small limits skip late-but-valid candidates entirely).
+    /// `limit` caps only the *output*: every candidate of the space is
+    /// reachable given a large enough `limit` — a dimension with many
+    /// factorizations never silently loses its tail (the seed capped the
+    /// per-dimension lists at `limit` too, which made small limits skip
+    /// late-but-valid candidates entirely).
     ///
-    /// Memory note: the per-dimension lists are built eagerly, costing
-    /// O(number of ordered factorizations) vectors per dimension before
-    /// the first candidate streams out. For tensor-workload bounds (a
-    /// few thousand, a handful of slots) this is a few hundred small
-    /// vectors; callers exploring astronomically composite bounds
-    /// should constrain the temporal orders (fewer slots per dim) to
-    /// keep the lists small.
+    /// Memory note: each dimension's ordered factorization list is a
+    /// *lazy memoizing stream* ([`FactorizationStream`]): factorizations
+    /// materialize only as far as the mixed-radix counter reaches, so an
+    /// enumeration stopped early (small `limit`, or a search that bails
+    /// out) never allocates the full ordered-factor list of an
+    /// astronomically composite bound up front.
     ///
     /// [`enumerate`]: Mapspace::enumerate
     pub fn iter_enumerate(&self, limit: usize) -> EnumerateIter<'_> {
         let plan = self.plan();
-        // per-dim ordered factorizations (small: one list per dimension);
-        // the cross product is what stays lazy
-        let dim_factorizations: Vec<Vec<Vec<u64>>> = (0..self.num_dims)
-            .map(|d| {
-                if plan.per_dim[d].is_empty() {
-                    vec![Vec::new()]
-                } else {
-                    factorizations(self.dim_bounds[d], plan.per_dim[d].len(), None)
-                }
-            })
-            .collect();
+        let dims = self.dim_streams(&plan, 0..self.num_dims);
         EnumerateIter {
             space: self,
             choice: vec![0usize; self.num_dims],
-            dim_factorizations,
+            dims,
             produced: 0,
             limit,
             exhausted: !plan.feasible || limit == 0,
@@ -323,9 +512,218 @@ impl Mapspace {
     pub fn sample(&self, count: usize, rng: &mut impl Rng) -> Vec<Mapping> {
         self.iter_sample(count, rng).collect()
     }
+
+    /// Streaming low-discrepancy (Halton) sampling of up to `count`
+    /// mappings.
+    ///
+    /// Each draw assigns the prime factors of every dimension's bound to
+    /// that dimension's loop slots using one radical-inverse coordinate
+    /// per `(dimension, prime)` decision — consecutive sample indices
+    /// therefore spread over the factorization space far more evenly
+    /// than independent uniform draws, which cluster and repeat. The
+    /// sequence is a pure function of `(space, count, seed)`:
+    /// reproducible like [`iter_sample`](Mapspace::iter_sample), with
+    /// the same draw-budget semantics (stops after `count` valid
+    /// mappings or `20 × count` attempts).
+    pub fn iter_sample_halton(&self, count: usize, seed: u64) -> HaltonSampleIter<'_> {
+        let plan = self.plan();
+        let dim_primes: Vec<Vec<u64>> = (0..self.num_dims)
+            .map(|d| {
+                if plan.per_dim[d].is_empty() {
+                    Vec::new()
+                } else {
+                    prime_factors(self.dim_bounds[d])
+                }
+            })
+            .collect();
+        let decisions: usize = dim_primes.iter().map(Vec::len).sum();
+        HaltonSampleIter {
+            space: self,
+            plan,
+            bases: first_primes(decisions),
+            dim_primes,
+            // offset the sequence by the seed (kept small so radical
+            // inverses stay cheap); +1 skips the all-zeros point
+            offset: (seed % (1 << 16)) + 1,
+            produced: 0,
+            attempts: 0,
+            count,
+        }
+    }
+
+    /// Partitions [`iter_enumerate`]`(limit)`'s candidate stream into
+    /// `n` disjoint, collectively exhaustive shards.
+    ///
+    /// The split runs along the *outermost* factorization dimensions:
+    /// the slowest-varying counter digits form a block space (grown one
+    /// dimension at a time until it holds at least `n` blocks), and
+    /// shard `i` owns blocks `i, i + n, i + 2n, …` — so the union of
+    /// all shards' candidates is exactly the unsharded stream, each
+    /// candidate appearing in exactly one shard.
+    ///
+    /// Each shard yields `(`[`CandidateKey`]`, Mapping)` pairs whose
+    /// keys are **globally comparable across shards**: sorting the union
+    /// by key reproduces `iter_enumerate(limit)`'s exact sequence, and a
+    /// sharded search can therefore reduce per-shard winners with the
+    /// same deterministic `(objective, candidate position)` rule as the
+    /// unsharded parallel search — bit-identical winners at any shard
+    /// count.
+    ///
+    /// A finite `limit` is honored *exactly*: a cheap census pass
+    /// (candidate generation without mapping construction) counts
+    /// produced candidates per block so every shard knows which of its
+    /// candidates fall inside the global first-`limit` prefix. The
+    /// census costs one extra generation walk of at most `limit`
+    /// candidates; pass `usize::MAX` to skip it when the whole space is
+    /// wanted.
+    ///
+    /// Cost note: unlike the fully lazy [`iter_enumerate`], the *block*
+    /// dimensions' ordered factorization lists are materialized eagerly
+    /// (block decoding needs random access across shards). The suffix
+    /// only grows until it holds `n` blocks, so this is bounded by the
+    /// outermost dimension(s) actually split on — constrain the
+    /// outermost temporal order if an astronomically composite bound
+    /// ends up there.
+    ///
+    /// [`iter_enumerate`]: Mapspace::iter_enumerate
+    pub fn shards(&self, n: usize, limit: usize) -> Vec<MapspaceShard<'_>> {
+        let n = n.max(1);
+        let plan = self.plan();
+        if !plan.feasible || limit == 0 {
+            return (0..n).map(|_| MapspaceShard::empty(self)).collect();
+        }
+        // grow the block space from the outermost dimension inward until
+        // it offers at least n blocks (or swallows every dimension)
+        let mut split = self.num_dims;
+        let mut blocks: u64 = 1;
+        let mut outer_rev: Vec<Vec<Vec<u64>>> = Vec::new();
+        while split > 0 && blocks < n as u64 {
+            split -= 1;
+            let list = if plan.per_dim[split].is_empty() {
+                vec![Vec::new()]
+            } else {
+                factorizations(self.dim_bounds[split], plan.per_dim[split].len(), None)
+            };
+            blocks = blocks.saturating_mul(list.len() as u64);
+            outer_rev.push(list);
+        }
+        outer_rev.reverse(); // now ordered by dim index: split, split+1, …
+        let outer_lists = Arc::new(outer_rev);
+        let base = if limit < usize::MAX {
+            Some(Arc::new(self.shard_census(
+                &plan,
+                split,
+                &outer_lists,
+                blocks,
+                limit,
+            )))
+        } else {
+            None
+        };
+        (0..n)
+            .map(|s| {
+                let plan = plan.clone();
+                let inner = self.dim_streams(&plan, 0..split);
+                MapspaceShard {
+                    space: self,
+                    plan,
+                    split,
+                    outer_lists: Arc::clone(&outer_lists),
+                    blocks: (s as u64..blocks).step_by(n).collect(),
+                    base: base.clone(),
+                    limit,
+                    inner,
+                    cur_block: 0,
+                    cur_block_id: 0,
+                    outer_choice: Vec::new(),
+                    choice: Vec::new(),
+                    rank: 0,
+                    block_active: false,
+                    done: false,
+                }
+            })
+            .collect()
+    }
+
+    /// Counts produced (fanout-valid) candidates per block, in global
+    /// stream order, saturating once the cumulative count reaches
+    /// `limit`. Returns each block's *base*: the number of candidates
+    /// the unsharded stream produces before the block starts (clamped to
+    /// `limit`, so blocks entirely past the cutoff read `base == limit`).
+    fn shard_census(
+        &self,
+        plan: &SlotPlan,
+        split: usize,
+        outer_lists: &[Vec<Vec<u64>>],
+        blocks: u64,
+        limit: usize,
+    ) -> Vec<usize> {
+        let mut inner = self.dim_streams(plan, 0..split);
+        let mut factors = vec![1u64; plan.slots.len()];
+        let mut base = Vec::with_capacity(blocks as usize);
+        let mut cum = 0usize;
+        for b in 0..blocks {
+            base.push(cum.min(limit));
+            if cum >= limit {
+                continue;
+            }
+            let outer_choice = decode_block(b, outer_lists);
+            let mut choice = vec![0usize; split];
+            loop {
+                {
+                    let (inner, choice, outer_choice) = (&inner, &choice, &outer_choice);
+                    plan.assemble(&mut factors, |d| {
+                        if d < split {
+                            inner[d].cached(choice[d])
+                        } else {
+                            &outer_lists[d - split][outer_choice[d - split]]
+                        }
+                    });
+                }
+                if self.fanout_ok(&plan.slots, &factors) {
+                    cum += 1;
+                    if cum >= limit {
+                        break;
+                    }
+                }
+                // advance the inner counter
+                let mut d = 0;
+                let wrapped = loop {
+                    if d == split {
+                        break true;
+                    }
+                    choice[d] += 1;
+                    if inner[d].get(choice[d]).is_some() {
+                        break false;
+                    }
+                    choice[d] = 0;
+                    d += 1;
+                };
+                if wrapped {
+                    break;
+                }
+            }
+        }
+        base
+    }
+}
+
+/// Decodes a block id into per-suffix-dim factorization choices
+/// (dimension `split` varies fastest, matching the global counter).
+fn decode_block(mut id: u64, outer_lists: &[Vec<Vec<u64>>]) -> Vec<usize> {
+    outer_lists
+        .iter()
+        .map(|list| {
+            let len = list.len() as u64;
+            let c = (id % len) as usize;
+            id /= len;
+            c
+        })
+        .collect()
 }
 
 /// Slot layout shared by the candidate iterators.
+#[derive(Clone)]
 struct SlotPlan {
     slots: Vec<Slot>,
     /// Slot indices owned by each dimension.
@@ -354,9 +752,10 @@ impl SlotPlan {
 pub struct EnumerateIter<'a> {
     space: &'a Mapspace,
     plan: SlotPlan,
-    /// Per-dim ordered factorization lists; the iterator walks their
-    /// cross product with a mixed-radix counter.
-    dim_factorizations: Vec<Vec<Vec<u64>>>,
+    /// Per-dim lazy factorization streams; the iterator walks their
+    /// cross product with a mixed-radix counter, materializing each
+    /// stream only as far as the counter has reached.
+    dims: Vec<FactorizationStream>,
     choice: Vec<usize>,
     produced: usize,
     limit: usize,
@@ -370,13 +769,14 @@ impl Iterator for EnumerateIter<'_> {
         let num_dims = self.space.num_dims;
         let mut factors = vec![1u64; self.plan.slots.len()];
         while !self.exhausted && self.produced < self.limit {
-            let (plan, dim_factorizations, choice) =
-                (&self.plan, &self.dim_factorizations, &self.choice);
-            plan.assemble(&mut factors, |d| &dim_factorizations[d][choice[d]]);
+            {
+                let (plan, dims, choice) = (&self.plan, &self.dims, &self.choice);
+                plan.assemble(&mut factors, |d| dims[d].cached(choice[d]));
+            }
             let candidate =
                 self.space
                     .mapping_from_factors(&self.plan.slots, &factors, &self.plan.keep);
-            // advance the mixed-radix counter
+            // advance the mixed-radix counter, extending streams lazily
             let mut d = 0;
             loop {
                 if d == num_dims {
@@ -384,7 +784,7 @@ impl Iterator for EnumerateIter<'_> {
                     break;
                 }
                 self.choice[d] += 1;
-                if self.choice[d] < self.dim_factorizations[d].len() {
+                if self.dims[d].get(self.choice[d]).is_some() {
                     break;
                 }
                 self.choice[d] = 0;
@@ -430,6 +830,235 @@ impl<R: Rng> Iterator for SampleIter<'_, R> {
                             &mut self.rng,
                         )
                     }
+                })
+                .collect();
+            self.plan.assemble(&mut factors, |d| &draws[d]);
+            if let Some(m) =
+                self.space
+                    .mapping_from_factors(&self.plan.slots, &factors, &self.plan.keep)
+            {
+                self.produced += 1;
+                return Some(m);
+            }
+        }
+        None
+    }
+}
+
+/// Globally comparable position of a sharded candidate in the unsharded
+/// enumeration order (see [`Mapspace::shards`]).
+///
+/// Sorting by `(block, rank)` reproduces [`Mapspace::iter_enumerate`]'s
+/// exact output order: `block` is the mixed-radix value of the outermost
+/// (slowest-varying) factorization choices and `rank` counts produced
+/// candidates within the block — candidates of earlier blocks always
+/// precede candidates of later blocks in the unsharded stream. Sampled
+/// candidates (a hybrid search's tail) use [`CandidateKey::sampled`],
+/// which orders after every enumerated candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CandidateKey {
+    /// Block id (outermost factorization choices, mixed-radix).
+    pub block: u64,
+    /// Produced-candidate index within the block.
+    pub rank: u64,
+}
+
+impl CandidateKey {
+    /// The key of the `i`-th *sampled* candidate: greater than every
+    /// enumerated key, ordered by draw index — matching the unsharded
+    /// hybrid stream, where the sample tail follows the enumerated
+    /// prefix.
+    pub fn sampled(i: u64) -> Self {
+        CandidateKey {
+            block: u64::MAX,
+            rank: i,
+        }
+    }
+}
+
+/// One shard of a sharded enumeration: a disjoint sub-stream of
+/// [`Mapspace::iter_enumerate`]'s candidates tagged with globally
+/// comparable [`CandidateKey`]s (see [`Mapspace::shards`]).
+pub struct MapspaceShard<'a> {
+    space: &'a Mapspace,
+    plan: SlotPlan,
+    /// Dim index where the block (suffix) space begins; dims below it
+    /// form the within-block cross product.
+    split: usize,
+    /// Eager factorization lists of the suffix dims (shared by shards).
+    outer_lists: Arc<Vec<Vec<Vec<u64>>>>,
+    /// Block ids owned by this shard, ascending.
+    blocks: Vec<u64>,
+    /// Per-block global base index from the census (`None`: no output
+    /// limit was requested).
+    base: Option<Arc<Vec<usize>>>,
+    limit: usize,
+    /// Lazy factorization streams of the within-block dims.
+    inner: Vec<FactorizationStream>,
+    cur_block: usize,
+    cur_block_id: u64,
+    outer_choice: Vec<usize>,
+    choice: Vec<usize>,
+    rank: u64,
+    block_active: bool,
+    done: bool,
+}
+
+impl<'a> MapspaceShard<'a> {
+    /// A shard holding no candidates (infeasible space or zero limit).
+    fn empty(space: &'a Mapspace) -> Self {
+        MapspaceShard {
+            space,
+            plan: space.plan(),
+            split: 0,
+            outer_lists: Arc::new(Vec::new()),
+            blocks: Vec::new(),
+            base: None,
+            limit: 0,
+            inner: Vec::new(),
+            cur_block: 0,
+            cur_block_id: 0,
+            outer_choice: Vec::new(),
+            choice: Vec::new(),
+            rank: 0,
+            block_active: false,
+            done: true,
+        }
+    }
+}
+
+impl Iterator for MapspaceShard<'_> {
+    type Item = (CandidateKey, Mapping);
+
+    fn next(&mut self) -> Option<(CandidateKey, Mapping)> {
+        if self.done {
+            return None;
+        }
+        let mut factors = vec![1u64; self.plan.slots.len()];
+        loop {
+            if !self.block_active {
+                let Some(&b) = self.blocks.get(self.cur_block) else {
+                    self.done = true;
+                    return None;
+                };
+                if let Some(base) = &self.base {
+                    // bases are nondecreasing in the block id: once one
+                    // of this shard's blocks starts at the cutoff, all
+                    // its later blocks do too
+                    if base[b as usize] >= self.limit {
+                        self.done = true;
+                        return None;
+                    }
+                }
+                self.cur_block_id = b;
+                self.outer_choice = decode_block(b, &self.outer_lists);
+                self.choice = vec![0usize; self.split];
+                self.rank = 0;
+                self.block_active = true;
+            }
+            {
+                let (plan, inner, choice, outer_choice, outer_lists, split) = (
+                    &self.plan,
+                    &self.inner,
+                    &self.choice,
+                    &self.outer_choice,
+                    &self.outer_lists,
+                    self.split,
+                );
+                plan.assemble(&mut factors, |d| {
+                    if d < split {
+                        inner[d].cached(choice[d])
+                    } else {
+                        &outer_lists[d - split][outer_choice[d - split]]
+                    }
+                });
+            }
+            let candidate =
+                self.space
+                    .mapping_from_factors(&self.plan.slots, &factors, &self.plan.keep);
+            // advance the within-block counter
+            let mut d = 0;
+            let wrapped = loop {
+                if d == self.split {
+                    break true;
+                }
+                self.choice[d] += 1;
+                if self.inner[d].get(self.choice[d]).is_some() {
+                    break false;
+                }
+                self.choice[d] = 0;
+                d += 1;
+            };
+            if wrapped {
+                self.block_active = false;
+                self.cur_block += 1;
+            }
+            if let Some(m) = candidate {
+                if let Some(base) = &self.base {
+                    // exact global output-limit semantics: this
+                    // candidate's unsharded stream position
+                    let global = base[self.cur_block_id as usize] + self.rank as usize;
+                    if global >= self.limit {
+                        // every remaining candidate of this shard sits
+                        // even later in the stream
+                        self.done = true;
+                        return None;
+                    }
+                }
+                let key = CandidateKey {
+                    block: self.cur_block_id,
+                    rank: self.rank,
+                };
+                self.rank += 1;
+                return Some((key, m));
+            }
+        }
+    }
+}
+
+/// Lazy low-discrepancy mapspace sampling
+/// (see [`Mapspace::iter_sample_halton`]).
+pub struct HaltonSampleIter<'a> {
+    space: &'a Mapspace,
+    plan: SlotPlan,
+    /// Per-dim prime factors (with multiplicity) of the dimension bound.
+    dim_primes: Vec<Vec<u64>>,
+    /// One distinct Halton base per `(dim, prime)` decision.
+    bases: Vec<u64>,
+    offset: u64,
+    produced: usize,
+    attempts: usize,
+    count: usize,
+}
+
+impl Iterator for HaltonSampleIter<'_> {
+    type Item = Mapping;
+
+    fn next(&mut self) -> Option<Mapping> {
+        if !self.plan.feasible {
+            return None;
+        }
+        let mut factors = vec![1u64; self.plan.slots.len()];
+        while self.produced < self.count && self.attempts < self.count * 20 {
+            let index = self.offset + self.attempts as u64;
+            self.attempts += 1;
+            let mut base_idx = 0;
+            let draws: Vec<Vec<u64>> = (0..self.space.num_dims)
+                .map(|d| {
+                    let k = self.plan.per_dim[d].len();
+                    if k == 0 {
+                        return Vec::new();
+                    }
+                    let mut f = vec![1u64; k];
+                    for &p in &self.dim_primes[d] {
+                        // one low-discrepancy coordinate per prime-factor
+                        // placement: stratified slot assignment
+                        let h = radical_inverse(index, self.bases[base_idx]);
+                        base_idx += 1;
+                        let pos = ((h * k as f64) as usize).min(k - 1);
+                        f[pos] *= p;
+                    }
+                    f
                 })
                 .collect();
             self.plan.assemble(&mut factors, |d| &draws[d]);
@@ -598,6 +1227,134 @@ mod tests {
     }
 
     #[test]
+    fn factorization_stream_matches_eager_list() {
+        for (n, k) in [(1, 1), (1, 3), (6, 2), (8, 3), (24, 3), (64, 4), (97, 2)] {
+            let eager = factorizations(n, k, None);
+            let mut stream = FactorizationStream::new(n, k);
+            let mut lazy = Vec::new();
+            let mut i = 0;
+            while let Some(f) = stream.get(i) {
+                lazy.push(f.to_vec());
+                i += 1;
+            }
+            assert_eq!(lazy, eager, "n={n} k={k}");
+            // exhausted stream stays exhausted and random access works
+            assert!(stream.get(i).is_none());
+            assert_eq!(stream.get(0).unwrap(), eager[0].as_slice());
+        }
+    }
+
+    #[test]
+    fn factorization_stream_unit_radix() {
+        let mut s = FactorizationStream::new(7, 0);
+        assert_eq!(s.get(0).unwrap(), &[] as &[u64]);
+        assert!(s.get(1).is_none());
+    }
+
+    #[test]
+    fn enumeration_materializes_factorizations_lazily() {
+        // m=64 in a single temporal slot per level: 64 has many ordered
+        // 2-factorizations, but drawing one candidate must not build the
+        // whole list
+        let e = Einsum::matmul(64, 1, 1);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a);
+        let mut it = space.iter_enumerate(usize::MAX);
+        let first = it.next();
+        assert!(first.is_some());
+        let eager = factorizations(64, 2, None).len();
+        assert!(
+            it.dims[0].materialized() <= 2,
+            "one candidate materialized {} of {} factorizations",
+            it.dims[0].materialized(),
+            eager
+        );
+    }
+
+    #[test]
+    fn shards_partition_the_enumeration_exactly() {
+        let e = Einsum::matmul(8, 8, 8);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a).with_spatial_dims(1, vec![DimId(1)]);
+        for limit in [1, 7, 100, 5000, usize::MAX] {
+            let reference: Vec<Mapping> = space.iter_enumerate(limit.min(1_000_000)).collect();
+            for n in [1, 2, 3, 7] {
+                let mut tagged: Vec<(CandidateKey, Mapping)> = Vec::new();
+                for shard in space.shards(n, limit) {
+                    tagged.extend(shard);
+                }
+                // keys are unique (disjointness)
+                let mut keys: Vec<CandidateKey> = tagged.iter().map(|(k, _)| *k).collect();
+                keys.sort();
+                keys.dedup();
+                assert_eq!(keys.len(), tagged.len(), "n={n} limit={limit}");
+                // sorting by key reproduces the unsharded stream exactly
+                tagged.sort_by_key(|(k, _)| *k);
+                let merged: Vec<Mapping> = tagged.into_iter().map(|(_, m)| m).collect();
+                assert_eq!(merged, reference, "n={n} limit={limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_of_infeasible_space_are_empty() {
+        let e = Einsum::matmul(4, 4, 4);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a)
+            .with_temporal_order(0, vec![])
+            .with_temporal_order(1, vec![]);
+        for shard in space.shards(3, 100) {
+            assert_eq!(shard.count(), 0);
+        }
+    }
+
+    #[test]
+    fn sampled_candidate_keys_order_after_enumerated_keys() {
+        let enumerated = CandidateKey {
+            block: u64::MAX - 1,
+            rank: u64::MAX,
+        };
+        assert!(CandidateKey::sampled(0) > enumerated);
+        assert!(CandidateKey::sampled(0) < CandidateKey::sampled(1));
+    }
+
+    #[test]
+    fn halton_samples_are_valid_and_deterministic() {
+        let e = Einsum::matmul(16, 16, 16);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a).with_spatial_dims(1, vec![DimId(0)]);
+        let first: Vec<Mapping> = space.iter_sample_halton(50, 9).collect();
+        let second: Vec<Mapping> = space.iter_sample_halton(50, 9).collect();
+        assert_eq!(first, second, "halton draws must be reproducible");
+        assert!(!first.is_empty());
+        for m in &first {
+            m.validate(&e, &a).unwrap();
+        }
+        // a different seed shifts the sequence
+        let other: Vec<Mapping> = space.iter_sample_halton(50, 10).collect();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn halton_covers_more_distinct_candidates_than_uniform() {
+        // the low-discrepancy point is even coverage: over the same draw
+        // budget the Halton tail should reach at least as many distinct
+        // factorizations as independent uniform draws
+        let e = Einsum::matmul(36, 36, 36);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a);
+        let halton: std::collections::HashSet<Mapping> = space.iter_sample_halton(200, 3).collect();
+        let uniform: std::collections::HashSet<Mapping> =
+            space.iter_sample(200, StdRng::seed_from_u64(3)).collect();
+        assert!(
+            halton.len() + 10 >= uniform.len(),
+            "halton {} vs uniform {}",
+            halton.len(),
+            uniform.len()
+        );
+    }
+
+    #[test]
     fn infeasible_space_yields_nothing() {
         // no slots for any dim but nonunit bounds -> empty space
         let e = Einsum::matmul(4, 4, 4);
@@ -607,6 +1364,7 @@ mod tests {
             .with_temporal_order(1, vec![]);
         assert_eq!(space.iter_enumerate(10).count(), 0);
         assert_eq!(space.iter_sample(10, StdRng::seed_from_u64(0)).count(), 0);
+        assert_eq!(space.iter_sample_halton(10, 0).count(), 0);
     }
 
     #[test]

@@ -72,6 +72,43 @@ proptest! {
         }
     }
 
+    /// Sharding is a disjoint, collectively exhaustive partition of the
+    /// enumeration stream: for n in {1, 2, 3, 7}, the union of shard
+    /// candidates (sorted by their globally comparable keys) equals the
+    /// unsharded `iter_enumerate` sequence exactly — same set, same
+    /// order, no duplicates — at output limits both above and below the
+    /// space size.
+    #[test]
+    fn shards_disjoint_and_exhaustive(
+        m in 1u64..9, n in 1u64..9, k in 1u64..9,
+        fanout in 1u64..5,
+        limit in 1usize..400,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1"))
+            .compute(ComputeSpec::new("MAC", fanout))
+            .build()
+            .unwrap();
+        let space = Mapspace::all_temporal(&e, &arch)
+            .with_spatial_dims(1, vec![DimId(1)]);
+        let reference: Vec<_> = space.iter_enumerate(limit).collect();
+        for shards in [1usize, 2, 3, 7] {
+            let mut tagged: Vec<_> = Vec::new();
+            for shard in space.shards(shards, limit) {
+                tagged.extend(shard);
+            }
+            let mut keys: Vec<_> = tagged.iter().map(|(key, _)| *key).collect();
+            keys.sort();
+            keys.dedup();
+            prop_assert_eq!(keys.len(), tagged.len(), "duplicate keys at shards={}", shards);
+            tagged.sort_by_key(|(key, _)| *key);
+            let merged: Vec<_> = tagged.into_iter().map(|(_, mapping)| mapping).collect();
+            prop_assert_eq!(&merged, &reference, "shards={} limit={}", shards, limit);
+        }
+    }
+
     /// tile_bounds_inside is monotone: deeper positions cover smaller or
     /// equal bounds per dimension.
     #[test]

@@ -1,0 +1,60 @@
+//! # sparseloop-serve
+//!
+//! A long-lived, queue-driven evaluation service over shared-cache
+//! sessions — the serving front for Sparseloop's analytical model.
+//!
+//! Search frameworks drive the model with thousands of evaluation
+//! requests (SparseMap-style outer loops, design-space sweeps, paper
+//! reproductions). Spinning a fresh [`EvalSession`] per request throws
+//! the shared density/format caches away; calling one session from many
+//! uncoordinated threads gives no admission control and no lifecycle.
+//! [`EvalService`] packages the production shape:
+//!
+//! * **Bounded queue, explicit backpressure** — requests enter through
+//!   an in-process MPSC queue with a hard admission capacity;
+//!   [`EvalService::submit`] fails fast with
+//!   [`SubmitError::QueueFull`] when the service is saturated
+//!   (callers that prefer to wait use
+//!   [`EvalService::submit_blocking`]).
+//! * **Worker pool over one shared session** — `workers` threads pop
+//!   requests and evaluate them through one [`EvalSession`], so density
+//!   aggregates and format analyses are shared *across requests*; each
+//!   search job additionally shards its candidate stream over `shards`
+//!   disjoint sub-iterators ([`Mapspace::shards`]) with results
+//!   bit-identical to unsharded search at any worker/shard count.
+//! * **Per-request response channels** — every submission returns a
+//!   [`Ticket`] resolving to the request's [`ServeReply`].
+//! * **Session recycling** — the session's intern maps grow with
+//!   workload diversity and cannot be evicted safely (issued cache
+//!   slots stay referenced by live models). Under a configured
+//!   [`ServeConfig::recycle_slot_budget`], the service retires the
+//!   session generation once its slot count reaches the budget and
+//!   starts a fresh one; in-flight requests keep their generation
+//!   alive, so recycling is invisible except in [`ServiceStats`].
+//! * **Graceful shutdown** — [`EvalService::shutdown`] (and `Drop`)
+//!   refuses new admissions, drains every queued request so no ticket
+//!   hangs, and joins the workers.
+//!
+//! ```
+//! use sparseloop_serve::{EvalService, ServeConfig};
+//!
+//! let service = EvalService::start(
+//!     ServeConfig::default().with_workers(2).with_shards(2),
+//! );
+//! let ticket = service.submit_scenario("fig1_format_tradeoff").unwrap();
+//! let reply = ticket.wait().unwrap().into_scenario();
+//! assert!(reply.results.iter().all(Result::is_ok));
+//! service.shutdown();
+//! ```
+//!
+//! [`EvalSession`]: sparseloop_core::EvalSession
+//! [`Mapspace::shards`]: sparseloop_mapping::Mapspace::shards
+
+pub mod queue;
+pub mod service;
+
+pub use queue::{BoundedQueue, PushError};
+pub use service::{
+    EvalService, ScenarioReply, ServeConfig, ServeError, ServeReply, ServeRequest, ServiceStats,
+    SubmitError, Ticket,
+};

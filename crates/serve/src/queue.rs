@@ -1,0 +1,211 @@
+//! A bounded MPMC queue with admission control and drain-on-close
+//! semantics — the service's backpressure primitive.
+//!
+//! Producers see a hard admission boundary: [`BoundedQueue::try_push`]
+//! fails immediately when the queue holds `capacity` items, so a
+//! saturated service rejects new work instead of buffering without
+//! bound (callers that prefer to wait use
+//! [`push_blocking`](BoundedQueue::push_blocking)). Consumers block on
+//! [`pop`](BoundedQueue::pop) until an item arrives; after
+//! [`close`](BoundedQueue::close) the queue admits nothing new but
+//! *drains*: `pop` keeps returning queued items until the queue is
+//! empty, then returns `None` — exactly the graceful-shutdown contract
+//! the service's workers rely on.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue already holds `capacity` items; the value is returned.
+    Full(T),
+    /// The queue was closed; the value is returned.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue (see the [module docs](self)).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` undrained items
+    /// (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued (racy snapshot, for stats only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy snapshot).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking admission: enqueues `item` or refuses it when the
+    /// queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking admission: waits for space, returning `Err(item)` only
+    /// if the queue closes while waiting (or was already closed).
+    pub fn push_blocking(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Blocking consume: the next item, or `None` once the queue is
+    /// closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: no further admissions; consumers drain the
+    /// remaining items and then observe the end of the stream.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_error_when_full() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Ok(()));
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+        // draining reopens admission
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "a closed drained queue stays ended");
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(1).is_ok())
+        };
+        // the producer is blocked on a full queue until we drain one
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn blocking_push_fails_on_close() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(0u32).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(1))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(1));
+    }
+
+    #[test]
+    fn pop_blocks_until_item_arrives() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7u32).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,705 @@
+//! The evaluation service: long-lived workers, one shared session,
+//! bounded admission, recycling, graceful shutdown.
+
+use crate::queue::{BoundedQueue, PushError};
+use sparseloop_core::{EvalJob, EvalSession, JobError, JobOutcome};
+use sparseloop_designs::ScenarioRegistry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Service configuration (builder-style, all knobs defaulted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Queue workers: requests processed concurrently (each search job
+    /// additionally fans its candidate stream over `shards`).
+    pub workers: usize,
+    /// Bounded queue capacity; [`EvalService::submit`] refuses admission
+    /// beyond it (backpressure).
+    pub queue_capacity: usize,
+    /// Shard count for search jobs
+    /// ([`EvalSession::search_batch_sharded`]); results are bit-identical
+    /// at any value.
+    pub shards: usize,
+    /// Recycle the shared session once its intern maps hold at least
+    /// this many slots (density models + format slots). `None`: never
+    /// recycle — only safe for bounded workload diversity.
+    pub recycle_slot_budget: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            shards: 1,
+            recycle_slot_budget: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets the worker count (`>= 1`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission capacity (`>= 1`).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-job shard count (`>= 1`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the session recycling budget.
+    pub fn with_recycle_slot_budget(mut self, budget: usize) -> Self {
+        self.recycle_slot_budget = Some(budget);
+        self
+    }
+}
+
+/// One unit of work accepted by the queue.
+#[derive(Debug)]
+pub enum ServeRequest {
+    /// Evaluate a single job (fixed mapping or mapspace search).
+    Job(Box<EvalJob>),
+    /// Run a registered scenario by name (see
+    /// [`ScenarioRegistry::standard`]).
+    Scenario(String),
+}
+
+/// A successfully processed request's payload.
+#[derive(Debug)]
+pub enum ServeReply {
+    /// The job's outcome (an `Err` preserves why the job itself failed —
+    /// the *request* was processed fine).
+    Job(Box<Result<JobOutcome, JobError>>),
+    /// The scenario's per-experiment outcomes.
+    Scenario(ScenarioReply),
+}
+
+impl ServeReply {
+    /// The job result, panicking on a scenario reply (test/bench sugar).
+    pub fn into_job(self) -> Result<JobOutcome, JobError> {
+        match self {
+            ServeReply::Job(r) => *r,
+            ServeReply::Scenario(s) => panic!("expected a job reply, got scenario {:?}", s.name),
+        }
+    }
+
+    /// The scenario reply, panicking on a job reply (test/bench sugar).
+    pub fn into_scenario(self) -> ScenarioReply {
+        match self {
+            ServeReply::Scenario(s) => s,
+            ServeReply::Job(_) => panic!("expected a scenario reply, got a job"),
+        }
+    }
+}
+
+/// A served scenario's outcomes, index-aligned with its experiments.
+#[derive(Debug)]
+pub struct ScenarioReply {
+    /// The scenario's registry name.
+    pub name: String,
+    /// Experiment labels, in registry order.
+    pub labels: Vec<String>,
+    /// Whether each experiment's result is required to be non-empty.
+    pub required: Vec<bool>,
+    /// Per-experiment outcome.
+    pub results: Vec<Result<JobOutcome, JobError>>,
+    /// Wall time of the scenario's batch inside the worker.
+    pub wall_seconds: f64,
+}
+
+/// Why a request produced no [`ServeReply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The scenario name is not registered.
+    UnknownScenario(String),
+    /// The worker panicked while processing the request; the shared
+    /// session was force-recycled so later requests start clean.
+    Panicked(String),
+    /// The service was torn down before the request was processed.
+    Canceled,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownScenario(name) => write!(f, "no scenario named {name:?}"),
+            ServeError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
+            ServeError::Canceled => write!(f, "request canceled by service teardown"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Why a request was refused at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity — backpressure; retry later or
+    /// use [`EvalService::submit_blocking`].
+    QueueFull {
+        /// The configured admission capacity.
+        capacity: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The per-request response handle: blocks until the worker replies.
+///
+/// A thin wrapper over a one-shot `std::sync::mpsc` channel: the worker
+/// sends exactly one reply; a worker torn down mid-request drops its
+/// sender, which resolves the ticket to [`ServeError::Canceled`]
+/// instead of hanging it.
+pub struct Ticket {
+    receiver: mpsc::Receiver<Result<ServeReply, ServeError>>,
+}
+
+impl Ticket {
+    /// Waits for the request's reply.
+    pub fn wait(self) -> Result<ServeReply, ServeError> {
+        self.receiver.recv().unwrap_or(Err(ServeError::Canceled))
+    }
+
+    /// Waits up to `timeout`; hands the ticket back on timeout.
+    pub fn wait_timeout(
+        self,
+        timeout: std::time::Duration,
+    ) -> Result<Result<ServeReply, ServeError>, Ticket> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(reply) => Ok(reply),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServeError::Canceled)),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+        }
+    }
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests refused at admission (backpressure).
+    pub rejected: u64,
+    /// Requests processed and replied (whatever the job-level outcome).
+    pub completed: u64,
+    /// Requests whose processing panicked (the session was recycled).
+    pub panicked: u64,
+    /// Times the shared session was recycled.
+    pub recycles: u64,
+    /// Largest intern-slot count ever observed after a request
+    /// (density models + format slots).
+    pub peak_slots: u64,
+    /// Requests currently queued (snapshot).
+    pub queued: usize,
+    /// Intern slots held by the *current* session generation (snapshot).
+    pub session_slots: usize,
+}
+
+struct Work {
+    request: ServeRequest,
+    responder: mpsc::Sender<Result<ServeReply, ServeError>>,
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: BoundedQueue<Work>,
+    registry: ScenarioRegistry,
+    /// The current session generation. Workers clone the `Arc` per
+    /// request; recycling swaps the slot, so in-flight requests keep
+    /// their generation alive while new requests start clean.
+    session: Mutex<Arc<EvalSession>>,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    panicked: AtomicU64,
+    recycles: AtomicU64,
+    peak_slots: AtomicU64,
+}
+
+impl Shared {
+    fn current_session(&self) -> Arc<EvalSession> {
+        Arc::clone(&self.session.lock().expect("session slot poisoned"))
+    }
+
+    fn process(
+        &self,
+        request: &ServeRequest,
+        session: &EvalSession,
+    ) -> Result<ServeReply, ServeError> {
+        match request {
+            ServeRequest::Job(job) => {
+                let mut results =
+                    session.search_batch_sharded(std::slice::from_ref(&**job), self.config.shards);
+                let result = results.pop().expect("one job in, one result out");
+                Ok(ServeReply::Job(Box::new(result)))
+            }
+            ServeRequest::Scenario(name) => {
+                let scenario = self
+                    .registry
+                    .get(name)
+                    .ok_or_else(|| ServeError::UnknownScenario(name.clone()))?;
+                let outcome = scenario.run_sharded(session, self.config.shards);
+                Ok(ServeReply::Scenario(ScenarioReply {
+                    name: outcome.name,
+                    labels: outcome
+                        .experiments
+                        .iter()
+                        .map(|e| e.label.clone())
+                        .collect(),
+                    required: outcome.experiments.iter().map(|e| e.required).collect(),
+                    results: outcome.results,
+                    wall_seconds: outcome.wall_seconds,
+                }))
+            }
+        }
+    }
+
+    /// Post-request bookkeeping: track the intern-slot high-water mark
+    /// and recycle the session once it exceeds the configured budget.
+    fn maybe_recycle(&self, used: &Arc<EvalSession>) {
+        let stats = used.stats();
+        let slots = (stats.density_models + stats.format_slots) as u64;
+        self.peak_slots.fetch_max(slots, Ordering::Relaxed);
+        if let Some(budget) = self.config.recycle_slot_budget {
+            if slots >= budget as u64 {
+                self.swap_session(used);
+            }
+        }
+    }
+
+    /// Replaces the current session generation with a fresh one — but
+    /// only if `used` still *is* the current generation, so concurrent
+    /// workers never recycle twice for one overflow. Touches only the
+    /// `Arc` slot, never session internals: safe even when a panic left
+    /// the used generation's locks poisoned.
+    fn swap_session(&self, used: &Arc<EvalSession>) {
+        let mut current = self.session.lock().expect("session slot poisoned");
+        if Arc::ptr_eq(&current, used) {
+            *current = Arc::new(EvalSession::new());
+            self.recycles.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(Work { request, responder }) = shared.queue.pop() {
+        let session = shared.current_session();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let reply = shared.process(&request, &session);
+            shared.maybe_recycle(&session);
+            reply
+        }));
+        match outcome {
+            Ok(reply) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                // the submitter may have dropped its ticket; that is fine
+                let _ = responder.send(reply);
+            }
+            Err(panic) => {
+                // contain the blast radius: reply with the panic message
+                // and retire the (possibly lock-poisoned) session so the
+                // next request starts from a clean generation
+                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                shared.swap_session(&session);
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                let _ = responder.send(Err(ServeError::Panicked(msg)));
+            }
+        }
+    }
+}
+
+/// The long-lived evaluation service (see the [crate docs](crate)).
+pub struct EvalService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EvalService {
+    /// Boots the service with the standard scenario registry.
+    pub fn start(config: ServeConfig) -> Self {
+        EvalService::start_with_registry(config, ScenarioRegistry::standard())
+    }
+
+    /// Boots the service against a caller-supplied registry.
+    pub fn start_with_registry(config: ServeConfig, registry: ScenarioRegistry) -> Self {
+        let config = ServeConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            shards: config.shards.max(1),
+            ..config
+        };
+        let shared = Arc::new(Shared {
+            config,
+            queue: BoundedQueue::new(config.queue_capacity),
+            registry,
+            session: Mutex::new(Arc::new(EvalSession::new())),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            recycles: AtomicU64::new(0),
+            peak_slots: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sparseloop-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        EvalService { shared, workers }
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.shared.config
+    }
+
+    /// Non-blocking admission: enqueues the request or refuses it when
+    /// the queue is at capacity (backpressure) or the service is
+    /// shutting down.
+    pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let (responder, receiver) = mpsc::channel();
+        match self.shared.queue.try_push(Work { request, responder }) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { receiver })
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull {
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Blocking admission: waits for queue space instead of refusing
+    /// (still fails if the service shuts down while waiting).
+    pub fn submit_blocking(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        let (responder, receiver) = mpsc::channel();
+        match self.shared.queue.push_blocking(Work { request, responder }) {
+            Ok(()) => {
+                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { receiver })
+            }
+            Err(_) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Sugar: submits a single evaluation job.
+    pub fn submit_job(&self, job: EvalJob) -> Result<Ticket, SubmitError> {
+        self.submit(ServeRequest::Job(Box::new(job)))
+    }
+
+    /// Sugar: submits a registered scenario by name.
+    pub fn submit_scenario(&self, name: impl Into<String>) -> Result<Ticket, SubmitError> {
+        self.submit(ServeRequest::Scenario(name.into()))
+    }
+
+    /// Current counters (queue depth and session slots are snapshots).
+    pub fn stats(&self) -> ServiceStats {
+        let session = self.shared.current_session();
+        let s = session.stats();
+        ServiceStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            panicked: self.shared.panicked.load(Ordering::Relaxed),
+            recycles: self.shared.recycles.load(Ordering::Relaxed),
+            peak_slots: self.shared.peak_slots.load(Ordering::Relaxed),
+            queued: self.shared.queue.len(),
+            session_slots: s.density_models + s.format_slots,
+        }
+    }
+
+    /// Graceful shutdown: refuses new admissions, drains every queued
+    /// request (all outstanding tickets resolve), joins the workers and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for EvalService {
+    fn drop(&mut self) {
+        // same graceful drain as `shutdown`: pending tickets resolve
+        // rather than hang
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for EvalService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalService")
+            .field("config", &self.shared.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseloop_arch::{ArchitectureBuilder, ComponentClass, ComputeSpec, StorageLevel};
+    use sparseloop_core::{JobPlan, Model, Objective, SafSpec, Workload};
+    use sparseloop_density::DensityModelSpec;
+    use sparseloop_designs::scenario::Scenario;
+    use sparseloop_format::TensorFormat;
+    use sparseloop_mapping::{Mapper, Mapspace};
+    use sparseloop_tensor::einsum::Einsum;
+
+    fn arch() -> sparseloop_arch::Architecture {
+        ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("DRAM").with_class(ComponentClass::Dram))
+            .level(StorageLevel::new("Buf").with_capacity(2048))
+            .compute(ComputeSpec::new("MAC", 4))
+            .build()
+            .unwrap()
+    }
+
+    fn search_job(density: f64) -> EvalJob {
+        let e = Einsum::matmul(16, 16, 16);
+        let workload = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let a = e.tensor_id("A").unwrap();
+        let safs = SafSpec::dense()
+            .with_format(0, a, TensorFormat::coo(2))
+            .with_format(1, a, TensorFormat::coo(2))
+            .with_skip(1, a, vec![a]);
+        let arch = arch();
+        let space = Mapspace::all_temporal(&e, &arch);
+        EvalJob {
+            workload,
+            arch,
+            safs,
+            plan: JobPlan::Search {
+                space,
+                mapper: Mapper::Exhaustive { limit: 500 },
+                objective: Objective::Edp,
+            },
+        }
+    }
+
+    #[test]
+    fn served_job_matches_direct_parallel_search() {
+        let service = EvalService::start(ServeConfig::default().with_workers(2).with_shards(2));
+        let job = search_job(0.25);
+        let ticket = service.submit_job(job.clone()).unwrap();
+        let outcome = ticket.wait().unwrap().into_job().unwrap();
+        let model = Model::new(job.workload, job.arch, job.safs);
+        let JobPlan::Search {
+            space,
+            mapper,
+            objective,
+        } = job.plan
+        else {
+            unreachable!()
+        };
+        let (mapping, eval, stats) = model
+            .search_parallel_with_stats(&space, mapper, objective, Some(2))
+            .unwrap();
+        assert_eq!(outcome.mapping, mapping);
+        assert_eq!(outcome.eval.edp, eval.edp);
+        assert_eq!(outcome.eval.cycles, eval.cycles);
+        assert_eq!(outcome.eval.energy_pj, eval.energy_pj);
+        assert_eq!(outcome.stats, stats);
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn served_scenario_matches_direct_run() {
+        let service = EvalService::start(ServeConfig::default().with_workers(2).with_shards(3));
+        let ticket = service.submit_scenario("fig1_format_tradeoff").unwrap();
+        let reply = ticket.wait().unwrap().into_scenario();
+        let direct = ScenarioRegistry::standard()
+            .expect("fig1_format_tradeoff")
+            .run(&EvalSession::new(), Some(2));
+        assert_eq!(reply.results.len(), direct.results.len());
+        for ((label, served), direct) in
+            reply.labels.iter().zip(&reply.results).zip(&direct.results)
+        {
+            let (served, direct) = (served.as_ref().unwrap(), direct.as_ref().unwrap());
+            assert_eq!(served.mapping, direct.mapping, "{label}");
+            assert_eq!(served.eval.edp, direct.eval.edp, "{label}");
+            assert_eq!(served.eval.cycles, direct.eval.cycles, "{label}");
+            assert_eq!(served.eval.energy_pj, direct.eval.energy_pj, "{label}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_scenario_is_reported_not_fatal() {
+        let service = EvalService::start(ServeConfig::default());
+        let ticket = service.submit_scenario("no_such_scenario").unwrap();
+        match ticket.wait() {
+            Err(ServeError::UnknownScenario(name)) => assert_eq!(name, "no_such_scenario"),
+            other => panic!("expected UnknownScenario, got {other:?}"),
+        }
+        // the service keeps serving after the error
+        let ok = service.submit_job(search_job(0.5)).unwrap();
+        assert!(ok.wait().unwrap().into_job().is_ok());
+        service.shutdown();
+    }
+
+    #[test]
+    fn backpressure_accounting_is_consistent() {
+        let service = EvalService::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1),
+        );
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..20 {
+            match service.submit_job(search_job(0.1 + (i as f64) * 0.04)) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 1);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        }
+        let accepted = tickets.len() as u64;
+        for t in tickets {
+            assert!(t.wait().unwrap().into_job().is_ok());
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, accepted);
+        assert_eq!(stats.rejected, rejected);
+        assert_eq!(stats.completed, accepted);
+        assert_eq!(accepted + rejected, 20);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let service = EvalService::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(64),
+        );
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                service
+                    .submit_job(search_job(0.1 + (i as f64) * 0.1))
+                    .unwrap()
+            })
+            .collect();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 8, "shutdown must drain, not drop");
+        for t in tickets {
+            assert!(t.wait().unwrap().into_job().is_ok(), "no ticket may hang");
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let service = EvalService::start(ServeConfig::default());
+        let shared = Arc::clone(&service.shared);
+        service.shutdown();
+        let (responder, _receiver) = mpsc::channel();
+        assert!(matches!(
+            shared.queue.try_push(Work {
+                request: ServeRequest::Scenario("x".into()),
+                responder,
+            }),
+            Err(PushError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn session_recycles_under_slot_budget() {
+        let budget = 8;
+        let service = EvalService::start(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_recycle_slot_budget(budget),
+        );
+        // distinct densities keep interning fresh slots; the budget must
+        // cap the live session's growth
+        for i in 0..12 {
+            let t = service
+                .submit_blocking(ServeRequest::Job(Box::new(search_job(
+                    0.05 + (i as f64) * 0.07,
+                ))))
+                .unwrap();
+            t.wait().unwrap().into_job().unwrap();
+        }
+        let stats = service.shutdown();
+        assert!(stats.recycles >= 1, "budget {budget} never triggered");
+        assert!(
+            stats.session_slots < budget + 4,
+            "live session kept {} slots",
+            stats.session_slots
+        );
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_session_recycled() {
+        let registry = ScenarioRegistry::new(vec![Scenario::new(
+            "poison",
+            "a scenario that panics while building",
+            || panic!("boom in build"),
+        )]);
+        let service =
+            EvalService::start_with_registry(ServeConfig::default().with_workers(1), registry);
+        let ticket = service.submit_scenario("poison").unwrap();
+        match ticket.wait() {
+            Err(ServeError::Panicked(msg)) => assert!(msg.contains("boom"), "got {msg}"),
+            other => panic!("expected a contained panic, got {other:?}"),
+        }
+        // the service survives and keeps processing
+        let ok = service.submit_job(search_job(0.5)).unwrap();
+        assert!(ok.wait().unwrap().into_job().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.panicked, 1);
+        assert!(stats.recycles >= 1, "panic must retire the session");
+    }
+}

@@ -31,6 +31,7 @@ fn searched_mapping_beats_naive_mapping() {
                 enumerate: 512,
                 samples: 256,
                 seed: 7,
+                sampling: sparseloop_mapping::SampleStrategy::Uniform,
             },
             Objective::Edp,
         )
@@ -67,6 +68,7 @@ fn capacity_constraints_prune_candidates() {
             enumerate: 1024,
             samples: 512,
             seed: 3,
+            sampling: sparseloop_mapping::SampleStrategy::Uniform,
         },
         Objective::Edp,
     ) {
