@@ -125,6 +125,33 @@ fn main() {
         "3x-budget distinct workloads must recycle the session repeatedly"
     );
 
+    // -- phase 3: worker evaluation-pipeline delta --
+    // the same batch of jobs through one shared session, scored by the
+    // from-scratch reference pipeline vs the incremental worker pipeline
+    // the serve workers actually run (bit-identical results; the cost
+    // difference is the scratch-arena + prefix-caching win per worker)
+    println!("\n== worker pipeline delta (sequential batch, shared session) ==");
+    let jobs: Vec<EvalJob> = (0..8).map(distinct_job).collect();
+    let session = sparseloop_core::EvalSession::new();
+    let _ = session.search_batch(&jobs, Some(1)); // warm shared caches
+    let (ref_results, ref_wall_s) = timed(|| session.search_batch_from_scratch(&jobs, Some(1)));
+    let (inc_results, inc_wall_s) = timed(|| session.search_batch(&jobs, Some(1)));
+    for (a, b) in ref_results.iter().zip(&inc_results) {
+        let (a, b) = (a.as_ref().expect("job ok"), b.as_ref().expect("job ok"));
+        assert_eq!(a.mapping, b.mapping, "pipeline parity");
+        assert_eq!(a.eval.edp, b.eval.edp, "pipeline parity");
+    }
+    let pipeline_generated = sparseloop_bench::results_generated(&inc_results);
+    let pipeline_ref_mps = pipeline_generated as f64 / ref_wall_s.max(1e-12);
+    let pipeline_inc_mps = pipeline_generated as f64 / inc_wall_s.max(1e-12);
+    println!(
+        "{} candidates: {} -> {} mappings/s ({:.2}x)",
+        pipeline_generated,
+        fnum(pipeline_ref_mps),
+        fnum(pipeline_inc_mps),
+        pipeline_inc_mps / pipeline_ref_mps.max(1e-12)
+    );
+
     // -- record --
     let serve_json = format!(
         concat!(
@@ -136,6 +163,12 @@ fn main() {
             "    \"wall_time_s\": {:.6},\n",
             "    \"requests_per_sec\": {:.2},\n",
             "    \"mappings_per_sec\": {:.1},\n",
+            "    \"worker_pipeline\": {{\n",
+            "      \"candidates\": {},\n",
+            "      \"from_scratch_mappings_per_sec\": {:.1},\n",
+            "      \"incremental_mappings_per_sec\": {:.1},\n",
+            "      \"speedup\": {:.3}\n",
+            "    }},\n",
             "    \"recycling\": {{\n",
             "      \"slot_budget\": {},\n",
             "      \"distinct_workloads\": {},\n",
@@ -153,6 +186,10 @@ fn main() {
         wall_s,
         requests_per_sec,
         mappings_per_sec,
+        pipeline_generated,
+        pipeline_ref_mps,
+        pipeline_inc_mps,
+        pipeline_inc_mps / pipeline_ref_mps.max(1e-12),
         SLOT_BUDGET,
         DISTINCT_WORKLOADS,
         recycle_stats.recycles,

@@ -90,15 +90,48 @@ fn main() {
         cache_totals.0, cache_totals.1
     );
 
+    // candidate-scoring before/after for the tracked scenarios: the
+    // from-scratch (stateless, allocating) pipeline vs the incremental
+    // (scratch-arena + prefix-caching) pipeline over identical streams
+    println!("\n-- evaluation-pipeline delta (pruned sequential scoring) --");
+    let deltas: Vec<sparseloop_bench::EvalDelta> = DELTA_SCENARIOS
+        .iter()
+        .map(|name| {
+            let sc = registry.get(name).expect("tracked scenario registered");
+            let d = sparseloop_bench::measure_eval_delta(sc, 3);
+            println!(
+                "{}: {} candidates, {:.0} -> {:.0} mappings/s ({:.2}x)",
+                d.name,
+                d.candidates,
+                d.from_scratch_mps,
+                d.incremental_mps,
+                d.speedup()
+            );
+            d
+        })
+        .collect();
+
     // machine-readable search-throughput record, tracked across PRs
-    let path = write_mapper_bench(&outcomes);
+    let path = write_mapper_bench(&outcomes, &deltas);
     println!("\nwrote search-throughput record to {path}");
 }
 
+/// Scenarios whose candidate-scoring before/after lands in
+/// `BENCH_mapper.json` (the acceptance rows of the incremental-pipeline
+/// work, plus representatives of each tracked design family).
+const DELTA_SCENARIOS: &[&str] = &[
+    "table5_eyeriss_vgg16",
+    "table5_eyeriss_resnet50",
+    "fig12_eyerissv2_validation",
+];
+
 /// Writes `BENCH_mapper.json`: the fixed capacity-constrained spMspM
-/// search (comparable across commits) plus one throughput row per
-/// registered scenario.
-fn write_mapper_bench(outcomes: &[ScenarioOutcome]) -> String {
+/// search (comparable across commits), one throughput row per
+/// registered scenario, and the evaluation-pipeline before/after rows.
+fn write_mapper_bench(
+    outcomes: &[ScenarioOutcome],
+    deltas: &[sparseloop_bench::EvalDelta],
+) -> String {
     use sparseloop_core::Objective;
 
     let (model, space, mapper) = sparseloop_bench::tight_search_scenario();
@@ -120,6 +153,15 @@ fn write_mapper_bench(outcomes: &[ScenarioOutcome]) -> String {
             })
             .expect("search succeeds")
     });
+    // the pruned sequential path through the from-scratch reference
+    // pipeline (pre-arena behavior) — the "before" of the tracked
+    // sequential_pruned row
+    let (seq_ref, seq_ref_secs) = timed(|| {
+        mapper
+            .search_pruned(&space, &model.evaluator_from_scratch(Objective::Edp))
+            .expect("search succeeds")
+    });
+    assert_eq!(seq.1.edp, seq_ref.objective, "reference/incremental parity");
     let (par, par_secs) = timed(|| {
         model
             .search_parallel_with_stats(&space, mapper, Objective::Edp, None)
@@ -150,6 +192,25 @@ fn write_mapper_bench(outcomes: &[ScenarioOutcome]) -> String {
         })
         .collect();
 
+    let delta_rows: Vec<String> = deltas
+        .iter()
+        .map(|d| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"candidates\": {}, ",
+                    "\"from_scratch_mappings_per_sec\": {:.1}, ",
+                    "\"incremental_mappings_per_sec\": {:.1}, ",
+                    "\"speedup\": {:.3}}}"
+                ),
+                d.name,
+                d.candidates,
+                d.from_scratch_mps,
+                d.incremental_mps,
+                d.speedup(),
+            )
+        })
+        .collect();
+
     let json = format!(
         concat!(
             "{{\n",
@@ -160,16 +221,19 @@ fn write_mapper_bench(outcomes: &[ScenarioOutcome]) -> String {
             "  \"invalid\": {},\n",
             "  \"wall_time_s\": {{\n",
             "    \"sequential_unpruned\": {:.6},\n",
+            "    \"sequential_pruned_from_scratch\": {:.6},\n",
             "    \"sequential_pruned\": {:.6},\n",
             "    \"parallel\": {:.6}\n",
             "  }},\n",
             "  \"mappings_per_sec\": {{\n",
             "    \"sequential_unpruned\": {:.1},\n",
+            "    \"sequential_pruned_from_scratch\": {:.1},\n",
             "    \"sequential_pruned\": {:.1},\n",
             "    \"parallel\": {:.1}\n",
             "  }},\n",
             "  \"threads\": {},\n",
-            "  \"scenarios\": [\n{}\n  ]\n",
+            "  \"scenarios\": [\n{}\n  ],\n",
+            "  \"eval_delta\": [\n{}\n  ]\n",
             "}}\n"
         ),
         stats.generated,
@@ -177,15 +241,18 @@ fn write_mapper_bench(outcomes: &[ScenarioOutcome]) -> String {
         stats.evaluated,
         stats.invalid,
         unpruned_secs,
+        seq_ref_secs,
         seq_secs,
         par_secs,
         unpruned.stats.generated as f64 / unpruned_secs.max(1e-12),
+        seq_ref.stats.generated as f64 / seq_ref_secs.max(1e-12),
         stats.generated as f64 / seq_secs.max(1e-12),
         stats.generated as f64 / par_secs.max(1e-12),
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
         scenario_rows.join(",\n"),
+        delta_rows.join(",\n"),
     );
     let path = "BENCH_mapper.json";
     std::fs::write(path, json).expect("write BENCH_mapper.json");

@@ -1,0 +1,203 @@
+//! CI throughput-regression gate.
+//!
+//! Re-measures the tracked search-throughput numbers in release mode and
+//! compares them against the *committed* `BENCH_mapper.json` baseline:
+//!
+//! * the fixed capacity-constrained exhaustive scenario's pruned
+//!   sequential path (`mappings_per_sec.sequential_pruned`), and
+//! * the evaluation-pipeline rows (`eval_delta[*].incremental_mappings_per_sec`)
+//!   of the tracked scenarios — the purest signal for accidental
+//!   allocation or cache regressions on the candidate-scoring hot path.
+//!
+//! The job fails when any re-measured number falls more than the
+//! tolerance (default 30%, `THROUGHPUT_GATE_TOLERANCE` to override)
+//! below its committed baseline. Measurements take the best of several
+//! repetitions to shrug off runner noise; a 30% band is far wider than
+//! run-to-run jitter but far tighter than the 1.5-2x cost of
+//! reintroducing per-candidate allocation.
+//!
+//! Absolute mappings/sec baselines are machine-dependent (a runner much
+//! slower than the machine that committed the baseline would trip them
+//! without any real regression — widen the tolerance via the env var on
+//! such runners). The `eval_delta` rows therefore get a second,
+//! *machine-independent* check: the incremental/from-scratch speedup
+//! measured within the same run must stay within tolerance of the
+//! committed speedup, which collapses toward 1.0x if hot-path
+//! allocation or prefix caching regresses regardless of runner speed.
+
+use sparseloop_bench::{measure_eval_delta, timed};
+use sparseloop_core::Objective;
+use sparseloop_designs::ScenarioRegistry;
+
+/// Repetitions per measured quantity (best is kept).
+const REPS: usize = 5;
+
+fn main() {
+    let tolerance: f64 = std::env::var("THROUGHPUT_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+    let baseline = std::fs::read_to_string("BENCH_mapper.json")
+        .expect("committed BENCH_mapper.json baseline present");
+
+    let mut failures: Vec<String> = Vec::new();
+    fn check(failures: &mut Vec<String>, tolerance: f64, label: &str, measured: f64, base: f64) {
+        let floor = base * (1.0 - tolerance);
+        let verdict = if measured >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "{label}: measured {measured:.0} mappings/s vs baseline {base:.0} (floor {floor:.0}) — {verdict}"
+        );
+        if measured < floor {
+            failures.push(format!(
+                "{label}: {measured:.0} < {floor:.0} (baseline {base:.0}, tolerance {:.0}%)",
+                tolerance * 100.0
+            ));
+        }
+    }
+
+    // -- tracked exhaustive scenario: pruned sequential path --
+    let (model, space, mapper) = sparseloop_bench::tight_search_scenario();
+    let _ = model.search_with_stats(&space, mapper, Objective::Edp); // warm caches
+    let mut best = f64::MAX;
+    let mut generated = 0usize;
+    for _ in 0..REPS {
+        let (result, secs) = timed(|| {
+            model
+                .search_with_stats(&space, mapper, Objective::Edp)
+                .expect("tight scenario finds a mapping")
+        });
+        generated = result.2.generated;
+        best = best.min(secs);
+    }
+    let measured = generated as f64 / best.max(1e-12);
+    if let Some(base) = json_number(
+        &baseline,
+        &["\"mappings_per_sec\"", "\"sequential_pruned\""],
+    ) {
+        check(
+            &mut failures,
+            tolerance,
+            "sequential_pruned (tight exhaustive)",
+            measured,
+            base,
+        );
+    } else {
+        println!("no sequential_pruned baseline found — skipping (first run?)");
+    }
+
+    // -- evaluation-pipeline rows of the tracked scenarios --
+    // two checks per row: the absolute incremental mappings/sec against
+    // the committed baseline (the tracked trajectory), and — the
+    // machine-independent signal — the incremental/from-scratch
+    // *speedup* measured in this very run, which collapses toward 1.0
+    // if per-candidate allocation or prefix caching regresses no matter
+    // how fast or slow the runner is.
+    let registry = ScenarioRegistry::standard();
+    for (name, base, base_speedup) in baseline_eval_rows(&baseline) {
+        let Some(scenario) = registry.get(&name) else {
+            println!("baseline row {name} no longer registered — skipping");
+            continue;
+        };
+        let delta = measure_eval_delta(scenario, 3);
+        check(
+            &mut failures,
+            tolerance,
+            &format!("eval {name}"),
+            delta.incremental_mps,
+            base,
+        );
+        let speedup = delta.speedup();
+        let floor = base_speedup * (1.0 - tolerance);
+        let verdict = if speedup >= floor { "ok" } else { "REGRESSED" };
+        println!(
+            "eval {name} speedup: measured {speedup:.2}x vs baseline {base_speedup:.2}x (floor {floor:.2}x) — {verdict}"
+        );
+        if speedup < floor {
+            failures.push(format!(
+                "eval {name} speedup: {speedup:.2}x < {floor:.2}x (baseline {base_speedup:.2}x)"
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("\nthroughput gate passed");
+    } else {
+        eprintln!("\nthroughput regressions detected:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// The first JSON number following the given keys in order (a minimal
+/// extractor — the bench records are written by our own binaries with a
+/// fixed shape, so no full JSON parser is needed).
+fn json_number(text: &str, keys: &[&str]) -> Option<f64> {
+    let mut at = 0usize;
+    for key in keys {
+        at += text[at..].find(key)?;
+        at += key.len();
+    }
+    let rest = text[at..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `(scenario name, incremental_mappings_per_sec, speedup)` triples of
+/// the baseline's `eval_delta` section.
+fn baseline_eval_rows(text: &str) -> Vec<(String, f64, f64)> {
+    let Some(section) = text.find("\"eval_delta\"") else {
+        return Vec::new();
+    };
+    let body = &text[section..];
+    let end = body.find(']').unwrap_or(body.len());
+    let body = &body[..end];
+    let mut rows = Vec::new();
+    let mut at = 0usize;
+    while let Some(name_at) = body[at..].find("\"name\": \"") {
+        let start = at + name_at + "\"name\": \"".len();
+        let Some(name_len) = body[start..].find('"') else {
+            break;
+        };
+        let name = body[start..start + name_len].to_string();
+        if let (Some(v), Some(sp)) = (
+            json_number(&body[start..], &["\"incremental_mappings_per_sec\""]),
+            json_number(&body[start..], &["\"speedup\""]),
+        ) {
+            rows.push((name, v, sp));
+        }
+        at = start + name_len;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_extraction() {
+        let j = r#"{"mappings_per_sec": {"a": 1.5, "sequential_pruned": 192801.9}}"#;
+        assert_eq!(
+            json_number(j, &["\"mappings_per_sec\"", "\"sequential_pruned\""]),
+            Some(192801.9)
+        );
+        assert_eq!(json_number(j, &["\"missing\""]), None);
+    }
+
+    #[test]
+    fn eval_rows_extraction() {
+        let j = r#"
+  "eval_delta": [
+    {"name": "a", "incremental_mappings_per_sec": 100.5, "speedup": 1.7},
+    {"name": "b", "incremental_mappings_per_sec": 200.0, "speedup": 1.8}
+  ]"#;
+        let rows = baseline_eval_rows(j);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("a".to_string(), 100.5, 1.7));
+        assert_eq!(rows[1], ("b".to_string(), 200.0, 1.8));
+    }
+}

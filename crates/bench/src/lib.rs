@@ -167,6 +167,101 @@ pub fn tight_search_scenario() -> (Model, Mapspace, Mapper) {
     (model, space, Mapper::Exhaustive { limit: 4000 })
 }
 
+/// Candidate-scoring throughput of one scenario through the pruned
+/// sequential evaluation pipeline, measured both ways: the from-scratch
+/// reference (stateless, allocating — the pre-arena behavior) and the
+/// incremental worker pipeline (scratch arenas + prefix caching).
+///
+/// The candidate streams are materialized first (with their change
+/// depths), so the comparison isolates exactly what the arenas
+/// optimize: per-candidate `precheck` + dense→sparse→uarch scoring. The
+/// two pipelines are bit-identical in results (property-tested in
+/// `sparseloop-core`); only their cost differs.
+pub struct EvalDelta {
+    /// Scenario name.
+    pub name: String,
+    /// Candidates scored per pipeline.
+    pub candidates: usize,
+    /// From-scratch pipeline throughput (mappings/sec).
+    pub from_scratch_mps: f64,
+    /// Incremental pipeline throughput (mappings/sec).
+    pub incremental_mps: f64,
+}
+
+impl EvalDelta {
+    /// `incremental / from_scratch` throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        self.incremental_mps / self.from_scratch_mps.max(1e-12)
+    }
+}
+
+/// Measures [`EvalDelta`] for one registered scenario (best of `reps`
+/// timings per pipeline; search experiments only).
+pub fn measure_eval_delta(scenario: &sparseloop_designs::Scenario, reps: usize) -> EvalDelta {
+    use sparseloop_core::{EvalSession, JobPlan};
+    use sparseloop_mapping::CandidateEvaluator;
+
+    let session = EvalSession::new();
+    // (model, objective, delta-tagged candidates) per search experiment
+    let mut work = Vec::new();
+    for exp in &scenario.experiments() {
+        let job = exp.job();
+        if let JobPlan::Search {
+            space,
+            mapper,
+            objective,
+        } = &job.plan
+        {
+            let model = session.model(job.workload.clone(), job.arch.clone(), job.safs.clone());
+            let candidates: Vec<_> = mapper.delta_candidates(space).collect();
+            work.push((model, *objective, candidates));
+        }
+    }
+    let candidates: usize = work.iter().map(|(_, _, c)| c.len()).sum();
+    // warm the shared format/density caches once so both pipelines see
+    // steady-state memo behavior
+    for (model, objective, cands) in &work {
+        let evaluator = model.evaluator(*objective);
+        for (_, m) in cands {
+            if evaluator.precheck(m) {
+                std::hint::black_box(evaluator.evaluate(m));
+            }
+        }
+    }
+    let run = |from_scratch: bool| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..reps.max(1) {
+            let (_, secs) = timed(|| {
+                for (model, objective, cands) in &work {
+                    let (reference, incremental);
+                    let mut worker = if from_scratch {
+                        reference = model.evaluator_from_scratch(*objective);
+                        reference.worker()
+                    } else {
+                        incremental = model.evaluator(*objective);
+                        incremental.worker()
+                    };
+                    for (depth, m) in cands {
+                        if worker.precheck(m, *depth) {
+                            std::hint::black_box(worker.evaluate(m, *depth));
+                        }
+                    }
+                }
+            });
+            best = best.min(secs);
+        }
+        candidates as f64 / best.max(1e-12)
+    };
+    let from_scratch_mps = run(true);
+    let incremental_mps = run(false);
+    EvalDelta {
+        name: scenario.name().to_string(),
+        candidates,
+        from_scratch_mps,
+        incremental_mps,
+    }
+}
+
 #[cfg(test)]
 mod scenario_tests {
     use super::*;

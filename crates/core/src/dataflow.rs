@@ -18,7 +18,7 @@
 //! sparse modeling step filters it (Fig. 5's decoupling, the heart of
 //! Sparseloop's tractability argument).
 
-use sparseloop_mapping::{LoopKind, Mapping};
+use sparseloop_mapping::{Loop, LoopKind, Mapping};
 use sparseloop_tensor::einsum::{Einsum, TensorId, TensorKind};
 
 /// Dense traffic of one tensor at one storage level.
@@ -59,7 +59,7 @@ pub struct TensorLevelTraffic {
 }
 
 /// Dense traffic for the whole (workload, mapping) pair.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DenseTraffic {
     /// One entry per (tensor, storage level in its chain).
     pub entries: Vec<TensorLevelTraffic>,
@@ -84,84 +84,277 @@ impl DenseTraffic {
     }
 }
 
+/// Reusable buffers and prefix caches for the dense dataflow analysis.
+///
+/// A search evaluates thousands of candidates against one
+/// (workload, space) pair; the scratch keeps the traffic table, the
+/// flattened-loop buffer and the per-level tile-bound rows alive across
+/// candidates so the hot path allocates nothing, and — because
+/// consecutive enumerated candidates share outer-loop prefixes — lets
+/// [`analyze_into`] recompute only the storage boundaries below the
+/// first changed loop.
+#[derive(Debug, Default)]
+pub struct DenseScratch {
+    traffic: DenseTraffic,
+    /// Flattened (level, loop) list of the current mapping.
+    flat: Vec<(usize, Loop)>,
+    /// Start of each level's nest within `flat`, plus the compute
+    /// pseudo-level at the end.
+    pos: Vec<usize>,
+    /// Per-level tile bounds, row-major `(num_levels + 1) × num_dims`:
+    /// row `l` is the per-dimension footprint of the sub-nest
+    /// at-and-below level `l`; the last row (compute) is all ones.
+    level_bounds: Vec<u64>,
+    /// Per entry: the `distinct_at_parent` value flowing *into* that
+    /// entry's boundary (output first-update elision state).
+    distinct_in: Vec<f64>,
+    /// Entry range start per tensor (+ sentinel), tensor-major layout.
+    tensor_start: Vec<usize>,
+    /// Layout signature: the keep matrix, dimension bounds and tensor
+    /// count the entry layout was built for.
+    keep_sig: Vec<Vec<bool>>,
+    sig_bounds: Vec<u64>,
+    sig_tensors: usize,
+    layout_valid: bool,
+}
+
+impl DenseScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        DenseScratch::default()
+    }
+
+    /// The traffic of the most recent [`analyze_into`] call.
+    pub fn traffic(&self) -> &DenseTraffic {
+        &self.traffic
+    }
+
+    /// Whether the cached entry layout (and therefore any prefix state)
+    /// matches this (einsum, mapping) pair.
+    fn layout_matches(&self, einsum: &Einsum, mapping: &Mapping) -> bool {
+        self.layout_valid
+            && self.sig_tensors == einsum.tensors().len()
+            && self.sig_bounds.len() == einsum.dims().len()
+            && self
+                .sig_bounds
+                .iter()
+                .zip(einsum.dims())
+                .all(|(&b, d)| b == d.bound)
+            && self.keep_sig.len() == mapping.num_levels()
+            && self
+                .keep_sig
+                .iter()
+                .zip(mapping.keep_matrix())
+                .all(|(a, b)| a == b)
+    }
+
+    /// Rebuilds the entry layout (one entry per tensor-chain level).
+    fn rebuild_layout(&mut self, einsum: &Einsum, mapping: &Mapping) {
+        let num_dims = einsum.dims().len();
+        let num_levels = mapping.num_levels();
+        self.keep_sig.clear();
+        self.keep_sig.extend(mapping.keep_matrix().iter().cloned());
+        self.sig_bounds.clear();
+        self.sig_bounds
+            .extend(einsum.dims().iter().map(|d| d.bound));
+        self.sig_tensors = einsum.tensors().len();
+        self.traffic.entries.clear();
+        self.distinct_in.clear();
+        self.tensor_start.clear();
+        for ti in 0..self.sig_tensors {
+            self.tensor_start.push(self.traffic.entries.len());
+            let t = TensorId(ti);
+            for l in 0..num_levels {
+                if mapping.keeps(l, t) {
+                    self.traffic.entries.push(TensorLevelTraffic {
+                        tensor: t,
+                        level: l,
+                        tile_bounds: Vec::with_capacity(num_dims),
+                        tile_shape: Vec::new(),
+                        tile_size: 0.0,
+                        child_tile_shape: Vec::new(),
+                        child_tile_size: 0.0,
+                        reads: 0.0,
+                        fills: 0.0,
+                        updates: 0.0,
+                        drains: 0.0,
+                        read_transfers: 0.0,
+                        reuse_bounds: Vec::with_capacity(num_dims),
+                    });
+                    self.distinct_in.push(0.0);
+                }
+            }
+        }
+        self.tensor_start.push(self.traffic.entries.len());
+        self.level_bounds.clear();
+        self.level_bounds.resize((num_levels + 1) * num_dims, 1);
+        self.layout_valid = true;
+    }
+}
+
 /// Runs the dense dataflow analysis.
 ///
 /// # Panics
 /// Panics if the mapping references dimensions outside the workload; call
 /// [`Mapping::validate`] first for richer error reporting.
 pub fn analyze(einsum: &Einsum, mapping: &Mapping) -> DenseTraffic {
-    let flat = mapping.flattened();
+    let mut scratch = DenseScratch::default();
+    analyze_into(einsum, mapping, None, &mut scratch);
+    scratch.traffic
+}
+
+/// Like [`analyze`], but reusing `scratch`'s buffers (no per-call heap
+/// allocation once warm). The result lives in
+/// [`DenseScratch::traffic`]; it is bit-identical to [`analyze`]'s.
+pub fn analyze_with<'a>(
+    einsum: &Einsum,
+    mapping: &Mapping,
+    scratch: &'a mut DenseScratch,
+) -> &'a DenseTraffic {
+    analyze_into(einsum, mapping, None, scratch);
+    &scratch.traffic
+}
+
+/// The dense analysis, written into `scratch`.
+///
+/// `change` enables prefix-incremental recomputation: `Some(cl)` asserts
+/// that, relative to the mapping of the scratch's previous call, the
+/// loops of every storage level strictly above `cl` are unchanged and
+/// within `cl` only a suffix changed (the contract of
+/// `ChangeDepth::At { level: cl, .. }` from the enumeration streams).
+/// Because every stream candidate factorizes each dimension exactly, the
+/// tiles held at levels `0..=cl` and every boundary whose child level is
+/// `<= cl` are then bit-identical to the previous candidate and are
+/// reused from the scratch; only deeper boundaries recompute. `None`
+/// recomputes everything (and revalidates the entry layout), which is
+/// always sound.
+pub(crate) fn analyze_into(
+    einsum: &Einsum,
+    mapping: &Mapping,
+    change: Option<usize>,
+    s: &mut DenseScratch,
+) {
     let num_dims = einsum.dims().len();
     let num_levels = mapping.num_levels();
+    let change = if s.layout_matches(einsum, mapping) {
+        change
+    } else {
+        s.rebuild_layout(einsum, mapping);
+        None
+    };
 
-    // Start position of each level's nest within the flattened loop list;
-    // the compute pseudo-level sits at the very end.
-    let mut pos = vec![0usize; num_levels + 1];
-    {
-        let mut idx = 0usize;
-        for (l, slot) in pos.iter_mut().take(num_levels).enumerate() {
-            *slot = idx;
-            idx += mapping.nests()[l].len();
-        }
-        pos[num_levels] = idx;
+    // flattened loops + per-level nest starts (cheap, rebuilt per call)
+    s.flat.clear();
+    s.pos.clear();
+    for (l, nest) in mapping.nests().iter().enumerate() {
+        s.pos.push(s.flat.len());
+        s.flat.extend(nest.iter().map(|&lp| (l, lp)));
     }
-    let compute_pos = flat.len();
+    s.pos.push(s.flat.len());
+    let compute_pos = s.flat.len();
 
-    let mut entries: Vec<TensorLevelTraffic> = Vec::new();
+    // per-level tile-bound rows: row l = row (l+1) ⊙ level l's loops,
+    // accumulated innermost→outermost; rows at-or-above the change level
+    // are unchanged (dim bound / unchanged prefix) and kept as cached
+    let first_row = match change {
+        Some(cl) => cl + 1,
+        None => 0,
+    };
+    for l in (first_row..num_levels).rev() {
+        let (head, tail) = s.level_bounds.split_at_mut((l + 1) * num_dims);
+        let dst = &mut head[l * num_dims..];
+        dst.copy_from_slice(&tail[..num_dims]);
+        for lp in &mapping.nests()[l] {
+            dst[lp.dim.0] *= lp.bound;
+        }
+    }
+
+    s.traffic.computes = einsum.num_computes() as f64;
+    s.traffic.utilized_parallelism = mapping.total_spatial_fanout().max(1);
+
+    let flat = &s.flat;
+    let pos = &s.pos;
+    let level_bounds = &s.level_bounds;
+    let sig_bounds = &s.sig_bounds;
+    let entries = &mut s.traffic.entries;
+    let distinct_in = &mut s.distinct_in;
+    let row = |l: usize| &level_bounds[l * num_dims..(l + 1) * num_dims];
 
     for (ti, tspec) in einsum.tensors().iter().enumerate() {
         let t = TensorId(ti);
-        let chain = mapping.storage_chain(t);
-        if chain.is_empty() {
+        let start = s.tensor_start[ti];
+        let len = s.tensor_start[ti + 1] - start;
+        if len == 0 {
             continue;
         }
-        // Create one entry per chain level.
-        let mut level_entries: Vec<TensorLevelTraffic> = chain
-            .iter()
-            .map(|&l| {
-                let bounds = mapping.tile_bounds_inside(pos[l], num_dims);
-                let shape = einsum.tensor_tile_shape(t, &bounds);
-                let size: u64 = shape.iter().product::<u64>().max(1);
-                TensorLevelTraffic {
-                    tensor: t,
-                    level: l,
-                    tile_bounds: bounds,
-                    tile_shape: shape,
-                    tile_size: size as f64,
-                    child_tile_shape: Vec::new(),
-                    child_tile_size: 0.0,
-                    reads: 0.0,
-                    fills: 0.0,
-                    updates: 0.0,
-                    drains: 0.0,
-                    read_transfers: 0.0,
-                    reuse_bounds: vec![1; num_dims],
-                }
-            })
-            .collect();
 
-        // Walk boundaries outermost -> innermost. `prev_fill_events` is
-        // the number of fresh-tile instantiations at the parent, used for
-        // output first-update elision.
-        let tensor_size: f64 = einsum.tensor_shape(t).iter().product::<u64>().max(1) as f64;
-        let mut distinct_at_parent = tensor_size;
+        // Boundary j (parent chain[j] → child chain[j+1] or compute)
+        // depends only on the loops strictly above its child's nest plus
+        // the child tile — both unchanged when the child level is
+        // at-or-above the change level. Reuse that prefix of boundaries;
+        // recompute the rest. The compute boundary (child = the
+        // pseudo-level `num_levels`) always recomputes.
+        let (he, fc) = match change {
+            None => (0, 0),
+            Some(cl) => {
+                let he = (0..len)
+                    .find(|&j| entries[start + j].level > cl)
+                    .unwrap_or(len);
+                let fc = (0..len)
+                    .find(|&j| {
+                        if j + 1 < len {
+                            entries[start + j + 1].level > cl
+                        } else {
+                            true
+                        }
+                    })
+                    .unwrap_or(len.saturating_sub(1));
+                (he, fc)
+            }
+        };
 
-        for i in 0..chain.len() {
-            let p = chain[i];
-            let pos_c = if i + 1 < chain.len() {
-                pos[chain[i + 1]]
+        // Held-tile fields of entries below the change level.
+        for j in he..len {
+            let e = &mut entries[start + j];
+            let l = e.level;
+            e.tile_bounds.clear();
+            e.tile_bounds.extend_from_slice(row(l));
+            einsum.tensor_tile_shape_into(t, row(l), &mut e.tile_shape);
+            e.tile_size = e.tile_shape.iter().product::<u64>().max(1) as f64;
+        }
+
+        // Walk the recomputed boundaries outermost → innermost.
+        // `distinct` is the number of fresh output-tile instantiations at
+        // the parent (first-update read elision); its incoming value per
+        // boundary is cached so a suffix recomputation resumes exactly
+        // where the reused prefix left it.
+        let tensor_size: f64 = einsum.tensor_tile_size(t, sig_bounds).max(1) as f64;
+        let mut distinct = if fc == 0 {
+            tensor_size
+        } else {
+            distinct_in[start + fc]
+        };
+
+        for i in fc..len {
+            distinct_in[start + i] = distinct;
+            let p = entries[start + i].level;
+            let (pos_c, child_row) = if i + 1 < len {
+                let c = entries[start + i + 1].level;
+                (pos[c], row(c))
             } else {
-                compute_pos
+                (compute_pos, row(num_levels))
             };
-            let child_bounds = mapping.tile_bounds_inside(pos_c, num_dims);
-            let child_shape = einsum.tensor_tile_shape(t, &child_bounds);
-            let child_size: f64 = child_shape.iter().product::<u64>().max(1) as f64;
+            let e = &mut entries[start + i];
+            einsum.tensor_tile_shape_into(t, child_row, &mut e.child_tile_shape);
+            let child_size: f64 = e.child_tile_shape.iter().product::<u64>().max(1) as f64;
+            e.child_tile_size = child_size;
 
             // Stationarity run: contiguous t-irrelevant temporal loops
             // immediately above the child's nest (spatial loops are
             // transparent to the scan).
             let mut run_product = 1.0f64;
-            let mut run_bounds = child_bounds.clone();
+            e.reuse_bounds.clear();
+            e.reuse_bounds.extend_from_slice(child_row);
             for j in (0..pos_c).rev() {
                 let (_, lp) = flat[j];
                 if lp.kind == LoopKind::Spatial {
@@ -171,7 +364,7 @@ pub fn analyze(einsum: &Einsum, mapping: &Mapping) -> DenseTraffic {
                     break;
                 }
                 run_product *= lp.bound as f64;
-                run_bounds[lp.dim.0] *= lp.bound;
+                e.reuse_bounds[lp.dim.0] *= lp.bound;
             }
 
             let temporal_above: f64 = flat[..pos_c]
@@ -200,45 +393,41 @@ pub fn analyze(einsum: &Einsum, mapping: &Mapping) -> DenseTraffic {
             let deliveries_at_parent = child_size * t_changes * s_all_above_p * s_rel_between;
             let deliveries_total = child_size * t_changes * s_all_above_c;
 
-            level_entries[i].child_tile_shape = child_shape.clone();
-            level_entries[i].child_tile_size = child_size;
-            level_entries[i].reuse_bounds = run_bounds;
-
+            // Every traffic field has exactly one writing boundary, so a
+            // recomputed boundary *assigns* its fields (reused ones keep
+            // their cached values untouched): entry i's reads / updates /
+            // read_transfers come from boundary i; entry i+1's fills and
+            // drains come from boundary i; entry 0's fills/drains have no
+            // boundary and stay zero from layout construction.
             match tspec.kind {
                 TensorKind::Input => {
-                    level_entries[i].reads += deliveries_at_parent;
-                    level_entries[i].read_transfers += deliveries_at_parent / child_size;
-                    if i + 1 < chain.len() {
-                        level_entries[i + 1].fills += deliveries_total;
+                    e.reads = deliveries_at_parent;
+                    e.read_transfers = deliveries_at_parent / child_size;
+                    if i + 1 < len {
+                        entries[start + i + 1].fills = deliveries_total;
                     }
                 }
                 TensorKind::Output => {
-                    // accumulations flowing up into p
-                    level_entries[i].updates += deliveries_at_parent;
-                    // partial-sum refetches sent back down (first-update
-                    // reads elided)
-                    let refetch = (deliveries_at_parent - distinct_at_parent).max(0.0);
-                    level_entries[i].reads += refetch;
-                    level_entries[i].read_transfers += deliveries_at_parent / child_size;
-                    if i + 1 < chain.len() {
+                    // accumulations flowing up into p; partial-sum
+                    // refetches sent back down (first-update reads
+                    // elided)
+                    let refetch = (deliveries_at_parent - distinct).max(0.0);
+                    e.updates = deliveries_at_parent;
+                    e.reads = refetch;
+                    e.read_transfers = deliveries_at_parent / child_size;
+                    if i + 1 < len {
                         // child drains its tile once per delivery and
                         // refetches partials
-                        level_entries[i + 1].drains += deliveries_total;
-                        level_entries[i + 1].fills += refetch;
+                        let child = &mut entries[start + i + 1];
+                        child.drains = deliveries_total;
+                        child.fills = refetch;
                     }
                     // Fresh-tile instantiations at the child: each
                     // delivery is one instantiation of the child's tile.
-                    distinct_at_parent = deliveries_total;
+                    distinct = deliveries_total;
                 }
             }
         }
-        entries.extend(level_entries);
-    }
-
-    DenseTraffic {
-        entries,
-        computes: einsum.num_computes() as f64,
-        utilized_parallelism: mapping.total_spatial_fanout().max(1),
     }
 }
 

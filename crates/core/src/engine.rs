@@ -3,6 +3,7 @@
 
 use crate::dataflow::{self, DenseTraffic};
 use crate::saf::SafSpec;
+use crate::scratch::{compose, Depth, EvalScratch, LevelCheck, PooledScratch, PrecheckScratch};
 use crate::sparse::{self, SparseTraffic};
 use crate::uarch::{self, CapacityMode, UarchReport};
 use crate::workload::Workload;
@@ -10,7 +11,8 @@ use sparseloop_arch::Architecture;
 use sparseloop_density::MemoStats;
 use sparseloop_energy::EnergyTable;
 use sparseloop_mapping::{
-    CandidateEvaluator, Mapper, Mapping, MappingError, Mapspace, SearchStats,
+    CandidateEvaluator, ChangeDepth, Mapper, Mapping, MappingError, Mapspace, SearchStats,
+    WorkerEvaluator,
 };
 use sparseloop_tensor::einsum::TensorId;
 use std::fmt;
@@ -291,6 +293,189 @@ impl Model {
         true
     }
 
+    /// Incremental precheck against the scratch's cached per-level
+    /// verdicts. `change = Some(cl)` asserts (per the enumeration-stream
+    /// [`ChangeDepth`] contract) that the held tiles of levels `0..=cl`
+    /// are unchanged relative to the mapping of the previous call into
+    /// this scratch — those levels' cached occupancies and fit verdicts
+    /// are reused; deeper levels recompute. `None` recomputes all
+    /// levels, which is always sound. Returns exactly what
+    /// [`precheck`](Model::precheck) returns.
+    pub(crate) fn precheck_incremental(
+        &self,
+        mapping: &Mapping,
+        change: Depth,
+        s: &mut PrecheckScratch,
+    ) -> bool {
+        let einsum = self.workload.einsum();
+        let num_dims = einsum.dims().len();
+        let num_tensors = einsum.tensors().len();
+        let num_levels = self.arch.num_levels();
+        // structural guards only — identical to `precheck` (the full
+        // pipeline reports the richer error for malformed mappings)
+        if mapping.num_levels() != num_levels
+            || mapping
+                .keep_matrix()
+                .iter()
+                .any(|row| row.len() < num_tensors)
+            || mapping
+                .nests()
+                .iter()
+                .flatten()
+                .any(|lp| lp.dim.0 >= num_dims)
+        {
+            // the cache no longer tracks the candidate chain
+            s.prefix_valid = 0;
+            return true;
+        }
+        if s.levels.len() != num_levels {
+            s.levels.clear();
+            s.levels.resize(num_levels, LevelCheck::default());
+            s.prefix_valid = 0;
+        }
+        let reuse = match change {
+            None => 0,
+            Some(cl) => cl.saturating_add(1).min(s.prefix_valid).min(num_levels),
+        };
+        // cached prefix verdicts: any cached failure rejects outright
+        // (its level's held tiles — and therefore its occupancy — are
+        // unchanged, so the verdict transfers to this candidate)
+        if s.levels[..reuse].iter().any(|lc| !lc.fits) {
+            s.prefix_valid = reuse;
+            return false;
+        }
+        // recompute the suffix, innermost to outermost, accumulating the
+        // per-dimension bounds of the tile held at each level
+        s.bounds.clear();
+        s.bounds.resize(num_dims, 1u64);
+        for l in (reuse..num_levels).rev() {
+            for lp in &mapping.nests()[l] {
+                s.bounds[lp.dim.0] *= lp.bound;
+            }
+            let spec = &self.arch.levels()[l];
+            if spec.capacity_words.is_none() {
+                s.levels[l] = LevelCheck { fits: true }; // unbounded levels always fit
+                continue;
+            }
+            let mut occupancy_words = 0.0f64;
+            let mut occupancy_metadata_bits = 0.0f64;
+            for t in 0..num_tensors {
+                let tid = TensorId(t);
+                if !mapping.keeps(l, tid) {
+                    continue;
+                }
+                einsum.tensor_tile_shape_into(tid, &s.bounds, &mut s.shape);
+                match self.safs.format_at(l, tid) {
+                    Some(format) => {
+                        let held = self.cache_view().analyze(
+                            l,
+                            tid,
+                            format,
+                            &s.shape,
+                            self.workload.density(tid).as_ref(),
+                        );
+                        let (words, meta) = match self.capacity_mode {
+                            CapacityMode::Expected => (held.payload_words, held.metadata_bits),
+                            CapacityMode::WorstCase => {
+                                (held.max_payload_words, held.max_metadata_bits)
+                            }
+                        };
+                        occupancy_words += words;
+                        occupancy_metadata_bits += meta;
+                    }
+                    None => {
+                        // uncompressed: dense footprint in both modes
+                        occupancy_words += s.shape.iter().product::<u64>().max(1) as f64;
+                    }
+                }
+            }
+            let fits = uarch::level_fits(spec, occupancy_words, occupancy_metadata_bits);
+            s.levels[l] = LevelCheck { fits };
+            if !fits {
+                // the walk stops here. Every level from `l` inward was
+                // written this round; if the walk reached `reuse` the
+                // whole array now describes this mapping (and the stored
+                // failing verdict lets the *next* candidate fast-reject
+                // from cache when its unchanged prefix covers `l`).
+                // Failing earlier leaves the gap `reuse..l` stale, so
+                // only the reused prefix stays valid.
+                s.prefix_valid = if l == reuse { num_levels } else { reuse };
+                return false;
+            }
+        }
+        s.prefix_valid = num_levels;
+        true
+    }
+
+    /// The objective metric of one mapping through the scratch-resident
+    /// pipeline: validate → dense (prefix-incremental) → sparse → uarch,
+    /// materializing no [`Evaluation`]. Returns the metric (`None` for
+    /// invalid/over-capacity mappings, exactly when
+    /// [`evaluate`](Model::evaluate) errors) plus whether the dense
+    /// prefix cache was updated to this mapping.
+    pub(crate) fn evaluate_metric_incremental(
+        &self,
+        mapping: &Mapping,
+        objective: Objective,
+        change: Depth,
+        s: &mut EvalScratch,
+    ) -> (Option<f64>, bool) {
+        if mapping
+            .validate_with(self.workload.einsum(), &self.arch, &mut s.validate_buf)
+            .is_err()
+        {
+            return (None, false);
+        }
+        let change_level = change.map(|cl| cl.min(self.arch.num_levels()));
+        dataflow::analyze_into(self.workload.einsum(), mapping, change_level, &mut s.dense);
+        sparse::analyze_into(
+            &self.workload,
+            s.dense.traffic(),
+            &self.safs,
+            Some(&self.cache_view()),
+            &mut s.sparse,
+        );
+        uarch::analyze_into(
+            &self.arch,
+            s.sparse.traffic(),
+            &self.energy,
+            self.capacity_mode,
+            &mut s.uarch,
+        );
+        if !s.uarch.valid {
+            return (None, true);
+        }
+        let metric = match objective {
+            Objective::Edp => s.uarch.edp(),
+            Objective::Latency => s.uarch.cycles,
+            Objective::Energy => s.uarch.energy_pj,
+        };
+        (Some(metric), true)
+    }
+
+    /// [`precheck`](Model::precheck) reusing `scratch`'s buffers (no
+    /// per-call allocation once warm). No prefix relation is assumed —
+    /// this is the safe external entry point; the prefix-incremental
+    /// path runs inside the mapper's worker machinery.
+    pub fn precheck_with(&self, mapping: &Mapping, scratch: &mut EvalScratch) -> bool {
+        self.precheck_incremental(mapping, None, &mut scratch.precheck)
+    }
+
+    /// The `objective` metric of `mapping` through the scratch-resident
+    /// pipeline (`None` exactly when [`evaluate`](Model::evaluate)
+    /// errors), reusing `scratch`'s buffers without assuming any prefix
+    /// relation. Bit-identical to
+    /// `evaluate(mapping).ok().map(|e| e.metric(objective))`.
+    pub fn evaluate_metric_with(
+        &self,
+        mapping: &Mapping,
+        objective: Objective,
+        scratch: &mut EvalScratch,
+    ) -> Option<f64> {
+        self.evaluate_metric_incremental(mapping, objective, None, scratch)
+            .0
+    }
+
     /// Evaluates one mapping through all three modeling steps.
     ///
     /// # Errors
@@ -309,8 +494,10 @@ impl Model {
         );
         let uarch = uarch::analyze(&self.arch, &sparse, &self.energy, self.capacity_mode);
         if !uarch.valid {
+            // the report is owned and the error path diverges: move the
+            // level name out instead of cloning per rejected candidate
             return Err(EvalError::CapacityExceeded {
-                level: uarch.overflow_level.clone().unwrap_or_default(),
+                level: uarch.overflow_level.unwrap_or_default(),
             });
         }
         let utilization =
@@ -334,6 +521,36 @@ impl Model {
             model: self,
             objective,
         }
+    }
+
+    /// Like [`evaluator`](Model::evaluator), but with scratch arenas and
+    /// prefix-incremental caching disabled: every candidate runs the
+    /// full allocating pipeline. Winners, objectives and counters are
+    /// bit-identical to the incremental evaluator by contract; this
+    /// reference exists for parity tests and before/after benchmarks.
+    pub fn evaluator_from_scratch(&self, objective: Objective) -> FromScratchEvaluator<'_> {
+        FromScratchEvaluator(self.evaluator(objective))
+    }
+
+    /// [`search_parallel_counted`](Model::search_parallel_counted)
+    /// through the from-scratch reference pipeline (see
+    /// [`evaluator_from_scratch`](Model::evaluator_from_scratch)).
+    pub fn search_parallel_counted_from_scratch(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+        threads: Option<usize>,
+    ) -> (Option<(Mapping, Evaluation)>, SearchStats) {
+        let (result, stats) =
+            mapper.par_search_counted(space, &self.evaluator_from_scratch(objective), threads);
+        let outcome = result.map(|r| {
+            let eval = self
+                .evaluate(&r.mapping)
+                .expect("winning mapping must re-evaluate");
+            (r.mapping, eval)
+        });
+        (outcome, stats)
     }
 
     /// Searches a mapspace for the best mapping under `objective`.
@@ -468,6 +685,12 @@ impl Model {
 
 /// [`CandidateEvaluator`] adapter binding a [`Model`] to an
 /// [`Objective`] (see [`Model::evaluator`]).
+///
+/// The stateless `precheck` / `evaluate` pair runs the full pipeline per
+/// call; the [`worker`](CandidateEvaluator::worker) override hands each
+/// search worker a [`ModelWorker`] with a pooled [`EvalScratch`] arena —
+/// allocation-free, prefix-incremental, and bit-identical by contract
+/// (property-tested in `tests/prop_model.rs`).
 #[derive(Debug, Clone, Copy)]
 pub struct ModelEvaluator<'a> {
     model: &'a Model,
@@ -485,6 +708,98 @@ impl CandidateEvaluator for ModelEvaluator<'_> {
             .ok()
             .map(|e| e.metric(self.objective))
     }
+
+    fn worker(&self) -> Box<dyn WorkerEvaluator + '_> {
+        Box::new(ModelWorker {
+            model: self.model,
+            objective: self.objective,
+            scratch: PooledScratch::acquire(),
+            depth_pre: None,
+            depth_eval: None,
+            just_prechecked: false,
+        })
+    }
+}
+
+/// The per-worker incremental evaluator behind [`ModelEvaluator`]: one
+/// pooled [`EvalScratch`] arena plus the composed divergence of that
+/// arena's caches from the candidate stream.
+///
+/// Change depths arriving from the stream are *relative to the previous
+/// stream candidate*; the caches are relative to the last candidate each
+/// stage actually processed (pruned candidates skip `evaluate`, so the
+/// dense cache can lag several candidates behind). The worker composes
+/// the per-candidate depths into per-cache divergences — `min` over the
+/// chain of intervening changes, `None` once any link is unknown — which
+/// is exactly the prefix still shared with the cached state.
+struct ModelWorker<'a> {
+    model: &'a Model,
+    objective: Objective,
+    scratch: PooledScratch,
+    /// Divergence of the precheck cache from the current candidate.
+    depth_pre: Depth,
+    /// Divergence of the dense-traffic cache from the current candidate.
+    depth_eval: Depth,
+    /// Whether the immediately preceding call was `precheck` (whose
+    /// depth composition already covered the current candidate).
+    just_prechecked: bool,
+}
+
+impl WorkerEvaluator for ModelWorker<'_> {
+    fn precheck(&mut self, mapping: &Mapping, change: ChangeDepth) -> bool {
+        let d = change.reuse_level();
+        self.depth_pre = compose(self.depth_pre, d);
+        self.depth_eval = compose(self.depth_eval, d);
+        let result =
+            self.model
+                .precheck_incremental(mapping, self.depth_pre, &mut self.scratch.precheck);
+        // the precheck cache now describes this candidate (a structural
+        // guard trip zeroes `prefix_valid` internally, so "identical" is
+        // still sound)
+        self.depth_pre = Some(usize::MAX);
+        self.just_prechecked = true;
+        result
+    }
+
+    fn evaluate(&mut self, mapping: &Mapping, change: ChangeDepth) -> Option<f64> {
+        if !self.just_prechecked {
+            // evaluate without a preceding precheck on the same
+            // candidate: account for this stream step ourselves
+            let d = change.reuse_level();
+            self.depth_pre = compose(self.depth_pre, d);
+            self.depth_eval = compose(self.depth_eval, d);
+        }
+        self.just_prechecked = false;
+        let (metric, dense_updated) = self.model.evaluate_metric_incremental(
+            mapping,
+            self.objective,
+            self.depth_eval,
+            &mut self.scratch,
+        );
+        if dense_updated {
+            self.depth_eval = Some(usize::MAX);
+        }
+        metric
+    }
+}
+
+/// The model's evaluator with scratch arenas and prefix caching
+/// *disabled*: every candidate runs the full allocating pipeline (the
+/// seed behavior). This is the reference the incremental pipeline is
+/// parity-tested and benchmarked against — see
+/// [`Model::evaluator_from_scratch`].
+#[derive(Debug, Clone, Copy)]
+pub struct FromScratchEvaluator<'a>(ModelEvaluator<'a>);
+
+impl CandidateEvaluator for FromScratchEvaluator<'_> {
+    fn precheck(&self, mapping: &Mapping) -> bool {
+        self.0.precheck(mapping)
+    }
+
+    fn evaluate(&self, mapping: &Mapping) -> Option<f64> {
+        self.0.evaluate(mapping)
+    }
+    // default worker(): stateless delegation, no scratch, no prefixes
 }
 
 #[cfg(test)]

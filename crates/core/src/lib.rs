@@ -59,16 +59,18 @@
 pub mod dataflow;
 pub mod engine;
 pub mod saf;
+pub mod scratch;
 pub mod session;
 pub mod sparse;
 pub mod uarch;
 pub mod workload;
 
-pub use dataflow::{DenseTraffic, TensorLevelTraffic};
-pub use engine::{EvalError, Evaluation, Model, ModelEvaluator, Objective};
+pub use dataflow::{DenseScratch, DenseTraffic, TensorLevelTraffic};
+pub use engine::{EvalError, Evaluation, FromScratchEvaluator, Model, ModelEvaluator, Objective};
 pub use saf::{ActionOpt, ComputeSaf, FormatSaf, IntersectionSaf, SafSpec};
+pub use scratch::EvalScratch;
 pub use session::{EvalJob, EvalSession, JobError, JobOutcome, JobPlan, SessionStats};
-pub use sparse::{ActionBreakdown, SparseCompute, SparseTensorLevel, SparseTraffic};
+pub use sparse::{ActionBreakdown, SparseCompute, SparseScratch, SparseTensorLevel, SparseTraffic};
 pub use uarch::{level_fits, LevelCost, UarchReport};
 pub use workload::Workload;
 

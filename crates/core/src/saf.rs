@@ -158,10 +158,20 @@ impl SafSpec {
 
     /// All intersection SAFs targeting `tensor` at `level`.
     pub fn intersections_at(&self, level: usize, tensor: TensorId) -> Vec<&IntersectionSaf> {
+        self.intersections_iter(level, tensor).collect()
+    }
+
+    /// Like [`intersections_at`](SafSpec::intersections_at), without
+    /// materializing the list — the sparse modeling step queries this
+    /// per (tensor, level) per candidate on the search hot path.
+    pub fn intersections_iter(
+        &self,
+        level: usize,
+        tensor: TensorId,
+    ) -> impl Iterator<Item = &IntersectionSaf> {
         self.intersections
             .iter()
-            .filter(|s| s.level == level && s.target == tensor)
-            .collect()
+            .filter(move |s| s.level == level && s.target == tensor)
     }
 
     /// Whether any skipping SAF exists anywhere in the design.

@@ -281,6 +281,22 @@ impl EvalSession {
         })
     }
 
+    /// Like [`search_batch`](EvalSession::search_batch), but every
+    /// candidate runs the full allocating pipeline — scratch arenas and
+    /// prefix-incremental caching disabled (see
+    /// [`Model::evaluator_from_scratch`]). Bit-identical outcomes by
+    /// contract; this reference mode exists for parity tests and the
+    /// before/after throughput rows in `BENCH_mapper.json`.
+    pub fn search_batch_from_scratch(
+        &self,
+        jobs: &[EvalJob],
+        threads: Option<usize>,
+    ) -> Vec<Result<JobOutcome, JobError>> {
+        self.run_batch(jobs, &|model, space, mapper, objective| {
+            model.search_parallel_counted_from_scratch(space, mapper, objective, threads)
+        })
+    }
+
     /// Like [`search_batch`](EvalSession::search_batch), but each search
     /// job partitions its candidate stream into `shards` disjoint
     /// sub-streams evaluated concurrently

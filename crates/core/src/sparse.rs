@@ -34,7 +34,6 @@ use crate::workload::Workload;
 use sparseloop_density::{DensityModel, MemoStats, ShapeMemo};
 use sparseloop_format::{FormatOverhead, TensorFormat};
 use sparseloop_tensor::einsum::{TensorId, TensorKind};
-use std::collections::HashMap;
 
 /// Maximum tile shapes the format-analysis cache retains per slot;
 /// beyond it, results are computed without being stored.
@@ -213,7 +212,7 @@ pub struct SparseCompute {
 }
 
 /// Output of the sparse modeling step.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SparseTraffic {
     /// One entry per (tensor, level in its storage chain).
     pub entries: Vec<SparseTensorLevel>,
@@ -237,19 +236,60 @@ impl SparseTraffic {
     }
 }
 
-/// Per-tensor elimination bookkeeping across levels. Keyed by the sorted
-/// leader set so that hierarchical intersections on the same leaders
-/// compose *conditionally* rather than multiplicatively.
-#[derive(Default)]
+/// A tiny insertion-ordered association list on a pre-packed small key:
+/// `(key, value)` pairs in a reusable `Vec`, looked up by linear scan
+/// (O(n) per probe — no hashing at all).
+///
+/// The elimination trackers hold one entry per distinct leader set /
+/// leader tensor — one to three in every real design — so a linear scan
+/// beats any hash table at these sizes, inserts allocate nothing once
+/// the `Vec` is warm (the seed keyed these maps by freshly allocated
+/// `Vec<usize>` per insert), and iteration order is *deterministic*
+/// (insertion order), unlike the `HashMap` it replaces.
+#[derive(Debug, Default, Clone)]
+struct SmallMap<K: Copy + PartialEq> {
+    entries: Vec<(K, f64)>,
+}
+
+impl<K: Copy + PartialEq> SmallMap<K> {
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The value slot for `key`, inserted as `default` when absent.
+    fn entry(&mut self, key: K, default: f64) -> &mut f64 {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &mut self.entries[i].1;
+        }
+        self.entries.push((key, default));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.entries.iter().map(|(_, v)| *v)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (K, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// Per-tensor elimination bookkeeping across levels. Keyed by the packed
+/// leader-set bitmask (bit `t` set means `TensorId(t)` is in the set —
+/// the identity the seed encoded as a freshly allocated sorted
+/// `Vec<usize>` per insert) so that hierarchical intersections on the
+/// same leaders compose *conditionally* rather than multiplicatively.
+#[derive(Debug, Default)]
 struct ElimTracker {
-    /// leader set -> survival probability after the outer levels (used
-    /// for conditional per-level traffic classification).
-    skip_surv: HashMap<Vec<usize>, f64>,
-    gate_surv: HashMap<Vec<usize>, f64>,
+    /// leader set (packed bitmask) -> survival probability after the
+    /// outer levels (used for conditional per-level traffic
+    /// classification).
+    skip_surv: SmallMap<u64>,
+    gate_surv: SmallMap<u64>,
     /// per-leader finest-granularity survival (used for compute
     /// classification, deduplicated across targets).
-    skip_leader_surv: HashMap<usize, f64>,
-    gate_leader_surv: HashMap<usize, f64>,
+    skip_leader_surv: SmallMap<usize>,
+    gate_leader_surv: SmallMap<usize>,
     /// Whether a word-granularity self-skip / self-gate was seen at any
     /// level (affects compute classification).
     self_skip: bool,
@@ -257,6 +297,15 @@ struct ElimTracker {
 }
 
 impl ElimTracker {
+    fn clear(&mut self) {
+        self.skip_surv.clear();
+        self.gate_surv.clear();
+        self.skip_leader_surv.clear();
+        self.gate_leader_surv.clear();
+        self.self_skip = false;
+        self.self_gate = false;
+    }
+
     /// Combined survival from all skip leader-sets (innermost
     /// granularity).
     fn total_skip_survival(&self) -> f64 {
@@ -277,15 +326,70 @@ pub(crate) fn analyze_with_cache(
     safs: &SafSpec,
     cache: Option<&FormatCacheView<'_>>,
 ) -> SparseTraffic {
+    let mut scratch = SparseScratch::default();
+    analyze_into(workload, dense, safs, cache, &mut scratch);
+    scratch.traffic
+}
+
+/// Reusable buffers for the sparse modeling step: the traffic table,
+/// per-tensor elimination trackers and shape/condition buffers persist
+/// across candidates so the hot path allocates nothing once warm (every
+/// per-entry record is plain scalar data).
+#[derive(Debug, Default)]
+pub struct SparseScratch {
+    traffic: SparseTraffic,
+    trackers: Vec<ElimTracker>,
+    skip_cond: SmallMap<usize>,
+    gate_cond: SmallMap<usize>,
+    /// Leader tile shape buffer.
+    shape: Vec<u64>,
+    /// Rank-adaptation buffer for `Workload::prob_tile_empty_with`.
+    rank_buf: Vec<u64>,
+}
+
+impl SparseScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        SparseScratch::default()
+    }
+
+    /// The traffic of the most recent [`analyze_into`] call.
+    pub fn traffic(&self) -> &SparseTraffic {
+        &self.traffic
+    }
+}
+
+/// The sparse modeling step, written into `scratch` — bit-identical to
+/// [`analyze`] (which wraps this with a throwaway scratch).
+pub(crate) fn analyze_into(
+    workload: &Workload,
+    dense: &DenseTraffic,
+    safs: &SafSpec,
+    cache: Option<&FormatCacheView<'_>>,
+    scratch: &mut SparseScratch,
+) {
     let einsum = workload.einsum();
-    let mut trackers: HashMap<usize, ElimTracker> = HashMap::new();
-    let mut entries = Vec::with_capacity(dense.entries.len());
+    let num_tensors = einsum.tensors().len();
+    if scratch.trackers.len() < num_tensors {
+        scratch
+            .trackers
+            .resize_with(num_tensors, ElimTracker::default);
+    }
+    for tr in &mut scratch.trackers {
+        tr.clear();
+    }
+    let trackers = &mut scratch.trackers;
+    let entries = &mut scratch.traffic.entries;
+    entries.clear();
+    entries.reserve(dense.entries.len());
+    let shape = &mut scratch.shape;
+    let rank_buf = &mut scratch.rank_buf;
 
     // Dense entries are grouped per tensor with levels outermost-first,
     // which is exactly the order propagation requires.
     for de in &dense.entries {
         let t = de.tensor;
-        let tracker = trackers.entry(t.0).or_default();
+        let tracker = &mut trackers[t.0];
         let d_t = workload.tensor_density(t);
 
         // --- survival inherited from SAFs at outer levels -------------
@@ -297,10 +401,10 @@ pub(crate) fn analyze_with_cache(
         let mut checks = 0.0f64;
         let mut self_gate_here = false;
         let mut self_skip_here = false;
-        for saf in safs.intersections_at(de.level, t) {
-            let cross_leaders: Vec<TensorId> =
-                saf.leaders.iter().copied().filter(|&l| l != t).collect();
-            if cross_leaders.len() < saf.leaders.len() {
+        for saf in safs.intersections_iter(de.level, t) {
+            let has_self = saf.leaders.contains(&t);
+            let cross = || saf.leaders.iter().copied().filter(|&l| l != t);
+            if has_self {
                 // self part: word-granularity zero elimination
                 match saf.action {
                     ActionOpt::Gate => {
@@ -313,32 +417,31 @@ pub(crate) fn analyze_with_cache(
                     }
                 }
             }
-            if cross_leaders.is_empty() {
+            let mut key = 0u64; // packed leader-set key
+                                // survival if ALL leader tiles non-empty
+            let mut surv_here = 1.0f64;
+            let mut any_cross = false;
+            for l in cross() {
+                any_cross = true;
+                key |= 1u64
+                    .checked_shl(l.0 as u32)
+                    .expect("at most 64 tensors supported in leader sets");
+                einsum.tensor_tile_shape_into(l, &de.reuse_bounds, shape);
+                surv_here *= 1.0 - workload.prob_tile_empty_with(l, shape, rank_buf);
+            }
+            if !any_cross {
                 continue;
             }
-            // survival if ALL leader tiles non-empty
-            let surv_here: f64 = cross_leaders
-                .iter()
-                .map(|&l| {
-                    let shape = einsum.tensor_tile_shape(l, &de.reuse_bounds);
-                    1.0 - workload.prob_tile_empty(l, &shape)
-                })
-                .product();
-            let key: Vec<usize> = {
-                let mut k: Vec<usize> = cross_leaders.iter().map(|l| l.0).collect();
-                k.sort_unstable();
-                k
-            };
             // per-leader survival at this granularity, kept at the finest
             // level seen (for deduplicated compute classification)
-            for &l in &cross_leaders {
-                let shape = einsum.tensor_tile_shape(l, &de.reuse_bounds);
-                let s_l = 1.0 - workload.prob_tile_empty(l, &shape);
+            for l in cross() {
+                einsum.tensor_tile_shape_into(l, &de.reuse_bounds, shape);
+                let s_l = 1.0 - workload.prob_tile_empty_with(l, shape, rank_buf);
                 let map = match saf.action {
                     ActionOpt::Skip => &mut tracker.skip_leader_surv,
                     ActionOpt::Gate => &mut tracker.gate_leader_surv,
                 };
-                let entry = map.entry(l.0).or_insert(1.0);
+                let entry = map.entry(l.0, 1.0);
                 if s_l < *entry {
                     *entry = s_l;
                 }
@@ -347,7 +450,7 @@ pub(crate) fn analyze_with_cache(
                 ActionOpt::Skip => (&mut tracker.skip_surv, &mut local_skip),
                 ActionOpt::Gate => (&mut tracker.gate_surv, &mut local_gate),
             };
-            let prior = surv_map.entry(key).or_insert(1.0);
+            let prior = surv_map.entry(key, 1.0);
             // conditional elimination given what outer levels already
             // removed on the same leader set
             let cond_elim = if *prior <= f64::EPSILON {
@@ -451,32 +554,39 @@ pub(crate) fn analyze_with_cache(
     // the same condition can arise from several SAFs (e.g. `Skip B <- A`
     // and A's own compressed stream both require "A nonzero"), so
     // conditions are deduplicated per tensor, keeping the finest
-    // granularity (lowest survival).
-    let mut skip_cond: HashMap<usize, f64> = HashMap::new();
-    let mut gate_cond: HashMap<usize, f64> = HashMap::new();
+    // granularity (lowest survival). The condition maps are
+    // insertion-ordered (deterministic products, unlike the seed's
+    // `HashMap` iteration).
+    let skip_cond = &mut scratch.skip_cond;
+    let gate_cond = &mut scratch.gate_cond;
+    skip_cond.clear();
+    gate_cond.clear();
     let mut effectual = dense.computes;
-    let merge = |m: &mut HashMap<usize, f64>, key: usize, surv: f64| {
-        let e = m.entry(key).or_insert(1.0);
+    let merge = |m: &mut SmallMap<usize>, key: usize, surv: f64| {
+        let e = m.entry(key, 1.0);
         if surv < *e {
             *e = surv;
         }
     };
-    for t in einsum.inputs() {
+    for (ti, tspec) in einsum.tensors().iter().enumerate() {
+        if tspec.kind != TensorKind::Input {
+            continue;
+        }
+        let t = TensorId(ti);
         let d_t = workload.tensor_density(t);
         effectual *= d_t;
-        if let Some(tr) = trackers.get(&t.0) {
-            for (&leader, &surv) in &tr.skip_leader_surv {
-                merge(&mut skip_cond, leader, surv);
-            }
-            for (&leader, &surv) in &tr.gate_leader_surv {
-                merge(&mut gate_cond, leader, surv);
-            }
-            if tr.self_skip {
-                merge(&mut skip_cond, t.0, d_t);
-            }
-            if tr.self_gate {
-                merge(&mut gate_cond, t.0, d_t);
-            }
+        let tr = &trackers[ti];
+        for (leader, surv) in tr.skip_leader_surv.iter() {
+            merge(skip_cond, leader, surv);
+        }
+        for (leader, surv) in tr.gate_leader_surv.iter() {
+            merge(gate_cond, leader, surv);
+        }
+        if tr.self_skip {
+            merge(skip_cond, ti, d_t);
+        }
+        if tr.self_gate {
+            merge(gate_cond, ti, d_t);
         }
     }
     let skip_surv: f64 = skip_cond.values().product();
@@ -494,19 +604,14 @@ pub(crate) fn analyze_with_cache(
         },
         None => (effectual + leftover, 0.0, 0.0),
     };
-    let compute = SparseCompute {
+    scratch.traffic.compute = SparseCompute {
         ops: ActionBreakdown {
             actual,
             gated: gated_implicit + extra_gated,
             skipped: skipped + extra_skipped,
         },
     };
-
-    SparseTraffic {
-        entries,
-        compute,
-        utilized_parallelism: dense.utilized_parallelism,
-    }
+    scratch.traffic.utilized_parallelism = dense.utilized_parallelism;
 }
 
 #[cfg(test)]

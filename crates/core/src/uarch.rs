@@ -48,7 +48,7 @@ pub struct LevelCost {
 }
 
 /// Full micro-architectural report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct UarchReport {
     /// Per-level costs, outermost first.
     pub levels: Vec<LevelCost>,
@@ -113,20 +113,44 @@ pub fn analyze(
     energy: &EnergyTable,
     capacity_mode: CapacityMode,
 ) -> UarchReport {
-    let mut levels = Vec::with_capacity(arch.num_levels());
+    let mut report = UarchReport::default();
+    analyze_into(arch, traffic, energy, capacity_mode, &mut report);
+    report
+}
+
+/// The micro-architecture step, written into a reused report.
+///
+/// Every field of `report` is overwritten; the per-level vector and its
+/// name strings reuse their buffers, so evaluating many candidates
+/// through one report allocates nothing once warm. Results are
+/// bit-identical to [`analyze`] (which wraps this).
+pub(crate) fn analyze_into(
+    arch: &Architecture,
+    traffic: &SparseTraffic,
+    energy: &EnergyTable,
+    capacity_mode: CapacityMode,
+    report: &mut UarchReport,
+) {
+    report
+        .levels
+        .resize_with(arch.num_levels(), LevelCost::default);
     let mut total_energy = 0.0f64;
     let mut valid = true;
-    let mut overflow_level = None;
+    report.overflow_level = None;
     let mut max_level_cycles = 0.0f64;
 
     let compute_energy_table = energy.compute(arch.compute());
 
     for (l, spec) in arch.levels().iter().enumerate() {
         let act = energy.storage(spec);
-        let mut cost = LevelCost {
-            name: spec.name.clone(),
-            ..LevelCost::default()
-        };
+        let cost = &mut report.levels[l];
+        cost.name.clone_from(&spec.name);
+        cost.cycle_words = 0.0;
+        cost.metadata_bits = 0.0;
+        cost.cycles = 0.0;
+        cost.energy_pj = 0.0;
+        cost.occupancy_words = 0.0;
+        cost.occupancy_metadata_bits = 0.0;
         let mut checks = 0.0f64;
         for e in traffic.at_level(l) {
             // cycles: actual + gated words occupy the port
@@ -156,7 +180,9 @@ pub fn analyze(
         // level's capacity unless a dedicated metadata store exists
         if !level_fits(spec, cost.occupancy_words, cost.occupancy_metadata_bits) {
             valid = false;
-            overflow_level.get_or_insert_with(|| spec.name.clone());
+            if report.overflow_level.is_none() {
+                report.overflow_level = Some(spec.name.clone());
+            }
         }
 
         // bandwidth throttling: aggregate words (+ metadata as word
@@ -168,7 +194,6 @@ pub fn analyze(
         }
 
         total_energy += cost.energy_pj;
-        levels.push(cost);
     }
 
     // compute cycles: actual + gated ops over utilized parallelism
@@ -178,15 +203,11 @@ pub fn analyze(
         + traffic.compute.ops.gated * compute_energy_table.gated;
     total_energy += compute_energy_pj;
 
-    UarchReport {
-        levels,
-        compute_cycles,
-        compute_energy_pj,
-        cycles: compute_cycles.max(max_level_cycles).max(1.0),
-        energy_pj: total_energy,
-        valid,
-        overflow_level,
-    }
+    report.compute_cycles = compute_cycles;
+    report.compute_energy_pj = compute_energy_pj;
+    report.cycles = compute_cycles.max(max_level_cycles).max(1.0);
+    report.energy_pj = total_energy;
+    report.valid = valid;
 }
 
 #[cfg(test)]

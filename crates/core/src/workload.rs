@@ -110,24 +110,32 @@ impl Workload {
     /// is entirely empty. Rank-0 (scalar) tensors are never empty unless
     /// their density is zero.
     pub fn prob_tile_empty(&self, t: TensorId, tile_shape: &[u64]) -> f64 {
+        self.prob_tile_empty_with(t, tile_shape, &mut Vec::new())
+    }
+
+    /// [`prob_tile_empty`](Workload::prob_tile_empty) with a caller-owned
+    /// rank-adaptation buffer: the gating/skipping analyzer queries
+    /// leader-tile emptiness per SAF per candidate, and the exact-rank
+    /// case (the common one) borrows `tile_shape` directly.
+    pub fn prob_tile_empty_with(&self, t: TensorId, tile_shape: &[u64], buf: &mut Vec<u64>) -> f64 {
         let model = &self.densities[t.0];
         let model_rank = model.tensor_shape().len();
-        let shape: Vec<u64> = if tile_shape.is_empty() {
-            vec![1; model_rank]
-        } else if tile_shape.len() == model_rank {
-            tile_shape.to_vec()
+        if tile_shape.len() == model_rank && !tile_shape.is_empty() {
+            return model.occupancy(tile_shape).prob_empty;
+        }
+        buf.clear();
+        if tile_shape.is_empty() {
+            buf.resize(model_rank, 1);
         } else if tile_shape.len() > model_rank {
             // fold extra leading ranks
             let extra = tile_shape.len() - model_rank;
-            let mut v = vec![tile_shape[..=extra].iter().product::<u64>()];
-            v.extend_from_slice(&tile_shape[extra + 1..]);
-            v
+            buf.push(tile_shape[..=extra].iter().product::<u64>());
+            buf.extend_from_slice(&tile_shape[extra + 1..]);
         } else {
-            let mut v = vec![1u64; model_rank - tile_shape.len()];
-            v.extend_from_slice(tile_shape);
-            v
-        };
-        model.occupancy(&shape).prob_empty
+            buf.resize(model_rank - tile_shape.len(), 1);
+            buf.extend_from_slice(tile_shape);
+        }
+        model.occupancy(buf).prob_empty
     }
 
     /// Overall density of tensor `t`.

@@ -4,10 +4,12 @@
 
 use proptest::prelude::*;
 use sparseloop_arch::{ArchitectureBuilder, ComputeSpec, StorageLevel};
-use sparseloop_core::{dataflow, sparse, EvalError, Model, Objective, SafSpec, Workload};
+use sparseloop_core::{
+    dataflow, sparse, EvalError, EvalScratch, Model, Objective, SafSpec, Workload,
+};
 use sparseloop_density::DensityModelSpec;
-use sparseloop_mapping::{Mapper, Mapspace};
-use sparseloop_tensor::einsum::{Einsum, TensorKind};
+use sparseloop_mapping::{CandidateEvaluator, Mapper, Mapspace, SampleStrategy};
+use sparseloop_tensor::einsum::{DimId, Einsum, TensorKind};
 
 fn arch2() -> sparseloop_arch::Architecture {
     ArchitectureBuilder::new("t")
@@ -213,6 +215,188 @@ proptest! {
                 "precheck {} but evaluate capacity-error {} for {:?}",
                 rejected, capacity_error, mapping
             );
+        }
+    }
+
+    /// The incremental worker pipeline (scratch arenas + prefix
+    /// caching) scores every candidate bit-identically to the stateless
+    /// from-scratch pipeline: same precheck verdicts and same metric for
+    /// every candidate of the delta stream, driven with the stream's
+    /// reported change depths.
+    #[test]
+    fn incremental_scoring_matches_from_scratch_per_candidate(
+        m in 1u64..12, n in 1u64..12, k in 1u64..12,
+        da_pct in 5u64..=100,
+        capacity in 4u64..400,
+        spatial in 0u64..2,
+        compressed in 0u64..2,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let a = e.tensor_id("A").unwrap();
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1").with_capacity(capacity))
+            .compute(ComputeSpec::new("MAC", 4))
+            .build()
+            .unwrap();
+        let mut safs = SafSpec::dense().with_skip(1, a, vec![a]);
+        if compressed == 1 {
+            safs = safs.with_format(1, a, sparseloop_format::TensorFormat::coo(2));
+        }
+        let model = Model::new(w, arch.clone(), safs);
+        let mut space = Mapspace::all_temporal(&e, &arch);
+        if spatial == 1 {
+            space = space.with_spatial_dims(1, vec![DimId(1)]);
+        }
+        let evaluator = model.evaluator(Objective::Edp);
+        let mut worker = evaluator.worker();
+        for (depth, mapping) in
+            (Mapper::Exhaustive { limit: 300 }).delta_candidates(&space)
+        {
+            let pre_inc = worker.precheck(&mapping, depth);
+            let pre_ref = model.precheck(&mapping);
+            prop_assert_eq!(pre_inc, pre_ref, "precheck diverged for {:?}", mapping);
+            if !pre_inc {
+                continue;
+            }
+            let metric_inc = worker.evaluate(&mapping, depth);
+            let metric_ref = model
+                .evaluate(&mapping)
+                .ok()
+                .map(|ev| ev.metric(Objective::Edp));
+            prop_assert_eq!(metric_inc, metric_ref, "metric diverged for {:?}", mapping);
+        }
+    }
+
+    /// The public scratch-reuse entry points (no prefix assumptions)
+    /// match the allocating pipeline bit-for-bit across a stream of
+    /// candidates through one reused arena.
+    #[test]
+    fn scratch_entry_points_match_evaluate(
+        m in 1u64..10, n in 1u64..10, k in 1u64..10,
+        da_pct in 5u64..=100,
+        capacity in 4u64..200,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1").with_capacity(capacity))
+            .compute(ComputeSpec::new("MAC", 1))
+            .build()
+            .unwrap();
+        let model = Model::new(w, arch.clone(), SafSpec::dense());
+        let space = Mapspace::all_temporal(&e, &arch);
+        let mut scratch = EvalScratch::new();
+        for mapping in space.iter_enumerate(80) {
+            prop_assert_eq!(
+                model.precheck_with(&mapping, &mut scratch),
+                model.precheck(&mapping)
+            );
+            let via_scratch =
+                model.evaluate_metric_with(&mapping, Objective::Edp, &mut scratch);
+            let via_eval = model
+                .evaluate(&mapping)
+                .ok()
+                .map(|ev| ev.metric(Objective::Edp));
+            prop_assert_eq!(via_scratch, via_eval);
+        }
+    }
+
+    /// Search winners, their full `Evaluation`s, and `SearchStats` are
+    /// bit-identical between the incremental pipeline and the
+    /// from-scratch reference — sequentially, at 1/2/4 threads, and at
+    /// 1/3 shards, for exhaustive and hybrid strategies over random
+    /// mapspaces.
+    #[test]
+    fn incremental_search_parity_across_threads_and_shards(
+        m in 1u64..10, n in 1u64..10, k in 1u64..10,
+        da_pct in 10u64..=100,
+        capacity in 8u64..300,
+        hybrid in 0u64..2,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let w = Workload::new(
+            e.clone(),
+            vec![
+                DensityModelSpec::Uniform { density: da_pct as f64 / 100.0 },
+                DensityModelSpec::Dense,
+                DensityModelSpec::Dense,
+            ],
+        );
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1").with_capacity(capacity))
+            .compute(ComputeSpec::new("MAC", 2))
+            .build()
+            .unwrap();
+        let model = Model::new(w, arch.clone(), SafSpec::dense());
+        let space = Mapspace::all_temporal(&e, &arch).with_spatial_dims(1, vec![DimId(0)]);
+        let mapper = if hybrid == 1 {
+            Mapper::Hybrid {
+                enumerate: 120,
+                samples: 60,
+                seed: 11,
+                sampling: SampleStrategy::Uniform,
+            }
+        } else {
+            Mapper::Exhaustive { limit: 250 }
+        };
+        // reference: the stateless from-scratch pipeline, sequential
+        let (reference, ref_stats) = mapper.search_pruned_counted(
+            &space,
+            &model.evaluator_from_scratch(Objective::Edp),
+        );
+        let check = |got: Option<(sparseloop_mapping::Mapping, sparseloop_core::Evaluation)>,
+                     stats: sparseloop_mapping::SearchStats,
+                     label: &str|
+         -> Result<(), TestCaseError> {
+            prop_assert_eq!(stats, ref_stats, "stats diverged: {}", label);
+            match (&got, &reference) {
+                (None, None) => {}
+                (Some((gm, ge)), Some(r)) => {
+                    prop_assert_eq!(gm, &r.mapping, "winner diverged: {}", label);
+                    let re = model.evaluate(&r.mapping).expect("winner re-evaluates");
+                    prop_assert_eq!(ge.edp, re.edp, "edp diverged: {}", label);
+                    prop_assert_eq!(ge.cycles, re.cycles, "cycles diverged: {}", label);
+                    prop_assert_eq!(ge.energy_pj, re.energy_pj, "energy diverged: {}", label);
+                    prop_assert_eq!(
+                        ge.utilization, re.utilization,
+                        "utilization diverged: {}", label
+                    );
+                }
+                _ => prop_assert!(false, "winner presence diverged: {}", label),
+            }
+            Ok(())
+        };
+        for threads in [1usize, 2, 4] {
+            let (got, stats) = model.search_parallel_counted(
+                &space,
+                mapper,
+                Objective::Edp,
+                Some(threads),
+            );
+            check(got, stats, &format!("threads={threads}"))?;
+        }
+        for shards in [1usize, 3] {
+            let (got, stats) =
+                model.search_sharded_counted(&space, mapper, Objective::Edp, shards);
+            check(got, stats, &format!("shards={shards}"))?;
         }
     }
 

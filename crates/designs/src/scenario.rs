@@ -154,6 +154,19 @@ impl Scenario {
         self.run_with(|jobs| session.search_batch_sharded(jobs, shards))
     }
 
+    /// Like [`run`](Scenario::run), through the from-scratch reference
+    /// pipeline (scratch arenas and prefix-incremental caching disabled;
+    /// see [`EvalSession::search_batch_from_scratch`]). Outcomes are
+    /// bit-identical to [`run`](Scenario::run); only the evaluation cost
+    /// differs — the before/after throughput benches run both.
+    pub fn run_from_scratch(
+        &self,
+        session: &EvalSession,
+        threads: Option<usize>,
+    ) -> ScenarioOutcome {
+        self.run_with(|jobs| session.search_batch_from_scratch(jobs, threads))
+    }
+
     /// Shared driver: builds the jobs, times the batch, assembles the
     /// outcome.
     fn run_with(

@@ -21,8 +21,10 @@ pub mod mapper;
 pub mod mapspace;
 
 pub use loops::{Loop, LoopKind, Mapping, MappingBuilder, MappingError};
-pub use mapper::{CandidateEvaluator, Mapper, SampleStrategy, SearchResult, SearchStats};
+pub use mapper::{
+    CandidateEvaluator, Mapper, SampleStrategy, SearchResult, SearchStats, WorkerEvaluator,
+};
 pub use mapspace::{
-    factorizations, CandidateKey, EnumerateIter, HaltonSampleIter, Mapspace, MapspaceShard,
-    SampleIter,
+    factorizations, CandidateKey, ChangeDepth, EnumerateIter, HaltonSampleIter, Mapspace,
+    MapspaceShard, SampleIter,
 };

@@ -245,6 +245,18 @@ impl Mapping {
     /// # Errors
     /// Returns the first violated invariant; see [`MappingError`].
     pub fn validate(&self, einsum: &Einsum, arch: &Architecture) -> Result<(), MappingError> {
+        self.validate_with(einsum, arch, &mut Vec::new())
+    }
+
+    /// [`validate`](Mapping::validate) with a caller-owned per-dimension
+    /// product buffer, so callers validating many mappings (the search
+    /// hot path) allocate nothing per call.
+    pub fn validate_with(
+        &self,
+        einsum: &Einsum,
+        arch: &Architecture,
+        products: &mut Vec<u64>,
+    ) -> Result<(), MappingError> {
         if self.nests.len() != arch.num_levels() {
             return Err(MappingError::LevelCountMismatch {
                 mapping: self.nests.len(),
@@ -256,18 +268,23 @@ impl Mapping {
                 return Err(MappingError::ZeroBound { level: l });
             }
         }
-        // factorization per dim
+        // factorization per dim: one pass over the nests accumulating
+        // every dimension's loop-bound product
+        let num_dims = einsum.dims().len();
+        products.clear();
+        products.resize(num_dims, 1u64);
+        for nest in &self.nests {
+            for lp in nest {
+                if lp.dim.0 < num_dims {
+                    products[lp.dim.0] = products[lp.dim.0].saturating_mul(lp.bound);
+                }
+            }
+        }
         for (d, dim) in einsum.dims().iter().enumerate() {
-            let product: u64 = self
-                .flattened()
-                .iter()
-                .filter(|(_, lp)| lp.dim.0 == d)
-                .map(|(_, lp)| lp.bound)
-                .product();
-            if product != dim.bound {
+            if products[d] != dim.bound {
                 return Err(MappingError::BadFactorization {
                     dim: DimId(d),
-                    product,
+                    product: products[d],
                     expected: dim.bound,
                 });
             }

@@ -21,7 +21,7 @@
 //! searches return bit-identical winners.
 
 use crate::loops::Mapping;
-use crate::mapspace::{CandidateKey, Mapspace};
+use crate::mapspace::{CandidateKey, ChangeDepth, Mapspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -71,6 +71,58 @@ pub trait CandidateEvaluator: Sync {
 
     /// Full evaluation: the metric to minimize, or `None` when invalid.
     fn evaluate(&self, mapping: &Mapping) -> Option<f64>;
+
+    /// A per-worker stateful evaluator. The search loops create one
+    /// worker per thread (or shard) and feed it the candidate stream in
+    /// order together with each candidate's [`ChangeDepth`], so an
+    /// implementation can keep reusable scratch buffers and
+    /// prefix-incremental caches across candidates — results must be
+    /// bit-identical to the stateless [`precheck`] / [`evaluate`] pair.
+    ///
+    /// The default worker simply delegates to the stateless methods,
+    /// ignoring deltas, so plain closures and simple evaluators keep
+    /// working unchanged.
+    ///
+    /// [`precheck`]: CandidateEvaluator::precheck
+    /// [`evaluate`]: CandidateEvaluator::evaluate
+    fn worker(&self) -> Box<dyn WorkerEvaluator + '_> {
+        Box::new(StatelessWorker(self))
+    }
+}
+
+/// A per-worker, stateful view of a [`CandidateEvaluator`] (see
+/// [`CandidateEvaluator::worker`]).
+///
+/// # Call protocol
+///
+/// The caller walks one candidate stream in order. For each candidate it
+/// calls [`precheck`](WorkerEvaluator::precheck) with the candidate's
+/// [`ChangeDepth`] (relative to the stream's *previous* candidate — pass
+/// [`ChangeDepth::Reset`] when that relation is unknown, e.g. at batch
+/// seams of a work-stealing parallel search), and, if the precheck
+/// passes, [`evaluate`](WorkerEvaluator::evaluate) with the *same*
+/// candidate and depth. Implementations compose depths internally, so
+/// skipping `evaluate` for pruned candidates is always sound.
+pub trait WorkerEvaluator {
+    /// Cheap pre-pass; `false` prunes the candidate before evaluation.
+    fn precheck(&mut self, mapping: &Mapping, change: ChangeDepth) -> bool;
+
+    /// Full evaluation: the metric to minimize, or `None` when invalid.
+    fn evaluate(&mut self, mapping: &Mapping, change: ChangeDepth) -> Option<f64>;
+}
+
+/// The default [`WorkerEvaluator`]: stateless delegation to the
+/// underlying evaluator, ignoring change depths.
+struct StatelessWorker<'a, E: ?Sized>(&'a E);
+
+impl<E: CandidateEvaluator + ?Sized> WorkerEvaluator for StatelessWorker<'_, E> {
+    fn precheck(&mut self, mapping: &Mapping, _change: ChangeDepth) -> bool {
+        self.0.precheck(mapping)
+    }
+
+    fn evaluate(&mut self, mapping: &Mapping, _change: ChangeDepth) -> Option<f64> {
+        self.0.evaluate(mapping)
+    }
 }
 
 impl<F> CandidateEvaluator for F
@@ -142,11 +194,29 @@ impl Mapper {
         &self,
         space: &'a Mapspace,
     ) -> Box<dyn Iterator<Item = Mapping> + Send + 'a> {
+        Box::new(self.delta_candidates(space).map(|(_, m)| m))
+    }
+
+    /// Like [`candidates`](Mapper::candidates), but each candidate
+    /// carries its [`ChangeDepth`] relative to the previous stream
+    /// candidate. Enumerated candidates report their true first-changed
+    /// position; sampled draws (and the first candidate) report
+    /// [`ChangeDepth::Reset`] — sampling shares no systematic prefix, so
+    /// consumers must recompute those from scratch.
+    pub fn delta_candidates<'a>(
+        &self,
+        space: &'a Mapspace,
+    ) -> Box<dyn Iterator<Item = (ChangeDepth, Mapping)> + Send + 'a> {
         match *self {
-            Mapper::Exhaustive { limit } => Box::new(space.iter_enumerate(limit)),
-            Mapper::Random { samples, seed } => {
-                Box::new(space.iter_sample(samples, StdRng::seed_from_u64(seed)))
+            Mapper::Exhaustive { limit } => {
+                let mut it = space.iter_enumerate(limit);
+                Box::new(std::iter::from_fn(move || it.next_delta()))
             }
+            Mapper::Random { samples, seed } => Box::new(
+                space
+                    .iter_sample(samples, StdRng::seed_from_u64(seed))
+                    .map(|m| (ChangeDepth::Reset, m)),
+            ),
             Mapper::Hybrid {
                 enumerate,
                 samples,
@@ -165,16 +235,18 @@ impl Mapper {
                 let seen =
                     std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
                 let record = std::sync::Arc::clone(&seen);
+                let mut prefix = space.iter_enumerate(enumerate);
                 Box::new(
-                    space
-                        .iter_enumerate(enumerate)
-                        .inspect(move |m| {
+                    std::iter::from_fn(move || prefix.next_delta())
+                        .inspect(move |(_, m)| {
                             record.lock().expect("hybrid dedup set").insert(m.clone());
                         })
                         .chain(
-                            sample_tail(space, samples, seed, sampling).filter(move |m| {
-                                !seen.lock().expect("hybrid dedup set").contains(m)
-                            }),
+                            sample_tail(space, samples, seed, sampling)
+                                .filter(move |m| {
+                                    !seen.lock().expect("hybrid dedup set").contains(m)
+                                })
+                                .map(|m| (ChangeDepth::Reset, m)),
                         ),
                 )
             }
@@ -241,13 +313,16 @@ impl Mapper {
     ) -> (Option<SearchResult>, SearchStats) {
         let mut stats = SearchStats::default();
         let mut best: Option<(Mapping, f64)> = None;
-        for m in self.candidates(space) {
+        // one stateful worker walks the whole stream: scratch buffers and
+        // prefix-incremental caches persist across candidates
+        let mut worker = evaluator.worker();
+        for (depth, m) in self.delta_candidates(space) {
             stats.generated += 1;
-            if !evaluator.precheck(&m) {
+            if !worker.precheck(&m, depth) {
                 stats.pruned += 1;
                 continue;
             }
-            match evaluator.evaluate(&m) {
+            match worker.evaluate(&m, depth) {
                 // NaN handling mirrors search(): unordered values are
                 // counted invalid so the winner is order-independent
                 Some(v) if !v.is_nan() => {
@@ -303,7 +378,7 @@ impl Mapper {
             return self.search_pruned_counted(space, evaluator);
         }
 
-        let stream = Mutex::new(self.candidates(space).enumerate());
+        let stream = Mutex::new(self.delta_candidates(space).enumerate());
         let generated = AtomicUsize::new(0);
         let pruned = AtomicUsize::new(0);
         let evaluated = AtomicUsize::new(0);
@@ -320,8 +395,9 @@ impl Mapper {
             for _ in 0..workers {
                 s.spawn(|_| {
                     let mut local: Option<(f64, usize, Mapping)> = None;
+                    let mut worker = evaluator.worker();
                     loop {
-                        let batch: Vec<(usize, Mapping)> = {
+                        let batch: Vec<(usize, (ChangeDepth, Mapping))> = {
                             let mut it = stream.lock().expect("candidate stream poisoned");
                             it.by_ref().take(PAR_BATCH).collect()
                         };
@@ -329,12 +405,17 @@ impl Mapper {
                             break;
                         }
                         generated.fetch_add(batch.len(), Ordering::Relaxed);
-                        for (idx, m) in batch {
-                            if !evaluator.precheck(&m) {
+                        for (pos, (idx, (depth, m))) in batch.into_iter().enumerate() {
+                            // a batch's first candidate follows one that
+                            // (usually) went to another worker: its depth
+                            // relation does not hold for THIS worker's
+                            // caches, so it must recompute from scratch
+                            let depth = if pos == 0 { ChangeDepth::Reset } else { depth };
+                            if !worker.precheck(&m, depth) {
                                 pruned.fetch_add(1, Ordering::Relaxed);
                                 continue;
                             }
-                            match evaluator.evaluate(&m) {
+                            match worker.evaluate(&m, depth) {
                                 // NaN counted invalid, as in the
                                 // sequential paths: NaN is unordered and
                                 // would break the deterministic reduction
@@ -431,18 +512,20 @@ impl Mapper {
                 // sequentially after the sharded prefix, deduplicated
                 // against the complete prefix exactly like the unsharded
                 // hybrid stream (sampled keys order after all enumerated
-                // keys, matching the tail's stream position)
+                // keys, matching the tail's stream position); sampled
+                // draws share no prefix, so every one is a Reset
+                let mut worker = evaluator.worker();
                 for (i, m) in sample_tail(space, samples, seed, sampling)
                     .filter(|m| !seen.contains(m))
                     .enumerate()
                 {
                     let key = CandidateKey::sampled(i as u64);
                     stats.generated += 1;
-                    if !evaluator.precheck(&m) {
+                    if !worker.precheck(&m, ChangeDepth::Reset) {
                         stats.pruned += 1;
                         continue;
                     }
-                    match evaluator.evaluate(&m) {
+                    match worker.evaluate(&m, ChangeDepth::Reset) {
                         Some(v) if !v.is_nan() => {
                             stats.evaluated += 1;
                             if beats_key(v, key, &best) {
@@ -516,20 +599,23 @@ fn sharded_enumerate_search<E: CandidateEvaluator + ?Sized>(
     rayon::scope(|s| {
         let (generated, pruned, evaluated, invalid, best) =
             (&generated, &pruned, &evaluated, &invalid, &best);
-        for shard in space.shards(shards, limit) {
+        for mut shard in space.shards(shards, limit) {
             s.spawn(move |_| {
                 let mut local: Option<(f64, CandidateKey, Mapping)> = None;
                 let (mut gen_n, mut pruned_n, mut eval_n, mut invalid_n) = (0, 0, 0, 0);
-                for (key, m) in shard {
+                // one worker per shard: the shard is one contiguous
+                // sub-stream, so its change depths hold end to end
+                let mut worker = evaluator.worker();
+                while let Some((key, depth, m)) = shard.next_delta() {
                     gen_n += 1;
                     if let Some(rec) = record {
                         rec.lock().expect("hybrid dedup set").insert(m.clone());
                     }
-                    if !evaluator.precheck(&m) {
+                    if !worker.precheck(&m, depth) {
                         pruned_n += 1;
                         continue;
                     }
-                    match evaluator.evaluate(&m) {
+                    match worker.evaluate(&m, depth) {
                         // NaN counted invalid, as in every other search
                         // path: unordered values would break the
                         // deterministic reduction

@@ -65,9 +65,10 @@ pub fn factorizations(n: u64, k: usize, limit: Option<usize>) -> Vec<Vec<u64>> {
 pub fn random_factorization(n: u64, k: usize, rng: &mut impl Rng) -> Vec<u64> {
     let mut factors = vec![1u64; k];
     let mut rest = n;
+    let mut divisors: Vec<u64> = Vec::new();
     // Peel random divisors into random positions until rest is 1.
     while rest > 1 {
-        let divisors: Vec<u64> = (2..=rest).filter(|d| rest.is_multiple_of(*d)).collect();
+        divisors_excluding_one(rest, &mut divisors);
         let d = divisors[rng.gen_range(0..divisors.len())];
         // take a prime-ish chunk: smallest prime factor of d
         let p = smallest_prime_factor(d);
@@ -76,6 +77,28 @@ pub fn random_factorization(n: u64, k: usize, rng: &mut impl Rng) -> Vec<u64> {
         rest /= p;
     }
     factors
+}
+
+/// The divisors of `n >= 2` except 1, ascending, via trial division to
+/// `√n` — the same list a linear scan of `2..=n` produces, three orders
+/// of magnitude faster for the large composite bounds real workloads
+/// have (random sampling draws this per peel per dimension, which made
+/// the hybrid mapper's sample tail the most expensive part of its
+/// candidate stream).
+fn divisors_excluding_one(n: u64, out: &mut Vec<u64>) {
+    out.clear();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            if d != n / d {
+                out.push(n / d);
+            }
+        }
+        d += 1;
+    }
+    out.push(n);
+    out.sort_unstable();
 }
 
 fn smallest_prime_factor(n: u64) -> u64 {
@@ -262,6 +285,81 @@ struct Slot {
     level: usize,
     dim: DimId,
     spatial: bool,
+}
+
+/// The outermost position at which a candidate differs from the
+/// previously yielded candidate of the same stream.
+///
+/// The deterministic enumeration streams ([`Mapspace::iter_enumerate`],
+/// [`Mapspace::shards`]) emit candidates in lexicographic factorization
+/// order, so consecutive candidates usually share a long outer-loop
+/// prefix. Each yielded candidate carries its `ChangeDepth` so an
+/// incremental evaluator can reuse everything derived from the shared
+/// prefix (per-level tile bounds, occupancies, format analyses) and
+/// recompute only from the first changed loop inward.
+///
+/// **Contract** (what an evaluator may rely on): for
+/// `ChangeDepth::At { level, loop_pos }`,
+///
+/// * the nests of every storage level strictly above `level` are
+///   bit-identical to the previous candidate's, and within `level` the
+///   loops before the first change are identical too;
+/// * the flattened `(level, loop)` lists of the two candidates agree on
+///   their first `loop_pos` entries and differ at position `loop_pos`
+///   (where present — a factor may collapse to an elided factor-1 loop);
+/// * because every candidate factorizes each workload dimension exactly,
+///   the tile held at any level at-or-above `level` (the projection of
+///   the loops at-and-below it) is also unchanged.
+///
+/// `Reset` marks stream seams — the first candidate of a stream or
+/// shard, and every sampled (non-enumerated) draw — where no prefix may
+/// be assumed and a consumer must recompute from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeDepth {
+    /// No relation to the previously yielded candidate: stream start,
+    /// shard seam, or a sampled draw. Consumers recompute everything.
+    Reset,
+    /// The first difference from the previous candidate.
+    At {
+        /// Storage level containing the first changed loop position.
+        level: usize,
+        /// Index into the flattened loop list of the first difference.
+        loop_pos: usize,
+    },
+}
+
+impl ChangeDepth {
+    /// The deepest storage level whose *held tile* is guaranteed
+    /// unchanged from the previous candidate (`None` for [`Reset`]:
+    /// nothing may be reused).
+    ///
+    /// [`Reset`]: ChangeDepth::Reset
+    pub fn reuse_level(&self) -> Option<usize> {
+        match *self {
+            ChangeDepth::Reset => None,
+            ChangeDepth::At { level, .. } => Some(level),
+        }
+    }
+}
+
+/// First-difference position between the previous and current per-slot
+/// factor assignments (both full factorizations of the same bounds).
+fn change_depth(slots: &[Slot], prev: &[u64], cur: &[u64]) -> ChangeDepth {
+    let mut loop_pos = 0usize;
+    for (i, (&p, &c)) in prev.iter().zip(cur).enumerate() {
+        if p != c {
+            return ChangeDepth::At {
+                level: slots[i].level,
+                loop_pos,
+            };
+        }
+        if c > 1 {
+            loop_pos += 1;
+        }
+    }
+    // Identical factor vectors never occur between consecutive distinct
+    // candidates; stay conservative if they somehow do.
+    ChangeDepth::Reset
 }
 
 /// A constrained space of mappings for one workload on one architecture.
@@ -470,10 +568,14 @@ impl Mapspace {
     pub fn iter_enumerate(&self, limit: usize) -> EnumerateIter<'_> {
         let plan = self.plan();
         let dims = self.dim_streams(&plan, 0..self.num_dims);
+        let num_slots = plan.slots.len();
         EnumerateIter {
             space: self,
             choice: vec![0usize; self.num_dims],
             dims,
+            factors: vec![1u64; num_slots],
+            prev_factors: vec![1u64; num_slots],
+            have_prev: false,
             produced: 0,
             limit,
             exhausted: !plan.feasible || limit == 0,
@@ -624,6 +726,7 @@ impl Mapspace {
             .map(|s| {
                 let plan = plan.clone();
                 let inner = self.dim_streams(&plan, 0..split);
+                let num_slots = plan.slots.len();
                 MapspaceShard {
                     space: self,
                     plan,
@@ -637,6 +740,9 @@ impl Mapspace {
                     cur_block_id: 0,
                     outer_choice: Vec::new(),
                     choice: Vec::new(),
+                    factors: vec![1u64; num_slots],
+                    prev_factors: vec![1u64; num_slots],
+                    have_prev: false,
                     rank: 0,
                     block_active: false,
                     done: false,
@@ -757,25 +863,33 @@ pub struct EnumerateIter<'a> {
     /// stream only as far as the counter has reached.
     dims: Vec<FactorizationStream>,
     choice: Vec<usize>,
+    /// Per-slot factor buffer, reused across candidates (the iterator
+    /// allocates nothing per candidate beyond the mapping itself).
+    factors: Vec<u64>,
+    /// Factors of the previously *yielded* candidate (delta baseline).
+    prev_factors: Vec<u64>,
+    have_prev: bool,
     produced: usize,
     limit: usize,
     exhausted: bool,
 }
 
-impl Iterator for EnumerateIter<'_> {
-    type Item = Mapping;
-
-    fn next(&mut self) -> Option<Mapping> {
+impl EnumerateIter<'_> {
+    /// Like [`Iterator::next`], additionally reporting where the yielded
+    /// candidate first differs from the previously yielded one (see
+    /// [`ChangeDepth`]). The first candidate reports
+    /// [`ChangeDepth::Reset`].
+    pub fn next_delta(&mut self) -> Option<(ChangeDepth, Mapping)> {
         let num_dims = self.space.num_dims;
-        let mut factors = vec![1u64; self.plan.slots.len()];
         while !self.exhausted && self.produced < self.limit {
             {
-                let (plan, dims, choice) = (&self.plan, &self.dims, &self.choice);
-                plan.assemble(&mut factors, |d| dims[d].cached(choice[d]));
+                let (plan, dims, choice, factors) =
+                    (&self.plan, &self.dims, &self.choice, &mut self.factors);
+                plan.assemble(factors, |d| dims[d].cached(choice[d]));
             }
             let candidate =
                 self.space
-                    .mapping_from_factors(&self.plan.slots, &factors, &self.plan.keep);
+                    .mapping_from_factors(&self.plan.slots, &self.factors, &self.plan.keep);
             // advance the mixed-radix counter, extending streams lazily
             let mut d = 0;
             loop {
@@ -791,11 +905,26 @@ impl Iterator for EnumerateIter<'_> {
                 d += 1;
             }
             if let Some(m) = candidate {
+                let depth = if self.have_prev {
+                    change_depth(&self.plan.slots, &self.prev_factors, &self.factors)
+                } else {
+                    ChangeDepth::Reset
+                };
+                std::mem::swap(&mut self.factors, &mut self.prev_factors);
+                self.have_prev = true;
                 self.produced += 1;
-                return Some(m);
+                return Some((depth, m));
             }
         }
         None
+    }
+}
+
+impl Iterator for EnumerateIter<'_> {
+    type Item = Mapping;
+
+    fn next(&mut self) -> Option<Mapping> {
+        self.next_delta().map(|(_, m)| m)
     }
 }
 
@@ -899,6 +1028,11 @@ pub struct MapspaceShard<'a> {
     cur_block_id: u64,
     outer_choice: Vec<usize>,
     choice: Vec<usize>,
+    /// Per-slot factor buffer, reused across candidates.
+    factors: Vec<u64>,
+    /// Factors of the previously yielded candidate (delta baseline).
+    prev_factors: Vec<u64>,
+    have_prev: bool,
     rank: u64,
     block_active: bool,
     done: bool,
@@ -920,21 +1054,38 @@ impl<'a> MapspaceShard<'a> {
             cur_block_id: 0,
             outer_choice: Vec::new(),
             choice: Vec::new(),
+            factors: Vec::new(),
+            prev_factors: Vec::new(),
+            have_prev: false,
             rank: 0,
             block_active: false,
             done: true,
         }
     }
-}
 
-impl Iterator for MapspaceShard<'_> {
-    type Item = (CandidateKey, Mapping);
+    /// Like [`Iterator::next`], additionally reporting where the yielded
+    /// candidate first differs from the shard's previously yielded one
+    /// (see [`ChangeDepth`]). The shard's first candidate reports
+    /// [`ChangeDepth::Reset`] — shard seams never assume a prefix, so a
+    /// sharded evaluation stays bit-identical to the unsharded one.
+    pub fn next_delta(&mut self) -> Option<(CandidateKey, ChangeDepth, Mapping)> {
+        let (key, m) = self.next_inner()?;
+        let depth = if self.have_prev {
+            change_depth(&self.plan.slots, &self.prev_factors, &self.factors)
+        } else {
+            ChangeDepth::Reset
+        };
+        std::mem::swap(&mut self.factors, &mut self.prev_factors);
+        self.have_prev = true;
+        Some((key, depth, m))
+    }
 
-    fn next(&mut self) -> Option<(CandidateKey, Mapping)> {
+    /// Produces the next candidate, leaving its factors in
+    /// `self.factors` for the delta computation.
+    fn next_inner(&mut self) -> Option<(CandidateKey, Mapping)> {
         if self.done {
             return None;
         }
-        let mut factors = vec![1u64; self.plan.slots.len()];
         loop {
             if !self.block_active {
                 let Some(&b) = self.blocks.get(self.cur_block) else {
@@ -957,15 +1108,16 @@ impl Iterator for MapspaceShard<'_> {
                 self.block_active = true;
             }
             {
-                let (plan, inner, choice, outer_choice, outer_lists, split) = (
+                let (plan, inner, choice, outer_choice, outer_lists, split, factors) = (
                     &self.plan,
                     &self.inner,
                     &self.choice,
                     &self.outer_choice,
                     &self.outer_lists,
                     self.split,
+                    &mut self.factors,
                 );
-                plan.assemble(&mut factors, |d| {
+                plan.assemble(factors, |d| {
                     if d < split {
                         inner[d].cached(choice[d])
                     } else {
@@ -975,7 +1127,7 @@ impl Iterator for MapspaceShard<'_> {
             }
             let candidate =
                 self.space
-                    .mapping_from_factors(&self.plan.slots, &factors, &self.plan.keep);
+                    .mapping_from_factors(&self.plan.slots, &self.factors, &self.plan.keep);
             // advance the within-block counter
             let mut d = 0;
             let wrapped = loop {
@@ -1013,6 +1165,14 @@ impl Iterator for MapspaceShard<'_> {
                 return Some((key, m));
             }
         }
+    }
+}
+
+impl Iterator for MapspaceShard<'_> {
+    type Item = (CandidateKey, Mapping);
+
+    fn next(&mut self) -> Option<(CandidateKey, Mapping)> {
+        self.next_delta().map(|(key, _, m)| (key, m))
     }
 }
 

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sparseloop_arch::{ArchitectureBuilder, ComputeSpec, StorageLevel};
-use sparseloop_mapping::{factorizations, Mapspace};
+use sparseloop_mapping::{factorizations, ChangeDepth, Mapspace};
 use sparseloop_tensor::einsum::{DimId, Einsum};
 
 proptest! {
@@ -133,6 +133,124 @@ proptest! {
             }
             // position 0 covers the full bounds
             prop_assert_eq!(mapping.tile_bounds_inside(0, 3), e.bounds());
+        }
+    }
+}
+
+proptest! {
+    /// `ChangeDepth` semantics of the delta enumeration stream: for
+    /// every consecutive pair, all flattened `(level, loop)` entries
+    /// strictly above the reported position are equal, the entries at
+    /// the position differ, and every level strictly above the reported
+    /// *level* has a bit-identical nest. The stream's first candidate
+    /// reports `Reset`.
+    #[test]
+    fn change_depth_marks_the_first_difference(
+        m in 1u64..10, n in 1u64..10, k in 1u64..10,
+        fanout in 1u64..6,
+        spatial in 0u64..2,
+        limit in 1usize..400,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1"))
+            .compute(ComputeSpec::new("MAC", fanout))
+            .build()
+            .unwrap();
+        let mut space = Mapspace::all_temporal(&e, &arch);
+        if spatial == 1 {
+            space = space.with_spatial_dims(1, vec![DimId(1)]);
+        }
+        let mut it = space.iter_enumerate(limit);
+        let mut prev: Option<sparseloop_mapping::Mapping> = None;
+        let mut first = true;
+        while let Some((depth, mapping)) = it.next_delta() {
+            match (depth, &prev) {
+                (ChangeDepth::Reset, _) => {
+                    prop_assert!(first, "Reset only on the stream's first candidate");
+                }
+                (ChangeDepth::At { level, loop_pos }, Some(p)) => {
+                    let pf = p.flattened();
+                    let cf = mapping.flattened();
+                    prop_assert_eq!(
+                        &pf[..loop_pos.min(pf.len())],
+                        &cf[..loop_pos.min(cf.len())],
+                        "flattened prefixes above the depth must be equal"
+                    );
+                    prop_assert!(
+                        pf.get(loop_pos) != cf.get(loop_pos),
+                        "the loop at the depth must differ"
+                    );
+                    // nests of levels strictly above the change level
+                    // are bit-identical
+                    prop_assert_eq!(
+                        &p.nests()[..level],
+                        &mapping.nests()[..level],
+                        "outer-level nests must be unchanged"
+                    );
+                    // because candidates factorize exactly, tiles held
+                    // at-or-above the change level are unchanged too
+                    let num_dims = e.dims().len();
+                    let p_pos: usize = p.nests()[..level].iter().map(Vec::len).sum();
+                    let c_pos: usize = mapping.nests()[..level].iter().map(Vec::len).sum();
+                    prop_assert_eq!(
+                        p.tile_bounds_inside(p_pos, num_dims),
+                        mapping.tile_bounds_inside(c_pos, num_dims),
+                        "held tile at the change level must be unchanged"
+                    );
+                }
+                (ChangeDepth::At { .. }, None) => {
+                    prop_assert!(false, "first candidate must report Reset");
+                }
+            }
+            prev = Some(mapping);
+            first = false;
+        }
+    }
+
+    /// Shard streams report the same `ChangeDepth` contract within each
+    /// shard, and every shard's first candidate reports `Reset` (the
+    /// seam where no prefix may be assumed) — so sharded evaluation
+    /// never reuses state across shard boundaries.
+    #[test]
+    fn shard_change_depths_hold_within_shards(
+        m in 1u64..9, n in 1u64..9, k in 1u64..9,
+        shards in 1usize..5,
+        limit in 1usize..300,
+    ) {
+        let e = Einsum::matmul(m, n, k);
+        let arch = ArchitectureBuilder::new("t")
+            .level(StorageLevel::new("L0"))
+            .level(StorageLevel::new("L1"))
+            .compute(ComputeSpec::new("MAC", 2))
+            .build()
+            .unwrap();
+        let space = Mapspace::all_temporal(&e, &arch).with_spatial_dims(1, vec![DimId(0)]);
+        for mut shard in space.shards(shards, limit) {
+            let mut prev: Option<sparseloop_mapping::Mapping> = None;
+            while let Some((_, depth, mapping)) = shard.next_delta() {
+                match (depth, &prev) {
+                    (ChangeDepth::Reset, None) => {}
+                    (ChangeDepth::Reset, Some(_)) => {
+                        prop_assert!(false, "Reset must only open a shard");
+                    }
+                    (ChangeDepth::At { .. }, None) => {
+                        prop_assert!(false, "a shard's first candidate must Reset");
+                    }
+                    (ChangeDepth::At { level, loop_pos }, Some(p)) => {
+                        let pf = p.flattened();
+                        let cf = mapping.flattened();
+                        prop_assert_eq!(
+                            &pf[..loop_pos.min(pf.len())],
+                            &cf[..loop_pos.min(cf.len())]
+                        );
+                        prop_assert!(pf.get(loop_pos) != cf.get(loop_pos));
+                        prop_assert_eq!(&p.nests()[..level], &mapping.nests()[..level]);
+                    }
+                }
+                prev = Some(mapping);
+            }
         }
     }
 }

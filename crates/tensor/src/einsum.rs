@@ -274,10 +274,37 @@ impl Einsum {
             .collect()
     }
 
+    /// [`tensor_tile_shape`](Einsum::tensor_tile_shape) written into a
+    /// caller-owned buffer (cleared first) — the evaluation hot path
+    /// queries tile shapes per candidate and must not allocate per call.
+    pub fn tensor_tile_shape_into(&self, t: TensorId, tile_bounds: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(
+            tile_bounds.len(),
+            self.dims.len(),
+            "tile bound count mismatch"
+        );
+        out.clear();
+        out.extend(
+            self.tensors[t.0]
+                .ranks
+                .iter()
+                .map(|r| r.extent(tile_bounds)),
+        );
+    }
+
     /// Dense footprint (number of coordinates) of tensor `t`'s tile for the
     /// given per-dimension tile bounds.
     pub fn tensor_tile_size(&self, t: TensorId, tile_bounds: &[u64]) -> u64 {
-        self.tensor_tile_shape(t, tile_bounds).iter().product()
+        assert_eq!(
+            tile_bounds.len(),
+            self.dims.len(),
+            "tile bound count mismatch"
+        );
+        self.tensors[t.0]
+            .ranks
+            .iter()
+            .map(|r| r.extent(tile_bounds))
+            .product()
     }
 
     /// Projects a full iteration-space point onto tensor `t`'s coordinates.
