@@ -1,31 +1,62 @@
 //! Scenario smoke test: runs every registered scenario once through one
 //! shared evaluation session and fails (non-zero exit) when any scenario
-//! panics, produces no experiments, or returns an empty result. CI runs
-//! this in release mode so a scenario that silently stops producing
-//! results cannot land.
+//! panics, produces no experiments, or returns an empty result. Each
+//! scenario additionally runs as its **spec round-trip twin**
+//! (emit → parse → compile) through the same session, and any drift from
+//! the direct run — winning mapping, evaluation bits, search counters —
+//! fails the gate, so a spec front-end regression trips this existing
+//! smoke step, not just the dedicated round-trip tests. CI runs this in
+//! release mode.
 
 use sparseloop_bench::{fnum, header, row};
 use sparseloop_core::EvalSession;
 use sparseloop_designs::ScenarioRegistry;
+use sparseloop_spec::{compile_str, emit_scenario, outcome_drift};
 
 fn main() {
     let registry = ScenarioRegistry::standard();
     let session = EvalSession::new();
     println!(
-        "== scenario smoke: {} registered scenarios ==\n",
+        "== scenario smoke: {} registered scenarios (direct + spec twin) ==\n",
         registry.scenarios().len()
     );
-    header(&["scenario", "experiments", "ok", "wall s", "mappings/s"]);
+    header(&[
+        "scenario",
+        "experiments",
+        "ok",
+        "wall s",
+        "mappings/s",
+        "spec",
+    ]);
     let mut failures = Vec::new();
     for sc in registry.scenarios() {
         let out = sc.run(&session, None);
         let ok = out.results.iter().filter(|r| r.is_ok()).count();
+        // the spec twin shares the session: identical caches, and the
+        // interned aggregates make the second run cheap
+        let spec_status = match compile_str(&emit_scenario(sc)) {
+            Ok(compiled) => {
+                let twin = compiled.into_scenario().run(&session, None);
+                match outcome_drift(&out, &twin) {
+                    None => "ok".to_string(),
+                    Some(drift) => {
+                        failures.push(format!("{}: spec twin drifted: {drift}", sc.name()));
+                        "DRIFT".to_string()
+                    }
+                }
+            }
+            Err(e) => {
+                failures.push(format!("{}: spec round trip failed: {e}", sc.name()));
+                "FAIL".to_string()
+            }
+        };
         row(&[
             sc.name().to_string(),
             out.experiments.len().to_string(),
             ok.to_string(),
             format!("{:.3}", out.wall_seconds),
             fnum(out.mappings_per_sec()),
+            spec_status,
         ]);
         if out.experiments.is_empty() {
             failures.push(format!("{}: no experiments", sc.name()));
@@ -53,5 +84,5 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("\nall scenarios produced results");
+    println!("\nall scenarios produced results; all spec twins bit-identical");
 }

@@ -1,0 +1,257 @@
+//! The `sparseloop` command-line front-end: run, check, list and emit
+//! declarative scenario specs (see the `sparseloop-spec` crate docs for
+//! the grammar).
+//!
+//! ```text
+//! sparseloop list [<spec-dir>]        # registered + spec-dir scenarios
+//! sparseloop check <spec.yaml>...     # parse + compile, report errors
+//! sparseloop run <spec.yaml | name> [--threads N] [--shards N]
+//! sparseloop emit <scenario-name>     # standard scenario -> spec text
+//! sparseloop emit --all <dir>         # whole registry -> <dir>/<name>.yaml
+//! ```
+
+use sparseloop_bench::{fnum, header, row};
+use sparseloop_core::EvalSession;
+use sparseloop_designs::{Scenario, ScenarioOutcome, ScenarioRegistry};
+use sparseloop_spec::{emit_scenario, load_file, SpecRegistryExt};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  sparseloop list [<spec-dir>]
+  sparseloop check <spec.yaml>...
+  sparseloop run <spec.yaml | scenario-name> [--threads N] [--shards N]
+  sparseloop emit <scenario-name>
+  sparseloop emit --all <dir>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        "list" => list(rest),
+        "check" => check(rest),
+        "run" => run(rest),
+        "emit" => emit(rest),
+        other => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list(args: &[String]) -> ExitCode {
+    let registry = ScenarioRegistry::standard();
+    let registry = match args.first() {
+        Some(dir) => match registry.with_specs(dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => registry,
+    };
+    for scenario in registry.scenarios() {
+        println!("{:40} {}", scenario.name(), scenario.title());
+    }
+    ExitCode::SUCCESS
+}
+
+fn check(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("check: no spec files given\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in args {
+        match load_file(path) {
+            Ok(compiled) => {
+                println!(
+                    "{path}: ok — scenario {:?}, {} experiments",
+                    compiled.name,
+                    compiled.experiments.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut target = None;
+    let mut threads = None;
+    let mut shards = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => {
+                    eprintln!("run: --threads needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => shards = Some(n.max(1)),
+                None => {
+                    eprintln!("run: --shards needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if target.is_none() => target = Some(other.to_string()),
+            other => {
+                eprintln!("run: unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("run: no spec file or scenario name given\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if threads.is_some() && shards.is_some() {
+        eprintln!(
+            "run: --threads and --shards are mutually exclusive (sharded runs size \
+             their own worker pool); pick one"
+        );
+        return ExitCode::FAILURE;
+    }
+    // a path that exists is a spec file; anything else is a registry name
+    let scenario: Scenario = if Path::new(&target).is_file() {
+        match load_file(&target) {
+            Ok(compiled) => compiled.into_scenario(),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let registry = ScenarioRegistry::standard();
+        match registry.get(&target) {
+            Some(_) => {
+                // re-emit + compile instead of moving out of the registry:
+                // Scenario is not Clone, and this also exercises the
+                // front-end on the way through
+                let text = emit_scenario(registry.expect(&target));
+                match sparseloop_spec::compile_str(&text) {
+                    Ok(c) => c.into_scenario(),
+                    Err(e) => {
+                        eprintln!("internal emit/compile error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => {
+                eprintln!(
+                    "{target:?} is neither a spec file nor a registered scenario; registered: {:?}",
+                    registry.names()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let session = EvalSession::new();
+    let outcome = match shards {
+        Some(s) => scenario.run_sharded(&session, s),
+        None => scenario.run(&session, threads),
+    };
+    print_outcome(&scenario, &outcome);
+    let all_required_ok = outcome
+        .experiments
+        .iter()
+        .zip(&outcome.results)
+        .all(|(e, r)| r.is_ok() || !e.required);
+    if all_required_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_outcome(scenario: &Scenario, outcome: &ScenarioOutcome) {
+    println!("== {} — {} ==\n", scenario.name(), scenario.title());
+    header(&["experiment", "cycles", "energy pJ", "EDP", "util"]);
+    for (exp, result) in outcome.experiments.iter().zip(&outcome.results) {
+        match result {
+            Ok(r) => row(&[
+                exp.label.clone(),
+                fnum(r.eval.cycles),
+                fnum(r.eval.energy_pj),
+                fnum(r.eval.edp),
+                format!("{:.3}", r.eval.utilization),
+            ]),
+            Err(e) => row(&[
+                exp.label.clone(),
+                format!("failed: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
+        }
+    }
+    let stats = outcome.total_stats();
+    println!(
+        "\n{} experiments in {:.3}s — {} mappings generated, {} evaluated, {} pruned ({} mappings/s)",
+        outcome.experiments.len(),
+        outcome.wall_seconds,
+        stats.generated,
+        stats.evaluated,
+        stats.pruned,
+        fnum(outcome.mappings_per_sec())
+    );
+}
+
+fn emit(args: &[String]) -> ExitCode {
+    match args {
+        [flag, dir] if flag == "--all" => {
+            let registry = ScenarioRegistry::standard();
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("emit: cannot create {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+            for scenario in registry.scenarios() {
+                let path = Path::new(dir).join(format!("{}.yaml", scenario.name()));
+                if let Err(e) = std::fs::write(&path, emit_scenario(scenario)) {
+                    eprintln!("emit: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+        [name] => {
+            let registry = ScenarioRegistry::standard();
+            match registry.get(name) {
+                Some(scenario) => {
+                    print!("{}", emit_scenario(scenario));
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!(
+                        "no scenario named {name:?}; registered: {:?}",
+                        registry.names()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Spec-corpus smoke test (CI gate for the declarative front-end):
+//!
+//! 1. parses and compiles every file under `examples/specs/`,
+//! 2. checks the corpus is exactly the emitted form of the standard
+//!    registry (no stale, missing or extra files — regenerate with
+//!    `sparseloop emit --all examples/specs`),
+//! 3. runs spec-defined scenarios end-to-end through the serving queue
+//!    (`ServeRequest::Spec`) and fails on any drift vs the direct
+//!    `Scenario::run` of the same registry entry.
+
+use sparseloop_core::EvalSession;
+use sparseloop_designs::ScenarioRegistry;
+use sparseloop_serve::{EvalService, ServeConfig};
+use sparseloop_spec::{emit_scenario, load_dir};
+use std::collections::BTreeMap;
+
+/// The scenarios pushed through the service as inline spec text. Two
+/// fixed-mapping sweeps (fast) plus one mapspace-search scenario so the
+/// serve path covers both policies.
+const SERVED: [&str; 3] = [
+    "fig1_format_tradeoff",
+    "fig13_dstc_validation",
+    "fig11_scnn_validation",
+];
+
+fn main() {
+    let dir = std::env::var("SPARSELOOP_SPEC_DIR").unwrap_or_else(|_| "examples/specs".into());
+    let registry = ScenarioRegistry::standard();
+    let mut failures: Vec<String> = Vec::new();
+
+    // 1 + 2: every file compiles; corpus == freshly emitted registry
+    let compiled = match load_dir(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("spec smoke FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "== spec smoke: {} spec files under {dir}, {} registered scenarios ==\n",
+        compiled.len(),
+        registry.scenarios().len()
+    );
+    let by_name: BTreeMap<&str, usize> = compiled
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+    for scenario in registry.scenarios() {
+        let Some(&i) = by_name.get(scenario.name()) else {
+            failures.push(format!(
+                "{}: no spec file in {dir} (regenerate with `sparseloop emit --all {dir}`)",
+                scenario.name()
+            ));
+            continue;
+        };
+        let fresh = emit_scenario(scenario);
+        let path = format!("{dir}/{}.yaml", scenario.name());
+        match std::fs::read_to_string(&path) {
+            Ok(checked_in) if checked_in == fresh => {}
+            Ok(_) => failures.push(format!(
+                "{path}: stale — differs from the freshly emitted scenario"
+            )),
+            Err(e) => failures.push(format!("{path}: expected at this exact path: {e}")),
+        }
+        let exp = compiled[i].experiments.len();
+        let want = scenario.experiments().len();
+        if exp != want {
+            failures.push(format!(
+                "{}: spec compiles to {exp} experiments, registry has {want}",
+                scenario.name()
+            ));
+        }
+    }
+    if compiled.len() != registry.scenarios().len() {
+        failures.push(format!(
+            "{dir} holds {} spec files but the registry has {} scenarios",
+            compiled.len(),
+            registry.scenarios().len()
+        ));
+    }
+    println!("corpus: parsed {} files, all compiled", compiled.len());
+
+    // 3: spec text through the serving queue, bit-compared vs direct runs
+    let service = EvalService::start(ServeConfig::default().with_workers(2).with_shards(2));
+    let mut tickets = Vec::new();
+    for name in SERVED {
+        let text = emit_scenario(registry.expect(name));
+        tickets.push((name, service.submit_spec(text).expect("admission")));
+    }
+    for (name, ticket) in tickets {
+        let reply = match ticket.wait() {
+            Ok(reply) => reply.into_scenario(),
+            Err(e) => {
+                failures.push(format!("{name}: serve error: {e}"));
+                continue;
+            }
+        };
+        let direct = registry.expect(name).run(&EvalSession::new(), Some(2));
+        if reply.results.len() != direct.results.len() {
+            failures.push(format!(
+                "{name}: served {} results, direct {}",
+                reply.results.len(),
+                direct.results.len()
+            ));
+            continue;
+        }
+        let mut ok = 0usize;
+        for ((label, served), direct) in
+            reply.labels.iter().zip(&reply.results).zip(&direct.results)
+        {
+            match (served, direct) {
+                (Ok(s), Ok(d)) => {
+                    if s.mapping != d.mapping {
+                        failures.push(format!("{name}/{label}: winning mapping drifted"));
+                    } else if s.eval.cycles.to_bits() != d.eval.cycles.to_bits()
+                        || s.eval.energy_pj.to_bits() != d.eval.energy_pj.to_bits()
+                        || s.eval.edp.to_bits() != d.eval.edp.to_bits()
+                    {
+                        failures.push(format!(
+                            "{name}/{label}: evaluation drifted: served (edp {}, cycles {}, pJ {}) vs direct ({}, {}, {})",
+                            s.eval.edp, s.eval.cycles, s.eval.energy_pj,
+                            d.eval.edp, d.eval.cycles, d.eval.energy_pj
+                        ));
+                    } else if s.stats != d.stats {
+                        failures.push(format!(
+                            "{name}/{label}: stats drifted: {:?} vs {:?}",
+                            s.stats, d.stats
+                        ));
+                    } else {
+                        ok += 1;
+                    }
+                }
+                (Err(se), Err(de)) if format!("{se}") == format!("{de}") => ok += 1,
+                (s, d) => failures.push(format!(
+                    "{name}/{label}: outcome kind drifted: served {:?} vs direct {:?}",
+                    s.is_ok(),
+                    d.is_ok()
+                )),
+            }
+        }
+        println!(
+            "serve: {name} — {ok}/{} experiments bit-identical",
+            reply.results.len()
+        );
+    }
+    service.shutdown();
+
+    if !failures.is_empty() {
+        eprintln!("\nspec smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nspec corpus clean; served spec scenarios bit-identical to direct runs");
+}

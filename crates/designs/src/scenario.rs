@@ -308,6 +308,21 @@ impl ScenarioRegistry {
         self.scenarios.iter().find(|s| s.name() == name)
     }
 
+    /// Registers another scenario; used by the spec front-end's
+    /// `with_specs` to extend a registry with spec-file scenarios.
+    ///
+    /// # Errors
+    /// Returns the scenario back when its name is already registered
+    /// (names are the lookup keys; silently shadowing one would make
+    /// results depend on registration order).
+    pub fn push(&mut self, scenario: Scenario) -> Result<(), Scenario> {
+        if self.get(scenario.name()).is_some() {
+            return Err(scenario);
+        }
+        self.scenarios.push(scenario);
+        Ok(())
+    }
+
     /// Like [`get`](ScenarioRegistry::get) but panics with the available
     /// names on a miss — the bench binaries' lookup.
     pub fn expect(&self, name: &str) -> &Scenario {

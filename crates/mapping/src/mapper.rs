@@ -227,28 +227,37 @@ impl Mapper {
                 // re-evaluating a mapping enumeration already scored
                 // wastes the sample budget without changing the winner.
                 // The prefix stays streaming (O(1) beyond the dedup set
-                // itself): each enumerated candidate is recorded into a
-                // shared set as it is yielded, and the sample tail
-                // filters against it. The Mutex is uncontended — one
-                // iterator is polled at a time (par_search serializes
-                // the stream behind its own lock).
-                let seen =
-                    std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashSet::new()));
-                let record = std::sync::Arc::clone(&seen);
+                // itself): each enumerated candidate is recorded into the
+                // set as it is yielded, and the sample tail filters
+                // against it. The tail is built only once the prefix runs
+                // dry — and not at all when the prefix *covered* the
+                // space: every sample would dedup away, so the tail's
+                // 20x-samples draw budget would be pure waste (the cover
+                // check is free — the enumeration stream already knows
+                // whether its counter wrapped). `enumerate == 0` is the
+                // pure-sampling degenerate: exhaustion then means "no
+                // prefix", not "covered", so the tail always runs.
+                let mut seen: HashSet<Mapping> = HashSet::new();
                 let mut prefix = space.iter_enumerate(enumerate);
-                Box::new(
-                    std::iter::from_fn(move || prefix.next_delta())
-                        .inspect(move |(_, m)| {
-                            record.lock().expect("hybrid dedup set").insert(m.clone());
-                        })
-                        .chain(
-                            sample_tail(space, samples, seed, sampling)
-                                .filter(move |m| {
-                                    !seen.lock().expect("hybrid dedup set").contains(m)
-                                })
-                                .map(|m| (ChangeDepth::Reset, m)),
-                        ),
-                )
+                let mut tail: Option<Box<dyn Iterator<Item = Mapping> + Send + 'a>> = None;
+                Box::new(std::iter::from_fn(move || loop {
+                    if let Some(t) = tail.as_mut() {
+                        return t
+                            .find(|m| !seen.contains(m))
+                            .map(|m| (ChangeDepth::Reset, m));
+                    }
+                    if let Some((depth, m)) = prefix.next_delta() {
+                        if samples > 0 {
+                            seen.insert(m.clone());
+                        }
+                        return Some((depth, m));
+                    }
+                    tail = if samples == 0 || (enumerate > 0 && prefix.space_exhausted()) {
+                        Some(Box::new(std::iter::empty()))
+                    } else {
+                        Some(sample_tail(space, samples, seed, sampling))
+                    };
+                }))
             }
         }
     }
@@ -504,9 +513,24 @@ impl Mapper {
                 seed,
                 sampling,
             } => {
+                if samples == 0 {
+                    let (best, stats) =
+                        sharded_enumerate_search(space, evaluator, enumerate, shards, None);
+                    return finish_sharded(best, stats);
+                }
                 let record = Mutex::new(HashSet::new());
                 let (mut best, mut stats) =
                     sharded_enumerate_search(space, evaluator, enumerate, shards, Some(&record));
+                // a prefix that ran dry *below* its cap enumerated the
+                // whole space: every sample would dedup away, so the
+                // tail (and its 20x-samples draw budget) is skipped —
+                // same shortcut as the unsharded stream, read off the
+                // already-summed counters for free. (A space of exactly
+                // `enumerate` candidates falls through to the tail,
+                // where the dedup filter still drops every draw.)
+                if stats.generated < enumerate {
+                    return finish_sharded(best, stats);
+                }
                 let seen = record.into_inner().expect("hybrid dedup set");
                 // the sample tail is one seeded sequence: it runs
                 // sequentially after the sharded prefix, deduplicated
@@ -742,18 +766,87 @@ mod tests {
 
     #[test]
     fn hybrid_samples_never_repeat_the_enumerated_prefix() {
+        // enumerate below the 64-candidate space size so a sample tail
+        // actually runs (a covering prefix would skip it entirely)
         let space = setup();
         let mapper = Mapper::Hybrid {
-            enumerate: 200,
+            enumerate: 40,
             samples: 500,
             seed: 3,
             sampling: SampleStrategy::Uniform,
         };
         let stream: Vec<Mapping> = mapper.candidates(&space).collect();
-        let prefix: std::collections::HashSet<&Mapping> = stream.iter().take(200).collect();
-        for m in stream.iter().skip(200) {
+        assert!(stream.len() > 40, "tail must contribute candidates");
+        let prefix: std::collections::HashSet<&Mapping> = stream.iter().take(40).collect();
+        for m in stream.iter().skip(40) {
             assert!(!prefix.contains(m), "sampled candidate repeats prefix");
         }
+    }
+
+    #[test]
+    fn covered_prefix_skips_the_sample_tail() {
+        // setup()'s space has exactly 64 candidates; an enumeration cap
+        // at or above that covers the space, so the hybrid stream must
+        // end after the prefix instead of burning the 20x-samples draw
+        // budget on draws that all dedup away (the ROADMAP's hybrid
+        // sample-tail cost note)
+        let space = setup();
+        assert_eq!(space.iter_enumerate(usize::MAX).count(), 64);
+        let covered = Mapper::Hybrid {
+            enumerate: 64,
+            samples: 1_000_000,
+            seed: 9,
+            sampling: SampleStrategy::Uniform,
+        };
+        let stream: Vec<(ChangeDepth, Mapping)> = covered.delta_candidates(&space).collect();
+        assert_eq!(stream.len(), 64, "no sampled candidate can be new");
+        // the searches agree with plain exhaustive enumeration, counters
+        // included (sampled duplicates were never generated)
+        let exhaustive = Mapper::Exhaustive { limit: 64 }
+            .search(&space, toy_objective)
+            .unwrap();
+        let hybrid = covered.search(&space, toy_objective).unwrap();
+        assert_eq!(hybrid.mapping, exhaustive.mapping);
+        assert_eq!(hybrid.objective, exhaustive.objective);
+        assert_eq!(hybrid.stats, exhaustive.stats);
+        // sharded path takes the same shortcut and stays bit-identical
+        let sharded = covered.search_sharded(&space, &EvenPruner, 3).unwrap();
+        let unsharded = covered.search_pruned(&space, &EvenPruner).unwrap();
+        assert_eq!(sharded.mapping, unsharded.mapping);
+        assert_eq!(sharded.objective, unsharded.objective);
+        assert_eq!(sharded.stats, unsharded.stats);
+    }
+
+    #[test]
+    fn zero_enumerate_hybrid_is_pure_sampling() {
+        // enumerate == 0 exhausts the prefix immediately — that must
+        // read as "no prefix", not "prefix covered the space"
+        let space = setup();
+        let stream: Vec<Mapping> = Mapper::Hybrid {
+            enumerate: 0,
+            samples: 16,
+            seed: 2,
+            sampling: SampleStrategy::Uniform,
+        }
+        .candidates(&space)
+        .collect();
+        assert!(!stream.is_empty(), "sample tail must run with no prefix");
+    }
+
+    #[test]
+    fn uncovered_prefix_still_samples() {
+        let space = setup();
+        let mapper = Mapper::Hybrid {
+            enumerate: 63, // one short of the 64-candidate space
+            samples: 200,
+            seed: 5,
+            sampling: SampleStrategy::Uniform,
+        };
+        let stream: Vec<Mapping> = mapper.candidates(&space).collect();
+        assert!(
+            stream.len() > 63,
+            "a non-covering prefix must keep its sample tail"
+        );
     }
 
     #[test]

@@ -433,6 +433,35 @@ impl Mapspace {
         self.num_dims
     }
 
+    /// Per-level temporal dimension orders (outermost level first) — the
+    /// constraint state [`with_temporal_order`] sets, exposed so the spec
+    /// front-end can serialize a mapspace back to its declarative form.
+    ///
+    /// [`with_temporal_order`]: Mapspace::with_temporal_order
+    pub fn temporal_order(&self) -> &[Vec<DimId>] {
+        &self.temporal_order
+    }
+
+    /// Per-level spatially-eligible dimensions (see
+    /// [`with_spatial_dims`](Mapspace::with_spatial_dims)).
+    pub fn spatial_dims(&self) -> &[Vec<DimId>] {
+        &self.spatial_dims
+    }
+
+    /// The `(level, tensor)` pairs bypassed in every generated mapping
+    /// (see [`with_bypass`](Mapspace::with_bypass)), outermost first.
+    pub fn bypasses(&self) -> Vec<(usize, TensorId)> {
+        let mut out = Vec::new();
+        for (l, keeps) in self.keep.iter().enumerate() {
+            for (t, &kept) in keeps.iter().enumerate() {
+                if !kept {
+                    out.push((l, TensorId(t)));
+                }
+            }
+        }
+        out
+    }
+
     /// The ordered loop slots of this mapspace (levels outermost-first;
     /// spatial slots before temporal slots within a level).
     fn slots(&self) -> Vec<Slot> {
@@ -875,6 +904,22 @@ pub struct EnumerateIter<'a> {
 }
 
 impl EnumerateIter<'_> {
+    /// Whether the underlying mixed-radix counter has walked the whole
+    /// space (as opposed to the stream stopping at its output `limit`).
+    /// Once the stream returns `None`, this tells a hybrid mapper for
+    /// free whether its enumerated prefix *covered* the space — in which
+    /// case every sampled draw would duplicate an enumerated candidate
+    /// and the sample tail (with its `20 × samples` draw budget) can be
+    /// skipped outright.
+    ///
+    /// Caveat: also `true` for an infeasible space or a zero limit
+    /// (nothing left to walk either way); a caller distinguishing
+    /// "covered by my prefix" from "never started" must check its limit
+    /// was positive.
+    pub fn space_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
     /// Like [`Iterator::next`], additionally reporting where the yielded
     /// candidate first differs from the previously yielded one (see
     /// [`ChangeDepth`]). The first candidate reports
@@ -1302,6 +1347,53 @@ mod tests {
         }
         // some mapping should actually use the parallelism
         assert!(maps.iter().any(|m| m.spatial_fanout_at(1) == 4));
+    }
+
+    #[test]
+    fn space_exhausted_distinguishes_cover_from_cap() {
+        let e = Einsum::matmul(8, 8, 8);
+        let a = arch();
+        // with and without spatial constraints (fanout-invalid combos
+        // past the last valid candidate must still count as exhaustion)
+        for space in [
+            Mapspace::all_temporal(&e, &a),
+            Mapspace::all_temporal(&e, &a).with_spatial_dims(1, vec![DimId(1)]),
+        ] {
+            let total = space.iter_enumerate(usize::MAX).count();
+            for (cap, covered) in [
+                (total - 1, false), // stopped by the cap
+                (total, true),      // cap == space: counter wrapped
+                (total + 1, true),
+                (usize::MAX, true),
+            ] {
+                let mut it = space.iter_enumerate(cap);
+                while it.next_delta().is_some() {}
+                assert_eq!(it.space_exhausted(), covered, "cap {cap} of {total}");
+            }
+        }
+        // infeasible space (dim with bound > 1, no slots): exhausted
+        // from the start, nothing to enumerate or sample
+        let empty = Mapspace::all_temporal(&e, &a)
+            .with_temporal_order(0, vec![])
+            .with_temporal_order(1, vec![]);
+        let mut it = empty.iter_enumerate(usize::MAX);
+        assert!(it.next_delta().is_none());
+        assert!(it.space_exhausted());
+    }
+
+    #[test]
+    fn accessors_expose_constraint_state() {
+        let e = Einsum::matmul(8, 8, 8);
+        let a = arch();
+        let space = Mapspace::all_temporal(&e, &a)
+            .with_temporal_order(0, vec![DimId(2), DimId(0)])
+            .with_spatial_dims(1, vec![DimId(1)])
+            .with_bypass(1, TensorId(2));
+        assert_eq!(space.temporal_order()[0], vec![DimId(2), DimId(0)]);
+        assert_eq!(space.temporal_order()[1].len(), 3);
+        assert_eq!(space.spatial_dims()[0], Vec::<DimId>::new());
+        assert_eq!(space.spatial_dims()[1], vec![DimId(1)]);
+        assert_eq!(space.bypasses(), vec![(1, TensorId(2))]);
     }
 
     #[test]

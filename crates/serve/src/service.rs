@@ -73,6 +73,12 @@ pub enum ServeRequest {
     /// Run a registered scenario by name (see
     /// [`ScenarioRegistry::standard`]).
     Scenario(String),
+    /// Compile an inline spec document (see `sparseloop-spec`) and run
+    /// the resulting scenario through the shared session — declarative
+    /// clients submit spec text, no registry entry required. Results are
+    /// bit-identical to registering the same scenario and running it by
+    /// name.
+    Spec(String),
 }
 
 /// A successfully processed request's payload.
@@ -123,6 +129,10 @@ pub struct ScenarioReply {
 pub enum ServeError {
     /// The scenario name is not registered.
     UnknownScenario(String),
+    /// An inline spec document failed to parse or compile; the message
+    /// carries the spec front-end's positioned error (line:column plus a
+    /// source excerpt).
+    InvalidSpec(String),
     /// The worker panicked while processing the request; the shared
     /// session was force-recycled so later requests start clean.
     Panicked(String),
@@ -134,6 +144,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnknownScenario(name) => write!(f, "no scenario named {name:?}"),
+            ServeError::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
             ServeError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
             ServeError::Canceled => write!(f, "request canceled by service teardown"),
         }
@@ -263,17 +274,14 @@ impl Shared {
                     .get(name)
                     .ok_or_else(|| ServeError::UnknownScenario(name.clone()))?;
                 let outcome = scenario.run_sharded(session, self.config.shards);
-                Ok(ServeReply::Scenario(ScenarioReply {
-                    name: outcome.name,
-                    labels: outcome
-                        .experiments
-                        .iter()
-                        .map(|e| e.label.clone())
-                        .collect(),
-                    required: outcome.experiments.iter().map(|e| e.required).collect(),
-                    results: outcome.results,
-                    wall_seconds: outcome.wall_seconds,
-                }))
+                Ok(ServeReply::Scenario(scenario_reply(outcome)))
+            }
+            ServeRequest::Spec(text) => {
+                let scenario = sparseloop_spec::compile_str(text)
+                    .map_err(|e| ServeError::InvalidSpec(e.to_string()))?
+                    .into_scenario();
+                let outcome = scenario.run_sharded(session, self.config.shards);
+                Ok(ServeReply::Scenario(scenario_reply(outcome)))
             }
         }
     }
@@ -302,6 +310,21 @@ impl Shared {
             *current = Arc::new(EvalSession::new());
             self.recycles.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+/// Flattens a scenario outcome into the wire reply shape.
+fn scenario_reply(outcome: sparseloop_designs::ScenarioOutcome) -> ScenarioReply {
+    ScenarioReply {
+        name: outcome.name,
+        labels: outcome
+            .experiments
+            .iter()
+            .map(|e| e.label.clone())
+            .collect(),
+        required: outcome.experiments.iter().map(|e| e.required).collect(),
+        results: outcome.results,
+        wall_seconds: outcome.wall_seconds,
     }
 }
 
@@ -426,6 +449,13 @@ impl EvalService {
     /// Sugar: submits a registered scenario by name.
     pub fn submit_scenario(&self, name: impl Into<String>) -> Result<Ticket, SubmitError> {
         self.submit(ServeRequest::Scenario(name.into()))
+    }
+
+    /// Sugar: submits an inline spec document (compiled and run by the
+    /// worker; a malformed spec resolves the ticket to
+    /// [`ServeError::InvalidSpec`]).
+    pub fn submit_spec(&self, text: impl Into<String>) -> Result<Ticket, SubmitError> {
+        self.submit(ServeRequest::Spec(text.into()))
     }
 
     /// Current counters (queue depth and session slots are snapshots).
@@ -571,6 +601,63 @@ mod tests {
             assert_eq!(served.eval.cycles, direct.eval.cycles, "{label}");
             assert_eq!(served.eval.energy_pj, direct.eval.energy_pj, "{label}");
         }
+        service.shutdown();
+    }
+
+    #[test]
+    fn served_spec_matches_direct_run() {
+        // a scenario submitted as inline spec text returns results
+        // bit-identical to running the same scenario directly
+        let registry = ScenarioRegistry::standard();
+        let scenario = registry.expect("fig13_dstc_validation");
+        let text = sparseloop_spec::emit_scenario(scenario);
+        let service = EvalService::start(ServeConfig::default().with_workers(2).with_shards(2));
+        let ticket = service.submit_spec(text).unwrap();
+        let reply = ticket.wait().unwrap().into_scenario();
+        assert_eq!(reply.name, "fig13_dstc_validation");
+        let direct = scenario.run(&EvalSession::new(), Some(2));
+        assert_eq!(reply.results.len(), direct.results.len());
+        for ((label, served), direct) in
+            reply.labels.iter().zip(&reply.results).zip(&direct.results)
+        {
+            let (served, direct) = (served.as_ref().unwrap(), direct.as_ref().unwrap());
+            assert_eq!(served.mapping, direct.mapping, "{label}");
+            assert_eq!(
+                served.eval.edp.to_bits(),
+                direct.eval.edp.to_bits(),
+                "{label}"
+            );
+            assert_eq!(
+                served.eval.cycles.to_bits(),
+                direct.eval.cycles.to_bits(),
+                "{label}"
+            );
+            assert_eq!(
+                served.eval.energy_pj.to_bits(),
+                direct.eval.energy_pj.to_bits(),
+                "{label}"
+            );
+            assert_eq!(served.stats, direct.stats, "{label}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_spec_is_reported_not_fatal() {
+        let service = EvalService::start(ServeConfig::default());
+        let ticket = service.submit_spec("scenario:\n  nmae: oops\n").unwrap();
+        match ticket.wait() {
+            Err(ServeError::InvalidSpec(msg)) => {
+                assert!(
+                    msg.contains("unknown key") || msg.contains("missing"),
+                    "{msg}"
+                )
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        // the service keeps serving after the error
+        let ok = service.submit_job(search_job(0.5)).unwrap();
+        assert!(ok.wait().unwrap().into_job().is_ok());
         service.shutdown();
     }
 

@@ -1,0 +1,85 @@
+//! Positioned spec errors: every parse or compile failure names its
+//! file, line:column, and a one-line excerpt of the offending source.
+
+use crate::yaml::{ParseError, Span};
+use std::fmt;
+
+/// A spec front-end failure (parsing or compilation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Originating file, when known (`None` for in-memory text).
+    pub file: Option<String>,
+    /// Where the problem is.
+    pub span: Span,
+    /// What the problem is.
+    pub message: String,
+    /// The offending source line, trimmed (empty when unavailable).
+    pub context: String,
+}
+
+impl SpecError {
+    /// Builds an error with the excerpt pulled from `source`.
+    pub fn new(span: Span, message: impl Into<String>, source: &str) -> Self {
+        let context = source
+            .lines()
+            .nth(span.line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        SpecError {
+            file: None,
+            span,
+            message: message.into(),
+            context,
+        }
+    }
+
+    /// Attaches the originating file name (builder-style).
+    pub fn in_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+
+    /// Lifts a parser failure, attaching the excerpt.
+    pub fn from_parse(e: ParseError, source: &str) -> Self {
+        SpecError::new(e.span, e.message, source)
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.file {
+            Some(file) => write!(f, "{file}:{}: {}", self.span, self.message)?,
+            None => write!(f, "<spec>:{}: {}", self.span, self.message)?,
+        }
+        if !self.context.is_empty() {
+            write!(f, "\n  | {}", self.context)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_file_position_and_excerpt() {
+        let source = "a: 1\nbad line here\n";
+        let e = SpecError::new(Span { line: 2, col: 1 }, "unexpected thing", source)
+            .in_file("demo.yaml");
+        let text = e.to_string();
+        assert!(text.contains("demo.yaml:2:1"), "{text}");
+        assert!(text.contains("unexpected thing"), "{text}");
+        assert!(text.contains("bad line here"), "{text}");
+    }
+
+    #[test]
+    fn excerpt_empty_past_eof() {
+        let e = SpecError::new(Span { line: 99, col: 1 }, "m", "one line\n");
+        assert!(e.context.is_empty());
+        assert!(!e.to_string().contains("|"));
+    }
+}

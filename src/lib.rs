@@ -7,8 +7,9 @@
 //! See [`core`] (the three-step analytical model and [`core::Model`]),
 //! [`mapping`] (mapspaces + the streaming/parallel mapper), [`density`]
 //! (statistical density models), [`format`] (compressed tensor formats),
-//! [`designs`] (paper design points), and [`refsim`] (the per-element
-//! reference simulator used for validation).
+//! [`designs`] (paper design points), [`spec`] (the declarative YAML
+//! spec front-end), and [`refsim`] (the per-element reference simulator
+//! used for validation).
 
 pub use sparseloop_arch as arch;
 pub use sparseloop_core as core;
@@ -17,5 +18,6 @@ pub use sparseloop_designs as designs;
 pub use sparseloop_format as format;
 pub use sparseloop_mapping as mapping;
 pub use sparseloop_refsim as refsim;
+pub use sparseloop_spec as spec;
 pub use sparseloop_tensor as tensor;
 pub use sparseloop_workloads as workloads;
