@@ -1,0 +1,292 @@
+//! Fault-injection smoke test for multi-process shard serving: spawns
+//! **real** worker processes (`sparseloop-shard-worker`) under a
+//! [`ShardHost`] and drives a deterministic failure matrix through
+//! them —
+//!
+//! * parent-side SIGKILL at every frame offset 0..4,
+//! * worker death at every checkpoint (startup / after handshake /
+//!   after compute, before the result frame),
+//! * a heartbeat stall, a corrupted result frame, a dropped result
+//!   frame,
+//! * seeded pseudo-random schedules ([`FaultPlan::from_seed`]) so CI
+//!   sweeps failure combinations nobody hand-picked.
+//!
+//! Every request must still complete (no unresolved request, non-zero
+//! exit otherwise) and its merged winners must be **bit-identical** to
+//! the in-process `run_sharded` reference. CI runs this in release
+//! mode; a supervision regression that loses or changes a single
+//! winner bit under any schedule cannot land.
+
+use sparseloop_bench::{header, row, timed};
+use sparseloop_core::{EvalSession, JobOutcome};
+use sparseloop_designs::{Experiment, Scenario};
+use sparseloop_mapping::Mapspace;
+use sparseloop_serve::{
+    DiePoint, FaultPlan, HostConfig, HostStats, ProcessSpawner, ScenarioReply, ShardHost,
+    WorkerFault,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Seeds for the pseudo-random schedules (ride along with the
+/// hand-picked matrix; same seed, same schedule, every run).
+const SEEDS: [u64; 3] = [1, 2, 3];
+
+/// The small two-experiment scenario (one search, one fixed mapping)
+/// every case serves. Small enough that a full matrix stays fast, real
+/// enough that shard merging and parent-side fixed evaluation both run.
+fn smoke_scenario() -> Scenario {
+    Scenario::new("fault_smoke", "fault-injection smoke workload", || {
+        let layer = sparseloop_workloads::spmspm(8, 8, 8, 0.5, 0.5);
+        let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+        let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+        let search = Experiment::search("smoke@search", dp.clone(), layer.clone(), space);
+        let fixed_mapping = Mapspace::all_temporal(&layer.einsum, &dp.arch)
+            .enumerate(1)
+            .remove(0);
+        let fixed = Experiment::fixed("smoke@fixed", dp, layer, fixed_mapping);
+        vec![search, fixed]
+    })
+}
+
+/// The worker executable; the fault matrix is meaningless without real
+/// processes, so a missing binary fails the run rather than skipping.
+fn worker_bin() -> PathBuf {
+    sparseloop_bench::shard_worker_bin().unwrap_or_else(|| {
+        eprintln!(
+            "fault smoke FAILED: sparseloop-shard-worker not found next to this \
+             binary (build it with `cargo build --bin sparseloop-shard-worker`, \
+             or point SPARSELOOP_WORKER_BIN at it)"
+        );
+        std::process::exit(1);
+    })
+}
+
+fn host_config(shards: usize, plan: FaultPlan) -> HostConfig {
+    HostConfig::default()
+        .with_shards(shards)
+        .with_heartbeat(20, Duration::from_millis(600))
+        .with_retries(3, Duration::from_millis(5))
+        .with_fault_plan(plan)
+}
+
+fn mismatch(got: &ScenarioReply, want: &ScenarioReply) -> Option<String> {
+    if got.labels != want.labels {
+        return Some("experiment labels differ".into());
+    }
+    for ((label, got), want) in got.labels.iter().zip(&got.results).zip(&want.results) {
+        let why = match (got, want) {
+            (Ok(g), Ok(w)) => job_mismatch(g, w),
+            (Err(g), Err(w)) if g == w => None,
+            (g, w) => Some(format!("outcome kind mismatch: {g:?} vs {w:?}")),
+        };
+        if let Some(why) = why {
+            return Some(format!("{label}: {why}"));
+        }
+    }
+    None
+}
+
+fn job_mismatch(got: &JobOutcome, want: &JobOutcome) -> Option<String> {
+    if got.mapping != want.mapping {
+        return Some("winning mapping differs".into());
+    }
+    if got.eval.edp.to_bits() != want.eval.edp.to_bits()
+        || got.eval.cycles.to_bits() != want.eval.cycles.to_bits()
+        || got.eval.energy_pj.to_bits() != want.eval.energy_pj.to_bits()
+    {
+        return Some(format!(
+            "evaluation bits differ: ({}, {}, {}) vs ({}, {}, {})",
+            got.eval.edp,
+            got.eval.cycles,
+            got.eval.energy_pj,
+            want.eval.edp,
+            want.eval.cycles,
+            want.eval.energy_pj
+        ));
+    }
+    if got.stats != want.stats {
+        return Some(format!(
+            "search counters differ: {:?} vs {:?}",
+            got.stats, want.stats
+        ));
+    }
+    None
+}
+
+/// One fault schedule plus the supervision evidence it must leave.
+struct Case {
+    name: String,
+    shards: usize,
+    plan: FaultPlan,
+    /// The fleet must have survived at least one worker death.
+    expect_restarts: bool,
+    /// The death must have been detected by heartbeat silence.
+    expect_heartbeat_timeout: bool,
+}
+
+impl Case {
+    fn new(name: impl Into<String>, shards: usize, plan: FaultPlan) -> Self {
+        Case {
+            name: name.into(),
+            shards,
+            plan,
+            expect_restarts: false,
+            expect_heartbeat_timeout: false,
+        }
+    }
+
+    fn restarts(mut self) -> Self {
+        self.expect_restarts = true;
+        self
+    }
+
+    fn heartbeat_timeout(mut self) -> Self {
+        self.expect_heartbeat_timeout = true;
+        self
+    }
+
+    fn check_stats(&self, stats: &HostStats) -> Option<String> {
+        if stats.degraded != 0 {
+            return Some("request degraded to in-process (workers never ran)".into());
+        }
+        if self.expect_restarts && stats.restarts == 0 {
+            return Some("fault injected but no worker death was survived".into());
+        }
+        if self.expect_heartbeat_timeout && stats.heartbeat_timeouts == 0 {
+            return Some("silent worker was never timed out by heartbeat audit".into());
+        }
+        None
+    }
+}
+
+fn cases() -> Vec<Case> {
+    let mut cases = vec![Case::new("baseline (no fault)", 2, FaultPlan::none())];
+    for offset in 0..4u32 {
+        cases.push(Case::new(
+            format!("SIGKILL after {offset} frames (slot 0)"),
+            2,
+            FaultPlan::none().with(0, WorkerFault::KillAfterFrames(offset)),
+        ));
+    }
+    for (die, tag) in [
+        (DiePoint::Startup, "at startup"),
+        (DiePoint::AfterHello, "after handshake"),
+        (DiePoint::BeforeResult, "before result frame"),
+    ] {
+        for slot in [0u32, 1] {
+            cases.push(
+                Case::new(
+                    format!("worker dies {tag} (slot {slot})"),
+                    2,
+                    FaultPlan::none().with(slot, WorkerFault::DieAt(die)),
+                )
+                .restarts(),
+            );
+        }
+    }
+    cases.push(
+        Case::new(
+            "heartbeat stall before result",
+            2,
+            FaultPlan::none().with(1, WorkerFault::StallBeforeResult),
+        )
+        .restarts()
+        .heartbeat_timeout(),
+    );
+    cases.push(
+        Case::new(
+            "corrupted result frame",
+            2,
+            FaultPlan::none().with(0, WorkerFault::CorruptResult),
+        )
+        .restarts(),
+    );
+    cases.push(
+        Case::new(
+            "dropped result frame",
+            2,
+            FaultPlan::none().with(1, WorkerFault::DropResult),
+        )
+        .restarts()
+        .heartbeat_timeout(),
+    );
+    for seed in SEEDS {
+        cases.push(Case::new(
+            format!("seeded schedule (seed {seed}, 3 shards)"),
+            3,
+            FaultPlan::from_seed(seed, 3),
+        ));
+    }
+    cases
+}
+
+fn main() {
+    let worker = worker_bin();
+    let text = sparseloop_spec::emit_scenario(&smoke_scenario());
+    let cases = cases();
+    println!(
+        "== fault smoke: {} schedules against {} ==\n",
+        cases.len(),
+        worker.display()
+    );
+
+    // the determinism reference: in-process sharded execution at the
+    // same shard counts the fleet uses
+    let reference: std::collections::HashMap<usize, ScenarioReply> = [2usize, 3]
+        .into_iter()
+        .map(|shards| {
+            let scenario = sparseloop_spec::compile_str(&text)
+                .expect("smoke spec compiles")
+                .into_scenario();
+            let reply =
+                sparseloop_serve::scenario_reply(scenario.run_sharded(&EvalSession::new(), shards));
+            (shards, reply)
+        })
+        .collect();
+
+    let mut failures: Vec<String> = Vec::new();
+    header(&[
+        "schedule",
+        "restarts",
+        "hb timeouts",
+        "kills",
+        "wall s",
+        "verdict",
+    ]);
+    for case in &cases {
+        let mut host = ShardHost::new(
+            host_config(case.shards, case.plan.clone()),
+            ProcessSpawner::new(&worker),
+        );
+        let (outcome, wall_s) = timed(|| host.run_spec(&text));
+        let stats = host.stats();
+        drop(host);
+        let verdict = match outcome {
+            Err(e) => Some(format!("request did not resolve: {e}")),
+            Ok(reply) => mismatch(&reply, &reference[&case.shards])
+                .map(|why| format!("NON-BIT-IDENTICAL: {why}"))
+                .or_else(|| case.check_stats(&stats)),
+        };
+        row(&[
+            case.name.clone(),
+            stats.restarts.to_string(),
+            stats.heartbeat_timeouts.to_string(),
+            stats.kills_injected.to_string(),
+            format!("{wall_s:.3}"),
+            verdict.clone().unwrap_or_else(|| "ok".into()),
+        ]);
+        if let Some(why) = verdict {
+            failures.push(format!("{}: {why}", case.name));
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("\nfault smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall {} schedules recovered bit-identically", cases.len());
+}

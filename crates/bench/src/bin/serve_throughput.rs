@@ -1,16 +1,21 @@
 //! Serving throughput record: drives the queue-driven evaluation
 //! service with (a) every registered scenario and (b) a stream of
-//! distinct workloads 3x larger than the session recycling budget, then
+//! distinct workloads 3x larger than the session recycling budget, and
+//! (c) every scenario through a multi-process worker fleet, then
 //! splices a `"serve"` row — requests/sec, mappings/sec, recycling
-//! evidence — into `BENCH_mapper.json` next to the search-throughput
-//! records written by `table5_modeling_speed`.
+//! evidence — and a `"serve_multiproc"` row (fleet throughput through
+//! real worker processes) into `BENCH_mapper.json` next to the
+//! search-throughput records written by `table5_modeling_speed`.
 
 use sparseloop_bench::{fnum, timed};
 use sparseloop_core::{EvalJob, JobPlan, Objective, Workload};
 use sparseloop_designs::ScenarioRegistry;
 use sparseloop_mapping::{Mapper, Mapspace};
-use sparseloop_serve::{EvalService, ServeConfig, ServeRequest};
+use sparseloop_serve::{
+    EvalService, HostConfig, ProcessSpawner, ServeConfig, ServeRequest, ShardHost,
+};
 use sparseloop_workloads::spmspm;
+use std::time::Duration;
 
 /// Intern-slot budget for the recycling phase.
 const SLOT_BUDGET: usize = 24;
@@ -152,6 +157,52 @@ fn main() {
         pipeline_inc_mps / pipeline_ref_mps.max(1e-12)
     );
 
+    // -- phase 4: multi-process fleet throughput --
+    // the same scenario set through real worker processes under the
+    // supervision tree — records what the process boundary (frame
+    // codec, per-request spec compile in each worker, heartbeats)
+    // costs relative to the in-process service above
+    let worker = sparseloop_bench::shard_worker_bin().expect(
+        "sparseloop-shard-worker not found next to this binary \
+         (build it with `cargo build --bin sparseloop-shard-worker`)",
+    );
+    println!("\n== multi-process fleet: {shards} shards, real workers ==");
+    let mut host = ShardHost::new(
+        HostConfig::default()
+            .with_shards(shards)
+            .with_heartbeat(20, Duration::from_millis(1000))
+            .with_retries(2, Duration::from_millis(5)),
+        ProcessSpawner::new(&worker),
+    );
+    let mut mp_generated = 0usize;
+    let (_, mp_wall_s) = timed(|| {
+        for scenario in registry.scenarios() {
+            let reply = host.run_scenario(scenario).expect("fleet serves scenario");
+            mp_generated += sparseloop_bench::results_generated(&reply.results);
+        }
+    });
+    let host_stats = host.stats();
+    drop(host);
+    assert_eq!(
+        host_stats.degraded, 0,
+        "fleet must not fall back in-process"
+    );
+    assert_eq!(
+        host_stats.restarts, 0,
+        "no worker may die under a clean run"
+    );
+    let mp_requests_per_sec = names.len() as f64 / mp_wall_s.max(1e-12);
+    let mp_mappings_per_sec = mp_generated as f64 / mp_wall_s.max(1e-12);
+    println!(
+        "{} requests in {:.3}s: {} requests/s, {} mappings/s ({} spawns, {} frames)",
+        names.len(),
+        mp_wall_s,
+        fnum(mp_requests_per_sec),
+        fnum(mp_mappings_per_sec),
+        host_stats.spawns,
+        host_stats.frames_received,
+    );
+
     // -- record --
     let serve_json = format!(
         concat!(
@@ -177,6 +228,15 @@ fn main() {
             "      \"final_session_slots\": {},\n",
             "      \"wall_time_s\": {:.6}\n",
             "    }}\n",
+            "  }},\n",
+            "  \"serve_multiproc\": {{\n",
+            "    \"shards\": {},\n",
+            "    \"scenario_requests\": {},\n",
+            "    \"wall_time_s\": {:.6},\n",
+            "    \"requests_per_sec\": {:.2},\n",
+            "    \"mappings_per_sec\": {:.1},\n",
+            "    \"worker_spawns\": {},\n",
+            "    \"frames_received\": {}\n",
             "  }}"
         ),
         workers,
@@ -196,6 +256,13 @@ fn main() {
         recycle_stats.peak_slots,
         recycle_stats.session_slots,
         recycle_wall_s,
+        shards,
+        names.len(),
+        mp_wall_s,
+        mp_requests_per_sec,
+        mp_mappings_per_sec,
+        host_stats.spawns,
+        host_stats.frames_received,
     );
     let path = "BENCH_mapper.json";
     let merged = match std::fs::read_to_string(path) {
@@ -203,20 +270,21 @@ fn main() {
         Err(_) => format!("{{\n  {serve_json}\n}}\n"),
     };
     std::fs::write(path, merged).expect("write BENCH_mapper.json");
-    println!("\nwrote serve throughput row into {path}");
+    println!("\nwrote serve + serve_multiproc throughput rows into {path}");
 }
 
-/// Splices the serve row into an existing `BENCH_mapper.json`: replaces
-/// a previous `"serve"` row if present (idempotent reruns), otherwise
-/// inserts before the final closing brace.
+/// Splices the serve rows (`"serve"` and `"serve_multiproc"`, written
+/// as one chunk) into an existing `BENCH_mapper.json`: replaces the
+/// previous rows if present (idempotent reruns), otherwise inserts
+/// before the final closing brace.
 fn splice_serve_row(existing: &str, serve_json: &str) -> String {
     let trimmed = existing.trim_end();
     let body = trimmed
         .strip_suffix('}')
         .expect("BENCH_mapper.json must be a JSON object");
     let body = match body.find("\"serve\":") {
-        // drop everything from a previous serve row onward (it is
-        // always the last key this tool writes)
+        // drop everything from a previous serve row onward (the serve
+        // rows are always the last keys this tool writes)
         Some(at) => body[..at].trim_end().trim_end_matches(','),
         None => body.trim_end(),
     };

@@ -1,0 +1,15 @@
+//! The shard-worker executable spawned by the multi-process serving
+//! layer ([`sparseloop_serve::ShardHost`] via
+//! [`sparseloop_serve::ProcessSpawner`]).
+//!
+//! It speaks the length-prefixed frame protocol on stdin/stdout: the
+//! parent sends spec text plus a shard assignment, the worker compiles
+//! the spec, walks its shard of every search experiment, and streams
+//! heartbeats followed by the shard's winners. All behaviour — the
+//! handshake, the task loop, and deterministic fault injection via
+//! `SPARSELOOP_WORKER_FAULT` — lives in [`sparseloop_serve::worker_main`];
+//! this binary only provides the process boundary.
+
+fn main() {
+    sparseloop_serve::worker_main();
+}

@@ -7,7 +7,12 @@
 //!   sequential path (`mappings_per_sec.sequential_pruned`), and
 //! * the evaluation-pipeline rows (`eval_delta[*].incremental_mappings_per_sec`)
 //!   of the tracked scenarios — the purest signal for accidental
-//!   allocation or cache regressions on the candidate-scoring hot path.
+//!   allocation or cache regressions on the candidate-scoring hot path,
+//!   and
+//! * the multi-process fleet row (`serve_multiproc.mappings_per_sec`) —
+//!   every scenario re-served through real `sparseloop-shard-worker`
+//!   processes, so frame-codec or supervision overhead regressions on
+//!   the process boundary are gated too.
 //!
 //! The job fails when any re-measured number falls more than the
 //! tolerance (default 30%, `THROUGHPUT_GATE_TOLERANCE` to override)
@@ -117,6 +122,55 @@ fn main() {
                 "eval {name} speedup: {speedup:.2}x < {floor:.2}x (baseline {base_speedup:.2}x)"
             ));
         }
+    }
+
+    // -- multi-process fleet row --
+    // re-serves every registered scenario through real worker processes
+    // (the `serve_multiproc` baseline row) and gates its mappings/sec:
+    // a frame-codec, heartbeat or supervision regression that taxes the
+    // process boundary shows up here and nowhere else
+    match (
+        json_number(&baseline, &["\"serve_multiproc\"", "\"mappings_per_sec\""]),
+        sparseloop_bench::shard_worker_bin(),
+    ) {
+        (Some(base), Some(worker)) => {
+            use sparseloop_serve::{HostConfig, ProcessSpawner, ShardHost};
+            let shards = json_number(&baseline, &["\"serve_multiproc\"", "\"shards\""])
+                .map(|s| s as usize)
+                .unwrap_or(2)
+                .max(1);
+            let mut best_mps = 0.0f64;
+            for _ in 0..2 {
+                let mut host = ShardHost::new(
+                    HostConfig::default()
+                        .with_shards(shards)
+                        .with_heartbeat(20, std::time::Duration::from_millis(1000)),
+                    ProcessSpawner::new(&worker),
+                );
+                let mut generated = 0usize;
+                let (_, wall_s) = timed(|| {
+                    for scenario in registry.scenarios() {
+                        let reply = host.run_scenario(scenario).expect("fleet serves scenario");
+                        generated += sparseloop_bench::results_generated(&reply.results);
+                    }
+                });
+                assert_eq!(host.stats().degraded, 0, "gate must measure real processes");
+                best_mps = best_mps.max(generated as f64 / wall_s.max(1e-12));
+            }
+            check(
+                &mut failures,
+                tolerance,
+                "serve_multiproc (real worker fleet)",
+                best_mps,
+                base,
+            );
+        }
+        (None, _) => println!("no serve_multiproc baseline found — skipping (first run?)"),
+        (_, None) => failures.push(
+            "serve_multiproc baseline present but sparseloop-shard-worker binary missing \
+             (build it with `cargo build --release --bin sparseloop-shard-worker`)"
+                .into(),
+        ),
     }
 
     if failures.is_empty() {

@@ -74,6 +74,23 @@ pub fn cphc(computes: f64, seconds: f64) -> f64 {
     computes / (seconds.max(1e-12) * NOMINAL_HOST_HZ)
 }
 
+/// Locates the `sparseloop-shard-worker` executable for the harness
+/// binaries that spawn real worker processes: `SPARSELOOP_WORKER_BIN`
+/// if set, otherwise the sibling of the current executable (cargo
+/// places every workspace binary in the same profile directory).
+/// `None` when neither exists — callers decide whether that skips the
+/// phase or fails the run.
+pub fn shard_worker_bin() -> Option<std::path::PathBuf> {
+    if let Ok(path) = std::env::var("SPARSELOOP_WORKER_BIN") {
+        return Some(std::path::PathBuf::from(path));
+    }
+    let sibling = std::env::current_exe()
+        .ok()?
+        .parent()?
+        .join("sparseloop-shard-worker");
+    sibling.exists().then_some(sibling)
+}
+
 /// Candidates drawn from the mapspace streams across a batch of job
 /// results — fruitless searches included (their streams were walked
 /// too), failed fixed-mapping evaluations excluded (nothing streamed).
@@ -86,7 +103,7 @@ pub fn results_generated(
         .map(|r| match r {
             Ok(o) => o.stats.generated,
             Err(sparseloop_core::JobError::NoValidCandidate { stats }) => stats.generated,
-            Err(sparseloop_core::JobError::Eval(_)) => 0,
+            Err(sparseloop_core::JobError::Eval(_)) | Err(sparseloop_core::JobError::Canceled) => 0,
         })
         .sum()
 }

@@ -1,0 +1,131 @@
+//! Integration tests for multi-process shard serving with **real**
+//! worker processes: the `sparseloop-shard-worker` binary (resolved via
+//! `CARGO_BIN_EXE_*`, so cargo builds it before these tests run) is
+//! spawned under a [`ShardHost`] and must produce merged winners
+//! bit-identical to in-process `run_sharded` — with and without
+//! injected faults. The full failure matrix lives in the `fault_smoke`
+//! binary; these tests keep the process boundary itself under tier-1
+//! coverage.
+
+use sparseloop_core::EvalSession;
+use sparseloop_designs::{Experiment, Scenario};
+use sparseloop_mapping::Mapspace;
+use sparseloop_serve::{
+    scenario_reply, DiePoint, FaultPlan, HostConfig, ProcessSpawner, ScenarioReply, ShardHost,
+    WorkerFault,
+};
+use std::time::Duration;
+
+const WORKER_BIN: &str = env!("CARGO_BIN_EXE_sparseloop-shard-worker");
+
+fn small_scenario() -> Scenario {
+    Scenario::new("multiproc_demo", "small search for process tests", || {
+        let layer = sparseloop_workloads::spmspm(8, 8, 8, 0.5, 0.5);
+        let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+        let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+        let search = Experiment::search("demo@search", dp.clone(), layer.clone(), space);
+        let fixed_mapping = Mapspace::all_temporal(&layer.einsum, &dp.arch)
+            .enumerate(1)
+            .remove(0);
+        let fixed = Experiment::fixed("demo@fixed", dp, layer, fixed_mapping);
+        vec![search, fixed]
+    })
+}
+
+fn reference_reply(text: &str, shards: usize) -> ScenarioReply {
+    let scenario = sparseloop_spec::compile_str(text).unwrap().into_scenario();
+    scenario_reply(scenario.run_sharded(&EvalSession::new(), shards))
+}
+
+fn assert_bit_identical(got: &ScenarioReply, want: &ScenarioReply, tag: &str) {
+    assert_eq!(got.labels, want.labels, "{tag}");
+    assert_eq!(got.results.len(), want.results.len(), "{tag}");
+    for ((label, got), want) in got.labels.iter().zip(&got.results).zip(&want.results) {
+        match (got, want) {
+            (Ok(g), Ok(w)) => {
+                assert_eq!(g.mapping, w.mapping, "{tag}/{label}");
+                assert_eq!(g.eval.edp.to_bits(), w.eval.edp.to_bits(), "{tag}/{label}");
+                assert_eq!(
+                    g.eval.cycles.to_bits(),
+                    w.eval.cycles.to_bits(),
+                    "{tag}/{label}"
+                );
+                assert_eq!(
+                    g.eval.energy_pj.to_bits(),
+                    w.eval.energy_pj.to_bits(),
+                    "{tag}/{label}"
+                );
+                assert_eq!(g.stats, w.stats, "{tag}/{label}");
+            }
+            (Err(g), Err(w)) => assert_eq!(g, w, "{tag}/{label}"),
+            (g, w) => panic!("{tag}/{label}: outcome kind mismatch: {g:?} vs {w:?}"),
+        }
+    }
+}
+
+fn config(shards: usize) -> HostConfig {
+    HostConfig::default()
+        .with_shards(shards)
+        .with_heartbeat(20, Duration::from_millis(600))
+        .with_retries(3, Duration::from_millis(5))
+}
+
+#[test]
+fn real_processes_match_in_process_run() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    for shards in [1usize, 2] {
+        let want = reference_reply(&text, shards);
+        let mut host = ShardHost::new(config(shards), ProcessSpawner::new(WORKER_BIN));
+        let got = host.run_spec(&text).expect("fleet serves the request");
+        assert_bit_identical(&got, &want, &format!("shards={shards}"));
+        let stats = host.stats();
+        assert_eq!(stats.spawns, shards as u64, "one process per shard");
+        assert_eq!(stats.restarts, 0);
+        assert_eq!(stats.degraded, 0, "must not fall back in-process");
+    }
+}
+
+#[test]
+fn sigkilled_process_is_survived_bit_identically() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let want = reference_reply(&text, 2);
+    let plan = FaultPlan::none().with(0, WorkerFault::KillAfterFrames(0));
+    let mut host = ShardHost::new(
+        config(2).with_fault_plan(plan),
+        ProcessSpawner::new(WORKER_BIN),
+    );
+    let got = host.run_spec(&text).expect("fleet survives the kill");
+    assert_bit_identical(&got, &want, "kill@0");
+    let stats = host.stats();
+    assert_eq!(stats.kills_injected, 1);
+    assert!(stats.restarts >= 1, "the killed worker must be replaced");
+    assert_eq!(stats.degraded, 0);
+}
+
+#[test]
+fn process_dying_before_its_result_is_survived() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let want = reference_reply(&text, 2);
+    let plan = FaultPlan::none().with(1, WorkerFault::DieAt(DiePoint::BeforeResult));
+    let mut host = ShardHost::new(
+        config(2).with_fault_plan(plan),
+        ProcessSpawner::new(WORKER_BIN),
+    );
+    let got = host.run_spec(&text).expect("fleet survives the death");
+    assert_bit_identical(&got, &want, "die-before-result");
+    assert!(host.stats().restarts >= 1);
+}
+
+#[test]
+fn fleet_serves_consecutive_requests_across_one_session() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let want = reference_reply(&text, 2);
+    let mut host = ShardHost::new(config(2), ProcessSpawner::new(WORKER_BIN));
+    for round in 0..3 {
+        let got = host.run_spec(&text).expect("fleet serves the request");
+        assert_bit_identical(&got, &want, &format!("round={round}"));
+    }
+    let stats = host.stats();
+    assert_eq!(stats.requests, 3);
+    assert_eq!(stats.spawns, 2, "workers are reused across requests");
+}

@@ -671,6 +671,26 @@ impl Model {
         (outcome, stats)
     }
 
+    /// Evaluates **one** shard of a sharded search on this process (the
+    /// worker half of a multi-process search), returning the raw local
+    /// winner — `(objective bits, globally comparable candidate key,
+    /// mapping)` — plus counters, with *no* winner re-evaluation.
+    /// Merging every shard's return through
+    /// [`sparseloop_mapping::merge_shard_results`] and re-evaluating the
+    /// merged winner (what a supervising parent does) reproduces
+    /// [`search_sharded_counted`](Model::search_sharded_counted)
+    /// bit-identically.
+    pub fn search_shard_counted(
+        &self,
+        space: &Mapspace,
+        mapper: Mapper,
+        objective: Objective,
+        shard: usize,
+        shards: usize,
+    ) -> (Option<sparseloop_mapping::ShardWinner>, SearchStats) {
+        mapper.search_shard_counted(space, &self.evaluator(objective), shard, shards)
+    }
+
     /// Convenience: builds the default all-temporal mapspace for this
     /// model and searches it.
     pub fn search_default(

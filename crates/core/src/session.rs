@@ -93,6 +93,10 @@ pub enum JobError {
         /// Counters of the failed search.
         stats: SearchStats,
     },
+    /// The batch's cancellation probe fired before this job ran (an
+    /// abandoned ticket, an expired deadline): the job was skipped at a
+    /// cancellation checkpoint, not attempted and failed.
+    Canceled,
 }
 
 impl std::fmt::Display for JobError {
@@ -104,6 +108,7 @@ impl std::fmt::Display for JobError {
                 "no valid candidate in the mapspace ({} generated, {} pruned, {} invalid)",
                 stats.generated, stats.pruned, stats.invalid
             ),
+            JobError::Canceled => write!(f, "job canceled before evaluation"),
         }
     }
 }
@@ -313,9 +318,29 @@ impl EvalSession {
         jobs: &[EvalJob],
         shards: usize,
     ) -> Vec<Result<JobOutcome, JobError>> {
-        self.run_batch(jobs, &|model, space, mapper, objective| {
-            model.search_sharded_counted(space, mapper, objective, shards)
-        })
+        self.search_batch_sharded_with(jobs, shards, None)
+    }
+
+    /// Like [`search_batch_sharded`](EvalSession::search_batch_sharded),
+    /// with a cancellation probe checked at each job seam — the batch's
+    /// cancellation checkpoints. A probe returning `true` makes every
+    /// not-yet-started job resolve to [`JobError::Canceled`] instead of
+    /// running; jobs already past their checkpoint run to completion (a
+    /// checkpoint is a *retirement seam*, not a preemption point), so
+    /// results that do complete stay bit-identical to an uncanceled run.
+    pub fn search_batch_sharded_with(
+        &self,
+        jobs: &[EvalJob],
+        shards: usize,
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Vec<Result<JobOutcome, JobError>> {
+        self.run_batch_with(
+            jobs,
+            &|model, space, mapper, objective| {
+                model.search_sharded_counted(space, mapper, objective, shards)
+            },
+            cancel,
+        )
     }
 
     /// Shared batch driver: evaluates fixed-mapping jobs directly and
@@ -332,7 +357,29 @@ impl EvalSession {
         ) -> (Option<(Mapping, Evaluation)>, SearchStats)
               + Sync),
     ) -> Vec<Result<JobOutcome, JobError>> {
+        self.run_batch_with(jobs, search, None)
+    }
+
+    /// [`run_batch`](EvalSession::run_batch) with an optional
+    /// cancellation probe checked once per job, immediately before the
+    /// job starts.
+    #[allow(clippy::type_complexity)]
+    fn run_batch_with(
+        &self,
+        jobs: &[EvalJob],
+        search: &(dyn Fn(
+            &Model,
+            &Mapspace,
+            Mapper,
+            Objective,
+        ) -> (Option<(Mapping, Evaluation)>, SearchStats)
+              + Sync),
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> Vec<Result<JobOutcome, JobError>> {
         let run = |job: &EvalJob| -> Result<JobOutcome, JobError> {
+            if cancel.map(|probe| probe()).unwrap_or(false) {
+                return Err(JobError::Canceled);
+            }
             let model = self.model(job.workload.clone(), job.arch.clone(), job.safs.clone());
             match &job.plan {
                 JobPlan::Fixed(mapping) => model
@@ -546,6 +593,47 @@ mod tests {
                 assert_eq!(a.stats, b.stats, "shards={shards}");
             }
         }
+    }
+
+    #[test]
+    fn canceled_probe_skips_jobs_at_the_checkpoint() {
+        let jobs = [job(0.25), job(0.5)];
+        let session = EvalSession::new();
+        let results = session.search_batch_sharded_with(&jobs, 2, Some(&|| true));
+        assert!(results.iter().all(|r| matches!(r, Err(JobError::Canceled))));
+        // an unfired probe changes nothing: bit-identical to no probe
+        let plain = session.search_batch_sharded(&jobs, 2);
+        let probed = session.search_batch_sharded_with(&jobs, 2, Some(&|| false));
+        for (a, b) in probed.iter().zip(&plain) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.mapping, b.mapping);
+            assert_eq!(a.eval.edp, b.eval.edp);
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+
+    #[test]
+    fn shard_worker_halves_reassemble_the_model_search() {
+        // Model::search_shard_counted over every shard index, merged and
+        // re-evaluated by the caller, equals Model::search_sharded_counted
+        let (workload, safs) = layer(0.25);
+        let arch = arch();
+        let space = Mapspace::all_temporal(workload.einsum(), &arch);
+        let mapper = Mapper::Exhaustive { limit: 500 };
+        let session = EvalSession::new();
+        let model = session.model(workload, arch, safs);
+        let (whole, whole_stats) = model.search_sharded_counted(&space, mapper, Objective::Edp, 3);
+        let parts =
+            (0..3).map(|k| model.search_shard_counted(&space, mapper, Objective::Edp, k, 3));
+        let (merged, stats) = sparseloop_mapping::merge_shard_results(parts);
+        let merged = merged.expect("search succeeds");
+        let (mapping, eval) = whole.expect("search succeeds");
+        assert_eq!(merged.mapping, mapping);
+        assert_eq!(stats, whole_stats);
+        let re_eval = model.evaluate(&merged.mapping).unwrap();
+        assert_eq!(re_eval.edp, eval.edp);
+        assert_eq!(re_eval.cycles, eval.cycles);
+        assert_eq!(re_eval.energy_pj, eval.energy_pj);
     }
 
     #[test]

@@ -154,6 +154,21 @@ impl Scenario {
         self.run_with(|jobs| session.search_batch_sharded(jobs, shards))
     }
 
+    /// Like [`run_sharded`](Scenario::run_sharded), with a cancellation
+    /// probe checked at each experiment seam (see
+    /// [`EvalSession::search_batch_sharded_with`]): once the probe
+    /// fires, remaining experiments resolve to [`JobError::Canceled`]
+    /// instead of running. Experiments that do run stay bit-identical
+    /// to [`run_sharded`](Scenario::run_sharded).
+    pub fn run_sharded_with(
+        &self,
+        session: &EvalSession,
+        shards: usize,
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
+    ) -> ScenarioOutcome {
+        self.run_with(|jobs| session.search_batch_sharded_with(jobs, shards, cancel))
+    }
+
     /// Like [`run`](Scenario::run), through the from-scratch reference
     /// pipeline (scratch arenas and prefix-incremental caching disabled;
     /// see [`EvalSession::search_batch_from_scratch`]). Outcomes are
@@ -243,7 +258,7 @@ impl ScenarioOutcome {
             match r {
                 Ok(outcome) => add(&outcome.stats),
                 Err(JobError::NoValidCandidate { stats }) => add(stats),
-                Err(JobError::Eval(_)) => {}
+                Err(JobError::Eval(_)) | Err(JobError::Canceled) => {}
             }
         }
         total

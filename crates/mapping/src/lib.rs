@@ -19,12 +19,15 @@
 pub mod loops;
 pub mod mapper;
 pub mod mapspace;
+pub mod wire;
 
 pub use loops::{Loop, LoopKind, Mapping, MappingBuilder, MappingError};
 pub use mapper::{
-    CandidateEvaluator, Mapper, SampleStrategy, SearchResult, SearchStats, WorkerEvaluator,
+    merge_shard_results, CandidateEvaluator, Mapper, SampleStrategy, SearchResult, SearchStats,
+    ShardWinner, WorkerEvaluator,
 };
 pub use mapspace::{
     factorizations, CandidateKey, ChangeDepth, EnumerateIter, HaltonSampleIter, Mapspace,
     MapspaceShard, SampleIter,
 };
+pub use wire::{WireError, WireReader, WireWriter};

@@ -21,7 +21,7 @@
 //! searches return bit-identical winners.
 
 use crate::loops::Mapping;
-use crate::mapspace::{CandidateKey, ChangeDepth, Mapspace};
+use crate::mapspace::{CandidateKey, ChangeDepth, Mapspace, MapspaceShard};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -42,6 +42,17 @@ pub struct SearchStats {
     /// Mappings rejected as invalid by the full evaluation (objective
     /// returned `None`).
     pub invalid: usize,
+}
+
+impl SearchStats {
+    /// Accumulates another run's counters into this one (shard merges,
+    /// batch totals).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.generated += other.generated;
+        self.pruned += other.pruned;
+        self.evaluated += other.evaluated;
+        self.invalid += other.invalid;
+    }
 }
 
 /// Outcome of a mapper search.
@@ -532,24 +543,71 @@ impl Mapper {
                     return finish_sharded(best, stats);
                 }
                 let seen = record.into_inner().expect("hybrid dedup set");
-                // the sample tail is one seeded sequence: it runs
-                // sequentially after the sharded prefix, deduplicated
-                // against the complete prefix exactly like the unsharded
-                // hybrid stream (sampled keys order after all enumerated
-                // keys, matching the tail's stream position); sampled
-                // draws share no prefix, so every one is a Reset
+                walk_sample_tail(
+                    space, samples, seed, sampling, &seen, evaluator, &mut best, &mut stats,
+                );
+                finish_sharded(best, stats)
+            }
+        }
+    }
+
+    /// Evaluates **one** shard of the sharded search on this process,
+    /// returning its raw local winner (objective value, globally
+    /// comparable [`CandidateKey`], mapping) and counters — the
+    /// per-worker half of a multi-process sharded search. Feeding every
+    /// shard's return through [`merge_shard_results`] reproduces
+    /// [`search_sharded_counted`](Mapper::search_sharded_counted)
+    /// bit-identically (winner, objective, and summed stats), because
+    /// both run the same [`walk_shard`] / [`walk_sample_tail`] code over
+    /// the same disjoint sub-streams.
+    ///
+    /// Division of labor by strategy:
+    ///
+    /// * `Exhaustive` (and `Hybrid` with no samples) — shard `shard` of
+    ///   the enumerated stream.
+    /// * `Hybrid` — shard `shard` of the enumerated prefix; shard 0
+    ///   additionally owns the (inherently sequential) seeded sample
+    ///   tail, regenerating the *full* prefix locally to rebuild the
+    ///   dedup set and the cover-check counter the unsharded stream
+    ///   maintains for free.
+    /// * `Random` — one seeded sequence with nothing to shard: shard 0
+    ///   walks it whole (matching the in-process fallback's winner);
+    ///   other shards return empty.
+    ///
+    /// Panics if `shard >= shards` or `shards == 0`.
+    pub fn search_shard_counted<E: CandidateEvaluator + ?Sized>(
+        &self,
+        space: &Mapspace,
+        evaluator: &E,
+        shard: usize,
+        shards: usize,
+    ) -> (Option<ShardWinner>, SearchStats) {
+        assert!(shards > 0, "shard count must be positive");
+        assert!(shard < shards, "shard index {shard} out of {shards}");
+        let enumerated_shard = |limit: usize| {
+            let mut own = space.shards(shards, limit).swap_remove(shard);
+            walk_shard(&mut own, evaluator, None)
+        };
+        match *self {
+            Mapper::Exhaustive { limit } => enumerated_shard(limit),
+            Mapper::Random { .. } => {
+                if shard != 0 {
+                    return (None, SearchStats::default());
+                }
+                // the whole seeded stream, keyed like a sample tail: the
+                // first strict minimum wins, exactly the candidate the
+                // in-process fallback keeps
+                let mut best: Option<ShardWinner> = None;
+                let mut stats = SearchStats::default();
                 let mut worker = evaluator.worker();
-                for (i, m) in sample_tail(space, samples, seed, sampling)
-                    .filter(|m| !seen.contains(m))
-                    .enumerate()
-                {
+                for (i, (depth, m)) in self.delta_candidates(space).enumerate() {
                     let key = CandidateKey::sampled(i as u64);
                     stats.generated += 1;
-                    if !worker.precheck(&m, ChangeDepth::Reset) {
+                    if !worker.precheck(&m, depth) {
                         stats.pruned += 1;
                         continue;
                     }
-                    match worker.evaluate(&m, ChangeDepth::Reset) {
+                    match worker.evaluate(&m, depth) {
                         Some(v) if !v.is_nan() => {
                             stats.evaluated += 1;
                             if beats_key(v, key, &best) {
@@ -559,10 +617,70 @@ impl Mapper {
                         _ => stats.invalid += 1,
                     }
                 }
-                finish_sharded(best, stats)
+                (best, stats)
+            }
+            Mapper::Hybrid {
+                enumerate,
+                samples,
+                seed,
+                sampling,
+            } => {
+                let (mut best, mut stats) = enumerated_shard(enumerate);
+                if samples == 0 || shard != 0 {
+                    return (best, stats);
+                }
+                // shard 0 owns the sample tail. The tail's dedup set and
+                // the cover-check counter span the *whole* prefix, so
+                // regenerate it locally (generation only — no evaluation;
+                // shards are disjoint and collectively exhaustive, so
+                // this count equals the union of every shard's
+                // `generated`).
+                let mut seen: HashSet<Mapping> = HashSet::new();
+                let mut prefix = space.iter_enumerate(enumerate);
+                let mut total_generated = 0usize;
+                while let Some((_, m)) = prefix.next_delta() {
+                    total_generated += 1;
+                    seen.insert(m);
+                }
+                // a prefix that ran dry below its cap covered the space:
+                // every sample would dedup away, so the tail is skipped —
+                // the same shortcut search_sharded_counted takes on the
+                // summed counters
+                if total_generated < enumerate {
+                    return (best, stats);
+                }
+                walk_sample_tail(
+                    space, samples, seed, sampling, &seen, evaluator, &mut best, &mut stats,
+                );
+                (best, stats)
             }
         }
     }
+}
+
+/// One shard's raw winner: `(objective value, candidate key, mapping)`,
+/// as returned by [`Mapper::search_shard_counted`].
+pub type ShardWinner = (f64, CandidateKey, Mapping);
+
+/// Reduces per-shard partial results (one per shard index, any order)
+/// into the full search outcome: the `(value, key)`-lexicographic
+/// minimum winner plus summed counters — bit-identical to
+/// [`Mapper::search_sharded_counted`] when fed every shard of the same
+/// search.
+pub fn merge_shard_results(
+    parts: impl IntoIterator<Item = (Option<ShardWinner>, SearchStats)>,
+) -> (Option<SearchResult>, SearchStats) {
+    let mut best: Option<ShardWinner> = None;
+    let mut stats = SearchStats::default();
+    for (winner, s) in parts {
+        stats.absorb(&s);
+        if let Some((v, key, m)) = winner {
+            if beats_key(v, key, &best) {
+                best = Some((v, key, m));
+            }
+        }
+    }
+    finish_sharded(best, stats)
 }
 
 /// The hybrid strategy's sample tail as a boxed stream (uniform RNG or
@@ -603,6 +721,89 @@ fn finish_sharded(
     (result, stats)
 }
 
+/// Walks one shard's candidate sub-stream to completion, returning its
+/// local `(value, key)`-minimal winner and counters. Shared verbatim by
+/// the in-process concurrent sharded search and the per-process
+/// [`Mapper::search_shard_counted`] path, so the two cannot diverge.
+/// `record` (the hybrid prefix dedup set) receives every produced
+/// candidate when present.
+fn walk_shard<E: CandidateEvaluator + ?Sized>(
+    shard: &mut MapspaceShard<'_>,
+    evaluator: &E,
+    record: Option<&Mutex<HashSet<Mapping>>>,
+) -> (Option<(f64, CandidateKey, Mapping)>, SearchStats) {
+    let mut local: Option<(f64, CandidateKey, Mapping)> = None;
+    let mut stats = SearchStats::default();
+    // one worker per shard: the shard is one contiguous sub-stream, so
+    // its change depths hold end to end
+    let mut worker = evaluator.worker();
+    while let Some((key, depth, m)) = shard.next_delta() {
+        stats.generated += 1;
+        if let Some(rec) = record {
+            rec.lock().expect("hybrid dedup set").insert(m.clone());
+        }
+        if !worker.precheck(&m, depth) {
+            stats.pruned += 1;
+            continue;
+        }
+        match worker.evaluate(&m, depth) {
+            // NaN counted invalid, as in every other search path:
+            // unordered values would break the deterministic reduction
+            Some(v) if !v.is_nan() => {
+                stats.evaluated += 1;
+                if beats_key(v, key, &local) {
+                    local = Some((v, key, m));
+                }
+            }
+            _ => stats.invalid += 1,
+        }
+    }
+    (local, stats)
+}
+
+/// Walks the hybrid strategy's seeded sample tail, folding survivors of
+/// the prefix dedup filter into `best`/`stats` under sampled candidate
+/// keys. Shared by the in-process sharded search and shard 0 of the
+/// per-process path.
+#[allow(clippy::too_many_arguments)]
+fn walk_sample_tail<E: CandidateEvaluator + ?Sized>(
+    space: &Mapspace,
+    samples: usize,
+    seed: u64,
+    sampling: SampleStrategy,
+    seen: &HashSet<Mapping>,
+    evaluator: &E,
+    best: &mut Option<(f64, CandidateKey, Mapping)>,
+    stats: &mut SearchStats,
+) {
+    // the sample tail is one seeded sequence: it runs sequentially,
+    // deduplicated against the complete prefix exactly like the
+    // unsharded hybrid stream (sampled keys order after all enumerated
+    // keys, matching the tail's stream position); sampled draws share
+    // no prefix, so every one is a Reset
+    let mut worker = evaluator.worker();
+    for (i, m) in sample_tail(space, samples, seed, sampling)
+        .filter(|m| !seen.contains(m))
+        .enumerate()
+    {
+        let key = CandidateKey::sampled(i as u64);
+        stats.generated += 1;
+        if !worker.precheck(&m, ChangeDepth::Reset) {
+            stats.pruned += 1;
+            continue;
+        }
+        match worker.evaluate(&m, ChangeDepth::Reset) {
+            Some(v) if !v.is_nan() => {
+                stats.evaluated += 1;
+                if beats_key(v, key, best) {
+                    *best = Some((v, key, m));
+                }
+            }
+            _ => stats.invalid += 1,
+        }
+    }
+}
+
 /// Evaluates every shard of the space's enumerated stream concurrently,
 /// returning the `(value, key)`-minimal winner plus summed counters.
 /// `record` (the hybrid prefix dedup set) receives every produced
@@ -625,37 +826,11 @@ fn sharded_enumerate_search<E: CandidateEvaluator + ?Sized>(
             (&generated, &pruned, &evaluated, &invalid, &best);
         for mut shard in space.shards(shards, limit) {
             s.spawn(move |_| {
-                let mut local: Option<(f64, CandidateKey, Mapping)> = None;
-                let (mut gen_n, mut pruned_n, mut eval_n, mut invalid_n) = (0, 0, 0, 0);
-                // one worker per shard: the shard is one contiguous
-                // sub-stream, so its change depths hold end to end
-                let mut worker = evaluator.worker();
-                while let Some((key, depth, m)) = shard.next_delta() {
-                    gen_n += 1;
-                    if let Some(rec) = record {
-                        rec.lock().expect("hybrid dedup set").insert(m.clone());
-                    }
-                    if !worker.precheck(&m, depth) {
-                        pruned_n += 1;
-                        continue;
-                    }
-                    match worker.evaluate(&m, depth) {
-                        // NaN counted invalid, as in every other search
-                        // path: unordered values would break the
-                        // deterministic reduction
-                        Some(v) if !v.is_nan() => {
-                            eval_n += 1;
-                            if beats_key(v, key, &local) {
-                                local = Some((v, key, m));
-                            }
-                        }
-                        _ => invalid_n += 1,
-                    }
-                }
-                generated.fetch_add(gen_n, Ordering::Relaxed);
-                pruned.fetch_add(pruned_n, Ordering::Relaxed);
-                evaluated.fetch_add(eval_n, Ordering::Relaxed);
-                invalid.fetch_add(invalid_n, Ordering::Relaxed);
+                let (local, s) = walk_shard(&mut shard, evaluator, record);
+                generated.fetch_add(s.generated, Ordering::Relaxed);
+                pruned.fetch_add(s.pruned, Ordering::Relaxed);
+                evaluated.fetch_add(s.evaluated, Ordering::Relaxed);
+                invalid.fetch_add(s.invalid, Ordering::Relaxed);
                 if let Some((v, key, m)) = local {
                     let mut global = best.lock().expect("best slot poisoned");
                     if beats_key(v, key, &global) {
@@ -1074,6 +1249,130 @@ mod tests {
         for m in stream.iter().skip(200) {
             assert!(!prefix.contains(m), "halton sample repeats prefix");
         }
+    }
+
+    #[test]
+    fn per_shard_merge_matches_in_process_sharded_search() {
+        // the multi-process contract: running search_shard_counted for
+        // every shard index (as worker processes would) and merging must
+        // reproduce search_sharded_counted bit-identically — winner
+        // mapping, objective bits, and summed counters — for every
+        // strategy and shard count
+        let space = setup();
+        let objective = |m: &Mapping| toy_objective(m);
+        for mapper in [
+            Mapper::Exhaustive { limit: 100_000 },
+            Mapper::Exhaustive { limit: 7 },
+            Mapper::Hybrid {
+                enumerate: 64,
+                samples: 64,
+                seed: 5,
+                sampling: SampleStrategy::Uniform,
+            },
+            Mapper::Hybrid {
+                enumerate: 32,
+                samples: 100,
+                seed: 11,
+                sampling: SampleStrategy::Halton,
+            },
+            Mapper::Hybrid {
+                enumerate: 100,
+                samples: 50,
+                seed: 2,
+                sampling: SampleStrategy::Uniform,
+            },
+            Mapper::Random {
+                samples: 200,
+                seed: 9,
+            },
+        ] {
+            let (whole, whole_stats) = mapper.search_sharded_counted(&space, &objective, 3);
+            for shards in [1, 2, 3] {
+                let parts =
+                    (0..shards).map(|k| mapper.search_shard_counted(&space, &objective, k, shards));
+                let (merged, stats) = merge_shard_results(parts);
+                match (&merged, &whole) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(
+                            a.objective.to_bits(),
+                            b.objective.to_bits(),
+                            "shards={shards} {mapper:?}"
+                        );
+                        assert_eq!(a.mapping, b.mapping, "shards={shards} {mapper:?}");
+                    }
+                    (None, None) => {}
+                    other => panic!("merged/in-process disagree: {other:?}"),
+                }
+                assert_eq!(stats, whole_stats, "shards={shards} {mapper:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_merge_with_pruning_evaluator() {
+        let space = setup();
+        let whole = Mapper::Exhaustive { limit: 50_000 }
+            .search_sharded(&space, &EvenPruner, 4)
+            .unwrap();
+        let parts = (0..4).map(|k| {
+            Mapper::Exhaustive { limit: 50_000 }.search_shard_counted(&space, &EvenPruner, k, 4)
+        });
+        let merged = merge_shard_results(parts).0.unwrap();
+        assert_eq!(merged.objective, whole.objective);
+        assert_eq!(merged.mapping, whole.mapping);
+        assert_eq!(merged.stats, whole.stats);
+    }
+
+    #[test]
+    fn shard_results_survive_the_wire() {
+        // encode each shard's winner exactly as the worker protocol does
+        // and merge the decoded parts: still bit-identical
+        use crate::wire::{
+            decode_key, decode_mapping, decode_stats, encode_key, encode_mapping, encode_stats,
+            WireReader, WireWriter,
+        };
+        let space = setup();
+        let objective = |m: &Mapping| toy_objective(m);
+        let mapper = Mapper::Hybrid {
+            enumerate: 40,
+            samples: 60,
+            seed: 7,
+            sampling: SampleStrategy::Uniform,
+        };
+        let (whole, whole_stats) = mapper.search_sharded_counted(&space, &objective, 3);
+        let mut parts = Vec::new();
+        for k in 0..3 {
+            let (winner, stats) = mapper.search_shard_counted(&space, &objective, k, 3);
+            let mut w = WireWriter::new();
+            encode_stats(&mut w, &stats);
+            match &winner {
+                Some((v, key, m)) => {
+                    w.put_bool(true);
+                    w.put_f64_bits(*v);
+                    encode_key(&mut w, key);
+                    encode_mapping(&mut w, m);
+                }
+                None => w.put_bool(false),
+            }
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            let stats = decode_stats(&mut r).unwrap();
+            let winner = if r.get_bool("have").unwrap() {
+                let v = r.get_f64_bits("value").unwrap();
+                let key = decode_key(&mut r).unwrap();
+                let m = decode_mapping(&mut r).unwrap();
+                Some((v, key, m))
+            } else {
+                None
+            };
+            assert!(r.is_done());
+            parts.push((winner, stats));
+        }
+        let (merged, stats) = merge_shard_results(parts);
+        let (a, b) = (merged.unwrap(), whole.unwrap());
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(stats, whole_stats);
     }
 
     #[test]

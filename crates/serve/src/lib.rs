@@ -31,9 +31,33 @@
 //!   session generation once its slot count reaches the budget and
 //!   starts a fresh one; in-flight requests keep their generation
 //!   alive, so recycling is invisible except in [`ServiceStats`].
+//! * **Deadlines and cancellation** — every ticket carries a
+//!   [`CancelToken`]; [`EvalService::submit_with_deadline`] arms it
+//!   with a wall clock, and a timed-out or dropped ticket trips it, so
+//!   abandoned requests stop at the next cancellation checkpoint and
+//!   land in [`ServiceStats`]'s `canceled` bucket
+//!   (`submitted == completed + panicked + canceled` always holds).
 //! * **Graceful shutdown** — [`EvalService::shutdown`] (and `Drop`)
 //!   refuses new admissions, drains every queued request so no ticket
 //!   hangs, and joins the workers.
+//!
+//! ## Multi-process shard serving
+//!
+//! For fault isolation beyond a thread boundary, [`ShardHost`]
+//! supervises a fleet of **worker processes** (one per shard) that
+//! speak a dependency-free length-prefixed frame protocol over
+//! stdin/stdout ([`protocol`]): the parent dispatches spec text plus a
+//! shard assignment, workers stream heartbeats and shard winners back,
+//! and the parent merges exactly like in-process `search_sharded` —
+//! bit-identical results under *any* kill schedule. Worker death
+//! (stream EOF or heartbeat silence) triggers re-dispatch of the
+//! orphaned shard with exponential backoff; deterministic failures are
+//! never retried; unspawnable fleets degrade to in-process execution.
+//! The [`fault`] module injects failures deterministically — die at
+//! fixed checkpoints, stall, corrupt or drop result frames, parent-side
+//! SIGKILL after m frames — from hand-built or seeded
+//! ([`FaultPlan::from_seed`]) schedules, which is what lets the
+//! fault-injection suite assert bit-identity rather than mere survival.
 //!
 //! ```
 //! use sparseloop_serve::{EvalService, ServeConfig};
@@ -50,11 +74,19 @@
 //! [`EvalSession`]: sparseloop_core::EvalSession
 //! [`Mapspace::shards`]: sparseloop_mapping::Mapspace::shards
 
+pub mod fault;
+pub mod proc;
+pub mod protocol;
 pub mod queue;
 pub mod service;
+pub mod supervisor;
 
+pub use fault::{DiePoint, FaultPlan, WorkerFault};
+pub use proc::{run_worker, worker_main, ProcessSpawner, ThreadSpawner, WorkerSpawner};
+pub use protocol::{Frame, ProtocolError, PROTOCOL_VERSION};
 pub use queue::{BoundedQueue, PushError};
 pub use service::{
-    EvalService, ScenarioReply, ServeConfig, ServeError, ServeReply, ServeRequest, ServiceStats,
-    SubmitError, Ticket,
+    scenario_reply, CancelToken, EvalService, ScenarioReply, ServeConfig, ServeError, ServeReply,
+    ServeRequest, ServiceStats, SpecDiagnostic, SubmitError, Ticket,
 };
+pub use supervisor::{HostConfig, HostError, HostStats, ShardHost};

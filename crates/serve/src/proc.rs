@@ -1,0 +1,597 @@
+//! Shard workers and how they are spawned.
+//!
+//! The worker side of the multi-process shard host is one function,
+//! [`run_worker`]: a read-frames/compute/write-frames loop that is
+//! *transport-agnostic* — it takes any `Read`/`Write` pair. The real
+//! `sparseloop-shard-worker` binary calls [`worker_main`], which wires
+//! it to stdin/stdout; the deterministic in-crate tests wire it to
+//! in-memory [`pipe`]s via [`ThreadSpawner`] so every fault schedule
+//! runs without forking. Both transports execute the *same* worker
+//! loop, so the thread-backed tests exercise the protocol and
+//! supervision logic the processes use.
+//!
+//! The supervisor stays transport-agnostic through [`WorkerSpawner`]:
+//! spawning yields a [`WorkerHandle`] (send frames, kill) plus a stream
+//! of [`WorkerEvent`]s (frames in, exit notices) on a shared channel.
+//! [`ProcessSpawner`] backs it with real OS processes — its `kill` is a
+//! genuine SIGKILL; [`ThreadSpawner`] backs it with threads — its
+//! `kill` closes the pipes, which a live worker observes as EOF.
+
+use crate::fault::{DiePoint, WorkerFault, FAULT_ENV};
+use crate::protocol::{
+    read_frame, write_frame, write_frame_raw, ExpResult, Frame, ProtocolError, PROTOCOL_VERSION,
+};
+use sparseloop_core::{EvalSession, JobPlan};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// In-memory pipes (the thread-backed transport)
+// ---------------------------------------------------------------------------
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+struct PipeShared {
+    state: Mutex<PipeState>,
+    cond: Condvar,
+}
+
+/// Read end of an in-memory [`pipe`].
+pub struct PipeReader(Arc<PipeShared>);
+
+/// Write end of an in-memory [`pipe`].
+pub struct PipeWriter(Arc<PipeShared>);
+
+/// An in-memory unidirectional byte pipe with OS-pipe semantics: reads
+/// block until data or close, buffered bytes still drain after close,
+/// writes to a closed pipe fail with `BrokenPipe`, and dropping either
+/// end closes it.
+pub fn pipe() -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(PipeShared {
+        state: Mutex::new(PipeState {
+            buf: VecDeque::new(),
+            closed: false,
+        }),
+        cond: Condvar::new(),
+    });
+    (PipeWriter(Arc::clone(&shared)), PipeReader(shared))
+}
+
+impl PipeShared {
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        self.cond.notify_all();
+    }
+}
+
+impl PipeReader {
+    /// Closes the pipe from the read end (subsequent writes fail).
+    pub fn close(&self) {
+        self.0.close();
+    }
+}
+
+impl PipeWriter {
+    /// Closes the pipe from the write end (readers drain, then see EOF).
+    pub fn close(&self) {
+        self.0.close();
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !st.buf.is_empty() {
+                let n = buf.len().min(st.buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = st.buf.pop_front().expect("len checked");
+                }
+                return Ok(n);
+            }
+            if st.closed {
+                return Ok(0);
+            }
+            st = self.0.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut st = self.0.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+        }
+        st.buf.extend(buf.iter().copied());
+        self.0.cond.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worker loop
+// ---------------------------------------------------------------------------
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker task panicked".to_string()
+    }
+}
+
+/// Compiles `spec` and evaluates this worker's shard of every search
+/// experiment; fixed-mapping experiments are [`ExpResult::Skipped`]
+/// (the parent evaluates them locally — no candidate stream to shard).
+/// A compile error is a deterministic failure.
+fn run_task(spec: &str, shard: usize, shards: usize) -> Result<Vec<ExpResult>, String> {
+    let scenario = sparseloop_spec::compile_str(spec)
+        .map_err(|e| e.to_string())?
+        .into_scenario();
+    let session = EvalSession::new();
+    let mut results = Vec::new();
+    for exp in scenario.experiments() {
+        let job = exp.job();
+        match job.plan {
+            JobPlan::Fixed(_) => results.push(ExpResult::Skipped),
+            JobPlan::Search {
+                space,
+                mapper,
+                objective,
+            } => {
+                let model = session.model(job.workload, job.arch, job.safs);
+                let (winner, stats) =
+                    model.search_shard_counted(&space, mapper, objective, shard, shards);
+                results.push(match winner {
+                    Some((value, key, mapping)) => ExpResult::Winner {
+                        value,
+                        key,
+                        stats,
+                        mapping,
+                    },
+                    None => ExpResult::NoWinner { stats },
+                });
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// The shard-worker loop: handshake, then read [`Frame::Task`]s,
+/// heartbeat while computing, and answer with
+/// [`Frame::TaskDone`]/[`Frame::TaskFailed`] until shutdown or EOF.
+///
+/// `fault` injects at most one worker-side failure (see
+/// [`WorkerFault`]); it is consumed by the first opportunity to fire.
+/// Returning from this function *is* worker death for every transport:
+/// the pipes drop, the parent reads EOF.
+pub fn run_worker<R, W>(mut reader: R, writer: W, fault: Option<WorkerFault>)
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    let mut fault = fault;
+    let writer = Arc::new(Mutex::new(writer));
+    if matches!(fault, Some(WorkerFault::DieAt(DiePoint::Startup))) {
+        return;
+    }
+    {
+        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+        if write_frame(
+            &mut *w,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .is_err()
+        {
+            return;
+        }
+    }
+    if matches!(fault, Some(WorkerFault::DieAt(DiePoint::AfterHello))) {
+        return;
+    }
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        match frame {
+            Frame::Task {
+                id,
+                shard,
+                shards,
+                heartbeat_ms,
+                spec,
+            } => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let heartbeater = if heartbeat_ms > 0 {
+                    let stop = Arc::clone(&stop);
+                    let writer = Arc::clone(&writer);
+                    Some(std::thread::spawn(move || {
+                        let mut seq = 0u64;
+                        loop {
+                            std::thread::sleep(Duration::from_millis(heartbeat_ms as u64));
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            seq += 1;
+                            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                            if write_frame(&mut *w, &Frame::Heartbeat { id, seq }).is_err() {
+                                return;
+                            }
+                        }
+                    }))
+                } else {
+                    None
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_task(&spec, shard as usize, shards as usize)
+                }));
+                stop.store(true, Ordering::Release);
+                if let Some(h) = heartbeater {
+                    let _ = h.join();
+                }
+                let reply = match outcome {
+                    Ok(Ok(results)) => Frame::TaskDone { id, results },
+                    Ok(Err(message)) => Frame::TaskFailed {
+                        id,
+                        deterministic: true,
+                        message,
+                    },
+                    Err(p) => Frame::TaskFailed {
+                        id,
+                        deterministic: true,
+                        message: panic_message(p),
+                    },
+                };
+                match fault.take() {
+                    Some(WorkerFault::DieAt(DiePoint::BeforeResult)) => return,
+                    Some(WorkerFault::StallBeforeResult) => {
+                        // hold the result long past any heartbeat
+                        // timeout, then die without sending it
+                        for _ in 0..50 {
+                            std::thread::sleep(Duration::from_millis(100));
+                        }
+                        return;
+                    }
+                    Some(WorkerFault::CorruptResult) => {
+                        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                        if write_frame_raw(&mut *w, &reply, /* corrupt */ true).is_err() {
+                            return;
+                        }
+                    }
+                    Some(WorkerFault::DropResult) => {}
+                    _ => {
+                        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                        if write_frame(&mut *w, &reply).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            Frame::Shutdown => return,
+            // anything else on the command stream is a protocol breach;
+            // dying loudly beats computing the wrong thing
+            _ => return,
+        }
+    }
+}
+
+/// Entry point for the `sparseloop-shard-worker` binary: runs
+/// [`run_worker`] over stdin/stdout, with the worker-side fault (if
+/// any) taken from the [`FAULT_ENV`] environment variable.
+pub fn worker_main() {
+    let fault = std::env::var(FAULT_ENV)
+        .ok()
+        .and_then(|v| WorkerFault::from_env(&v));
+    run_worker(io::stdin(), io::stdout(), fault);
+}
+
+// ---------------------------------------------------------------------------
+// Spawning
+// ---------------------------------------------------------------------------
+
+/// What happened on a worker's output stream.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A frame arrived.
+    Frame(Frame),
+    /// The stream ended: `None` for clean EOF, `Some(why)` for a
+    /// protocol violation (corrupt frame, truncation, pipe error) —
+    /// either way the worker is unusable and must be replaced.
+    Exited(Option<String>),
+}
+
+/// One event from one worker, tagged with the slot it came from and the
+/// spawn epoch that produced it — the supervisor discards events from
+/// stale epochs (a killed worker's last gasp must not race its
+/// replacement).
+#[derive(Debug)]
+pub struct WorkerEvent {
+    /// Worker slot index.
+    pub slot: u32,
+    /// Spawn epoch of the worker that produced the event.
+    pub epoch: u64,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// The supervisor's grip on one live worker.
+pub trait WorkerHandle: Send {
+    /// Sends a command frame to the worker.
+    fn send(&mut self, frame: &Frame) -> io::Result<()>;
+    /// Forcibly terminates the worker (SIGKILL for processes, pipe
+    /// close for threads). Idempotent.
+    fn kill(&mut self);
+}
+
+/// Spawns workers and routes their output onto a shared event channel.
+pub trait WorkerSpawner {
+    /// Starts one worker for `slot` at `epoch`, injecting `fault`
+    /// (worker-side faults only; parent-side faults are the
+    /// supervisor's job). Frames and the eventual exit notice arrive on
+    /// `events`.
+    fn spawn(
+        &self,
+        slot: u32,
+        epoch: u64,
+        fault: Option<WorkerFault>,
+        events: mpsc::Sender<WorkerEvent>,
+    ) -> io::Result<Box<dyn WorkerHandle>>;
+}
+
+fn forward_events<R: Read + Send + 'static>(
+    mut reader: R,
+    slot: u32,
+    epoch: u64,
+    events: mpsc::Sender<WorkerEvent>,
+) {
+    std::thread::spawn(move || loop {
+        let kind = match read_frame(&mut reader) {
+            Ok(frame) => EventKind::Frame(frame),
+            Err(ProtocolError::Eof) => EventKind::Exited(None),
+            Err(e) => EventKind::Exited(Some(e.to_string())),
+        };
+        let done = matches!(kind, EventKind::Exited(_));
+        if events.send(WorkerEvent { slot, epoch, kind }).is_err() || done {
+            return;
+        }
+    });
+}
+
+/// Thread-backed workers over in-memory pipes — the deterministic
+/// transport for fault-injection tests. `kill` closes both pipes: a
+/// worker blocked on its command stream dies immediately; one
+/// mid-compute finishes into a dead pipe and exits, its late frames
+/// discarded by the epoch check.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSpawner;
+
+struct ThreadHandle {
+    commands: PipeWriter,
+    worker_output: Arc<PipeShared>,
+}
+
+impl WorkerHandle for ThreadHandle {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        write_frame(&mut self.commands, frame)
+    }
+
+    fn kill(&mut self) {
+        self.commands.close();
+        self.worker_output.close();
+    }
+}
+
+impl WorkerSpawner for ThreadSpawner {
+    fn spawn(
+        &self,
+        slot: u32,
+        epoch: u64,
+        fault: Option<WorkerFault>,
+        events: mpsc::Sender<WorkerEvent>,
+    ) -> io::Result<Box<dyn WorkerHandle>> {
+        let (commands_w, commands_r) = pipe();
+        let (results_w, results_r) = pipe();
+        let worker_output = Arc::clone(&results_r.0);
+        std::thread::spawn(move || run_worker(commands_r, results_w, fault));
+        forward_events(results_r, slot, epoch, events);
+        Ok(Box::new(ThreadHandle {
+            commands: commands_w,
+            worker_output,
+        }))
+    }
+}
+
+/// Process-backed workers: spawns `program` with piped stdin/stdout
+/// (the `sparseloop-shard-worker` binary), ships worker-side faults via
+/// [`FAULT_ENV`], and delivers `kill` as a real signal.
+#[derive(Debug, Clone)]
+pub struct ProcessSpawner {
+    program: PathBuf,
+}
+
+impl ProcessSpawner {
+    /// A spawner launching `program` per worker.
+    pub fn new(program: impl Into<PathBuf>) -> Self {
+        ProcessSpawner {
+            program: program.into(),
+        }
+    }
+}
+
+struct ProcessHandle {
+    child: std::process::Child,
+    stdin: Option<std::process::ChildStdin>,
+}
+
+impl WorkerHandle for ProcessHandle {
+    fn send(&mut self, frame: &Frame) -> io::Result<()> {
+        match self.stdin.as_mut() {
+            Some(stdin) => write_frame(stdin, frame),
+            None => Err(io::Error::new(io::ErrorKind::BrokenPipe, "worker killed")),
+        }
+    }
+
+    fn kill(&mut self) {
+        self.stdin = None;
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ProcessHandle {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+impl WorkerSpawner for ProcessSpawner {
+    fn spawn(
+        &self,
+        slot: u32,
+        epoch: u64,
+        fault: Option<WorkerFault>,
+        events: mpsc::Sender<WorkerEvent>,
+    ) -> io::Result<Box<dyn WorkerHandle>> {
+        let mut cmd = std::process::Command::new(&self.program);
+        cmd.stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null());
+        if let Some(env) = fault.and_then(WorkerFault::to_env) {
+            cmd.env(FAULT_ENV, env);
+        }
+        let mut child = cmd.spawn()?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = child.stdout.take().expect("stdout piped");
+        forward_events(stdout, slot, epoch, events);
+        Ok(Box::new(ProcessHandle {
+            child,
+            stdin: Some(stdin),
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipes_behave_like_os_pipes() {
+        let (mut w, mut r) = pipe();
+        w.write_all(b"abc").unwrap();
+        let mut buf = [0u8; 2];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ab");
+        w.close();
+        // buffered data drains after close, then clean EOF
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"c");
+        assert!(w.write_all(b"x").is_err(), "write after close fails");
+    }
+
+    #[test]
+    fn blocked_reader_wakes_on_close() {
+        let (w, mut r) = pipe();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            r.read(&mut buf).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        w.close();
+        assert_eq!(t.join().unwrap(), 0);
+    }
+
+    #[test]
+    fn worker_handshakes_and_shuts_down() {
+        let (tx, rx) = mpsc::channel();
+        let mut handle = ThreadSpawner.spawn(0, 1, None, tx).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            WorkerEvent {
+                slot: 0,
+                epoch: 1,
+                kind: EventKind::Frame(Frame::Hello { version }),
+            } => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("expected hello, got {other:?}"),
+        }
+        handle.send(&Frame::Shutdown).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap().kind {
+            EventKind::Exited(None) => {}
+            other => panic!("expected clean exit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn startup_fault_spawns_a_silent_corpse() {
+        let (tx, rx) = mpsc::channel();
+        let _handle = ThreadSpawner
+            .spawn(2, 7, Some(WorkerFault::DieAt(DiePoint::Startup)), tx)
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            WorkerEvent {
+                slot: 2,
+                epoch: 7,
+                kind: EventKind::Exited(None),
+            } => {}
+            other => panic!("expected exit without hello, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_spec_fails_deterministically() {
+        let (tx, rx) = mpsc::channel();
+        let mut handle = ThreadSpawner.spawn(0, 1, None, tx).unwrap();
+        // hello
+        let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        handle
+            .send(&Frame::Task {
+                id: 3,
+                shard: 0,
+                shards: 1,
+                heartbeat_ms: 0,
+                spec: "scenario:\n  nonsense: true\n".into(),
+            })
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap().kind {
+            EventKind::Frame(Frame::TaskFailed {
+                id: 3,
+                deterministic: true,
+                ..
+            }) => {}
+            other => panic!("expected deterministic failure, got {other:?}"),
+        }
+        handle.kill();
+    }
+}

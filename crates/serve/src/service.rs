@@ -4,10 +4,12 @@
 use crate::queue::{BoundedQueue, PushError};
 use sparseloop_core::{EvalJob, EvalSession, JobError, JobOutcome};
 use sparseloop_designs::ScenarioRegistry;
+use sparseloop_spec::SpecError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Service configuration (builder-style, all knobs defaulted).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,19 +126,62 @@ pub struct ScenarioReply {
     pub wall_seconds: f64,
 }
 
+/// A spec front-end failure flattened into a plain-data payload that
+/// errors across the serving stack can carry without depending on the
+/// front-end's internal span types — the file and line:column survive
+/// intact rather than collapsing into a pre-rendered string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecDiagnostic {
+    /// Originating file, when known (`None` for in-memory text).
+    pub file: Option<String>,
+    /// 1-based line of the problem.
+    pub line: usize,
+    /// 1-based column of the problem.
+    pub col: usize,
+    /// What the problem is.
+    pub message: String,
+    /// The offending source line, trimmed (empty when unavailable).
+    pub context: String,
+}
+
+impl From<&SpecError> for SpecDiagnostic {
+    fn from(e: &SpecError) -> Self {
+        SpecDiagnostic {
+            file: e.file.clone(),
+            line: e.span.line,
+            col: e.span.col,
+            message: e.message.clone(),
+            context: e.context.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for SpecDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let file = self.file.as_deref().unwrap_or("<spec>");
+        write!(f, "{file}:{}:{}: {}", self.line, self.col, self.message)?;
+        if !self.context.is_empty() {
+            write!(f, "\n  | {}", self.context)?;
+        }
+        Ok(())
+    }
+}
+
 /// Why a request produced no [`ServeReply`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The scenario name is not registered.
     UnknownScenario(String),
-    /// An inline spec document failed to parse or compile; the message
-    /// carries the spec front-end's positioned error (line:column plus a
-    /// source excerpt).
-    InvalidSpec(String),
+    /// An inline spec document failed to parse or compile; the payload
+    /// preserves the spec front-end's position (file, line:column) and
+    /// source excerpt as structured fields.
+    InvalidSpec(SpecDiagnostic),
     /// The worker panicked while processing the request; the shared
     /// session was force-recycled so later requests start clean.
     Panicked(String),
-    /// The service was torn down before the request was processed.
+    /// The request was canceled before a worker finished it: the
+    /// service was torn down, the ticket was abandoned (dropped or
+    /// timed out), or its deadline expired.
     Canceled,
 }
 
@@ -144,9 +189,9 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnknownScenario(name) => write!(f, "no scenario named {name:?}"),
-            ServeError::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
+            ServeError::InvalidSpec(diag) => write!(f, "invalid spec: {diag}"),
             ServeError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
-            ServeError::Canceled => write!(f, "request canceled by service teardown"),
+            ServeError::Canceled => write!(f, "request canceled before completion"),
         }
     }
 }
@@ -179,23 +224,98 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// A shared cancellation signal for one request.
+///
+/// The token trips either explicitly ([`cancel`](CancelToken::cancel))
+/// or implicitly when its deadline passes; once tripped it stays
+/// tripped. Service workers probe it at every *cancellation
+/// checkpoint* — the generation-retirement seams between jobs and
+/// experiments — so a canceled request stops consuming its worker at
+/// the next seam rather than running to completion. Work already past
+/// its last checkpoint finishes normally (checkpoints are retirement
+/// seams, not preemption points), keeping completed results
+/// bit-identical to an uncanceled run.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    canceled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only trips explicitly.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that trips on its own once `deadline` elapses.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                canceled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + deadline),
+            }),
+        }
+    }
+
+    /// Trips the token (idempotent).
+    pub fn cancel(&self) {
+        self.inner.canceled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    pub fn is_canceled(&self) -> bool {
+        self.inner.canceled.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
 /// The per-request response handle: blocks until the worker replies.
 ///
 /// A thin wrapper over a one-shot `std::sync::mpsc` channel: the worker
 /// sends exactly one reply; a worker torn down mid-request drops its
 /// sender, which resolves the ticket to [`ServeError::Canceled`]
 /// instead of hanging it.
+///
+/// Abandoning a ticket cancels its request: both
+/// [`wait_timeout`](Ticket::wait_timeout) expiring and dropping the
+/// ticket unwaited trip the request's [`CancelToken`], so a request
+/// nobody is waiting for stops occupying a worker at the next
+/// cancellation checkpoint instead of running to completion unobserved
+/// (counted as `canceled` in [`ServiceStats`]).
 pub struct Ticket {
     receiver: mpsc::Receiver<Result<ServeReply, ServeError>>,
+    cancel: CancelToken,
 }
 
 impl Ticket {
+    /// The request's cancellation token (cloneable; trip it to abandon
+    /// the request from anywhere).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cancels the request; a worker that has not finished it stops at
+    /// the next cancellation checkpoint.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
     /// Waits for the request's reply.
     pub fn wait(self) -> Result<ServeReply, ServeError> {
         self.receiver.recv().unwrap_or(Err(ServeError::Canceled))
     }
 
-    /// Waits up to `timeout`; hands the ticket back on timeout.
+    /// Waits up to `timeout`; hands the ticket back on timeout — and
+    /// **cancels the request**, so the timed-out work stops at the next
+    /// cancellation checkpoint instead of silently consuming a worker.
+    /// A later [`wait`](Ticket::wait) on the returned ticket still
+    /// resolves (to whatever the worker managed before the
+    /// cancellation took effect).
     pub fn wait_timeout(
         self,
         timeout: std::time::Duration,
@@ -203,8 +323,19 @@ impl Ticket {
         match self.receiver.recv_timeout(timeout) {
             Ok(reply) => Ok(reply),
             Err(mpsc::RecvTimeoutError::Disconnected) => Ok(Err(ServeError::Canceled)),
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(self),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.cancel.cancel();
+                Err(self)
+            }
         }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // dropping an unresolved ticket abandons the request; a ticket
+        // consumed by `wait` cancels after the reply, which is a no-op
+        self.cancel.cancel();
     }
 }
 
@@ -219,6 +350,11 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Requests whose processing panicked (the session was recycled).
     pub panicked: u64,
+    /// Requests canceled before completion (abandoned tickets, expired
+    /// deadlines, explicit [`Ticket::cancel`]). Every admitted request
+    /// lands in exactly one bucket:
+    /// `submitted == completed + panicked + canceled` once drained.
+    pub canceled: u64,
     /// Times the shared session was recycled.
     pub recycles: u64,
     /// Largest intern-slot count ever observed after a request
@@ -233,6 +369,7 @@ pub struct ServiceStats {
 struct Work {
     request: ServeRequest,
     responder: mpsc::Sender<Result<ServeReply, ServeError>>,
+    cancel: CancelToken,
 }
 
 struct Shared {
@@ -247,6 +384,7 @@ struct Shared {
     rejected: AtomicU64,
     completed: AtomicU64,
     panicked: AtomicU64,
+    canceled: AtomicU64,
     recycles: AtomicU64,
     peak_slots: AtomicU64,
 }
@@ -260,11 +398,17 @@ impl Shared {
         &self,
         request: &ServeRequest,
         session: &EvalSession,
+        cancel: &CancelToken,
     ) -> Result<ServeReply, ServeError> {
+        let probe = || cancel.is_canceled();
+        let probe: Option<&(dyn Fn() -> bool + Sync)> = Some(&probe);
         match request {
             ServeRequest::Job(job) => {
-                let mut results =
-                    session.search_batch_sharded(std::slice::from_ref(&**job), self.config.shards);
+                let mut results = session.search_batch_sharded_with(
+                    std::slice::from_ref(&**job),
+                    self.config.shards,
+                    probe,
+                );
                 let result = results.pop().expect("one job in, one result out");
                 Ok(ServeReply::Job(Box::new(result)))
             }
@@ -273,14 +417,14 @@ impl Shared {
                     .registry
                     .get(name)
                     .ok_or_else(|| ServeError::UnknownScenario(name.clone()))?;
-                let outcome = scenario.run_sharded(session, self.config.shards);
+                let outcome = scenario.run_sharded_with(session, self.config.shards, probe);
                 Ok(ServeReply::Scenario(scenario_reply(outcome)))
             }
             ServeRequest::Spec(text) => {
                 let scenario = sparseloop_spec::compile_str(text)
-                    .map_err(|e| ServeError::InvalidSpec(e.to_string()))?
+                    .map_err(|e| ServeError::InvalidSpec(SpecDiagnostic::from(&e)))?
                     .into_scenario();
-                let outcome = scenario.run_sharded(session, self.config.shards);
+                let outcome = scenario.run_sharded_with(session, self.config.shards, probe);
                 Ok(ServeReply::Scenario(scenario_reply(outcome)))
             }
         }
@@ -313,8 +457,11 @@ impl Shared {
     }
 }
 
-/// Flattens a scenario outcome into the wire reply shape.
-fn scenario_reply(outcome: sparseloop_designs::ScenarioOutcome) -> ScenarioReply {
+/// Flattens a scenario outcome into the wire reply shape (shared with
+/// the multi-process [`ShardHost`](crate::supervisor::ShardHost));
+/// public so harnesses can build an in-process reference reply to
+/// compare fleet results against.
+pub fn scenario_reply(outcome: sparseloop_designs::ScenarioOutcome) -> ScenarioReply {
     ScenarioReply {
         name: outcome.name,
         labels: outcome
@@ -329,16 +476,35 @@ fn scenario_reply(outcome: sparseloop_designs::ScenarioOutcome) -> ScenarioReply
 }
 
 fn worker_loop(shared: &Shared) {
-    while let Some(Work { request, responder }) = shared.queue.pop() {
+    while let Some(Work {
+        request,
+        responder,
+        cancel,
+    }) = shared.queue.pop()
+    {
+        // a request already abandoned while queued is retired without
+        // touching the session at all
+        if cancel.is_canceled() {
+            shared.canceled.fetch_add(1, Ordering::Relaxed);
+            let _ = responder.send(Err(ServeError::Canceled));
+            continue;
+        }
         let session = shared.current_session();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let reply = shared.process(&request, &session);
+            let reply = shared.process(&request, &session, &cancel);
             shared.maybe_recycle(&session);
             reply
         }));
         match outcome {
             Ok(reply) => {
-                shared.completed.fetch_add(1, Ordering::Relaxed);
+                // the token tripping mid-request classifies it as
+                // canceled even when a partial reply exists — the
+                // invariant is one bucket per admitted request
+                if cancel.is_canceled() {
+                    shared.canceled.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                }
                 // the submitter may have dropped its ticket; that is fine
                 let _ = responder.send(reply);
             }
@@ -388,6 +554,7 @@ impl EvalService {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            canceled: AtomicU64::new(0),
             recycles: AtomicU64::new(0),
             peak_slots: AtomicU64::new(0),
         });
@@ -412,11 +579,37 @@ impl EvalService {
     /// the queue is at capacity (backpressure) or the service is
     /// shutting down.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
+        self.submit_with_token(request, CancelToken::new())
+    }
+
+    /// [`submit`](EvalService::submit) with a per-request deadline: once
+    /// it elapses, the request's token trips on its own and workers
+    /// abandon the remaining work at the next cancellation checkpoint
+    /// (the ticket resolves to whatever completed before that, counted
+    /// as `canceled` in [`ServiceStats`]).
+    pub fn submit_with_deadline(
+        &self,
+        request: ServeRequest,
+        deadline: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_with_token(request, CancelToken::with_deadline(deadline))
+    }
+
+    fn submit_with_token(
+        &self,
+        request: ServeRequest,
+        cancel: CancelToken,
+    ) -> Result<Ticket, SubmitError> {
         let (responder, receiver) = mpsc::channel();
-        match self.shared.queue.try_push(Work { request, responder }) {
+        let work = Work {
+            request,
+            responder,
+            cancel: cancel.clone(),
+        };
+        match self.shared.queue.try_push(work) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Ticket { receiver })
+                Ok(Ticket { receiver, cancel })
             }
             Err(PushError::Full(_)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -432,10 +625,16 @@ impl EvalService {
     /// (still fails if the service shuts down while waiting).
     pub fn submit_blocking(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
         let (responder, receiver) = mpsc::channel();
-        match self.shared.queue.push_blocking(Work { request, responder }) {
+        let cancel = CancelToken::new();
+        let work = Work {
+            request,
+            responder,
+            cancel: cancel.clone(),
+        };
+        match self.shared.queue.push_blocking(work) {
             Ok(()) => {
                 self.shared.submitted.fetch_add(1, Ordering::Relaxed);
-                Ok(Ticket { receiver })
+                Ok(Ticket { receiver, cancel })
             }
             Err(_) => Err(SubmitError::ShuttingDown),
         }
@@ -467,6 +666,7 @@ impl EvalService {
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             panicked: self.shared.panicked.load(Ordering::Relaxed),
+            canceled: self.shared.canceled.load(Ordering::Relaxed),
             recycles: self.shared.recycles.load(Ordering::Relaxed),
             peak_slots: self.shared.peak_slots.load(Ordering::Relaxed),
             queued: self.shared.queue.len(),
@@ -647,10 +847,10 @@ mod tests {
         let service = EvalService::start(ServeConfig::default());
         let ticket = service.submit_spec("scenario:\n  nmae: oops\n").unwrap();
         match ticket.wait() {
-            Err(ServeError::InvalidSpec(msg)) => {
+            Err(ServeError::InvalidSpec(diag)) => {
                 assert!(
-                    msg.contains("unknown key") || msg.contains("missing"),
-                    "{msg}"
+                    diag.message.contains("unknown key") || diag.message.contains("missing"),
+                    "{diag}"
                 )
             }
             other => panic!("expected InvalidSpec, got {other:?}"),
@@ -659,6 +859,84 @@ mod tests {
         let ok = service.submit_job(search_job(0.5)).unwrap();
         assert!(ok.wait().unwrap().into_job().is_ok());
         service.shutdown();
+    }
+
+    #[test]
+    fn invalid_spec_preserves_line_and_column() {
+        // the structured diagnostic must carry the *position* of the
+        // offending key through the service boundary, not a flattened
+        // string — clients point editors at file:line:col
+        let service = EvalService::start(ServeConfig::default());
+        let text = "scenario:\n  name: demo\n  title: t\n  bogus_key: 1\n";
+        let ticket = service.submit_spec(text).unwrap();
+        match ticket.wait() {
+            Err(ServeError::InvalidSpec(diag)) => {
+                assert_eq!(diag.line, 4, "line of bogus_key: {diag}");
+                assert!(diag.col >= 1, "{diag}");
+                assert_eq!(diag.file, None, "inline text has no file");
+                assert!(diag.context.contains("bogus_key"), "{diag}");
+                // and the rendering matches the spec front-end's shape
+                let direct = sparseloop_spec::compile_str(text).unwrap_err();
+                assert_eq!(diag.to_string(), direct.to_string());
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn timed_out_ticket_cancels_the_request() {
+        // a worker occupied by an abandoned request must stop at the
+        // next cancellation checkpoint, and the request must land in
+        // the `canceled` bucket
+        let service = EvalService::start(ServeConfig::default().with_workers(1));
+        // ten-experiment scenario: plenty of checkpoints between jobs
+        let ticket = service.submit_scenario("fig13_dstc_validation").unwrap();
+        let ticket = match ticket.wait_timeout(std::time::Duration::from_millis(1)) {
+            Err(t) => t, // timed out: the request is now canceled
+            Ok(reply) => {
+                // machine fast enough to finish in 1ms — nothing to test
+                assert!(reply.is_ok());
+                service.shutdown();
+                return;
+            }
+        };
+        // the reply still resolves: completed experiments are kept, the
+        // tail past the cancellation checkpoint (if any — whether a
+        // given experiment beat the cancel is a timing race) is skipped
+        let reply = ticket.wait().unwrap().into_scenario();
+        for r in &reply.results {
+            assert!(
+                matches!(r, Ok(_) | Err(JobError::Canceled)),
+                "partial reply may only hold completed or canceled entries, got {r:?}"
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.canceled, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.panicked + stats.canceled
+        );
+    }
+
+    #[test]
+    fn queued_request_with_expired_deadline_is_skipped() {
+        let service = EvalService::start(ServeConfig::default().with_workers(1));
+        // occupy the single worker...
+        let busy = service.submit_scenario("fig13_dstc_validation").unwrap();
+        // ...then queue a request whose deadline expires while it waits
+        let doomed = service
+            .submit_with_deadline(
+                ServeRequest::Job(Box::new(search_job(0.5))),
+                std::time::Duration::from_millis(1),
+            )
+            .unwrap();
+        assert!(busy.wait().is_ok());
+        assert!(matches!(doomed.wait(), Err(ServeError::Canceled)));
+        let stats = service.shutdown();
+        assert_eq!(stats.canceled, 1);
+        assert_eq!(stats.completed, 1);
     }
 
     #[test]
@@ -736,6 +1014,7 @@ mod tests {
             shared.queue.try_push(Work {
                 request: ServeRequest::Scenario("x".into()),
                 responder,
+                cancel: CancelToken::new(),
             }),
             Err(PushError::Closed(_))
         ));

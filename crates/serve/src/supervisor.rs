@@ -1,0 +1,838 @@
+//! The supervision tree over multi-process sharded search.
+//!
+//! A [`ShardHost`] owns N worker slots (one per shard). Each request
+//! compiles its spec locally, dispatches one [`Frame::Task`] per shard
+//! to the workers, and folds the returned shard winners through
+//! [`merge_shard_results`] — re-evaluating the merged winner through
+//! the parent's own session, exactly as the in-process sharded search
+//! does. Because the per-shard walk is the *same code path*
+//! (`Model::search_shard_counted`) on both sides of the process
+//! boundary, the merged reply is bit-identical to
+//! [`Scenario::run_sharded`] — and stays bit-identical under any
+//! worker-failure schedule, because a lost shard is simply recomputed.
+//!
+//! Supervision policy:
+//!
+//! * **Death detection** — a worker is dead when its frame stream ends
+//!   (EOF, pipe error, corrupt frame) or when its heartbeats go quiet
+//!   for [`HostConfig::heartbeat_timeout`] while a task is outstanding.
+//! * **Bounded retry with backoff** — a dead worker's shard is
+//!   re-dispatched to a freshly spawned replacement, up to
+//!   [`HostConfig::max_retries`] times per request, sleeping
+//!   `backoff_base · 2^(attempt-1)` before each respawn. Exhaustion is
+//!   [`HostError::WorkerLost`].
+//! * **No retry of deterministic failures** — a spec that does not
+//!   compile ([`HostError::InvalidSpec`]) or a task the worker reports
+//!   as deterministically failed ([`HostError::TaskFailed`]) fails the
+//!   request immediately; re-running it would fail identically.
+//! * **Per-request deadline** — [`HostConfig::request_deadline`] bounds
+//!   the whole request; expiry is [`HostError::DeadlineExceeded`].
+//! * **Graceful degradation** — if workers cannot spawn at all (bad
+//!   binary path, fork limits), the request runs in-process through
+//!   [`Scenario::run_sharded`] instead of failing; counted in
+//!   [`HostStats::degraded`].
+//! * **Deterministic fault injection** — a [`FaultPlan`] schedules
+//!   worker-side faults (die/stall/corrupt/drop, delivered at spawn)
+//!   and parent-side kills ([`WorkerFault::KillAfterFrames`], delivered
+//!   as a real kill once the slot has produced that many frames since
+//!   dispatch). Faults are consumed by a slot's first spawn; restarts
+//!   run clean, so every schedule converges.
+//!
+//! Stale-epoch hygiene: every spawn gets a fresh epoch, and events from
+//! superseded epochs are discarded — a killed worker's last frames can
+//! never race its replacement's.
+
+use crate::fault::{FaultPlan, WorkerFault};
+use crate::proc::{EventKind, WorkerEvent, WorkerHandle, WorkerSpawner};
+use crate::protocol::{ExpResult, Frame};
+use crate::service::{scenario_reply, ScenarioReply, SpecDiagnostic};
+use sparseloop_core::{EvalSession, JobError, JobOutcome, JobPlan};
+use sparseloop_designs::{Scenario, ScenarioOutcome};
+use sparseloop_mapping::{merge_shard_results, SearchStats};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Supervision knobs (builder-style, all defaulted).
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Worker slots = shards per request (`>= 1`).
+    pub shards: usize,
+    /// Heartbeat cadence workers must hold while computing (ms).
+    pub heartbeat_ms: u32,
+    /// Silence longer than this on an outstanding slot is death.
+    pub heartbeat_timeout: Duration,
+    /// Whole-request deadline (`None`: unbounded).
+    pub request_deadline: Option<Duration>,
+    /// Worker-death retries per shard per request; deterministic
+    /// failures are never retried.
+    pub max_retries: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Deterministic failure schedule (consumed by first spawns).
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            shards: 2,
+            heartbeat_ms: 20,
+            heartbeat_timeout: Duration::from_secs(1),
+            request_deadline: None,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(5),
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+impl HostConfig {
+    /// Sets the shard/worker count (`>= 1`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets heartbeat cadence and timeout together (the timeout should
+    /// comfortably exceed the cadence).
+    pub fn with_heartbeat(mut self, cadence_ms: u32, timeout: Duration) -> Self {
+        self.heartbeat_ms = cadence_ms;
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.request_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets retry bound and backoff base.
+    pub fn with_retries(mut self, max_retries: u32, backoff_base: Duration) -> Self {
+        self.max_retries = max_retries;
+        self.backoff_base = backoff_base;
+        self
+    }
+
+    /// Installs a fault-injection schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+}
+
+/// Why a hosted request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// The spec did not compile — deterministic, never retried; the
+    /// position survives as structured fields.
+    InvalidSpec(SpecDiagnostic),
+    /// A worker reported the task deterministically failed —
+    /// re-running would fail identically, so no retry.
+    TaskFailed {
+        /// The worker's failure message.
+        message: String,
+    },
+    /// A shard's worker kept dying: retries exhausted.
+    WorkerLost {
+        /// The shard whose workers died.
+        shard: usize,
+        /// Spawn attempts consumed (`max_retries + 1`).
+        attempts: u32,
+        /// The last observed cause of death.
+        last: String,
+    },
+    /// The request's deadline expired before every shard reported.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::InvalidSpec(diag) => write!(f, "invalid spec: {diag}"),
+            HostError::TaskFailed { message } => {
+                write!(f, "task failed deterministically: {message}")
+            }
+            HostError::WorkerLost {
+                shard,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "shard {shard} lost its worker {attempts} times (last: {last})"
+            ),
+            HostError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Supervision counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostStats {
+    /// Requests accepted (compiled successfully).
+    pub requests: u64,
+    /// Workers spawned (first spawns + restarts).
+    pub spawns: u64,
+    /// Worker deaths survived (each triggers a backoff + respawn).
+    pub restarts: u64,
+    /// Shards re-dispatched after a worker death.
+    pub redispatches: u64,
+    /// Deaths detected by heartbeat silence (vs. stream end).
+    pub heartbeat_timeouts: u64,
+    /// Parent-side kills delivered by the fault plan.
+    pub kills_injected: u64,
+    /// Requests served in-process because workers could not spawn.
+    pub degraded: u64,
+    /// Frames received from current-epoch workers.
+    pub frames_received: u64,
+}
+
+struct SlotState {
+    handle: Box<dyn WorkerHandle>,
+    epoch: u64,
+    last_seen: Instant,
+    frames_since_dispatch: u32,
+    kill_after: Option<u32>,
+}
+
+/// The supervising parent of a multi-process sharded search (see the
+/// [module docs](self)).
+pub struct ShardHost<S: WorkerSpawner> {
+    config: HostConfig,
+    spawner: S,
+    session: EvalSession,
+    slots: Vec<Option<SlotState>>,
+    events_tx: mpsc::Sender<WorkerEvent>,
+    events_rx: mpsc::Receiver<WorkerEvent>,
+    fault_plan: FaultPlan,
+    next_task_id: u64,
+    next_epoch: u64,
+    stats: HostStats,
+}
+
+impl<S: WorkerSpawner> ShardHost<S> {
+    /// A host with `config.shards` empty slots; workers spawn lazily on
+    /// the first request.
+    pub fn new(config: HostConfig, spawner: S) -> Self {
+        let shards = config.shards.max(1);
+        let fault_plan = config.fault_plan.clone();
+        let (events_tx, events_rx) = mpsc::channel();
+        ShardHost {
+            config,
+            spawner,
+            session: EvalSession::new(),
+            slots: (0..shards).map(|_| None).collect(),
+            events_tx,
+            events_rx,
+            fault_plan,
+            next_task_id: 1,
+            next_epoch: 1,
+            stats: HostStats::default(),
+        }
+    }
+
+    /// Point-in-time supervision counters.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Runs a registered scenario through the worker fleet (emitted as
+    /// spec text — the same wire the workers compile).
+    pub fn run_scenario(&mut self, scenario: &Scenario) -> Result<ScenarioReply, HostError> {
+        self.run_spec(&sparseloop_spec::emit_scenario(scenario))
+    }
+
+    /// Runs a spec document across the worker fleet and merges the
+    /// shard results (see the [module docs](self) for the policy).
+    pub fn run_spec(&mut self, text: &str) -> Result<ScenarioReply, HostError> {
+        let scenario = sparseloop_spec::compile_str(text)
+            .map_err(|e| HostError::InvalidSpec(SpecDiagnostic::from(&e)))?
+            .into_scenario();
+        self.stats.requests += 1;
+        let n = self.slots.len();
+
+        // ensure a full fleet; if the transport cannot produce workers
+        // at all, serve in-process rather than failing the request
+        for slot in 0..n {
+            if self.slots[slot].is_none() && self.spawn_slot(slot).is_err() {
+                self.stats.degraded += 1;
+                let outcome = scenario.run_sharded(&self.session, n);
+                return Ok(scenario_reply(outcome));
+            }
+        }
+
+        let start = Instant::now();
+        let deadline = self.config.request_deadline.map(|d| start + d);
+        let task_id = self.next_task_id;
+        self.next_task_id += 1;
+        let experiments = scenario.experiments();
+        let mut attempts = vec![0u32; n];
+        let mut shard_results: Vec<Option<Vec<ExpResult>>> = vec![None; n];
+
+        for slot in 0..n {
+            self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+        }
+
+        while shard_results.iter().any(Option::is_none) {
+            let now = Instant::now();
+            if let Some(d) = deadline {
+                if now >= d {
+                    return Err(HostError::DeadlineExceeded);
+                }
+            }
+            // wake at the earliest of: request deadline, first possible
+            // heartbeat expiry of an outstanding slot
+            let mut wake = deadline;
+            for (slot, st) in self.slots.iter().enumerate() {
+                if shard_results[slot].is_none() {
+                    if let Some(st) = st {
+                        let hb = st.last_seen + self.config.heartbeat_timeout;
+                        wake = Some(wake.map_or(hb, |w| w.min(hb)));
+                    }
+                }
+            }
+            let wait = wake
+                .map(|w| w.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(50))
+                .max(Duration::from_millis(1));
+
+            let event = self.events_rx.recv_timeout(wait);
+            match event {
+                Ok(WorkerEvent { slot, epoch, kind }) => {
+                    let slot = slot as usize;
+                    let current = self
+                        .slots
+                        .get(slot)
+                        .and_then(Option::as_ref)
+                        .map(|st| st.epoch);
+                    if current != Some(epoch) {
+                        continue; // a superseded worker's last gasp
+                    }
+                    match kind {
+                        EventKind::Frame(frame) => {
+                            self.stats.frames_received += 1;
+                            let kill_due = {
+                                let st = self.slots[slot].as_mut().expect("epoch-checked");
+                                st.last_seen = Instant::now();
+                                st.frames_since_dispatch += 1;
+                                st.kill_after.is_some_and(|m| st.frames_since_dispatch >= m)
+                            };
+                            match frame {
+                                Frame::TaskDone { id, results }
+                                    if id == task_id && shard_results[slot].is_none() =>
+                                {
+                                    shard_results[slot] = Some(results);
+                                }
+                                Frame::TaskFailed {
+                                    id,
+                                    deterministic,
+                                    message,
+                                } if id == task_id => {
+                                    if deterministic {
+                                        return Err(HostError::TaskFailed { message });
+                                    }
+                                    self.drop_slot(slot);
+                                    self.retire_attempt(slot, &mut attempts, message)?;
+                                    self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                                    continue;
+                                }
+                                // Hello, Heartbeat, frames for old tasks:
+                                // liveness only
+                                _ => {}
+                            }
+                            if kill_due {
+                                self.stats.kills_injected += 1;
+                                self.kill_slot(slot);
+                                if shard_results[slot].is_none() {
+                                    self.retire_attempt(
+                                        slot,
+                                        &mut attempts,
+                                        "injected kill".to_string(),
+                                    )?;
+                                    self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                                }
+                            }
+                        }
+                        EventKind::Exited(why) => {
+                            self.drop_slot(slot);
+                            if shard_results[slot].is_none() {
+                                let why = why.unwrap_or_else(|| "worker exited".to_string());
+                                self.retire_attempt(slot, &mut attempts, why)?;
+                                self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                            }
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // heartbeat audit: outstanding slots silent past the
+                    // timeout are presumed dead and killed for real
+                    for (slot, result) in shard_results.iter().enumerate() {
+                        if result.is_none() {
+                            let silent = self.slots[slot].as_ref().is_some_and(|st| {
+                                st.last_seen.elapsed() > self.config.heartbeat_timeout
+                            });
+                            if silent {
+                                self.stats.heartbeat_timeouts += 1;
+                                self.kill_slot(slot);
+                                self.retire_attempt(
+                                    slot,
+                                    &mut attempts,
+                                    "heartbeat timeout".to_string(),
+                                )?;
+                                self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                            }
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("host holds an event sender; channel cannot disconnect")
+                }
+            }
+        }
+
+        let shard_results: Vec<Vec<ExpResult>> = shard_results
+            .into_iter()
+            .map(|r| r.expect("loop exits only when every shard reported"))
+            .collect();
+        self.merge(&scenario, experiments, shard_results, start)
+    }
+
+    /// Folds per-shard results into the reply, evaluating fixed-mapping
+    /// experiments and re-evaluating merged search winners through the
+    /// parent session — the exact post-processing of the in-process
+    /// sharded search, so replies are bit-identical to it.
+    fn merge(
+        &self,
+        scenario: &Scenario,
+        experiments: Vec<sparseloop_designs::Experiment>,
+        shard_results: Vec<Vec<ExpResult>>,
+        start: Instant,
+    ) -> Result<ScenarioReply, HostError> {
+        let mut results: Vec<Result<JobOutcome, JobError>> = Vec::with_capacity(experiments.len());
+        for (i, exp) in experiments.iter().enumerate() {
+            let job = exp.job();
+            let model =
+                self.session
+                    .model(job.workload.clone(), job.arch.clone(), job.safs.clone());
+            let result = match &job.plan {
+                JobPlan::Fixed(mapping) => model
+                    .evaluate(mapping)
+                    .map(|eval| JobOutcome {
+                        mapping: mapping.clone(),
+                        eval,
+                        stats: SearchStats {
+                            generated: 1,
+                            evaluated: 1,
+                            ..SearchStats::default()
+                        },
+                    })
+                    .map_err(JobError::Eval),
+                JobPlan::Search { .. } => {
+                    let parts = shard_results.iter().map(|per_shard| {
+                        match per_shard.get(i) {
+                            Some(ExpResult::Winner {
+                                value,
+                                key,
+                                stats,
+                                mapping,
+                            }) => (Some((*value, *key, mapping.clone())), *stats),
+                            Some(ExpResult::NoWinner { stats }) => (None, *stats),
+                            // a worker that misunderstood the experiment
+                            // list contributes nothing; bit-identity
+                            // checks downstream will catch it
+                            Some(ExpResult::Skipped) | None => (None, SearchStats::default()),
+                        }
+                    });
+                    let (merged, stats) = merge_shard_results(parts);
+                    match merged {
+                        Some(r) => model
+                            .evaluate(&r.mapping)
+                            .map(|eval| JobOutcome {
+                                mapping: r.mapping,
+                                eval,
+                                stats,
+                            })
+                            .map_err(JobError::Eval),
+                        None => Err(JobError::NoValidCandidate { stats }),
+                    }
+                }
+            };
+            results.push(result);
+        }
+        Ok(scenario_reply(ScenarioOutcome {
+            name: scenario.name().to_string(),
+            experiments,
+            results,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }))
+    }
+
+    fn spawn_slot(&mut self, slot: usize) -> std::io::Result<()> {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let fault = self.fault_plan.take(slot as u32);
+        let (worker_fault, kill_after) = match fault {
+            Some(WorkerFault::KillAfterFrames(m)) => (None, Some(m)),
+            other => (other, None),
+        };
+        let handle =
+            self.spawner
+                .spawn(slot as u32, epoch, worker_fault, self.events_tx.clone())?;
+        self.stats.spawns += 1;
+        self.slots[slot] = Some(SlotState {
+            handle,
+            epoch,
+            last_seen: Instant::now(),
+            frames_since_dispatch: 0,
+            kill_after,
+        });
+        Ok(())
+    }
+
+    /// Sends the shard's task to its slot, (re)spawning as needed;
+    /// spawn/send failures consume retry attempts with backoff.
+    fn dispatch_shard(
+        &mut self,
+        slot: usize,
+        task_id: u64,
+        spec: &str,
+        attempts: &mut [u32],
+    ) -> Result<(), HostError> {
+        loop {
+            if self.slots[slot].is_none() {
+                if let Err(e) = self.spawn_slot(slot) {
+                    self.retire_attempt(slot, attempts, e.to_string())?;
+                    continue;
+                }
+            }
+            let task = Frame::Task {
+                id: task_id,
+                shard: slot as u32,
+                shards: self.slots.len() as u32,
+                heartbeat_ms: self.config.heartbeat_ms,
+                spec: spec.to_string(),
+            };
+            let send = {
+                let st = self.slots[slot].as_mut().expect("spawned above");
+                st.frames_since_dispatch = 0;
+                st.last_seen = Instant::now();
+                st.handle.send(&task)
+            };
+            if let Err(e) = send {
+                self.drop_slot(slot);
+                self.retire_attempt(slot, attempts, e.to_string())?;
+                continue;
+            }
+            // a zero-frame kill schedule fires at dispatch itself
+            let instant_kill = self.slots[slot]
+                .as_ref()
+                .is_some_and(|st| st.kill_after == Some(0));
+            if instant_kill {
+                self.stats.kills_injected += 1;
+                self.kill_slot(slot);
+                self.retire_attempt(slot, attempts, "injected kill".to_string())?;
+                continue;
+            }
+            return Ok(());
+        }
+    }
+
+    /// Books one consumed spawn attempt for `slot`: fails the request
+    /// once retries are exhausted, otherwise sleeps the exponential
+    /// backoff and lets the caller respawn.
+    fn retire_attempt(
+        &mut self,
+        slot: usize,
+        attempts: &mut [u32],
+        why: String,
+    ) -> Result<(), HostError> {
+        attempts[slot] += 1;
+        self.stats.restarts += 1;
+        if attempts[slot] > self.config.max_retries {
+            return Err(HostError::WorkerLost {
+                shard: slot,
+                attempts: attempts[slot],
+                last: why,
+            });
+        }
+        self.stats.redispatches += 1;
+        let exp = (attempts[slot] - 1).min(16);
+        std::thread::sleep(self.config.backoff_base.saturating_mul(1 << exp));
+        Ok(())
+    }
+
+    fn kill_slot(&mut self, slot: usize) {
+        if let Some(mut st) = self.slots[slot].take() {
+            st.handle.kill();
+        }
+    }
+
+    fn drop_slot(&mut self, slot: usize) {
+        self.slots[slot] = None;
+    }
+
+    /// Asks every live worker to exit, then severs the transports.
+    pub fn shutdown(&mut self) {
+        for st in self.slots.iter_mut().flatten() {
+            let _ = st.handle.send(&Frame::Shutdown);
+        }
+        for slot in 0..self.slots.len() {
+            self.kill_slot(slot);
+        }
+    }
+}
+
+impl<S: WorkerSpawner> Drop for ShardHost<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::DiePoint;
+    use crate::proc::ThreadSpawner;
+    use sparseloop_designs::Experiment;
+    use sparseloop_mapping::Mapspace;
+
+    /// A small two-experiment scenario (one search, one fixed) whose
+    /// debug-mode search finishes in well under a second.
+    fn small_scenario() -> Scenario {
+        Scenario::new("fault_demo", "small search for fault tests", || {
+            let layer = sparseloop_workloads::spmspm(8, 8, 8, 0.5, 0.5);
+            let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+            let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+            let search = Experiment::search("demo@search", dp.clone(), layer.clone(), space);
+            let fixed_mapping = Mapspace::all_temporal(&layer.einsum, &dp.arch)
+                .enumerate(1)
+                .remove(0);
+            let fixed = Experiment::fixed("demo@fixed", dp, layer, fixed_mapping);
+            vec![search, fixed]
+        })
+    }
+
+    fn reference_reply(text: &str, shards: usize) -> ScenarioReply {
+        let scenario = sparseloop_spec::compile_str(text).unwrap().into_scenario();
+        scenario_reply(scenario.run_sharded(&EvalSession::new(), shards))
+    }
+
+    fn assert_bit_identical(got: &ScenarioReply, want: &ScenarioReply, tag: &str) {
+        assert_eq!(got.labels, want.labels, "{tag}");
+        assert_eq!(got.results.len(), want.results.len(), "{tag}");
+        for ((label, got), want) in got.labels.iter().zip(&got.results).zip(&want.results) {
+            match (got, want) {
+                (Ok(g), Ok(w)) => {
+                    assert_eq!(g.mapping, w.mapping, "{tag}/{label}");
+                    assert_eq!(g.eval.edp.to_bits(), w.eval.edp.to_bits(), "{tag}/{label}");
+                    assert_eq!(
+                        g.eval.cycles.to_bits(),
+                        w.eval.cycles.to_bits(),
+                        "{tag}/{label}"
+                    );
+                    assert_eq!(
+                        g.eval.energy_pj.to_bits(),
+                        w.eval.energy_pj.to_bits(),
+                        "{tag}/{label}"
+                    );
+                    assert_eq!(g.stats, w.stats, "{tag}/{label}");
+                }
+                (Err(g), Err(w)) => assert_eq!(g, w, "{tag}/{label}"),
+                (g, w) => panic!("{tag}/{label}: outcome kind mismatch: {g:?} vs {w:?}"),
+            }
+        }
+    }
+
+    fn fast_config(shards: usize) -> HostConfig {
+        HostConfig::default()
+            .with_shards(shards)
+            .with_heartbeat(10, Duration::from_millis(300))
+            .with_retries(2, Duration::from_millis(2))
+    }
+
+    #[test]
+    fn fleet_matches_in_process_run_without_faults() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        for shards in [1usize, 2, 3] {
+            let want = reference_reply(&text, shards);
+            let mut host = ShardHost::new(fast_config(shards), ThreadSpawner);
+            let got = host.run_spec(&text).unwrap();
+            assert_bit_identical(&got, &want, &format!("shards={shards}"));
+            let stats = host.stats();
+            assert_eq!(stats.spawns, shards as u64);
+            assert_eq!(stats.restarts, 0);
+        }
+    }
+
+    #[test]
+    fn every_die_point_recovers_bit_identically() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        for die in [
+            DiePoint::Startup,
+            DiePoint::AfterHello,
+            DiePoint::BeforeResult,
+        ] {
+            for slot in [0u32, 1] {
+                let plan = FaultPlan::none().with(slot, WorkerFault::DieAt(die));
+                let mut host = ShardHost::new(fast_config(2).with_fault_plan(plan), ThreadSpawner);
+                let got = host.run_spec(&text).unwrap();
+                assert_bit_identical(&got, &want, &format!("die={die:?} slot={slot}"));
+                assert!(
+                    host.stats().restarts >= 1,
+                    "die={die:?} slot={slot}: a death must have been survived"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parent_side_kills_at_every_frame_offset_recover() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        for offset in 0u32..4 {
+            let plan = FaultPlan::none().with(1, WorkerFault::KillAfterFrames(offset));
+            let mut host = ShardHost::new(fast_config(2).with_fault_plan(plan), ThreadSpawner);
+            let got = host.run_spec(&text).unwrap();
+            assert_bit_identical(&got, &want, &format!("kill after {offset} frames"));
+            if offset == 0 {
+                assert_eq!(host.stats().kills_injected, 1);
+                assert!(host.stats().restarts >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_and_dropped_results_are_survived() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        for (fault, tag) in [
+            (WorkerFault::CorruptResult, "corrupt"),
+            (WorkerFault::DropResult, "drop"),
+        ] {
+            let plan = FaultPlan::none().with(0, fault);
+            let mut host = ShardHost::new(fast_config(2).with_fault_plan(plan), ThreadSpawner);
+            let got = host.run_spec(&text).unwrap();
+            assert_bit_identical(&got, &want, tag);
+            assert!(host.stats().restarts >= 1, "{tag}: must survive a death");
+        }
+    }
+
+    #[test]
+    fn seeded_fault_schedules_converge_bit_identically() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        for seed in 0u64..6 {
+            let plan = FaultPlan::from_seed(seed, 2);
+            let mut host = ShardHost::new(fast_config(2).with_fault_plan(plan), ThreadSpawner);
+            let got = host.run_spec(&text).unwrap();
+            assert_bit_identical(&got, &want, &format!("seed={seed}"));
+        }
+    }
+
+    #[test]
+    fn stalled_worker_times_out_and_recovers() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        let plan = FaultPlan::none().with(1, WorkerFault::StallBeforeResult);
+        let mut host = ShardHost::new(fast_config(2).with_fault_plan(plan), ThreadSpawner);
+        let got = host.run_spec(&text).unwrap();
+        assert_bit_identical(&got, &want, "stall");
+        assert!(
+            host.stats().heartbeat_timeouts >= 1,
+            "stall must be timed out"
+        );
+    }
+
+    #[test]
+    fn invalid_spec_fails_fast_without_spawning() {
+        let mut host = ShardHost::new(fast_config(2), ThreadSpawner);
+        match host.run_spec("scenario:\n  name: x\n  bogus: 1\n") {
+            Err(HostError::InvalidSpec(diag)) => {
+                assert_eq!(diag.line, 3, "{diag}");
+                assert!(diag.context.contains("bogus"), "{diag}");
+            }
+            other => panic!("expected InvalidSpec, got {other:?}"),
+        }
+        assert_eq!(host.stats().spawns, 0, "compile errors must not spawn");
+        assert_eq!(host.stats().restarts, 0, "compile errors must not retry");
+    }
+
+    /// A spawner whose workers always die at startup — every spawn
+    /// succeeds, every worker is a corpse.
+    struct Moribund;
+    impl WorkerSpawner for Moribund {
+        fn spawn(
+            &self,
+            slot: u32,
+            epoch: u64,
+            _fault: Option<WorkerFault>,
+            events: mpsc::Sender<WorkerEvent>,
+        ) -> std::io::Result<Box<dyn WorkerHandle>> {
+            ThreadSpawner.spawn(
+                slot,
+                epoch,
+                Some(WorkerFault::DieAt(DiePoint::Startup)),
+                events,
+            )
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_report_worker_lost() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let mut host = ShardHost::new(fast_config(1), Moribund);
+        match host.run_spec(&text) {
+            Err(HostError::WorkerLost {
+                shard, attempts, ..
+            }) => {
+                assert_eq!(shard, 0);
+                assert_eq!(attempts, 3, "max_retries 2 = 3 attempts");
+            }
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unspawnable_workers_degrade_to_in_process() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        let spawner = crate::proc::ProcessSpawner::new("/nonexistent/sparseloop-shard-worker");
+        let mut host = ShardHost::new(fast_config(2), spawner);
+        let got = host.run_spec(&text).unwrap();
+        assert_bit_identical(&got, &want, "degraded");
+        assert_eq!(host.stats().degraded, 1);
+    }
+
+    #[test]
+    fn request_deadline_is_enforced() {
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let mut host = ShardHost::new(
+            fast_config(2).with_deadline(Duration::from_millis(1)),
+            ThreadSpawner,
+        );
+        // the 1ms budget cannot cover a debug-mode compile + search
+        match host.run_spec(&text) {
+            Err(HostError::DeadlineExceeded) => {}
+            Ok(_) => { /* astonishingly fast machine: nothing to assert */ }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_survives_back_to_back_requests() {
+        // the second request reuses the (restarted) fleet from the
+        // first — state from a faulted request must not leak forward
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        let plan = FaultPlan::none().with(0, WorkerFault::DieAt(DiePoint::BeforeResult));
+        let mut host = ShardHost::new(fast_config(2).with_fault_plan(plan), ThreadSpawner);
+        for round in 0..2 {
+            let got = host.run_spec(&text).unwrap();
+            assert_bit_identical(&got, &want, &format!("round {round}"));
+        }
+        assert_eq!(host.stats().requests, 2);
+    }
+}
