@@ -153,10 +153,98 @@ impl Case {
         if self.expect_restarts && stats.restarts == 0 {
             return Some("fault injected but no worker death was survived".into());
         }
-        if self.expect_heartbeat_timeout && stats.heartbeat_timeouts == 0 {
+        if self.expect_heartbeat_timeout && stats.deaths_heartbeat_timeout == 0 {
             return Some("silent worker was never timed out by heartbeat audit".into());
         }
         None
+    }
+}
+
+/// Running totals of every [`HostStats`] field across the whole matrix —
+/// the reconciliation reference for the shared metrics hub.
+#[derive(Default)]
+struct StatsTotals {
+    requests: u64,
+    spawns: u64,
+    restarts: u64,
+    redispatches: u64,
+    deaths_eof: u64,
+    deaths_heartbeat_timeout: u64,
+    kills_injected: u64,
+    degraded: u64,
+    frames_received: u64,
+    backoff_nanos_total: u64,
+    deadline_exceeded: u64,
+}
+
+impl StatsTotals {
+    fn absorb(&mut self, s: &HostStats) {
+        self.requests += s.requests;
+        self.spawns += s.spawns;
+        self.restarts += s.restarts;
+        self.redispatches += s.redispatches;
+        self.deaths_eof += s.deaths_eof;
+        self.deaths_heartbeat_timeout += s.deaths_heartbeat_timeout;
+        self.kills_injected += s.kills_injected;
+        self.degraded += s.degraded;
+        self.frames_received += s.frames_received;
+        self.backoff_nanos_total += s.backoff_nanos_total;
+        self.deadline_exceeded += s.deadline_exceeded;
+    }
+
+    /// Every fleet counter in the shared hub must equal the sum of the
+    /// per-case `HostStats` — each case published its deltas into the
+    /// same registry, so any drift means double- or under-counting.
+    fn reconcile(&self, snap: &sparseloop_obs::MetricsSnapshot) -> Vec<String> {
+        type Check<'a> = (&'a str, &'a [(&'a str, &'a str)], u64);
+        let counter = |name: &str, labels: &[(&str, &str)]| snap.value(name, labels).unwrap_or(0);
+        let expect: [Check; 11] = [
+            ("sparseloop_fleet_requests_total", &[], self.requests),
+            ("sparseloop_fleet_spawns_total", &[], self.spawns),
+            ("sparseloop_fleet_restarts_total", &[], self.restarts),
+            (
+                "sparseloop_fleet_redispatches_total",
+                &[],
+                self.redispatches,
+            ),
+            (
+                "sparseloop_fleet_deaths_total",
+                &[("cause", "eof")],
+                self.deaths_eof,
+            ),
+            (
+                "sparseloop_fleet_deaths_total",
+                &[("cause", "heartbeat_timeout")],
+                self.deaths_heartbeat_timeout,
+            ),
+            (
+                "sparseloop_fleet_kills_injected_total",
+                &[],
+                self.kills_injected,
+            ),
+            ("sparseloop_fleet_degraded_total", &[], self.degraded),
+            ("sparseloop_fleet_frames_total", &[], self.frames_received),
+            (
+                "sparseloop_fleet_backoff_nanos_total",
+                &[],
+                self.backoff_nanos_total,
+            ),
+            (
+                "sparseloop_fleet_deadline_exceeded_total",
+                &[],
+                self.deadline_exceeded,
+            ),
+        ];
+        expect
+            .iter()
+            .filter(|(name, labels, want)| counter(name, labels) != *want as i128)
+            .map(|(name, labels, want)| {
+                format!(
+                    "{name}{labels:?} = {}, host stats sum = {want}",
+                    counter(name, labels)
+                )
+            })
+            .collect()
     }
 }
 
@@ -223,6 +311,7 @@ fn cases() -> Vec<Case> {
 
 fn main() {
     let worker = worker_bin();
+    let snapshot_path = sparseloop_bench::metrics_snapshot_arg();
     let text = sparseloop_spec::emit_scenario(&smoke_scenario());
     let cases = cases();
     println!(
@@ -245,23 +334,31 @@ fn main() {
         })
         .collect();
 
+    // one hub shared by every case: each host publishes its deltas into
+    // the same registry, and the final snapshot must reconcile with the
+    // summed per-case `HostStats`
+    let hub = sparseloop_obs::ObsHub::new();
+    let mut totals = StatsTotals::default();
     let mut failures: Vec<String> = Vec::new();
     header(&[
         "schedule",
         "restarts",
-        "hb timeouts",
+        "hb deaths",
+        "eof deaths",
         "kills",
         "wall s",
         "verdict",
     ]);
     for case in &cases {
-        let mut host = ShardHost::new(
+        let mut host = ShardHost::new_observed(
             host_config(case.shards, case.plan.clone()),
             ProcessSpawner::new(&worker),
+            hub.clone(),
         );
         let (outcome, wall_s) = timed(|| host.run_spec(&text));
         let stats = host.stats();
         drop(host);
+        totals.absorb(&stats);
         let verdict = match outcome {
             Err(e) => Some(format!("request did not resolve: {e}")),
             Ok(reply) => mismatch(&reply, &reference[&case.shards])
@@ -271,7 +368,8 @@ fn main() {
         row(&[
             case.name.clone(),
             stats.restarts.to_string(),
-            stats.heartbeat_timeouts.to_string(),
+            stats.deaths_heartbeat_timeout.to_string(),
+            stats.deaths_eof.to_string(),
             stats.kills_injected.to_string(),
             format!("{wall_s:.3}"),
             verdict.clone().unwrap_or_else(|| "ok".into()),
@@ -281,6 +379,14 @@ fn main() {
         }
     }
 
+    let snap = hub.snapshot();
+    for drift in totals.reconcile(&snap) {
+        failures.push(format!("metrics drift: {drift}"));
+    }
+    if let Some(path) = snapshot_path {
+        sparseloop_bench::write_metrics_snapshot(&path, &snap);
+    }
+
     if !failures.is_empty() {
         eprintln!("\nfault smoke FAILED:");
         for f in &failures {
@@ -288,5 +394,8 @@ fn main() {
         }
         std::process::exit(1);
     }
-    println!("\nall {} schedules recovered bit-identically", cases.len());
+    println!(
+        "\nall {} schedules recovered bit-identically; fleet metrics reconcile",
+        cases.len()
+    );
 }

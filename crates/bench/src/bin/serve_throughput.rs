@@ -43,6 +43,13 @@ fn distinct_job(i: usize) -> EvalJob {
 }
 
 fn main() {
+    // `--metrics-snapshot <path>`: run the service and the fleet
+    // observed (one shared hub) and dump the final snapshot; without
+    // the flag, the measured rows stay instrumentation-free
+    let snapshot_path = sparseloop_bench::metrics_snapshot_arg();
+    let hub = snapshot_path
+        .as_ref()
+        .map(|_| sparseloop_obs::ObsHub::new());
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(2)
@@ -56,11 +63,13 @@ fn main() {
         "== serve throughput: {} scenarios, {workers} workers, {shards} shards ==",
         names.len()
     );
-    let service = EvalService::start(
+    let service = EvalService::start_with_registry_and_hub(
         ServeConfig::default()
             .with_workers(workers)
             .with_shards(shards)
             .with_queue_capacity(names.len().max(1)),
+        ScenarioRegistry::standard(),
+        hub.clone(),
     );
     let mut experiments = 0usize;
     let mut generated = 0usize;
@@ -79,6 +88,9 @@ fn main() {
             generated += sparseloop_bench::results_generated(&reply.results);
         }
     });
+    // refresh the session/queue gauges into the shared hub before the
+    // service goes away (the rendered snapshot reflects end-of-phase)
+    let _ = service.metrics_snapshot();
     let stats = service.shutdown();
     let requests_per_sec = names.len() as f64 / wall_s.max(1e-12);
     let mappings_per_sec = generated as f64 / wall_s.max(1e-12);
@@ -167,13 +179,16 @@ fn main() {
          (build it with `cargo build --bin sparseloop-shard-worker`)",
     );
     println!("\n== multi-process fleet: {shards} shards, real workers ==");
-    let mut host = ShardHost::new(
-        HostConfig::default()
-            .with_shards(shards)
-            .with_heartbeat(20, Duration::from_millis(1000))
-            .with_retries(2, Duration::from_millis(5)),
-        ProcessSpawner::new(&worker),
-    );
+    let host_config = HostConfig::default()
+        .with_shards(shards)
+        .with_heartbeat(20, Duration::from_millis(1000))
+        .with_retries(2, Duration::from_millis(5));
+    let mut host = match &hub {
+        Some(hub) => {
+            ShardHost::new_observed(host_config, ProcessSpawner::new(&worker), hub.clone())
+        }
+        None => ShardHost::new(host_config, ProcessSpawner::new(&worker)),
+    };
     let mut mp_generated = 0usize;
     let (_, mp_wall_s) = timed(|| {
         for scenario in registry.scenarios() {
@@ -271,6 +286,10 @@ fn main() {
     };
     std::fs::write(path, merged).expect("write BENCH_mapper.json");
     println!("\nwrote serve + serve_multiproc throughput rows into {path}");
+
+    if let (Some(path), Some(hub)) = (&snapshot_path, &hub) {
+        sparseloop_bench::write_metrics_snapshot(path, &hub.snapshot());
+    }
 }
 
 /// Splices the serve rows (`"serve"` and `"serve_multiproc"`, written

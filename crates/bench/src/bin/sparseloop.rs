@@ -8,11 +8,19 @@
 //! sparseloop run <spec.yaml | name> [--threads N] [--shards N]
 //! sparseloop emit <scenario-name>     # standard scenario -> spec text
 //! sparseloop emit --all <dir>         # whole registry -> <dir>/<name>.yaml
+//! sparseloop stats [<spec.yaml | name>] [--shards N] [--metrics-snapshot <path>]
 //! ```
+//!
+//! `stats` serves the scenario through an *observed* evaluation service
+//! and an in-process worker fleet sharing one metrics hub, then prints
+//! the Prometheus-style snapshot and the request trace table (see the
+//! README's "Observability" section for the metric catalog).
 
 use sparseloop_bench::{fnum, header, row};
 use sparseloop_core::EvalSession;
 use sparseloop_designs::{Scenario, ScenarioOutcome, ScenarioRegistry};
+use sparseloop_obs::ObsHub;
+use sparseloop_serve::{EvalService, HostConfig, ServeConfig, ShardHost, ThreadSpawner};
 use sparseloop_spec::{emit_scenario, load_file, SpecRegistryExt};
 use std::path::Path;
 use std::process::ExitCode;
@@ -22,7 +30,8 @@ const USAGE: &str = "usage:
   sparseloop check <spec.yaml>...
   sparseloop run <spec.yaml | scenario-name> [--threads N] [--shards N]
   sparseloop emit <scenario-name>
-  sparseloop emit --all <dir>";
+  sparseloop emit --all <dir>
+  sparseloop stats [<spec.yaml | scenario-name>] [--shards N] [--metrics-snapshot <path>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +47,7 @@ fn main() -> ExitCode {
         "check" => check(rest),
         "run" => run(rest),
         "emit" => emit(rest),
+        "stats" => stats(rest),
         other => {
             eprintln!("unknown command {other:?}\n{USAGE}");
             ExitCode::FAILURE
@@ -213,6 +223,97 @@ fn print_outcome(scenario: &Scenario, outcome: &ScenarioOutcome) {
         stats.pruned,
         fnum(outcome.mappings_per_sec())
     );
+}
+
+/// `sparseloop stats`: serve one scenario through an observed
+/// [`EvalService`] and an observed in-process worker fleet (one shared
+/// [`ObsHub`]), then print the metrics snapshot and trace table.
+fn stats(args: &[String]) -> ExitCode {
+    let mut target: Option<String> = None;
+    let mut shards = 2usize;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => shards = n.max(1),
+                None => {
+                    eprintln!("stats: --shards needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--metrics-snapshot" => match it.next() {
+                Some(path) => out = Some(path.clone()),
+                None => {
+                    eprintln!("stats: --metrics-snapshot needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if target.is_none() => target = Some(other.to_string()),
+            other => {
+                eprintln!("stats: unexpected argument {other:?}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let target = target.unwrap_or_else(|| "fig1_format_tradeoff".to_string());
+    // resolve to spec *text*: both the service and the fleet consume it
+    let text = if Path::new(&target).is_file() {
+        match load_file(&target) {
+            Ok(_) => std::fs::read_to_string(&target).expect("re-read checked spec file"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let registry = ScenarioRegistry::standard();
+        match registry.get(&target) {
+            Some(scenario) => emit_scenario(scenario),
+            None => {
+                eprintln!(
+                    "{target:?} is neither a spec file nor a registered scenario; registered: {:?}",
+                    registry.names()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let hub = ObsHub::new();
+
+    // phase 1: the queue-driven service
+    let service = EvalService::start_observed(
+        ServeConfig::default().with_workers(2).with_shards(shards),
+        hub.clone(),
+    );
+    let ticket = service.submit_spec(text.clone()).expect("admission");
+    if let Err(e) = ticket.wait() {
+        eprintln!("stats: service request failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let _ = service.metrics_snapshot(); // refresh session/queue gauges
+    service.shutdown();
+
+    // phase 2: the supervised fleet (in-process workers — no external
+    // binary needed; `ProcessSpawner` fleets publish identically)
+    let mut host = ShardHost::new_observed(
+        HostConfig::default().with_shards(shards),
+        ThreadSpawner,
+        hub.clone(),
+    );
+    if let Err(e) = host.run_spec(&text) {
+        eprintln!("stats: fleet request failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    drop(host);
+
+    let snap = hub.snapshot();
+    println!("{}", snap.render_text());
+    println!("{}", hub.traces().render_text());
+    if let Some(path) = out {
+        sparseloop_bench::write_metrics_snapshot(Path::new(&path), &snap);
+    }
+    ExitCode::SUCCESS
 }
 
 fn emit(args: &[String]) -> ExitCode {

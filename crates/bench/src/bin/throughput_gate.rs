@@ -173,6 +173,33 @@ fn main() {
         ),
     }
 
+    // -- serving-layer instrumentation overhead --
+    // the observability hub must stay effectively free on the serving
+    // hot path: A/B the same request batch through an uninstrumented
+    // and an observed EvalService (machine-independent — both runs
+    // happen here, on this runner)
+    let overhead_limit: f64 = std::env::var("SPARSELOOP_METRICS_OVERHEAD_MAX_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5.0);
+    let overhead = sparseloop_bench::measure_metrics_overhead(24, 3);
+    let pct = overhead.overhead_pct();
+    let verdict = if pct <= overhead_limit {
+        "ok"
+    } else {
+        "REGRESSED"
+    };
+    println!(
+        "metrics overhead: {:.0} -> {:.0} requests/s ({pct:+.2}%, limit {overhead_limit:.2}%) — {verdict}",
+        overhead.baseline_rps, overhead.observed_rps
+    );
+    if pct > overhead_limit {
+        failures.push(format!(
+            "metrics overhead: instrumentation costs {pct:.2}% serving throughput \
+             (limit {overhead_limit:.2}%)"
+        ));
+    }
+
     if failures.is_empty() {
         println!("\nthroughput gate passed");
     } else {

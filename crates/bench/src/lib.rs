@@ -279,6 +279,119 @@ pub fn measure_eval_delta(scenario: &sparseloop_designs::Scenario, reps: usize) 
     }
 }
 
+/// Parses `--metrics-snapshot <path>` out of the process arguments —
+/// the shared flag the serving harness binaries use to dump their final
+/// metrics snapshot as Prometheus-style text. `None` when absent; a
+/// missing path value fails the run (a silent no-op would be worse).
+pub fn metrics_snapshot_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--metrics-snapshot" {
+            match args.next() {
+                Some(path) => return Some(std::path::PathBuf::from(path)),
+                None => {
+                    eprintln!("--metrics-snapshot requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Writes a metrics snapshot as Prometheus-style text, failing the run
+/// on I/O errors (harness binaries treat an unwritable snapshot as a
+/// broken contract, not a warning).
+pub fn write_metrics_snapshot(path: &std::path::Path, snap: &sparseloop_obs::MetricsSnapshot) {
+    if let Err(e) = std::fs::write(path, snap.render_text()) {
+        eprintln!("failed to write metrics snapshot {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("metrics snapshot written to {}", path.display());
+}
+
+/// A/B measurement of the serving layer's instrumentation cost: the
+/// same request batch through an uninstrumented [`EvalService`] and an
+/// observed one (fresh [`ObsHub`](sparseloop_obs::ObsHub) per rep).
+pub struct MetricsOverhead {
+    /// Requests served per measurement.
+    pub requests: usize,
+    /// Uninstrumented throughput (requests/sec, best of reps).
+    pub baseline_rps: f64,
+    /// Instrumented throughput (requests/sec, best of reps).
+    pub observed_rps: f64,
+}
+
+impl MetricsOverhead {
+    /// Instrumentation overhead in percent (negative when the observed
+    /// run happened to be faster — noise on a near-zero cost).
+    pub fn overhead_pct(&self) -> f64 {
+        (self.baseline_rps / self.observed_rps.max(1e-12) - 1.0) * 100.0
+    }
+}
+
+/// Measures [`MetricsOverhead`] by serving `requests` small search jobs
+/// through both service variants, best wall time of `reps` runs each.
+/// The jobs repeat one workload, so session caches stay hot and the
+/// serve-layer cost (queue, counters, metrics) dominates — the
+/// *conservative* direction for an overhead gate.
+pub fn measure_metrics_overhead(requests: usize, reps: usize) -> MetricsOverhead {
+    use sparseloop_core::{EvalJob, JobPlan, Objective};
+    use sparseloop_serve::{EvalService, ServeConfig, ServeRequest};
+
+    let job = || -> EvalJob {
+        let layer = sparseloop_workloads::spmspm(8, 8, 8, 0.5, 0.5);
+        let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+        let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+        EvalJob {
+            workload: Workload::new(layer.einsum.clone(), layer.densities.clone()),
+            arch: dp.arch,
+            safs: dp.safs,
+            plan: JobPlan::Search {
+                space,
+                mapper: Mapper::Exhaustive { limit: 200 },
+                objective: Objective::Edp,
+            },
+        }
+    };
+    let config = ServeConfig::default()
+        .with_workers(2)
+        .with_queue_capacity(64);
+    let run = |observed: bool| -> f64 {
+        let mut best = f64::MAX;
+        for _ in 0..reps.max(1) {
+            let service = if observed {
+                EvalService::start_observed(config, sparseloop_obs::ObsHub::new())
+            } else {
+                EvalService::start(config)
+            };
+            let (_, secs) = timed(|| {
+                let tickets: Vec<_> = (0..requests)
+                    .map(|_| {
+                        service
+                            .submit_blocking(ServeRequest::Job(Box::new(job())))
+                            .expect("service accepting")
+                    })
+                    .collect();
+                for t in tickets {
+                    t.wait()
+                        .expect("request resolves")
+                        .into_job()
+                        .expect("job ok");
+                }
+            });
+            service.shutdown();
+            best = best.min(secs);
+        }
+        requests as f64 / best.max(1e-12)
+    };
+    MetricsOverhead {
+        requests,
+        baseline_rps: run(false),
+        observed_rps: run(true),
+    }
+}
+
 #[cfg(test)]
 mod scenario_tests {
     use super::*;

@@ -10,9 +10,10 @@
 use sparseloop_core::EvalSession;
 use sparseloop_designs::{Experiment, Scenario};
 use sparseloop_mapping::Mapspace;
+use sparseloop_obs::ObsHub;
 use sparseloop_serve::{
-    scenario_reply, DiePoint, FaultPlan, HostConfig, ProcessSpawner, ScenarioReply, ShardHost,
-    WorkerFault,
+    scenario_reply, DiePoint, FaultPlan, HostConfig, HostError, ProcessSpawner, ScenarioReply,
+    ShardHost, WorkerFault,
 };
 use std::time::Duration;
 
@@ -70,6 +71,57 @@ fn config(shards: usize) -> HostConfig {
         .with_retries(3, Duration::from_millis(5))
 }
 
+/// Every `sparseloop_fleet_*` counter in the hub must equal its
+/// [`HostStats`](sparseloop_serve::HostStats) field — the published
+/// metric deltas and the host's own bookkeeping are two records of the
+/// same events, so any drift is a double- or under-count.
+fn assert_metrics_reconcile(host: &ShardHost<ProcessSpawner>, hub: &ObsHub, tag: &str) {
+    type Check<'a> = (&'a str, &'a [(&'a str, &'a str)], u64);
+    let stats = host.stats();
+    let snap = hub.snapshot();
+    let counter =
+        |name: &str, labels: &[(&str, &str)]| snap.value(name, labels).unwrap_or(0) as u64;
+    let checks: [Check; 10] = [
+        ("sparseloop_fleet_requests_total", &[], stats.requests),
+        ("sparseloop_fleet_spawns_total", &[], stats.spawns),
+        ("sparseloop_fleet_restarts_total", &[], stats.restarts),
+        (
+            "sparseloop_fleet_redispatches_total",
+            &[],
+            stats.redispatches,
+        ),
+        (
+            "sparseloop_fleet_deaths_total",
+            &[("cause", "eof")],
+            stats.deaths_eof,
+        ),
+        (
+            "sparseloop_fleet_deaths_total",
+            &[("cause", "heartbeat_timeout")],
+            stats.deaths_heartbeat_timeout,
+        ),
+        (
+            "sparseloop_fleet_kills_injected_total",
+            &[],
+            stats.kills_injected,
+        ),
+        ("sparseloop_fleet_degraded_total", &[], stats.degraded),
+        ("sparseloop_fleet_frames_total", &[], stats.frames_received),
+        (
+            "sparseloop_fleet_deadline_exceeded_total",
+            &[],
+            stats.deadline_exceeded,
+        ),
+    ];
+    for (name, labels, want) in checks {
+        assert_eq!(
+            counter(name, labels),
+            want,
+            "{tag}: {name}{labels:?} drifted from HostStats"
+        );
+    }
+}
+
 #[test]
 fn real_processes_match_in_process_run() {
     let text = sparseloop_spec::emit_scenario(&small_scenario());
@@ -90,9 +142,11 @@ fn sigkilled_process_is_survived_bit_identically() {
     let text = sparseloop_spec::emit_scenario(&small_scenario());
     let want = reference_reply(&text, 2);
     let plan = FaultPlan::none().with(0, WorkerFault::KillAfterFrames(0));
-    let mut host = ShardHost::new(
+    let hub = ObsHub::new();
+    let mut host = ShardHost::new_observed(
         config(2).with_fault_plan(plan),
         ProcessSpawner::new(WORKER_BIN),
+        hub.clone(),
     );
     let got = host.run_spec(&text).expect("fleet survives the kill");
     assert_bit_identical(&got, &want, "kill@0");
@@ -100,6 +154,7 @@ fn sigkilled_process_is_survived_bit_identically() {
     assert_eq!(stats.kills_injected, 1);
     assert!(stats.restarts >= 1, "the killed worker must be replaced");
     assert_eq!(stats.degraded, 0);
+    assert_metrics_reconcile(&host, &hub, "kill@0");
 }
 
 #[test]
@@ -107,13 +162,94 @@ fn process_dying_before_its_result_is_survived() {
     let text = sparseloop_spec::emit_scenario(&small_scenario());
     let want = reference_reply(&text, 2);
     let plan = FaultPlan::none().with(1, WorkerFault::DieAt(DiePoint::BeforeResult));
-    let mut host = ShardHost::new(
+    let hub = ObsHub::new();
+    let mut host = ShardHost::new_observed(
         config(2).with_fault_plan(plan),
         ProcessSpawner::new(WORKER_BIN),
+        hub.clone(),
     );
     let got = host.run_spec(&text).expect("fleet survives the death");
     assert_bit_identical(&got, &want, "die-before-result");
-    assert!(host.stats().restarts >= 1);
+    let stats = host.stats();
+    assert!(stats.restarts >= 1);
+    assert!(
+        stats.deaths_eof >= 1,
+        "an exiting process must be booked as an EOF death, not a heartbeat timeout"
+    );
+    assert_metrics_reconcile(&host, &hub, "die-before-result");
+}
+
+#[test]
+fn stalled_process_is_timed_out_and_metrics_reconcile() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let want = reference_reply(&text, 2);
+    let plan = FaultPlan::none().with(0, WorkerFault::StallBeforeResult);
+    let hub = ObsHub::new();
+    let mut host = ShardHost::new_observed(
+        config(2).with_fault_plan(plan),
+        ProcessSpawner::new(WORKER_BIN),
+        hub.clone(),
+    );
+    let got = host.run_spec(&text).expect("fleet survives the stall");
+    assert_bit_identical(&got, &want, "stall");
+    let stats = host.stats();
+    assert!(
+        stats.deaths_heartbeat_timeout >= 1,
+        "a silent worker must be detected by heartbeat audit"
+    );
+    assert!(stats.restarts >= 1);
+    assert!(
+        stats.backoff_nanos_total > 0,
+        "the retry after the timeout must have backed off"
+    );
+    assert_metrics_reconcile(&host, &hub, "stall");
+}
+
+#[test]
+fn corrupted_result_is_survived_and_metrics_reconcile() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let want = reference_reply(&text, 2);
+    let plan = FaultPlan::none().with(1, WorkerFault::CorruptResult);
+    let hub = ObsHub::new();
+    let mut host = ShardHost::new_observed(
+        config(2).with_fault_plan(plan),
+        ProcessSpawner::new(WORKER_BIN),
+        hub.clone(),
+    );
+    let got = host.run_spec(&text).expect("fleet survives the corruption");
+    assert_bit_identical(&got, &want, "corrupt");
+    assert!(
+        host.stats().restarts >= 1,
+        "the corrupt worker must be replaced"
+    );
+    assert_metrics_reconcile(&host, &hub, "corrupt");
+}
+
+#[test]
+fn deadline_expiry_reconciles_error_with_metrics() {
+    // a stalled shard plus a deadline shorter than the heartbeat
+    // timeout: the request must fail with DeadlineExceeded, and the
+    // `deadline_exceeded` counter must agree with the returned error
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let plan = FaultPlan::none().with(0, WorkerFault::StallBeforeResult);
+    let hub = ObsHub::new();
+    let mut host = ShardHost::new_observed(
+        config(2)
+            .with_fault_plan(plan)
+            .with_deadline(Duration::from_millis(100)),
+        ProcessSpawner::new(WORKER_BIN),
+        hub.clone(),
+    );
+    match host.run_spec(&text) {
+        Err(HostError::DeadlineExceeded) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = host.stats();
+    assert_eq!(
+        stats.deadline_exceeded, 1,
+        "exactly one request failed on its deadline"
+    );
+    assert_metrics_reconcile(&host, &hub, "deadline");
 }
 
 #[test]

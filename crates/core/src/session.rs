@@ -127,6 +127,14 @@ pub struct SessionStats {
     pub format_slots: usize,
 }
 
+impl SessionStats {
+    /// Total intern slots held (density models + format slots) — the
+    /// quantity session-recycling budgets are expressed in.
+    pub fn total_slots(&self) -> usize {
+        self.density_models + self.format_slots
+    }
+}
+
 #[derive(Default)]
 struct SessionInner {
     /// `DensityModel::cache_key` -> shared memoized model. The key is a

@@ -1,0 +1,167 @@
+//! # sparseloop-obs — observability layer for the serving stack
+//!
+//! Dependency-free metrics + tracing shared by every crate in the workspace:
+//!
+//! - [`MetricsRegistry`]: named counters, gauges, and fixed-bucket histograms.
+//!   Registration interns names/labels into `&'static str` behind a mutex;
+//!   the returned handles update via relaxed atomics, so the hot path is
+//!   lock-free. [`MetricsRegistry::snapshot`] freezes everything into a
+//!   [`MetricsSnapshot`] that renders Prometheus-style text exposition
+//!   ([`MetricsSnapshot::render_text`]) and parses it back
+//!   ([`MetricsSnapshot::parse_text`]) so smoke tests can assert invariants
+//!   against the exact scraped bytes.
+//! - [`TraceBuffer`]: bounded ring of [`TraceEvent`] spans following a request
+//!   id through queue wait → session eval → shard dispatch → worker
+//!   round-trip, including worker-side compile/search phases shipped back
+//!   over the frame protocol.
+//! - [`Clock`]: injectable time source. Production uses [`MonotonicClock`];
+//!   tests use [`ManualClock`] for fully deterministic durations.
+//! - [`ObsHub`]: the `(registry, traces, clock)` bundle the serving layers
+//!   accept. It is `Clone` (all `Arc`s), cheap to thread through constructors,
+//!   and optional everywhere — uninstrumented paths pay only an `Option`
+//!   check.
+//!
+//! The metric catalog (names, types, labels) lives in the README's
+//! "Observability" section; the serving crates own the catalog, this crate
+//! owns the mechanism.
+
+mod clock;
+mod metrics;
+mod trace;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ParsedSnapshot,
+    Sample, SampleValue, LATENCY_BUCKETS_NANOS,
+};
+pub use trace::{SpanKind, TraceBuffer, TraceEvent};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default trace ring capacity for [`ObsHub::new`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// Shared observability context: one metrics registry, one trace ring, one
+/// clock, and a process-unique request-id allocator.
+#[derive(Clone, Debug)]
+pub struct ObsHub {
+    registry: Arc<MetricsRegistry>,
+    traces: Arc<TraceBuffer>,
+    clock: Arc<dyn Clock>,
+    next_request_id: Arc<AtomicU64>,
+}
+
+impl ObsHub {
+    /// Hub with a monotonic clock and the default trace capacity.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()), DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Hub with an explicit clock (tests inject [`ManualClock`]) and trace
+    /// ring capacity.
+    pub fn with_clock(clock: Arc<dyn Clock>, trace_capacity: usize) -> Self {
+        Self {
+            registry: Arc::new(MetricsRegistry::new()),
+            traces: Arc::new(TraceBuffer::new(trace_capacity)),
+            clock,
+            next_request_id: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    pub fn traces(&self) -> &TraceBuffer {
+        &self.traces
+    }
+
+    /// Current reading of the hub clock, nanoseconds.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.now_nanos()
+    }
+
+    /// Allocate the next request id (starts at 1; 0 means "no request").
+    pub fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record a completed span ending now.
+    pub fn span(&self, request_id: u64, kind: SpanKind, shard: Option<u32>, start_nanos: u64) {
+        let now = self.now_nanos();
+        self.traces.record(TraceEvent {
+            request_id,
+            kind,
+            shard,
+            start_nanos,
+            duration_nanos: now.saturating_sub(start_nanos),
+        });
+    }
+
+    /// Record a span with an explicit duration (for worker-side timings that
+    /// arrive over the wire in the worker's clock domain).
+    pub fn span_with_duration(
+        &self,
+        request_id: u64,
+        kind: SpanKind,
+        shard: Option<u32>,
+        start_nanos: u64,
+        duration_nanos: u64,
+    ) {
+        self.traces.record(TraceEvent {
+            request_id,
+            kind,
+            shard,
+            start_nanos,
+            duration_nanos,
+        });
+    }
+
+    /// Freeze the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_spans_use_injected_clock() {
+        let clock = Arc::new(ManualClock::new());
+        let hub = ObsHub::with_clock(clock.clone(), 16);
+        let start = hub.now_nanos();
+        clock.advance(500);
+        hub.span(1, SpanKind::SessionEval, None, start);
+        let events = hub.traces().events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].duration_nanos, 500);
+        assert_eq!(events[0].start_nanos, 0);
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_nonzero() {
+        let hub = ObsHub::new();
+        let a = hub.next_request_id();
+        let b = hub.next_request_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let hub = ObsHub::new();
+        let clone = hub.clone();
+        hub.registry().counter("shared_total", &[]).add(2);
+        clone.registry().counter("shared_total", &[]).inc();
+        assert_eq!(hub.snapshot().value("shared_total", &[]), Some(3));
+    }
+}

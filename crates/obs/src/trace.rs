@@ -1,0 +1,197 @@
+//! Structured tracing spans in a bounded ring buffer.
+//!
+//! Each request gets a process-unique id at admission; every stage it passes
+//! through records a [`TraceEvent`] (kind + start + duration + optional
+//! shard). The buffer is a fixed-capacity ring: when full, the oldest events
+//! are dropped and counted, so tracing can stay on permanently without
+//! unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Which stage of the request lifecycle a span covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Time between admission into the bounded queue and a worker popping it.
+    QueueWait,
+    /// In-process evaluation inside `EvalSession` (compile + search).
+    SessionEval,
+    /// One dispatch attempt of a shard to a fleet worker (send → result or
+    /// death), as observed by the supervisor.
+    ShardDispatch,
+    /// Full round-trip of one request through the fleet (`run_spec` entry to
+    /// merged winner).
+    WorkerRoundTrip,
+    /// Worker-side: compiling the spec into an evaluation plan.
+    WorkerCompile,
+    /// Worker-side: sharded mapspace search.
+    WorkerSearch,
+}
+
+impl SpanKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::SessionEval => "session_eval",
+            SpanKind::ShardDispatch => "shard_dispatch",
+            SpanKind::WorkerRoundTrip => "worker_round_trip",
+            SpanKind::WorkerCompile => "worker_compile",
+            SpanKind::WorkerSearch => "worker_search",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Process-unique request id (0 when the producer has no request scope).
+    pub request_id: u64,
+    pub kind: SpanKind,
+    /// Shard index for per-shard spans, `None` for request-scoped ones.
+    pub shard: Option<u32>,
+    /// Span start, in the owning hub's clock domain (nanoseconds).
+    pub start_nanos: u64,
+    pub duration_nanos: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Fixed-capacity span sink. `record` is O(1); `events` copies out.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    ring: Mutex<Ring>,
+    capacity: usize,
+}
+
+impl TraceBuffer {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            ring: Mutex::new(Ring::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn record(&self, event: TraceEvent) {
+        let mut ring = self.ring.lock().expect("trace buffer poisoned");
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Oldest-first copy of the retained events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("trace buffer poisoned");
+        ring.events.iter().copied().collect()
+    }
+
+    /// Number of events evicted to make room since construction.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("trace buffer poisoned").dropped
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .expect("trace buffer poisoned")
+            .events
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Human-readable span table: one line per event, oldest first, plus a
+    /// drop summary. Used by `sparseloop stats`.
+    pub fn render_text(&self) -> String {
+        let events = self.events();
+        let dropped = self.dropped();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# traces: {} retained, {} dropped (capacity {})\n",
+            events.len(),
+            dropped,
+            self.capacity
+        ));
+        for ev in &events {
+            let shard = match ev.shard {
+                Some(s) => format!(" shard={s}"),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "req={:<6} {:<17} start={}ns dur={}ns{}\n",
+                ev.request_id,
+                ev.kind.as_str(),
+                ev.start_nanos,
+                ev.duration_nanos,
+                shard
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64, start: u64) -> TraceEvent {
+        TraceEvent {
+            request_id: id,
+            kind: SpanKind::QueueWait,
+            shard: None,
+            start_nanos: start,
+            duration_nanos: 10,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let buf = TraceBuffer::new(3);
+        for i in 0..5 {
+            buf.record(ev(i, i * 100));
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(
+            events.iter().map(|e| e.request_id).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn render_includes_kind_and_shard() {
+        let buf = TraceBuffer::new(8);
+        buf.record(TraceEvent {
+            request_id: 7,
+            kind: SpanKind::ShardDispatch,
+            shard: Some(2),
+            start_nanos: 100,
+            duration_nanos: 50,
+        });
+        let text = buf.render_text();
+        assert!(text.contains("shard_dispatch"));
+        assert!(text.contains("shard=2"));
+        assert!(text.contains("req=7"));
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let buf = TraceBuffer::new(0);
+        buf.record(ev(1, 0));
+        buf.record(ev(2, 0));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.dropped(), 1);
+    }
+}

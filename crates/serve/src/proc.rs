@@ -150,16 +150,35 @@ fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// Worker-side phase timings and counters for one task, measured with
+/// the worker's own monotonic clock and shipped to the parent as a
+/// [`Frame::Stats`] when the task asked for it.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskPhases {
+    compile_nanos: u64,
+    search_nanos: u64,
+    generated: u64,
+    evaluated: u64,
+}
+
 /// Compiles `spec` and evaluates this worker's shard of every search
 /// experiment; fixed-mapping experiments are [`ExpResult::Skipped`]
 /// (the parent evaluates them locally — no candidate stream to shard).
 /// A compile error is a deterministic failure.
-fn run_task(spec: &str, shard: usize, shards: usize) -> Result<Vec<ExpResult>, String> {
+fn run_task(
+    spec: &str,
+    shard: usize,
+    shards: usize,
+) -> Result<(Vec<ExpResult>, TaskPhases), String> {
+    let mut phases = TaskPhases::default();
+    let compile_start = std::time::Instant::now();
     let scenario = sparseloop_spec::compile_str(spec)
         .map_err(|e| e.to_string())?
         .into_scenario();
+    phases.compile_nanos = elapsed_nanos(compile_start);
     let session = EvalSession::new();
     let mut results = Vec::new();
+    let search_start = std::time::Instant::now();
     for exp in scenario.experiments() {
         let job = exp.job();
         match job.plan {
@@ -172,6 +191,8 @@ fn run_task(spec: &str, shard: usize, shards: usize) -> Result<Vec<ExpResult>, S
                 let model = session.model(job.workload, job.arch, job.safs);
                 let (winner, stats) =
                     model.search_shard_counted(&space, mapper, objective, shard, shards);
+                phases.generated += stats.generated as u64;
+                phases.evaluated += stats.evaluated as u64;
                 results.push(match winner {
                     Some((value, key, mapping)) => ExpResult::Winner {
                         value,
@@ -184,7 +205,12 @@ fn run_task(spec: &str, shard: usize, shards: usize) -> Result<Vec<ExpResult>, S
             }
         }
     }
-    Ok(results)
+    phases.search_nanos = elapsed_nanos(search_start);
+    Ok((results, phases))
+}
+
+fn elapsed_nanos(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// The shard-worker loop: handshake, then read [`Frame::Task`]s,
@@ -233,6 +259,7 @@ where
                 shards,
                 heartbeat_ms,
                 spec,
+                want_stats,
             } => {
                 let stop = Arc::new(AtomicBool::new(false));
                 let heartbeater = if heartbeat_ms > 0 {
@@ -262,8 +289,21 @@ where
                 if let Some(h) = heartbeater {
                     let _ = h.join();
                 }
+                let mut stats_frame = None;
                 let reply = match outcome {
-                    Ok(Ok(results)) => Frame::TaskDone { id, results },
+                    Ok(Ok((results, phases))) => {
+                        if want_stats {
+                            stats_frame = Some(Frame::Stats {
+                                id,
+                                shard,
+                                compile_nanos: phases.compile_nanos,
+                                search_nanos: phases.search_nanos,
+                                generated: phases.generated,
+                                evaluated: phases.evaluated,
+                            });
+                        }
+                        Frame::TaskDone { id, results }
+                    }
                     Ok(Err(message)) => Frame::TaskFailed {
                         id,
                         deterministic: true,
@@ -294,6 +334,15 @@ where
                     Some(WorkerFault::DropResult) => {}
                     _ => {
                         let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                        // Phase timings ride immediately ahead of the
+                        // result; a faulting worker (the arms above)
+                        // never sends them, keeping fault frame
+                        // schedules unchanged.
+                        if let Some(stats) = &stats_frame {
+                            if write_frame(&mut *w, stats).is_err() {
+                                return;
+                            }
+                        }
                         if write_frame(&mut *w, &reply).is_err() {
                             return;
                         }
@@ -582,6 +631,7 @@ mod tests {
                 shards: 1,
                 heartbeat_ms: 0,
                 spec: "scenario:\n  nonsense: true\n".into(),
+                want_stats: false,
             })
             .unwrap();
         match rx.recv_timeout(Duration::from_secs(5)).unwrap().kind {

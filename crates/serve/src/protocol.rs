@@ -31,9 +31,18 @@ use sparseloop_mapping::{CandidateKey, Mapping, SearchStats, WireError, WireRead
 use std::fmt;
 use std::io::{Read, Write};
 
-/// Protocol revision; a worker whose [`Frame::Hello`] disagrees is
-/// refused.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol revision.
+///
+/// Version history:
+/// - v1: Hello/Task/Heartbeat/TaskDone/TaskFailed/Shutdown.
+/// - v2: [`Frame::Task`] gains a trailing `want_stats` flag and workers
+///   may reply with a [`Frame::Stats`] phase-timing frame before
+///   `TaskDone`. Both directions stay compatible with v1 peers: a v1
+///   worker ignores the trailing Task byte (payload decoding tolerates
+///   trailing bytes) and never sees `want_stats` honored; a v1 parent
+///   never sets `want_stats`, so a v2 worker never sends the `Stats`
+///   frame it could not decode.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frame magic: "SLF1" little-endian.
 pub const FRAME_MAGIC: u32 = 0x3146_4C53;
@@ -88,6 +97,11 @@ pub enum Frame {
         heartbeat_ms: u32,
         /// The scenario as spec text (compiled worker-side).
         spec: String,
+        /// Ask the worker for a [`Frame::Stats`] phase-timing frame
+        /// before its `TaskDone`. Encoded as a trailing byte so v1
+        /// workers (which ignore trailing payload bytes) still decode
+        /// the task; absent on the wire means `false`.
+        want_stats: bool,
     },
     /// Worker → parent: liveness signal while a task computes.
     Heartbeat {
@@ -116,6 +130,25 @@ pub enum Frame {
         deterministic: bool,
         /// Human-readable cause.
         message: String,
+    },
+    /// Worker → parent: phase timings for a task, sent immediately
+    /// before the corresponding [`Frame::TaskDone`] — and only when the
+    /// task asked for it via `want_stats` (v2+). Durations are in the
+    /// worker's own clock domain, so only their magnitudes are
+    /// meaningful to the parent.
+    Stats {
+        /// The task these timings belong to.
+        id: u64,
+        /// The shard index this worker computed.
+        shard: u32,
+        /// Nanoseconds compiling the spec into an evaluation plan.
+        compile_nanos: u64,
+        /// Nanoseconds walking the sharded mapspace.
+        search_nanos: u64,
+        /// Candidates generated across the task's experiments.
+        generated: u64,
+        /// Candidates fully evaluated across the task's experiments.
+        evaluated: u64,
     },
     /// Parent → worker: exit cleanly.
     Shutdown,
@@ -243,6 +276,7 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             shards,
             heartbeat_ms,
             spec,
+            want_stats,
         } => {
             w.put_u8(2);
             w.put_u64(*id);
@@ -250,6 +284,9 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_u32(*shards);
             w.put_u32(*heartbeat_ms);
             w.put_str(spec);
+            // v2 trailing field: v1 decoders stop at the spec and ignore
+            // this byte, so the frame stays backward compatible.
+            w.put_bool(*want_stats);
         }
         Frame::Heartbeat { id, seq } => {
             w.put_u8(3);
@@ -274,6 +311,22 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_bool(*deterministic);
             w.put_str(message);
         }
+        Frame::Stats {
+            id,
+            shard,
+            compile_nanos,
+            search_nanos,
+            generated,
+            evaluated,
+        } => {
+            w.put_u8(7);
+            w.put_u64(*id);
+            w.put_u32(*shard);
+            w.put_u64(*compile_nanos);
+            w.put_u64(*search_nanos);
+            w.put_u64(*generated);
+            w.put_u64(*evaluated);
+        }
         Frame::Shutdown => w.put_u8(6),
     }
     w.into_bytes()
@@ -292,6 +345,13 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Frame, ProtocolError> {
             shards: r.get_u32("task.shards")?,
             heartbeat_ms: r.get_u32("task.heartbeat_ms")?,
             spec: r.get_str("task.spec")?,
+            // A v1 peer's Task ends at the spec; treat the missing
+            // trailing flag as `false`.
+            want_stats: if r.is_done() {
+                false
+            } else {
+                r.get_bool("task.want_stats")?
+            },
         },
         3 => Frame::Heartbeat {
             id: r.get_u64("hb.id")?,
@@ -312,6 +372,14 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Frame, ProtocolError> {
             message: r.get_str("failed.message")?,
         },
         6 => Frame::Shutdown,
+        7 => Frame::Stats {
+            id: r.get_u64("stats.id")?,
+            shard: r.get_u32("stats.shard")?,
+            compile_nanos: r.get_u64("stats.compile_nanos")?,
+            search_nanos: r.get_u64("stats.search_nanos")?,
+            generated: r.get_u64("stats.generated")?,
+            evaluated: r.get_u64("stats.evaluated")?,
+        },
         tag => return Err(ProtocolError::UnknownTag(tag)),
     };
     Ok(frame)
@@ -408,8 +476,17 @@ mod tests {
                 shards: 3,
                 heartbeat_ms: 20,
                 spec: "scenario:\n  name: demo\n".into(),
+                want_stats: true,
             },
             Frame::Heartbeat { id: 42, seq: 7 },
+            Frame::Stats {
+                id: 42,
+                shard: 1,
+                compile_nanos: 1_234,
+                search_nanos: 56_789,
+                generated: 100,
+                evaluated: 73,
+            },
             Frame::TaskDone {
                 id: 42,
                 results: vec![
@@ -445,6 +522,47 @@ mod tests {
             assert_eq!(got, f);
         }
         assert!(matches!(read_frame(&mut cursor), Err(ProtocolError::Eof)));
+    }
+
+    #[test]
+    fn v1_task_without_trailing_flag_still_decodes() {
+        // Hand-encode a Task exactly as a v1 parent would: no trailing
+        // want_stats byte after the spec string.
+        let mut w = WireWriter::new();
+        w.put_u8(2);
+        w.put_u64(9);
+        w.put_u32(0);
+        w.put_u32(2);
+        w.put_u32(15);
+        w.put_str("scenario:\n  name: old\n");
+        let frame = decode_payload(&w.into_bytes()).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Task {
+                id: 9,
+                shard: 0,
+                shards: 2,
+                heartbeat_ms: 15,
+                spec: "scenario:\n  name: old\n".into(),
+                want_stats: false,
+            }
+        );
+    }
+
+    #[test]
+    fn v2_task_round_trips_want_stats() {
+        for want_stats in [false, true] {
+            let frame = Frame::Task {
+                id: 1,
+                shard: 0,
+                shards: 1,
+                heartbeat_ms: 0,
+                spec: "s".into(),
+                want_stats,
+            };
+            let got = decode_payload(&encode_payload(&frame)).unwrap();
+            assert_eq!(got, frame);
+        }
     }
 
     #[test]

@@ -4,9 +4,13 @@
 use crate::queue::{BoundedQueue, PushError};
 use sparseloop_core::{EvalJob, EvalSession, JobError, JobOutcome};
 use sparseloop_designs::ScenarioRegistry;
+use sparseloop_mapping::SearchStats;
+use sparseloop_obs::{
+    Counter, Histogram, MetricsSnapshot, ObsHub, SpanKind, LATENCY_BUCKETS_NANOS,
+};
 use sparseloop_spec::SpecError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -370,6 +374,107 @@ struct Work {
     request: ServeRequest,
     responder: mpsc::Sender<Result<ServeReply, ServeError>>,
     cancel: CancelToken,
+    /// Process-unique request id for tracing (0 when unobserved).
+    request_id: u64,
+    /// Hub-clock reading at admission (0 when unobserved) — anchors the
+    /// `QueueWait` span and the queue-wait histogram.
+    enqueued_nanos: u64,
+}
+
+/// The related request counters, guarded by **one** mutex so a snapshot
+/// can never mix two moments: `submitted` is incremented *before* the
+/// queue push (and rolled back on refusal), and every completion bucket
+/// is incremented under the same lock — so any snapshot observes
+/// `submitted >= completed + panicked + canceled`, with equality once
+/// the queue drains.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    submitted: u64,
+    rejected: u64,
+    completed: u64,
+    panicked: u64,
+    canceled: u64,
+    recycles: u64,
+    peak_slots: u64,
+}
+
+/// Pre-registered metric handles for the service's hot path (one
+/// `Option` check + relaxed atomics per event; no registry lookups).
+struct ServeObs {
+    hub: ObsHub,
+    submitted: Counter,
+    rejected: Counter,
+    completed: Counter,
+    panicked: Counter,
+    canceled: Counter,
+    recycles: Counter,
+    queue_wait: Histogram,
+    latency: Histogram,
+    /// Mapper funnel counters: generated, pruned, evaluated, invalid.
+    mapper: [Counter; 4],
+}
+
+impl ServeObs {
+    fn new(hub: ObsHub, config: &ServeConfig) -> Self {
+        let reg = hub.registry();
+        let outcome = |o: &str| reg.counter("sparseloop_requests_total", &[("outcome", o)]);
+        let stage = |s: &str| reg.counter("sparseloop_mapper_candidates_total", &[("stage", s)]);
+        // pre-register the gauges so empty snapshots still show them
+        reg.gauge("sparseloop_queue_capacity", &[])
+            .set_u64(config.queue_capacity as u64);
+        reg.gauge("sparseloop_queue_depth", &[]).set(0);
+        ServeObs {
+            submitted: outcome("submitted"),
+            rejected: outcome("rejected"),
+            completed: outcome("completed"),
+            panicked: outcome("panicked"),
+            canceled: outcome("canceled"),
+            recycles: reg.counter("sparseloop_session_recycles_total", &[]),
+            queue_wait: reg.histogram("sparseloop_queue_wait_nanos", &[], LATENCY_BUCKETS_NANOS),
+            latency: reg.histogram(
+                "sparseloop_request_latency_nanos",
+                &[],
+                LATENCY_BUCKETS_NANOS,
+            ),
+            mapper: [
+                stage("generated"),
+                stage("pruned"),
+                stage("evaluated"),
+                stage("invalid"),
+            ],
+            hub,
+        }
+    }
+
+    fn absorb_search_stats(&self, stats: &SearchStats) {
+        self.mapper[0].add(stats.generated as u64);
+        self.mapper[1].add(stats.pruned as u64);
+        self.mapper[2].add(stats.evaluated as u64);
+        self.mapper[3].add(stats.invalid as u64);
+    }
+
+    /// Folds the mapper funnel counters out of a finished reply.
+    fn absorb_reply(&self, reply: &Result<ServeReply, ServeError>) {
+        match reply {
+            Ok(ServeReply::Job(result)) => match &**result {
+                Ok(outcome) => self.absorb_search_stats(&outcome.stats),
+                Err(JobError::NoValidCandidate { stats }) => self.absorb_search_stats(stats),
+                Err(_) => {}
+            },
+            Ok(ServeReply::Scenario(scenario)) => {
+                for result in &scenario.results {
+                    match result {
+                        Ok(outcome) => self.absorb_search_stats(&outcome.stats),
+                        Err(JobError::NoValidCandidate { stats }) => {
+                            self.absorb_search_stats(stats)
+                        }
+                        Err(_) => {}
+                    }
+                }
+            }
+            Err(_) => {}
+        }
+    }
 }
 
 struct Shared {
@@ -380,18 +485,17 @@ struct Shared {
     /// request; recycling swaps the slot, so in-flight requests keep
     /// their generation alive while new requests start clean.
     session: Mutex<Arc<EvalSession>>,
-    submitted: AtomicU64,
-    rejected: AtomicU64,
-    completed: AtomicU64,
-    panicked: AtomicU64,
-    canceled: AtomicU64,
-    recycles: AtomicU64,
-    peak_slots: AtomicU64,
+    counters: Mutex<Counters>,
+    obs: Option<ServeObs>,
 }
 
 impl Shared {
     fn current_session(&self) -> Arc<EvalSession> {
         Arc::clone(&self.session.lock().expect("session slot poisoned"))
+    }
+
+    fn counters(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.counters.lock().expect("counters poisoned")
     }
 
     fn process(
@@ -434,8 +538,11 @@ impl Shared {
     /// and recycle the session once it exceeds the configured budget.
     fn maybe_recycle(&self, used: &Arc<EvalSession>) {
         let stats = used.stats();
-        let slots = (stats.density_models + stats.format_slots) as u64;
-        self.peak_slots.fetch_max(slots, Ordering::Relaxed);
+        let slots = stats.total_slots() as u64;
+        {
+            let mut c = self.counters();
+            c.peak_slots = c.peak_slots.max(slots);
+        }
         if let Some(budget) = self.config.recycle_slot_budget {
             if slots >= budget as u64 {
                 self.swap_session(used);
@@ -452,7 +559,10 @@ impl Shared {
         let mut current = self.session.lock().expect("session slot poisoned");
         if Arc::ptr_eq(&current, used) {
             *current = Arc::new(EvalSession::new());
-            self.recycles.fetch_add(1, Ordering::Relaxed);
+            self.counters().recycles += 1;
+            if let Some(obs) = &self.obs {
+                obs.recycles.inc();
+            }
         }
     }
 }
@@ -480,16 +590,32 @@ fn worker_loop(shared: &Shared) {
         request,
         responder,
         cancel,
+        request_id,
+        enqueued_nanos,
     }) = shared.queue.pop()
     {
+        if let Some(obs) = &shared.obs {
+            obs.hub
+                .registry()
+                .gauge("sparseloop_queue_depth", &[])
+                .set_u64(shared.queue.len() as u64);
+            let now = obs.hub.now_nanos();
+            obs.queue_wait.observe(now.saturating_sub(enqueued_nanos));
+            obs.hub
+                .span(request_id, SpanKind::QueueWait, None, enqueued_nanos);
+        }
         // a request already abandoned while queued is retired without
         // touching the session at all
         if cancel.is_canceled() {
-            shared.canceled.fetch_add(1, Ordering::Relaxed);
+            shared.counters().canceled += 1;
+            if let Some(obs) = &shared.obs {
+                obs.canceled.inc();
+            }
             let _ = responder.send(Err(ServeError::Canceled));
             continue;
         }
         let session = shared.current_session();
+        let eval_start = shared.obs.as_ref().map(|o| o.hub.now_nanos());
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let reply = shared.process(&request, &session, &cancel);
             shared.maybe_recycle(&session);
@@ -500,10 +626,29 @@ fn worker_loop(shared: &Shared) {
                 // the token tripping mid-request classifies it as
                 // canceled even when a partial reply exists — the
                 // invariant is one bucket per admitted request
-                if cancel.is_canceled() {
-                    shared.canceled.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    shared.completed.fetch_add(1, Ordering::Relaxed);
+                let canceled = cancel.is_canceled();
+                {
+                    let mut c = shared.counters();
+                    if canceled {
+                        c.canceled += 1;
+                    } else {
+                        c.completed += 1;
+                    }
+                }
+                if let Some(obs) = &shared.obs {
+                    if canceled {
+                        obs.canceled.inc();
+                    } else {
+                        obs.completed.inc();
+                        if let Some(start) = eval_start {
+                            let now = obs.hub.now_nanos();
+                            obs.latency.observe(now.saturating_sub(start));
+                        }
+                    }
+                    if let Some(start) = eval_start {
+                        obs.hub.span(request_id, SpanKind::SessionEval, None, start);
+                    }
+                    obs.absorb_reply(&reply);
                 }
                 // the submitter may have dropped its ticket; that is fine
                 let _ = responder.send(reply);
@@ -512,7 +657,10 @@ fn worker_loop(shared: &Shared) {
                 // contain the blast radius: reply with the panic message
                 // and retire the (possibly lock-poisoned) session so the
                 // next request starts from a clean generation
-                shared.panicked.fetch_add(1, Ordering::Relaxed);
+                shared.counters().panicked += 1;
+                if let Some(obs) = &shared.obs {
+                    obs.panicked.inc();
+                }
                 shared.swap_session(&session);
                 let msg = panic
                     .downcast_ref::<&str>()
@@ -532,13 +680,36 @@ pub struct EvalService {
 }
 
 impl EvalService {
-    /// Boots the service with the standard scenario registry.
+    /// Boots the service with the standard scenario registry
+    /// (uninstrumented — see [`start_observed`](EvalService::start_observed)).
     pub fn start(config: ServeConfig) -> Self {
         EvalService::start_with_registry(config, ScenarioRegistry::standard())
     }
 
     /// Boots the service against a caller-supplied registry.
     pub fn start_with_registry(config: ServeConfig, registry: ScenarioRegistry) -> Self {
+        EvalService::start_with_registry_and_hub(config, registry, None)
+    }
+
+    /// Boots the service with the standard registry, wired into `hub`:
+    /// every admission/completion/rejection updates the hub's metrics
+    /// registry, and each request records `QueueWait` + `SessionEval`
+    /// trace spans. Share one hub with a
+    /// [`ShardHost`](crate::supervisor::ShardHost) to get a single
+    /// fleet-wide snapshot.
+    pub fn start_observed(config: ServeConfig, hub: ObsHub) -> Self {
+        EvalService::start_with_registry_and_hub(config, ScenarioRegistry::standard(), Some(hub))
+    }
+
+    /// The fully general constructor: caller-supplied registry, plus an
+    /// optional [`ObsHub`] (`None` keeps the hot path free of any
+    /// instrumentation — the A/B baseline the overhead gate compares
+    /// against).
+    pub fn start_with_registry_and_hub(
+        config: ServeConfig,
+        registry: ScenarioRegistry,
+        hub: Option<ObsHub>,
+    ) -> Self {
         let config = ServeConfig {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
@@ -550,13 +721,8 @@ impl EvalService {
             queue: BoundedQueue::new(config.queue_capacity),
             registry,
             session: Mutex::new(Arc::new(EvalSession::new())),
-            submitted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            completed: AtomicU64::new(0),
-            panicked: AtomicU64::new(0),
-            canceled: AtomicU64::new(0),
-            recycles: AtomicU64::new(0),
-            peak_slots: AtomicU64::new(0),
+            counters: Mutex::new(Counters::default()),
+            obs: hub.map(|hub| ServeObs::new(hub, &config)),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -568,6 +734,39 @@ impl EvalService {
             })
             .collect();
         EvalService { shared, workers }
+    }
+
+    /// The observability hub this service reports into (`None` when
+    /// started without one).
+    pub fn hub(&self) -> Option<&ObsHub> {
+        self.shared.obs.as_ref().map(|o| &o.hub)
+    }
+
+    /// Renders a point-in-time metrics snapshot, refreshing the
+    /// session/queue gauges first so the text reflects *now* rather
+    /// than the last request. `None` when started without a hub.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let obs = self.shared.obs.as_ref()?;
+        let reg = obs.hub.registry();
+        let session = self.shared.current_session();
+        let s = session.stats();
+        reg.gauge("sparseloop_session_slots", &[])
+            .set_u64(s.total_slots() as u64);
+        reg.gauge("sparseloop_session_density_models", &[])
+            .set_u64(s.density_models as u64);
+        reg.gauge("sparseloop_session_format_slots", &[])
+            .set_u64(s.format_slots as u64);
+        reg.gauge("sparseloop_session_peak_slots", &[])
+            .set_u64(self.shared.counters().peak_slots);
+        // gauges, not counters: the memo resets when the session
+        // recycles, so hit/miss counts are not monotonic
+        reg.gauge("sparseloop_session_format_cache", &[("kind", "hit")])
+            .set_u64(s.format.hits);
+        reg.gauge("sparseloop_session_format_cache", &[("kind", "miss")])
+            .set_u64(s.format.misses);
+        reg.gauge("sparseloop_queue_depth", &[])
+            .set_u64(self.shared.queue.len() as u64);
+        Some(obs.hub.snapshot())
     }
 
     /// The effective configuration.
@@ -595,48 +794,89 @@ impl EvalService {
         self.submit_with_token(request, CancelToken::with_deadline(deadline))
     }
 
+    /// Builds the `Work` payload and pre-counts the admission:
+    /// `submitted` is incremented *before* the queue push so no snapshot
+    /// can catch a completion whose admission is not yet counted; a
+    /// refused push rolls the increment back under the same lock.
+    fn make_work(
+        &self,
+        request: ServeRequest,
+        cancel: &CancelToken,
+    ) -> (Work, mpsc::Receiver<Result<ServeReply, ServeError>>) {
+        let (responder, receiver) = mpsc::channel();
+        let (request_id, enqueued_nanos) = match &self.shared.obs {
+            Some(obs) => (obs.hub.next_request_id(), obs.hub.now_nanos()),
+            None => (0, 0),
+        };
+        self.shared.counters().submitted += 1;
+        let work = Work {
+            request,
+            responder,
+            cancel: cancel.clone(),
+            request_id,
+            enqueued_nanos,
+        };
+        (work, receiver)
+    }
+
+    /// Undoes [`make_work`](EvalService::make_work)'s pre-count after a
+    /// refused push; `rejected: true` books it as backpressure.
+    fn unmake_work(&self, rejected: bool) {
+        let mut c = self.shared.counters();
+        c.submitted -= 1;
+        if rejected {
+            c.rejected += 1;
+        }
+        drop(c);
+        if rejected {
+            if let Some(obs) = &self.shared.obs {
+                obs.rejected.inc();
+            }
+        }
+    }
+
     fn submit_with_token(
         &self,
         request: ServeRequest,
         cancel: CancelToken,
     ) -> Result<Ticket, SubmitError> {
-        let (responder, receiver) = mpsc::channel();
-        let work = Work {
-            request,
-            responder,
-            cancel: cancel.clone(),
-        };
+        let (work, receiver) = self.make_work(request, &cancel);
         match self.shared.queue.try_push(work) {
             Ok(()) => {
-                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.shared.obs {
+                    obs.submitted.inc();
+                }
                 Ok(Ticket { receiver, cancel })
             }
             Err(PushError::Full(_)) => {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                self.unmake_work(true);
                 Err(SubmitError::QueueFull {
                     capacity: self.shared.queue.capacity(),
                 })
             }
-            Err(PushError::Closed(_)) => Err(SubmitError::ShuttingDown),
+            Err(PushError::Closed(_)) => {
+                self.unmake_work(false);
+                Err(SubmitError::ShuttingDown)
+            }
         }
     }
 
     /// Blocking admission: waits for queue space instead of refusing
     /// (still fails if the service shuts down while waiting).
     pub fn submit_blocking(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
-        let (responder, receiver) = mpsc::channel();
         let cancel = CancelToken::new();
-        let work = Work {
-            request,
-            responder,
-            cancel: cancel.clone(),
-        };
+        let (work, receiver) = self.make_work(request, &cancel);
         match self.shared.queue.push_blocking(work) {
             Ok(()) => {
-                self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.shared.obs {
+                    obs.submitted.inc();
+                }
                 Ok(Ticket { receiver, cancel })
             }
-            Err(_) => Err(SubmitError::ShuttingDown),
+            Err(_) => {
+                self.unmake_work(false);
+                Err(SubmitError::ShuttingDown)
+            }
         }
     }
 
@@ -658,19 +898,25 @@ impl EvalService {
     }
 
     /// Current counters (queue depth and session slots are snapshots).
+    ///
+    /// The request buckets come from one locked copy, so a snapshot
+    /// taken while requests are in flight still satisfies
+    /// `submitted >= completed + panicked + canceled` — the lock rules
+    /// out observing a completion whose admission is missing.
     pub fn stats(&self) -> ServiceStats {
         let session = self.shared.current_session();
         let s = session.stats();
+        let c = *self.shared.counters();
         ServiceStats {
-            submitted: self.shared.submitted.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            completed: self.shared.completed.load(Ordering::Relaxed),
-            panicked: self.shared.panicked.load(Ordering::Relaxed),
-            canceled: self.shared.canceled.load(Ordering::Relaxed),
-            recycles: self.shared.recycles.load(Ordering::Relaxed),
-            peak_slots: self.shared.peak_slots.load(Ordering::Relaxed),
+            submitted: c.submitted,
+            rejected: c.rejected,
+            completed: c.completed,
+            panicked: c.panicked,
+            canceled: c.canceled,
+            recycles: c.recycles,
+            peak_slots: c.peak_slots,
             queued: self.shared.queue.len(),
-            session_slots: s.density_models + s.format_slots,
+            session_slots: s.total_slots(),
         }
     }
 
@@ -925,11 +1171,12 @@ mod tests {
         let service = EvalService::start(ServeConfig::default().with_workers(1));
         // occupy the single worker...
         let busy = service.submit_scenario("fig13_dstc_validation").unwrap();
-        // ...then queue a request whose deadline expires while it waits
+        // ...then queue a request whose deadline has already expired by
+        // the time the worker's dequeue-time probe sees it
         let doomed = service
             .submit_with_deadline(
                 ServeRequest::Job(Box::new(search_job(0.5))),
-                std::time::Duration::from_millis(1),
+                std::time::Duration::ZERO,
             )
             .unwrap();
         assert!(busy.wait().is_ok());
@@ -1015,6 +1262,8 @@ mod tests {
                 request: ServeRequest::Scenario("x".into()),
                 responder,
                 cancel: CancelToken::new(),
+                request_id: 0,
+                enqueued_nanos: 0,
             }),
             Err(PushError::Closed(_))
         ));
@@ -1067,5 +1316,154 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.panicked, 1);
         assert!(stats.recycles >= 1, "panic must retire the session");
+    }
+
+    #[test]
+    fn stats_snapshot_never_undercounts_submitted() {
+        // regression for the old split-atomic scheme: a snapshot taken
+        // between a worker's `completed` increment and the submitter's
+        // `submitted` increment could observe submitted < completed +
+        // panicked + canceled. With one mutex over the buckets (and
+        // `submitted` counted before the push) that ordering is
+        // impossible — hammer it from a concurrent reader.
+        let service = Arc::new(EvalService::start(
+            ServeConfig::default()
+                .with_workers(2)
+                .with_queue_capacity(4),
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observations = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let s = service.stats();
+                    assert!(
+                        s.submitted >= s.completed + s.panicked + s.canceled,
+                        "snapshot saw submitted={} < {}+{}+{}",
+                        s.submitted,
+                        s.completed,
+                        s.panicked,
+                        s.canceled
+                    );
+                    observations += 1;
+                }
+                observations
+            })
+        };
+        let submitters: Vec<_> = (0..3)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    for i in 0..6 {
+                        let d = 0.05 + ((t * 6 + i) as f64) * 0.045;
+                        if let Ok(ticket) = service.submit_job(search_job(d)) {
+                            let _ = ticket.wait();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let observations = reader.join().unwrap();
+        assert!(observations > 0, "reader never sampled");
+        let service = Arc::into_inner(service).expect("all clones joined");
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.panicked + stats.canceled,
+            "drained service must balance exactly"
+        );
+    }
+
+    #[test]
+    fn observed_service_metrics_reconcile_with_stats() {
+        let service = EvalService::start_observed(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1),
+            ObsHub::new(),
+        );
+        // a few successes, plus forced rejections through the 1-slot
+        // queue, plus one request admitted with an already-expired
+        // deadline (canceled at the worker's dequeue-time probe)
+        let mut tickets = Vec::new();
+        let mut rejected = 0u64;
+        for i in 0..6 {
+            match service.submit_job(search_job(0.1 + (i as f64) * 0.08)) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::QueueFull { .. }) => rejected += 1,
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        }
+        let doomed = loop {
+            match service
+                .submit_with_deadline(ServeRequest::Job(Box::new(search_job(0.9))), Duration::ZERO)
+            {
+                Ok(t) => break t,
+                Err(SubmitError::QueueFull { .. }) => {
+                    rejected += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(other) => panic!("unexpected admission error: {other}"),
+            }
+        };
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let _ = doomed.wait();
+        let snap = service.metrics_snapshot().expect("observed service");
+        let stats = service.stats();
+        let outcome = |o: &str| {
+            snap.value("sparseloop_requests_total", &[("outcome", o)])
+                .unwrap_or(0) as u64
+        };
+        assert_eq!(outcome("submitted"), stats.submitted);
+        assert_eq!(outcome("rejected"), rejected);
+        assert_eq!(outcome("rejected"), stats.rejected);
+        assert_eq!(
+            outcome("completed") + outcome("panicked") + outcome("canceled"),
+            stats.completed + stats.panicked + stats.canceled
+        );
+        assert!(
+            snap.value(
+                "sparseloop_mapper_candidates_total",
+                &[("stage", "generated")]
+            )
+            .unwrap_or(0)
+                > 0,
+            "served searches must feed the mapper funnel"
+        );
+        assert_eq!(
+            snap.value("sparseloop_request_latency_nanos", &[]).unwrap() as u64,
+            stats.completed,
+            "one latency observation per completed request"
+        );
+        assert_eq!(
+            snap.value("sparseloop_session_slots", &[]).unwrap() as usize,
+            stats.session_slots
+        );
+        // the text rendering round-trips through the parser
+        let parsed = MetricsSnapshot::parse_text(&snap.render_text()).expect("parseable snapshot");
+        assert_eq!(
+            parsed.sum_of("sparseloop_requests_total"),
+            snap.sum_of("sparseloop_requests_total") as f64
+        );
+        // and the trace ring holds the request spans
+        let hub = service.hub().expect("observed service").clone();
+        let events = hub.traces().events();
+        assert!(
+            events.iter().any(|e| e.kind == SpanKind::QueueWait),
+            "no QueueWait span recorded"
+        );
+        assert!(
+            events.iter().any(|e| e.kind == SpanKind::SessionEval),
+            "no SessionEval span recorded"
+        );
+        service.shutdown();
     }
 }

@@ -49,6 +49,7 @@ use crate::service::{scenario_reply, ScenarioReply, SpecDiagnostic};
 use sparseloop_core::{EvalSession, JobError, JobOutcome, JobPlan};
 use sparseloop_designs::{Scenario, ScenarioOutcome};
 use sparseloop_mapping::{merge_shard_results, SearchStats};
+use sparseloop_obs::{ObsHub, SpanKind, LATENCY_BUCKETS_NANOS};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -169,6 +170,11 @@ impl std::fmt::Display for HostError {
 impl std::error::Error for HostError {}
 
 /// Supervision counters.
+///
+/// The whole struct is copied out in one piece by [`ShardHost::stats`]
+/// (the host is single-threaded by construction — every mutation goes
+/// through `&mut self`), so a snapshot can never mix counters from two
+/// different moments.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HostStats {
     /// Requests accepted (compiled successfully).
@@ -176,17 +182,30 @@ pub struct HostStats {
     /// Workers spawned (first spawns + restarts).
     pub spawns: u64,
     /// Worker deaths survived (each triggers a backoff + respawn).
+    /// Also counts spawn/send failures and injected kills, so
+    /// `restarts >= deaths_eof + deaths_heartbeat_timeout` need not
+    /// hold as an equality.
     pub restarts: u64,
     /// Shards re-dispatched after a worker death.
     pub redispatches: u64,
-    /// Deaths detected by heartbeat silence (vs. stream end).
-    pub heartbeat_timeouts: u64,
+    /// Deaths observed as the worker's frame stream ending: clean EOF,
+    /// pipe error, or a corrupt frame — the worker is gone or
+    /// unusable either way.
+    pub deaths_eof: u64,
+    /// Deaths declared by the heartbeat audit: an outstanding slot
+    /// silent past [`HostConfig::heartbeat_timeout`], killed by the
+    /// parent.
+    pub deaths_heartbeat_timeout: u64,
     /// Parent-side kills delivered by the fault plan.
     pub kills_injected: u64,
     /// Requests served in-process because workers could not spawn.
     pub degraded: u64,
     /// Frames received from current-epoch workers.
     pub frames_received: u64,
+    /// Total nanoseconds slept in retry backoff.
+    pub backoff_nanos_total: u64,
+    /// Requests failed on [`HostError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
 }
 
 struct SlotState {
@@ -195,6 +214,17 @@ struct SlotState {
     last_seen: Instant,
     frames_since_dispatch: u32,
     kill_after: Option<u32>,
+    /// Hub-clock reading of the last dispatch to this slot (0 when the
+    /// host is unobserved) — anchors the `ShardDispatch` span.
+    dispatched_nanos: u64,
+}
+
+/// Observability attachment of a [`ShardHost`]: the shared hub plus the
+/// last [`HostStats`] already published, so counters advance by deltas
+/// and stay equal to the stats snapshot after every request.
+struct HostObs {
+    hub: ObsHub,
+    published: HostStats,
 }
 
 /// The supervising parent of a multi-process sharded search (see the
@@ -210,6 +240,7 @@ pub struct ShardHost<S: WorkerSpawner> {
     next_task_id: u64,
     next_epoch: u64,
     stats: HostStats,
+    obs: Option<HostObs>,
 }
 
 impl<S: WorkerSpawner> ShardHost<S> {
@@ -230,12 +261,35 @@ impl<S: WorkerSpawner> ShardHost<S> {
             next_task_id: 1,
             next_epoch: 1,
             stats: HostStats::default(),
+            obs: None,
         }
     }
 
-    /// Point-in-time supervision counters.
+    /// A host publishing its supervision counters, worker phase
+    /// timings, and dispatch/round-trip spans into `hub` (see the
+    /// README's metric catalog for names).
+    pub fn new_observed(config: HostConfig, spawner: S, hub: ObsHub) -> Self {
+        let mut host = Self::new(config, spawner);
+        host.obs = Some(HostObs {
+            hub,
+            published: HostStats::default(),
+        });
+        // pre-register the catalog so snapshots before any traffic
+        // still expose every fleet series at zero
+        host.publish_metrics();
+        host
+    }
+
+    /// Point-in-time supervision counters. The host is single-threaded
+    /// (`&mut self` everywhere), so this copy is always internally
+    /// consistent — no counter can be mid-update.
     pub fn stats(&self) -> HostStats {
         self.stats
+    }
+
+    /// The attached observability hub, if any.
+    pub fn hub(&self) -> Option<&ObsHub> {
+        self.obs.as_ref().map(|o| &o.hub)
     }
 
     /// Runs a registered scenario through the worker fleet (emitted as
@@ -247,6 +301,28 @@ impl<S: WorkerSpawner> ShardHost<S> {
     /// Runs a spec document across the worker fleet and merges the
     /// shard results (see the [module docs](self) for the policy).
     pub fn run_spec(&mut self, text: &str) -> Result<ScenarioReply, HostError> {
+        let req = self
+            .obs
+            .as_ref()
+            .map(|o| (o.hub.next_request_id(), o.hub.now_nanos()));
+        let result = self.run_spec_inner(text, req.map(|(id, _)| id));
+        if let Some((req_id, start_nanos)) = req {
+            if result.is_ok() {
+                if let Some(o) = &self.obs {
+                    o.hub
+                        .span(req_id, SpanKind::WorkerRoundTrip, None, start_nanos);
+                }
+            }
+            self.publish_metrics();
+        }
+        result
+    }
+
+    fn run_spec_inner(
+        &mut self,
+        text: &str,
+        req_id: Option<u64>,
+    ) -> Result<ScenarioReply, HostError> {
         let scenario = sparseloop_spec::compile_str(text)
             .map_err(|e| HostError::InvalidSpec(SpecDiagnostic::from(&e)))?
             .into_scenario();
@@ -279,6 +355,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
             let now = Instant::now();
             if let Some(d) = deadline {
                 if now >= d {
+                    self.stats.deadline_exceeded += 1;
                     return Err(HostError::DeadlineExceeded);
                 }
             }
@@ -323,7 +400,36 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                 Frame::TaskDone { id, results }
                                     if id == task_id && shard_results[slot].is_none() =>
                                 {
+                                    if let Some(o) = &self.obs {
+                                        let dispatched = self.slots[slot]
+                                            .as_ref()
+                                            .map(|st| st.dispatched_nanos)
+                                            .unwrap_or(0);
+                                        o.hub.span(
+                                            req_id.unwrap_or(0),
+                                            SpanKind::ShardDispatch,
+                                            Some(slot as u32),
+                                            dispatched,
+                                        );
+                                    }
                                     shard_results[slot] = Some(results);
+                                }
+                                Frame::Stats {
+                                    id,
+                                    shard,
+                                    compile_nanos,
+                                    search_nanos,
+                                    generated,
+                                    evaluated,
+                                } if id == task_id => {
+                                    self.observe_worker_stats(
+                                        req_id,
+                                        shard,
+                                        compile_nanos,
+                                        search_nanos,
+                                        generated,
+                                        evaluated,
+                                    );
                                 }
                                 Frame::TaskFailed {
                                     id,
@@ -356,6 +462,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
                             }
                         }
                         EventKind::Exited(why) => {
+                            self.stats.deaths_eof += 1;
                             self.drop_slot(slot);
                             if shard_results[slot].is_none() {
                                 let why = why.unwrap_or_else(|| "worker exited".to_string());
@@ -374,7 +481,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                 st.last_seen.elapsed() > self.config.heartbeat_timeout
                             });
                             if silent {
-                                self.stats.heartbeat_timeouts += 1;
+                                self.stats.deaths_heartbeat_timeout += 1;
                                 self.kill_slot(slot);
                                 self.retire_attempt(
                                     slot,
@@ -487,6 +594,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
             last_seen: Instant::now(),
             frames_since_dispatch: 0,
             kill_after,
+            dispatched_nanos: 0,
         });
         Ok(())
     }
@@ -513,11 +621,16 @@ impl<S: WorkerSpawner> ShardHost<S> {
                 shards: self.slots.len() as u32,
                 heartbeat_ms: self.config.heartbeat_ms,
                 spec: spec.to_string(),
+                // ask for a phase-timing Stats frame only when someone
+                // is listening
+                want_stats: self.obs.is_some(),
             };
+            let dispatched_nanos = self.obs.as_ref().map_or(0, |o| o.hub.now_nanos());
             let send = {
                 let st = self.slots[slot].as_mut().expect("spawned above");
                 st.frames_since_dispatch = 0;
                 st.last_seen = Instant::now();
+                st.dispatched_nanos = dispatched_nanos;
                 st.handle.send(&task)
             };
             if let Err(e) = send {
@@ -550,6 +663,15 @@ impl<S: WorkerSpawner> ShardHost<S> {
     ) -> Result<(), HostError> {
         attempts[slot] += 1;
         self.stats.restarts += 1;
+        if let Some(o) = &self.obs {
+            o.hub
+                .registry()
+                .counter(
+                    "sparseloop_fleet_shard_attempts_total",
+                    &[("shard", &slot.to_string())],
+                )
+                .inc();
+        }
         if attempts[slot] > self.config.max_retries {
             return Err(HostError::WorkerLost {
                 shard: slot,
@@ -559,8 +681,154 @@ impl<S: WorkerSpawner> ShardHost<S> {
         }
         self.stats.redispatches += 1;
         let exp = (attempts[slot] - 1).min(16);
-        std::thread::sleep(self.config.backoff_base.saturating_mul(1 << exp));
+        let backoff = self.config.backoff_base.saturating_mul(1 << exp);
+        self.stats.backoff_nanos_total = self
+            .stats
+            .backoff_nanos_total
+            .saturating_add(u64::try_from(backoff.as_nanos()).unwrap_or(u64::MAX));
+        std::thread::sleep(backoff);
         Ok(())
+    }
+
+    /// Publishes the delta between the current [`HostStats`] and the
+    /// last published copy into the hub's registry — called once per
+    /// request, so after any request every fleet counter equals its
+    /// stats field. Registration is idempotent, so the full catalog
+    /// appears in snapshots even at zero.
+    fn publish_metrics(&mut self) {
+        let now = self.stats;
+        let Some(obs) = &mut self.obs else { return };
+        let prev = obs.published;
+        let reg = obs.hub.registry();
+        let publish = |name: &str, labels: &[(&str, &str)], new: u64, old: u64| {
+            let counter = reg.counter(name, labels);
+            if new > old {
+                counter.add(new - old);
+            }
+        };
+        publish(
+            "sparseloop_fleet_requests_total",
+            &[],
+            now.requests,
+            prev.requests,
+        );
+        publish(
+            "sparseloop_fleet_spawns_total",
+            &[],
+            now.spawns,
+            prev.spawns,
+        );
+        publish(
+            "sparseloop_fleet_restarts_total",
+            &[],
+            now.restarts,
+            prev.restarts,
+        );
+        publish(
+            "sparseloop_fleet_redispatches_total",
+            &[],
+            now.redispatches,
+            prev.redispatches,
+        );
+        publish(
+            "sparseloop_fleet_deaths_total",
+            &[("cause", "eof")],
+            now.deaths_eof,
+            prev.deaths_eof,
+        );
+        publish(
+            "sparseloop_fleet_deaths_total",
+            &[("cause", "heartbeat_timeout")],
+            now.deaths_heartbeat_timeout,
+            prev.deaths_heartbeat_timeout,
+        );
+        publish(
+            "sparseloop_fleet_kills_injected_total",
+            &[],
+            now.kills_injected,
+            prev.kills_injected,
+        );
+        publish(
+            "sparseloop_fleet_degraded_total",
+            &[],
+            now.degraded,
+            prev.degraded,
+        );
+        publish(
+            "sparseloop_fleet_frames_total",
+            &[],
+            now.frames_received,
+            prev.frames_received,
+        );
+        publish(
+            "sparseloop_fleet_backoff_nanos_total",
+            &[],
+            now.backoff_nanos_total,
+            prev.backoff_nanos_total,
+        );
+        publish(
+            "sparseloop_fleet_deadline_exceeded_total",
+            &[],
+            now.deadline_exceeded,
+            prev.deadline_exceeded,
+        );
+        obs.published = now;
+    }
+
+    /// Folds one worker-side [`Frame::Stats`] into histograms and
+    /// spans. Durations are in the worker's clock domain, so spans are
+    /// anchored at receipt time minus duration (magnitudes are what
+    /// matter).
+    fn observe_worker_stats(
+        &self,
+        req_id: Option<u64>,
+        shard: u32,
+        compile_nanos: u64,
+        search_nanos: u64,
+        generated: u64,
+        evaluated: u64,
+    ) {
+        let Some(obs) = &self.obs else { return };
+        let reg = obs.hub.registry();
+        let shard_label = shard.to_string();
+        reg.histogram(
+            "sparseloop_worker_compile_nanos",
+            &[("shard", &shard_label)],
+            LATENCY_BUCKETS_NANOS,
+        )
+        .observe(compile_nanos);
+        reg.histogram(
+            "sparseloop_worker_search_nanos",
+            &[("shard", &shard_label)],
+            LATENCY_BUCKETS_NANOS,
+        )
+        .observe(search_nanos);
+        reg.counter(
+            "sparseloop_worker_candidates_total",
+            &[("stage", "generated")],
+        )
+        .add(generated);
+        reg.counter(
+            "sparseloop_worker_candidates_total",
+            &[("stage", "evaluated")],
+        )
+        .add(evaluated);
+        let id = req_id.unwrap_or(0);
+        let now = obs.hub.now_nanos();
+        obs.hub.span_with_duration(
+            id,
+            SpanKind::WorkerCompile,
+            Some(shard),
+            now.saturating_sub(compile_nanos.saturating_add(search_nanos)),
+            compile_nanos,
+        );
+        obs.hub.span_with_duration(
+            id,
+            SpanKind::WorkerSearch,
+            Some(shard),
+            now.saturating_sub(search_nanos),
+            search_nanos,
+        );
     }
 
     fn kill_slot(&mut self, slot: usize) {
@@ -741,7 +1009,7 @@ mod tests {
         let got = host.run_spec(&text).unwrap();
         assert_bit_identical(&got, &want, "stall");
         assert!(
-            host.stats().heartbeat_timeouts >= 1,
+            host.stats().deaths_heartbeat_timeout >= 1,
             "stall must be timed out"
         );
     }
@@ -819,6 +1087,181 @@ mod tests {
             Ok(_) => { /* astonishingly fast machine: nothing to assert */ }
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         }
+    }
+
+    /// Every fleet counter in the registry must equal its [`HostStats`]
+    /// field after a request — the published deltas reconcile exactly.
+    fn assert_metrics_match_stats(host: &ShardHost<impl WorkerSpawner>, tag: &str) {
+        let stats = host.stats();
+        let snap = host.hub().expect("observed host").snapshot();
+        let field = |name: &str, labels: &[(&str, &str)]| {
+            snap.value(name, labels)
+                .unwrap_or_else(|| panic!("{tag}: metric {name} missing"))
+        };
+        assert_eq!(
+            field("sparseloop_fleet_requests_total", &[]),
+            i128::from(stats.requests),
+            "{tag}: requests"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_spawns_total", &[]),
+            i128::from(stats.spawns),
+            "{tag}: spawns"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_restarts_total", &[]),
+            i128::from(stats.restarts),
+            "{tag}: restarts"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_deaths_total", &[("cause", "eof")]),
+            i128::from(stats.deaths_eof),
+            "{tag}: deaths_eof"
+        );
+        assert_eq!(
+            field(
+                "sparseloop_fleet_deaths_total",
+                &[("cause", "heartbeat_timeout")]
+            ),
+            i128::from(stats.deaths_heartbeat_timeout),
+            "{tag}: deaths_heartbeat_timeout"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_kills_injected_total", &[]),
+            i128::from(stats.kills_injected),
+            "{tag}: kills_injected"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_degraded_total", &[]),
+            i128::from(stats.degraded),
+            "{tag}: degraded"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_frames_total", &[]),
+            i128::from(stats.frames_received),
+            "{tag}: frames"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_backoff_nanos_total", &[]),
+            i128::from(stats.backoff_nanos_total),
+            "{tag}: backoff"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_deadline_exceeded_total", &[]),
+            i128::from(stats.deadline_exceeded),
+            "{tag}: deadline_exceeded"
+        );
+    }
+
+    #[test]
+    fn eof_death_is_split_from_heartbeat_death() {
+        use sparseloop_obs::ObsHub;
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+
+        // a worker dying before its result is an EOF death
+        let plan = FaultPlan::none().with(0, WorkerFault::DieAt(DiePoint::BeforeResult));
+        let mut host = ShardHost::new_observed(
+            fast_config(2).with_fault_plan(plan),
+            ThreadSpawner,
+            ObsHub::new(),
+        );
+        host.run_spec(&text).unwrap();
+        let stats = host.stats();
+        assert!(stats.deaths_eof >= 1, "die-before-result is an EOF death");
+        assert_eq!(stats.deaths_heartbeat_timeout, 0);
+        assert_metrics_match_stats(&host, "eof");
+
+        // a stalled worker is a heartbeat death
+        let plan = FaultPlan::none().with(1, WorkerFault::StallBeforeResult);
+        let mut host = ShardHost::new_observed(
+            fast_config(2).with_fault_plan(plan),
+            ThreadSpawner,
+            ObsHub::new(),
+        );
+        host.run_spec(&text).unwrap();
+        let stats = host.stats();
+        assert!(
+            stats.deaths_heartbeat_timeout >= 1,
+            "stall is a heartbeat death"
+        );
+        assert!(
+            stats.backoff_nanos_total > 0,
+            "a retry must have backed off"
+        );
+        assert_metrics_match_stats(&host, "stall");
+    }
+
+    #[test]
+    fn observed_host_ships_worker_phase_timings() {
+        use sparseloop_obs::{ObsHub, SpanKind};
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        let hub = ObsHub::new();
+        let mut host = ShardHost::new_observed(fast_config(2), ThreadSpawner, hub.clone());
+        let got = host.run_spec(&text).unwrap();
+        assert_bit_identical(&got, &want, "observed");
+        assert_metrics_match_stats(&host, "observed");
+
+        // both shards reported phase timings over the protocol
+        let snap = hub.snapshot();
+        for shard in ["0", "1"] {
+            assert_eq!(
+                snap.value("sparseloop_worker_search_nanos", &[("shard", shard)]),
+                Some(1),
+                "shard {shard} search timing"
+            );
+            assert_eq!(
+                snap.value("sparseloop_worker_compile_nanos", &[("shard", shard)]),
+                Some(1),
+                "shard {shard} compile timing"
+            );
+        }
+        let events = hub.traces().events();
+        let kinds: Vec<SpanKind> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&SpanKind::WorkerCompile));
+        assert!(kinds.contains(&SpanKind::WorkerSearch));
+        assert!(kinds.contains(&SpanKind::ShardDispatch));
+        assert!(kinds.contains(&SpanKind::WorkerRoundTrip));
+        // worker candidate counters match the merged search stats
+        let total_generated: u64 = got
+            .results
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|o| o.stats.generated as u64)
+            .sum();
+        let wire_generated = snap
+            .value(
+                "sparseloop_worker_candidates_total",
+                &[("stage", "generated")],
+            )
+            .unwrap();
+        // fixed-mapping experiments are evaluated parent-side (stats
+        // synthesized there), so the wire total is a lower bound
+        assert!(
+            wire_generated > 0 && wire_generated <= i128::from(total_generated),
+            "wire generated {wire_generated} vs merged {total_generated}"
+        );
+    }
+
+    #[test]
+    fn deadline_and_degraded_metrics_reconcile() {
+        use sparseloop_obs::ObsHub;
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let mut host = ShardHost::new_observed(
+            fast_config(2).with_deadline(Duration::from_millis(1)),
+            ThreadSpawner,
+            ObsHub::new(),
+        );
+        if let Err(HostError::DeadlineExceeded) = host.run_spec(&text) {
+            assert_eq!(host.stats().deadline_exceeded, 1);
+        }
+        assert_metrics_match_stats(&host, "deadline");
+
+        let spawner = crate::proc::ProcessSpawner::new("/nonexistent/sparseloop-shard-worker");
+        let mut host = ShardHost::new_observed(fast_config(2), spawner, ObsHub::new());
+        host.run_spec(&text).unwrap();
+        assert_eq!(host.stats().degraded, 1);
+        assert_metrics_match_stats(&host, "degraded");
     }
 
     #[test]
