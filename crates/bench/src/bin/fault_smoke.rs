@@ -8,6 +8,9 @@
 //!   after compute, before the result frame),
 //! * a heartbeat stall, a corrupted result frame, a dropped result
 //!   frame,
+//! * deterministically slowed frames ([`WorkerFault::SlowFrames`]) —
+//!   mild delays that must ride through untouched, plus a 1.5s
+//!   straggler that must lose its shard to a hedged spare dispatch,
 //! * seeded pseudo-random schedules ([`FaultPlan::from_seed`]) so CI
 //!   sweeps failure combinations nobody hand-picked.
 //!
@@ -22,8 +25,8 @@ use sparseloop_core::{EvalSession, JobOutcome};
 use sparseloop_designs::{Experiment, Scenario};
 use sparseloop_mapping::Mapspace;
 use sparseloop_serve::{
-    DiePoint, FaultPlan, HostConfig, HostStats, ProcessSpawner, ScenarioReply, ShardHost,
-    WorkerFault,
+    DiePoint, FaultPlan, HedgeConfig, HostConfig, HostStats, ProcessSpawner, ScenarioReply,
+    ShardHost, WorkerFault,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -62,12 +65,22 @@ fn worker_bin() -> PathBuf {
     })
 }
 
-fn host_config(shards: usize, plan: FaultPlan) -> HostConfig {
-    HostConfig::default()
+fn host_config(shards: usize, plan: FaultPlan, hedged: bool) -> HostConfig {
+    let config = HostConfig::default()
         .with_shards(shards)
         .with_heartbeat(20, Duration::from_millis(600))
         .with_retries(3, Duration::from_millis(5))
-        .with_fault_plan(plan)
+        .with_fault_plan(plan);
+    if hedged {
+        // hedging must beat the straggler, not the heartbeat audit: a
+        // long timeout keeps the slow worker alive so only the hedge
+        // can resolve its shard
+        config
+            .with_heartbeat(20, Duration::from_secs(10))
+            .with_hedging(HedgeConfig::default())
+    } else {
+        config
+    }
 }
 
 fn mismatch(got: &ScenarioReply, want: &ScenarioReply) -> Option<String> {
@@ -123,6 +136,9 @@ struct Case {
     expect_restarts: bool,
     /// The death must have been detected by heartbeat silence.
     expect_heartbeat_timeout: bool,
+    /// Hedged dispatch is enabled and a hedge must win the straggler's
+    /// shard.
+    expect_hedge_win: bool,
 }
 
 impl Case {
@@ -133,6 +149,7 @@ impl Case {
             plan,
             expect_restarts: false,
             expect_heartbeat_timeout: false,
+            expect_hedge_win: false,
         }
     }
 
@@ -146,6 +163,11 @@ impl Case {
         self
     }
 
+    fn hedged(mut self) -> Self {
+        self.expect_hedge_win = true;
+        self
+    }
+
     fn check_stats(&self, stats: &HostStats) -> Option<String> {
         if stats.degraded != 0 {
             return Some("request degraded to in-process (workers never ran)".into());
@@ -155,6 +177,14 @@ impl Case {
         }
         if self.expect_heartbeat_timeout && stats.deaths_heartbeat_timeout == 0 {
             return Some("silent worker was never timed out by heartbeat audit".into());
+        }
+        if self.expect_hedge_win {
+            if stats.hedges_dispatched == 0 {
+                return Some("straggler never got a hedge dispatched".into());
+            }
+            if stats.hedge_wins == 0 {
+                return Some("hedge was dispatched but never won the shard".into());
+            }
         }
         None
     }
@@ -175,6 +205,10 @@ struct StatsTotals {
     frames_received: u64,
     backoff_nanos_total: u64,
     deadline_exceeded: u64,
+    breaker_trips: u64,
+    breaker_probes: u64,
+    hedges_dispatched: u64,
+    hedge_wins: u64,
 }
 
 impl StatsTotals {
@@ -190,6 +224,10 @@ impl StatsTotals {
         self.frames_received += s.frames_received;
         self.backoff_nanos_total += s.backoff_nanos_total;
         self.deadline_exceeded += s.deadline_exceeded;
+        self.breaker_trips += s.breaker_trips;
+        self.breaker_probes += s.breaker_probes;
+        self.hedges_dispatched += s.hedges_dispatched;
+        self.hedge_wins += s.hedge_wins;
     }
 
     /// Every fleet counter in the shared hub must equal the sum of the
@@ -198,7 +236,7 @@ impl StatsTotals {
     fn reconcile(&self, snap: &sparseloop_obs::MetricsSnapshot) -> Vec<String> {
         type Check<'a> = (&'a str, &'a [(&'a str, &'a str)], u64);
         let counter = |name: &str, labels: &[(&str, &str)]| snap.value(name, labels).unwrap_or(0);
-        let expect: [Check; 11] = [
+        let expect: [Check; 15] = [
             ("sparseloop_fleet_requests_total", &[], self.requests),
             ("sparseloop_fleet_spawns_total", &[], self.spawns),
             ("sparseloop_fleet_restarts_total", &[], self.restarts),
@@ -233,6 +271,26 @@ impl StatsTotals {
                 "sparseloop_fleet_deadline_exceeded_total",
                 &[],
                 self.deadline_exceeded,
+            ),
+            (
+                "sparseloop_fleet_breaker_trips_total",
+                &[],
+                self.breaker_trips,
+            ),
+            (
+                "sparseloop_fleet_breaker_probes_total",
+                &[],
+                self.breaker_probes,
+            ),
+            (
+                "sparseloop_fleet_hedges_total",
+                &[("kind", "dispatched")],
+                self.hedges_dispatched,
+            ),
+            (
+                "sparseloop_fleet_hedges_total",
+                &[("kind", "wins")],
+                self.hedge_wins,
             ),
         ];
         expect
@@ -299,6 +357,21 @@ fn cases() -> Vec<Case> {
         .restarts()
         .heartbeat_timeout(),
     );
+    for (slot, delay) in [(0u32, 15u64), (1, 30)] {
+        cases.push(Case::new(
+            format!("slow frames ({delay}ms, slot {slot})"),
+            2,
+            FaultPlan::none().with(slot, WorkerFault::SlowFrames { delay_ms: delay }),
+        ));
+    }
+    cases.push(
+        Case::new(
+            "straggler hedged to a spare (1500ms slow frames, slot 1)",
+            2,
+            FaultPlan::none().with(1, WorkerFault::SlowFrames { delay_ms: 1500 }),
+        )
+        .hedged(),
+    );
     for seed in SEEDS {
         cases.push(Case::new(
             format!("seeded schedule (seed {seed}, 3 shards)"),
@@ -351,7 +424,7 @@ fn main() {
     ]);
     for case in &cases {
         let mut host = ShardHost::new_observed(
-            host_config(case.shards, case.plan.clone()),
+            host_config(case.shards, case.plan.clone(), case.expect_hedge_win),
             ProcessSpawner::new(&worker),
             hub.clone(),
         );

@@ -3,19 +3,25 @@
 //! distinct workloads 3x larger than the session recycling budget, and
 //! (c) every scenario through a multi-process worker fleet, then
 //! splices a `"serve"` row — requests/sec, mappings/sec, recycling
-//! evidence — and a `"serve_multiproc"` row (fleet throughput through
-//! real worker processes) into `BENCH_mapper.json` next to the
-//! search-throughput records written by `table5_modeling_speed`.
+//! evidence — a `"serve_multiproc"` row (fleet throughput through
+//! real worker processes), and a `"serve_fleet_pooled"` row (long-lived
+//! prewarmed pool vs tearing a fleet up and down per request) into
+//! `BENCH_mapper.json` next to the search-throughput records written
+//! by `table5_modeling_speed`.
 
 use sparseloop_bench::{fnum, timed};
 use sparseloop_core::{EvalJob, JobPlan, Objective, Workload};
 use sparseloop_designs::ScenarioRegistry;
 use sparseloop_mapping::{Mapper, Mapspace};
 use sparseloop_serve::{
-    EvalService, HostConfig, ProcessSpawner, ServeConfig, ServeRequest, ShardHost,
+    EvalService, FleetPool, FleetPoolConfig, HostConfig, ProcessSpawner, ServeConfig, ServeRequest,
+    ShardHost,
 };
 use sparseloop_workloads::spmspm;
 use std::time::Duration;
+
+/// Spec requests pushed through each arm of the pooled-vs-spawn phase.
+const POOL_REQUESTS: usize = 8;
 
 /// Intern-slot budget for the recycling phase.
 const SLOT_BUDGET: usize = 24;
@@ -218,6 +224,57 @@ fn main() {
         host_stats.frames_received,
     );
 
+    // -- phase 5: pooled fleet vs per-request spawn --
+    // the same spec request stream served (a) by tearing a fresh fleet
+    // up and down around every request — spawn, handshake, request,
+    // kill — and (b) through one long-lived FleetPool that prewarns
+    // its workers once and reuses them; the delta is what pooling
+    // amortises (process spawn + prewarm handshake per request)
+    println!("\n== pooled fleet vs per-request spawn: {POOL_REQUESTS} spec requests ==");
+    let pool_text = sparseloop_bench::pool_delta_spec();
+    let pool_host_config = HostConfig::default()
+        .with_shards(shards)
+        .with_heartbeat(20, Duration::from_millis(1000));
+    let (_, spawn_wall_s) = timed(|| {
+        for _ in 0..POOL_REQUESTS {
+            let mut host = ShardHost::new(pool_host_config.clone(), ProcessSpawner::new(&worker));
+            let reply = host.run_spec(&pool_text).expect("per-request host serves");
+            assert!(reply.results.iter().all(|r| r.is_ok()), "clean replies");
+        }
+    });
+    let pool = FleetPool::processes(
+        FleetPoolConfig::default()
+            .with_hosts(1)
+            .with_host_config(pool_host_config),
+        &worker,
+    );
+    let (_, pooled_wall_s) = timed(|| {
+        for _ in 0..POOL_REQUESTS {
+            let reply = pool.run_spec(&pool_text).expect("pool serves");
+            assert!(reply.results.iter().all(|r| r.is_ok()), "clean replies");
+        }
+    });
+    let pool_stats = pool.stats();
+    let pool_host_stats = pool.host_stats();
+    pool.shutdown();
+    let spawn_rps = POOL_REQUESTS as f64 / spawn_wall_s.max(1e-12);
+    let pooled_rps = POOL_REQUESTS as f64 / pooled_wall_s.max(1e-12);
+    let pool_speedup = pooled_rps / spawn_rps.max(1e-12);
+    println!(
+        "per-request spawn: {} requests/s ({} spawns); pooled: {} requests/s \
+         ({} spawns, {} checkouts) — {:.2}x",
+        fnum(spawn_rps),
+        POOL_REQUESTS * shards,
+        fnum(pooled_rps),
+        pool_host_stats.spawns,
+        pool_stats.checkouts,
+        pool_speedup,
+    );
+    assert_eq!(
+        pool_host_stats.degraded, 0,
+        "pooled fleet must not fall back in-process"
+    );
+
     // -- record --
     let serve_json = format!(
         concat!(
@@ -252,6 +309,15 @@ fn main() {
             "    \"mappings_per_sec\": {:.1},\n",
             "    \"worker_spawns\": {},\n",
             "    \"frames_received\": {}\n",
+            "  }},\n",
+            "  \"serve_fleet_pooled\": {{\n",
+            "    \"shards\": {},\n",
+            "    \"spec_requests\": {},\n",
+            "    \"per_request_spawn_requests_per_sec\": {:.2},\n",
+            "    \"pooled_requests_per_sec\": {:.2},\n",
+            "    \"pooled_speedup\": {:.3},\n",
+            "    \"pooled_worker_spawns\": {},\n",
+            "    \"per_request_worker_spawns\": {}\n",
             "  }}"
         ),
         workers,
@@ -278,6 +344,13 @@ fn main() {
         mp_mappings_per_sec,
         host_stats.spawns,
         host_stats.frames_received,
+        shards,
+        POOL_REQUESTS,
+        spawn_rps,
+        pooled_rps,
+        pool_speedup,
+        pool_host_stats.spawns,
+        POOL_REQUESTS * shards,
     );
     let path = "BENCH_mapper.json";
     let merged = match std::fs::read_to_string(path) {
@@ -285,15 +358,16 @@ fn main() {
         Err(_) => format!("{{\n  {serve_json}\n}}\n"),
     };
     std::fs::write(path, merged).expect("write BENCH_mapper.json");
-    println!("\nwrote serve + serve_multiproc throughput rows into {path}");
+    println!("\nwrote serve + serve_multiproc + serve_fleet_pooled throughput rows into {path}");
 
     if let (Some(path), Some(hub)) = (&snapshot_path, &hub) {
         sparseloop_bench::write_metrics_snapshot(path, &hub.snapshot());
     }
 }
 
-/// Splices the serve rows (`"serve"` and `"serve_multiproc"`, written
-/// as one chunk) into an existing `BENCH_mapper.json`: replaces the
+/// Splices the serve rows (`"serve"`, `"serve_multiproc"`, and
+/// `"serve_fleet_pooled"`, written as one chunk) into an existing
+/// `BENCH_mapper.json`: replaces the
 /// previous rows if present (idempotent reruns), otherwise inserts
 /// before the final closing brace.
 fn splice_serve_row(existing: &str, serve_json: &str) -> String {

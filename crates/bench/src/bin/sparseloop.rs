@@ -286,7 +286,16 @@ fn stats(args: &[String]) -> ExitCode {
         ServeConfig::default().with_workers(2).with_shards(shards),
         hub.clone(),
     );
-    let ticket = service.submit_spec(text.clone()).expect("admission");
+    let ticket = match service.submit_spec(text.clone()) {
+        Ok(ticket) => ticket,
+        // a fresh service can still refuse admission (saturated queue,
+        // watermark shed); the error carries depth/capacity/retry
+        // context, so render it instead of panicking
+        Err(e) => {
+            eprintln!("stats: request refused at admission: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Err(e) = ticket.wait() {
         eprintln!("stats: service request failed: {e}");
         return ExitCode::FAILURE;

@@ -173,6 +173,85 @@ fn main() {
         ),
     }
 
+    // -- pooled fleet vs per-request spawn --
+    // the `serve_fleet_pooled` baseline row claims a long-lived
+    // prewarmed pool beats tearing a fleet up and down per request;
+    // re-measure both arms here (machine-independent — same runner,
+    // same moment) and fail if pooling ever stops paying for itself,
+    // which would mean checkout/health-sweep overhead has crept past
+    // the spawn+handshake cost it is supposed to amortise
+    match (
+        json_number(&baseline, &["\"serve_fleet_pooled\"", "\"pooled_speedup\""]),
+        sparseloop_bench::shard_worker_bin(),
+    ) {
+        (Some(base_speedup), Some(worker)) => {
+            use sparseloop_serve::{
+                FleetPool, FleetPoolConfig, HostConfig, ProcessSpawner, ShardHost,
+            };
+            let shards = json_number(&baseline, &["\"serve_fleet_pooled\"", "\"shards\""])
+                .map(|s| s as usize)
+                .unwrap_or(2)
+                .max(1);
+            let requests = json_number(&baseline, &["\"serve_fleet_pooled\"", "\"spec_requests\""])
+                .map(|s| s as usize)
+                .unwrap_or(8)
+                .max(1);
+            let text = sparseloop_bench::pool_delta_spec();
+            let host_config = HostConfig::default()
+                .with_shards(shards)
+                .with_heartbeat(20, std::time::Duration::from_millis(1000));
+            let mut best_spawn_rps = 0.0f64;
+            let mut best_pooled_rps = 0.0f64;
+            for _ in 0..2 {
+                let (_, spawn_wall_s) = timed(|| {
+                    for _ in 0..requests {
+                        let mut host =
+                            ShardHost::new(host_config.clone(), ProcessSpawner::new(&worker));
+                        host.run_spec(&text).expect("per-request host serves");
+                    }
+                });
+                let pool = FleetPool::processes(
+                    FleetPoolConfig::default()
+                        .with_hosts(1)
+                        .with_host_config(host_config.clone()),
+                    &worker,
+                );
+                let (_, pooled_wall_s) = timed(|| {
+                    for _ in 0..requests {
+                        pool.run_spec(&text).expect("pool serves");
+                    }
+                });
+                assert_eq!(
+                    pool.host_stats().degraded,
+                    0,
+                    "gate must measure real pooled processes"
+                );
+                pool.shutdown();
+                best_spawn_rps = best_spawn_rps.max(requests as f64 / spawn_wall_s.max(1e-12));
+                best_pooled_rps = best_pooled_rps.max(requests as f64 / pooled_wall_s.max(1e-12));
+            }
+            let speedup = best_pooled_rps / best_spawn_rps.max(1e-12);
+            let verdict = if speedup >= 1.0 { "ok" } else { "REGRESSED" };
+            println!(
+                "serve_fleet_pooled: pooled {best_pooled_rps:.1} vs per-request spawn \
+                 {best_spawn_rps:.1} requests/s — {speedup:.2}x (baseline {base_speedup:.2}x, \
+                 floor 1.00x) — {verdict}"
+            );
+            if speedup < 1.0 {
+                failures.push(format!(
+                    "serve_fleet_pooled: pooled fleet no longer beats per-request spawn \
+                     ({speedup:.2}x, baseline {base_speedup:.2}x)"
+                ));
+            }
+        }
+        (None, _) => println!("no serve_fleet_pooled baseline found — skipping (first run?)"),
+        (_, None) => failures.push(
+            "serve_fleet_pooled baseline present but sparseloop-shard-worker binary missing \
+             (build it with `cargo build --release --bin sparseloop-shard-worker`)"
+                .into(),
+        ),
+    }
+
     // -- serving-layer instrumentation overhead --
     // the observability hub must stay effectively free on the serving
     // hot path: A/B the same request batch through an uninstrumented

@@ -279,6 +279,31 @@ pub fn measure_eval_delta(scenario: &sparseloop_designs::Scenario, reps: usize) 
     }
 }
 
+/// The spec text both arms of the pooled-vs-spawn comparison serve
+/// (in `serve_throughput`, which writes the `serve_fleet_pooled`
+/// baseline row, and in `throughput_gate`, which re-measures it): a
+/// deliberately small search, so the per-request process spawn and
+/// prewarm handshake — the cost pooling amortises — dominate the
+/// request instead of the search itself.
+pub fn pool_delta_spec() -> String {
+    let scenario = sparseloop_designs::Scenario::new(
+        "pool_delta",
+        "small search for the pooled-vs-spawn comparison",
+        || {
+            let layer = sparseloop_workloads::spmspm(8, 8, 8, 0.5, 0.5);
+            let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+            let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+            vec![sparseloop_designs::Experiment::search(
+                "pool@search",
+                dp,
+                layer,
+                space,
+            )]
+        },
+    );
+    sparseloop_spec::emit_scenario(&scenario)
+}
+
 /// Parses `--metrics-snapshot <path>` out of the process arguments —
 /// the shared flag the serving harness binaries use to dump their final
 /// metrics snapshot as Prometheus-style text. `None` when absent; a

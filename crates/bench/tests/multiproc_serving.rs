@@ -12,8 +12,8 @@ use sparseloop_designs::{Experiment, Scenario};
 use sparseloop_mapping::Mapspace;
 use sparseloop_obs::ObsHub;
 use sparseloop_serve::{
-    scenario_reply, DiePoint, FaultPlan, HostConfig, HostError, ProcessSpawner, ScenarioReply,
-    ShardHost, WorkerFault,
+    scenario_reply, DiePoint, FaultPlan, FleetPool, FleetPoolConfig, HostConfig, HostError,
+    HostStats, ProcessSpawner, ScenarioReply, ShardHost, WorkerFault,
 };
 use std::time::Duration;
 
@@ -72,16 +72,17 @@ fn config(shards: usize) -> HostConfig {
 }
 
 /// Every `sparseloop_fleet_*` counter in the hub must equal its
-/// [`HostStats`](sparseloop_serve::HostStats) field — the published
-/// metric deltas and the host's own bookkeeping are two records of the
-/// same events, so any drift is a double- or under-count.
-fn assert_metrics_reconcile(host: &ShardHost<ProcessSpawner>, hub: &ObsHub, tag: &str) {
+/// [`HostStats`] field — the published metric deltas and the host's
+/// own bookkeeping are two records of the same events, so any drift is
+/// a double- or under-count. Works for a single host or a pool's
+/// summed stats; `breaker_code` additionally pins the breaker-state
+/// gauge when the caller knows it (single host).
+fn assert_metrics_reconcile(stats: &HostStats, breaker_code: Option<u64>, hub: &ObsHub, tag: &str) {
     type Check<'a> = (&'a str, &'a [(&'a str, &'a str)], u64);
-    let stats = host.stats();
     let snap = hub.snapshot();
     let counter =
         |name: &str, labels: &[(&str, &str)]| snap.value(name, labels).unwrap_or(0) as u64;
-    let checks: [Check; 10] = [
+    let checks: [Check; 14] = [
         ("sparseloop_fleet_requests_total", &[], stats.requests),
         ("sparseloop_fleet_spawns_total", &[], stats.spawns),
         ("sparseloop_fleet_restarts_total", &[], stats.restarts),
@@ -112,12 +113,39 @@ fn assert_metrics_reconcile(host: &ShardHost<ProcessSpawner>, hub: &ObsHub, tag:
             &[],
             stats.deadline_exceeded,
         ),
+        (
+            "sparseloop_fleet_breaker_trips_total",
+            &[],
+            stats.breaker_trips,
+        ),
+        (
+            "sparseloop_fleet_breaker_probes_total",
+            &[],
+            stats.breaker_probes,
+        ),
+        (
+            "sparseloop_fleet_hedges_total",
+            &[("kind", "dispatched")],
+            stats.hedges_dispatched,
+        ),
+        (
+            "sparseloop_fleet_hedges_total",
+            &[("kind", "wins")],
+            stats.hedge_wins,
+        ),
     ];
     for (name, labels, want) in checks {
         assert_eq!(
             counter(name, labels),
             want,
             "{tag}: {name}{labels:?} drifted from HostStats"
+        );
+    }
+    if let Some(code) = breaker_code {
+        assert_eq!(
+            counter("sparseloop_fleet_breaker_state", &[]),
+            code,
+            "{tag}: breaker gauge drifted from breaker_state()"
         );
     }
 }
@@ -154,7 +182,12 @@ fn sigkilled_process_is_survived_bit_identically() {
     assert_eq!(stats.kills_injected, 1);
     assert!(stats.restarts >= 1, "the killed worker must be replaced");
     assert_eq!(stats.degraded, 0);
-    assert_metrics_reconcile(&host, &hub, "kill@0");
+    assert_metrics_reconcile(
+        &host.stats(),
+        Some(host.breaker_state().code()),
+        &hub,
+        "kill@0",
+    );
 }
 
 #[test]
@@ -176,7 +209,12 @@ fn process_dying_before_its_result_is_survived() {
         stats.deaths_eof >= 1,
         "an exiting process must be booked as an EOF death, not a heartbeat timeout"
     );
-    assert_metrics_reconcile(&host, &hub, "die-before-result");
+    assert_metrics_reconcile(
+        &host.stats(),
+        Some(host.breaker_state().code()),
+        &hub,
+        "die-before-result",
+    );
 }
 
 #[test]
@@ -202,7 +240,12 @@ fn stalled_process_is_timed_out_and_metrics_reconcile() {
         stats.backoff_nanos_total > 0,
         "the retry after the timeout must have backed off"
     );
-    assert_metrics_reconcile(&host, &hub, "stall");
+    assert_metrics_reconcile(
+        &host.stats(),
+        Some(host.breaker_state().code()),
+        &hub,
+        "stall",
+    );
 }
 
 #[test]
@@ -222,7 +265,12 @@ fn corrupted_result_is_survived_and_metrics_reconcile() {
         host.stats().restarts >= 1,
         "the corrupt worker must be replaced"
     );
-    assert_metrics_reconcile(&host, &hub, "corrupt");
+    assert_metrics_reconcile(
+        &host.stats(),
+        Some(host.breaker_state().code()),
+        &hub,
+        "corrupt",
+    );
 }
 
 #[test]
@@ -249,7 +297,12 @@ fn deadline_expiry_reconciles_error_with_metrics() {
         stats.deadline_exceeded, 1,
         "exactly one request failed on its deadline"
     );
-    assert_metrics_reconcile(&host, &hub, "deadline");
+    assert_metrics_reconcile(
+        &host.stats(),
+        Some(host.breaker_state().code()),
+        &hub,
+        "deadline",
+    );
 }
 
 #[test]
@@ -264,4 +317,70 @@ fn fleet_serves_consecutive_requests_across_one_session() {
     let stats = host.stats();
     assert_eq!(stats.requests, 3);
     assert_eq!(stats.spawns, 2, "workers are reused across requests");
+}
+
+#[test]
+fn pooled_process_fleets_reuse_prewarmed_workers() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let want = reference_reply(&text, 2);
+    let hub = ObsHub::new();
+    let pool = FleetPool::processes_observed(
+        FleetPoolConfig::default()
+            .with_hosts(1)
+            .with_host_config(config(2)),
+        WORKER_BIN,
+        hub.clone(),
+    );
+    for round in 0..3 {
+        let got = pool.run_spec(&text).expect("pooled fleet serves");
+        assert_bit_identical(&got, &want, &format!("pool round={round}"));
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.checkouts, 3);
+    let host = pool.host_stats();
+    assert_eq!(host.requests, 3);
+    assert_eq!(
+        host.spawns, 2,
+        "prewarmed processes serve every request — no per-request spawning"
+    );
+    assert_eq!(host.degraded, 0);
+    // a forced sweep over the live process transport: every ping must
+    // come back, and nothing needs replacement
+    let report = pool.health_check_all();
+    assert_eq!(report.pings_sent, 2);
+    assert_eq!(report.pongs_received, 2, "idle workers must answer pings");
+    assert_eq!(report.workers_replaced, 0);
+    assert_metrics_reconcile(&pool.host_stats(), None, &hub, "pool-reuse");
+    pool.shutdown();
+}
+
+#[test]
+fn sigkill_mid_pool_is_survived_bit_identically() {
+    let text = sparseloop_spec::emit_scenario(&small_scenario());
+    let want = reference_reply(&text, 2);
+    let plan = FaultPlan::none().with(0, WorkerFault::KillAfterFrames(0));
+    let hub = ObsHub::new();
+    let pool = FleetPool::processes_observed(
+        FleetPoolConfig::default()
+            .with_hosts(1)
+            .with_host_config(config(2).with_fault_plan(plan)),
+        WORKER_BIN,
+        hub.clone(),
+    );
+    // first request rides through the SIGKILL; the second exercises the
+    // healed fleet — both must merge bit-identical winners
+    for round in 0..2 {
+        let got = pool.run_spec(&text).expect("pooled fleet survives");
+        assert_bit_identical(&got, &want, &format!("pool-kill round={round}"));
+    }
+    let host = pool.host_stats();
+    assert_eq!(host.requests, 2);
+    assert!(host.kills_injected >= 1, "the kill schedule must fire");
+    assert!(host.restarts >= 1, "the killed worker must be replaced");
+    assert_eq!(
+        host.degraded, 0,
+        "faults must not force in-process fallback"
+    );
+    assert_metrics_reconcile(&pool.host_stats(), None, &hub, "pool-kill");
+    pool.shutdown();
 }

@@ -82,6 +82,12 @@ impl ObsHub {
         self.clock.now_nanos()
     }
 
+    /// Shared handle to the hub clock, for components (e.g. circuit breakers)
+    /// that need a time source outliving individual calls.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
     /// Allocate the next request id (starts at 1; 0 means "no request").
     pub fn next_request_id(&self) -> u64 {
         self.next_request_id.fetch_add(1, Ordering::Relaxed)

@@ -26,6 +26,10 @@ pub enum SpanKind {
     WorkerCompile,
     /// Worker-side: sharded mapspace search.
     WorkerSearch,
+    /// A hedged re-dispatch of a straggling shard (dispatch → winning result).
+    HedgeDispatch,
+    /// Waiting to check a pooled `ShardHost` out of the `FleetPool`.
+    PoolCheckout,
 }
 
 impl SpanKind {
@@ -37,6 +41,8 @@ impl SpanKind {
             SpanKind::WorkerRoundTrip => "worker_round_trip",
             SpanKind::WorkerCompile => "worker_compile",
             SpanKind::WorkerSearch => "worker_search",
+            SpanKind::HedgeDispatch => "hedge_dispatch",
+            SpanKind::PoolCheckout => "pool_checkout",
         }
     }
 }

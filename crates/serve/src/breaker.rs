@@ -1,0 +1,236 @@
+//! A deterministic circuit breaker for the fleet path.
+//!
+//! Before this existed, a sick fleet was rediscovered on every request:
+//! each one paid the spawn attempts and backoff sleeps before falling
+//! back to in-process evaluation. The breaker makes degradation a
+//! *state*, entered once and exited deliberately:
+//!
+//! ```text
+//!            failures >= threshold
+//!   Closed ─────────────────────────▶ Open
+//!     ▲                                │ cooldown elapses
+//!     │ probe succeeds                 ▼
+//!     └────────────────────────── HalfOpen
+//!              (probe fails → back to Open, fresh cooldown)
+//! ```
+//!
+//! Time comes from an injected [`Clock`], so cooldown transitions are
+//! fully deterministic under a [`ManualClock`](sparseloop_obs::ManualClock)
+//! — the scripted-sequence tests assert exact state trajectories, not
+//! sleeps.
+
+use sparseloop_obs::{Clock, MonotonicClock};
+use std::sync::Arc;
+
+/// Breaker position. `code` is the value of the
+/// `sparseloop_fleet_breaker_state` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: fleet dispatch allowed, failures counted.
+    Closed,
+    /// Tripped: fleet dispatch short-circuits to the degraded path
+    /// until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe request is allowed through; its
+    /// outcome decides between `Closed` and a fresh `Open`.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Gauge encoding: 0 closed, 1 open, 2 half-open.
+    pub fn code(self) -> u64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive fleet failures that trip `Closed` → `Open`.
+    pub failure_threshold: u32,
+    /// How long `Open` short-circuits before allowing a probe, nanos.
+    pub cooldown_nanos: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_nanos: 1_000_000_000,
+        }
+    }
+}
+
+/// The breaker (see the [module docs](self)). Not thread-safe by
+/// itself — it lives inside a single-threaded `ShardHost`.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    clock: Arc<dyn Clock>,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_nanos: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker on a monotonic clock.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self::with_clock(config, Arc::new(MonotonicClock::new()))
+    }
+
+    /// A closed breaker on an explicit clock (tests inject a manual
+    /// one; observed hosts share their hub's clock).
+    pub fn with_clock(config: BreakerConfig, clock: Arc<dyn Clock>) -> Self {
+        CircuitBreaker {
+            config,
+            clock,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_nanos: 0,
+        }
+    }
+
+    /// Replaces the time source (keeps current state).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = clock;
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Should the caller attempt fleet work right now? `Closed` and
+    /// `HalfOpen` say yes; `Open` says yes exactly once per elapsed
+    /// cooldown — transitioning to `HalfOpen`, which makes the attempt
+    /// a probe.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let now = self.clock.now_nanos();
+                if now.saturating_sub(self.opened_at_nanos) >= self.config.cooldown_nanos {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A fleet request was served end to end. Closes a half-open
+    /// breaker and clears the failure streak.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// A fleet failure (spawn refusal or exhausted-retries worker
+    /// loss). Returns `true` when this failure *trips* the breaker into
+    /// `Open` (threshold reached, or a probe failed).
+    pub fn record_failure(&mut self) -> bool {
+        match self.state {
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                self.open_now();
+                true
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.open_now();
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn open_now(&mut self) {
+        self.state = BreakerState::Open;
+        self.consecutive_failures = 0;
+        self.opened_at_nanos = self.clock.now_nanos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparseloop_obs::ManualClock;
+
+    fn manual_breaker(threshold: u32, cooldown: u64) -> (CircuitBreaker, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let breaker = CircuitBreaker::with_clock(
+            BreakerConfig {
+                failure_threshold: threshold,
+                cooldown_nanos: cooldown,
+            },
+            clock.clone(),
+        );
+        (breaker, clock)
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let (mut b, _clock) = manual_breaker(3, 100);
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        b.record_success(); // streak broken
+        assert!(!b.record_failure());
+        assert!(!b.record_failure());
+        assert!(b.record_failure(), "third consecutive failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn open_blocks_until_cooldown_then_probes() {
+        let (mut b, clock) = manual_breaker(1, 100);
+        assert!(b.record_failure());
+        assert!(!b.allow(), "open: short-circuit");
+        clock.advance(99);
+        assert!(!b.allow(), "cooldown not elapsed");
+        clock.advance(1);
+        assert!(b.allow(), "cooldown elapsed: probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let (mut b, clock) = manual_breaker(1, 100);
+        b.record_failure();
+        clock.advance(100);
+        assert!(b.allow());
+        assert!(b.record_failure(), "failed probe re-trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        clock.advance(99);
+        assert!(!b.allow(), "cooldown restarted at probe failure");
+        clock.advance(1);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn gauge_codes_are_stable() {
+        assert_eq!(BreakerState::Closed.code(), 0);
+        assert_eq!(BreakerState::Open.code(), 1);
+        assert_eq!(BreakerState::HalfOpen.code(), 2);
+        assert_eq!(BreakerState::HalfOpen.as_str(), "half_open");
+    }
+}

@@ -14,7 +14,8 @@
 //! * **Worker-side faults** ([`WorkerFault::DieAt`],
 //!   [`StallBeforeResult`](WorkerFault::StallBeforeResult),
 //!   [`CorruptResult`](WorkerFault::CorruptResult),
-//!   [`DropResult`](WorkerFault::DropResult)) are executed by the
+//!   [`DropResult`](WorkerFault::DropResult),
+//!   [`SlowFrames`](WorkerFault::SlowFrames)) are executed by the
 //!   worker loop itself. For real processes they travel in the
 //!   [`FAULT_ENV`] environment variable; in-thread workers receive them
 //!   directly.
@@ -64,6 +65,13 @@ pub enum WorkerFault {
     /// Parent kills the worker (SIGKILL for processes) once it has
     /// received this many frames from it since task dispatch.
     KillAfterFrames(u32),
+    /// Worker computes its task, then *delays* (never drops) its result
+    /// frames by this many milliseconds while still heartbeating —
+    /// deterministic straggler, the fault hedged dispatch exists for.
+    SlowFrames {
+        /// Delay before the result frames are written, milliseconds.
+        delay_ms: u64,
+    },
 }
 
 impl WorkerFault {
@@ -77,6 +85,7 @@ impl WorkerFault {
             WorkerFault::StallBeforeResult => Some("stall".into()),
             WorkerFault::CorruptResult => Some("corrupt".into()),
             WorkerFault::DropResult => Some("drop".into()),
+            WorkerFault::SlowFrames { delay_ms } => Some(format!("slow:{delay_ms}")),
             WorkerFault::KillAfterFrames(_) => None,
         }
     }
@@ -90,7 +99,10 @@ impl WorkerFault {
             "stall" => Some(WorkerFault::StallBeforeResult),
             "corrupt" => Some(WorkerFault::CorruptResult),
             "drop" => Some(WorkerFault::DropResult),
-            _ => None,
+            _ => {
+                let delay_ms = value.strip_prefix("slow:")?.parse().ok()?;
+                Some(WorkerFault::SlowFrames { delay_ms })
+            }
         }
     }
 }
@@ -149,13 +161,16 @@ impl FaultPlan {
             z ^ (z >> 31)
         };
         let slot = (next() % workers as u64) as u32;
-        let fault = match next() % 7 {
+        let fault = match next() % 8 {
             0 => WorkerFault::DieAt(DiePoint::Startup),
             1 => WorkerFault::DieAt(DiePoint::AfterHello),
             2 => WorkerFault::DieAt(DiePoint::BeforeResult),
             3 => WorkerFault::StallBeforeResult,
             4 => WorkerFault::CorruptResult,
             5 => WorkerFault::DropResult,
+            6 => WorkerFault::SlowFrames {
+                delay_ms: 10 * (1 + next() % 4),
+            },
             _ => WorkerFault::KillAfterFrames((next() % 4) as u32),
         };
         FaultPlan::none().with(slot, fault)
@@ -175,6 +190,7 @@ mod tests {
             WorkerFault::StallBeforeResult,
             WorkerFault::CorruptResult,
             WorkerFault::DropResult,
+            WorkerFault::SlowFrames { delay_ms: 35 },
         ];
         for f in faults {
             let env = f.to_env().expect("worker-side fault serializes");

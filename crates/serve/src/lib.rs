@@ -59,6 +59,39 @@
 //! ([`FaultPlan::from_seed`]) schedules, which is what lets the
 //! fault-injection suite assert bit-identity rather than mere survival.
 //!
+//! ## Overload protection and pooled fleets
+//!
+//! The service and the fleet compose into an overload-resilient stack:
+//!
+//! * **Priority admission and load shedding** — submissions carry a
+//!   [`Priority`] (interactive > batch > background); the queue drains
+//!   strictly by band, a full queue displaces the *youngest
+//!   lowest-priority* entrant to admit higher-priority work (the victim
+//!   resolves to [`ServeError::Shed`] with an EWMA-derived
+//!   `retry_after_hint`), and a configured
+//!   [`ServeConfig::with_shed_watermark`] refuses background arrivals
+//!   early ([`SubmitError::Shed`]) before the queue saturates. The
+//!   stats identity extends to
+//!   `submitted == completed + panicked + canceled + shed`.
+//! * **Circuit breaker** — consecutive spawn failures or worker losses
+//!   trip a per-fleet [`CircuitBreaker`] (closed → open → half-open);
+//!   while open, requests short-circuit to degraded in-process
+//!   execution (still bit-identical) instead of re-paying the failure,
+//!   and after a cooldown a single probe request tests recovery. State
+//!   is observable via the `sparseloop_fleet_breaker_state` gauge.
+//! * **Hedged dispatch** — with [`HostConfig::with_hedging`], a shard
+//!   whose result is overdue (latency-derived delay) is re-dispatched
+//!   to a spare worker and the first reply wins — safe precisely
+//!   because replies are bit-identical; a token bucket caps hedge
+//!   amplification.
+//! * **Prewarmed pools** — [`FleetPool`] keeps long-lived
+//!   [`ShardHost`]s checked in/out across requests (amortizing spawn +
+//!   handshake), sweeps idle hosts with Ping/Pong health probes, and
+//!   proactively replaces silent workers;
+//!   [`EvalService::start_with_fleet`] routes scenario/spec requests
+//!   through the pool and falls back in-process on fleet machinery
+//!   failures without surfacing them to callers.
+//!
 //! ```
 //! use sparseloop_serve::{EvalService, ServeConfig};
 //!
@@ -74,19 +107,23 @@
 //! [`EvalSession`]: sparseloop_core::EvalSession
 //! [`Mapspace::shards`]: sparseloop_mapping::Mapspace::shards
 
+pub mod breaker;
 pub mod fault;
+pub mod pool;
 pub mod proc;
 pub mod protocol;
 pub mod queue;
 pub mod service;
 pub mod supervisor;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::{DiePoint, FaultPlan, WorkerFault};
+pub use pool::{FleetPool, FleetPoolConfig, PoolStats};
 pub use proc::{run_worker, worker_main, ProcessSpawner, ThreadSpawner, WorkerSpawner};
 pub use protocol::{Frame, ProtocolError, PROTOCOL_VERSION};
-pub use queue::{BoundedQueue, PushError};
+pub use queue::{Admission, BoundedQueue, Priority, PushError};
 pub use service::{
     scenario_reply, CancelToken, EvalService, ScenarioReply, ServeConfig, ServeError, ServeReply,
     ServeRequest, ServiceStats, SpecDiagnostic, SubmitError, Ticket,
 };
-pub use supervisor::{HostConfig, HostError, HostStats, ShardHost};
+pub use supervisor::{HealthReport, HedgeConfig, HostConfig, HostError, HostStats, ShardHost};

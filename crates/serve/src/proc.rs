@@ -332,6 +332,22 @@ where
                         }
                     }
                     Some(WorkerFault::DropResult) => {}
+                    Some(WorkerFault::SlowFrames { delay_ms }) => {
+                        // a deterministic straggler: the result is late,
+                        // not lost — heartbeats stopped above, so the
+                        // delay must stay under the supervisor's
+                        // heartbeat timeout (seeded plans keep it small)
+                        std::thread::sleep(Duration::from_millis(delay_ms));
+                        let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                        if let Some(stats) = &stats_frame {
+                            if write_frame(&mut *w, stats).is_err() {
+                                return;
+                            }
+                        }
+                        if write_frame(&mut *w, &reply).is_err() {
+                            return;
+                        }
+                    }
                     _ => {
                         let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
                         // Phase timings ride immediately ahead of the
@@ -347,6 +363,12 @@ where
                             return;
                         }
                     }
+                }
+            }
+            Frame::Ping { seq } => {
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if write_frame(&mut *w, &Frame::Pong { seq }).is_err() {
+                    return;
                 }
             }
             Frame::Shutdown => return,
@@ -616,6 +638,37 @@ mod tests {
             } => {}
             other => panic!("expected exit without hello, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn idle_worker_answers_pings() {
+        let (tx, rx) = mpsc::channel();
+        let mut handle = ThreadSpawner.spawn(0, 1, None, tx).unwrap();
+        // hello
+        let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        for seq in [5u64, 6, 7] {
+            handle.send(&Frame::Ping { seq }).unwrap();
+            match rx.recv_timeout(Duration::from_secs(5)).unwrap().kind {
+                EventKind::Frame(Frame::Pong { seq: got }) => assert_eq!(got, seq),
+                other => panic!("expected pong {seq}, got {other:?}"),
+            }
+        }
+        // a ping is not a protocol breach: the worker still serves tasks
+        handle
+            .send(&Frame::Task {
+                id: 1,
+                shard: 0,
+                shards: 1,
+                heartbeat_ms: 0,
+                spec: "scenario:\n  nonsense: true\n".into(),
+                want_stats: false,
+            })
+            .unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap().kind {
+            EventKind::Frame(Frame::TaskFailed { id: 1, .. }) => {}
+            other => panic!("expected task reply after pings, got {other:?}"),
+        }
+        handle.kill();
     }
 
     #[test]

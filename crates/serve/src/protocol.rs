@@ -42,6 +42,11 @@ use std::io::{Read, Write};
 ///   trailing bytes) and never sees `want_stats` honored; a v1 parent
 ///   never sets `want_stats`, so a v2 worker never sends the `Stats`
 ///   frame it could not decode.
+/// - v2 (health frames): [`Frame::Ping`] / [`Frame::Pong`] let a pool
+///   supervisor probe idle workers between tasks. New tags, not new
+///   fields, so the version number is unchanged; only pool-managed
+///   parents send `Ping`, and a worker that answered `Hello` with v2+
+///   is guaranteed to answer `Pong`.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Frame magic: "SLF1" little-endian.
@@ -152,6 +157,17 @@ pub enum Frame {
     },
     /// Parent → worker: exit cleanly.
     Shutdown,
+    /// Parent → worker: health probe for an idle pooled worker. A live
+    /// worker echoes the sequence number back in a [`Frame::Pong`].
+    Ping {
+        /// Probe sequence number, echoed verbatim.
+        seq: u64,
+    },
+    /// Worker → parent: answer to a [`Frame::Ping`].
+    Pong {
+        /// The probed sequence number.
+        seq: u64,
+    },
 }
 
 /// Why a frame could not be read.
@@ -328,6 +344,14 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_u64(*evaluated);
         }
         Frame::Shutdown => w.put_u8(6),
+        Frame::Ping { seq } => {
+            w.put_u8(8);
+            w.put_u64(*seq);
+        }
+        Frame::Pong { seq } => {
+            w.put_u8(9);
+            w.put_u64(*seq);
+        }
     }
     w.into_bytes()
 }
@@ -379,6 +403,12 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Frame, ProtocolError> {
             search_nanos: r.get_u64("stats.search_nanos")?,
             generated: r.get_u64("stats.generated")?,
             evaluated: r.get_u64("stats.evaluated")?,
+        },
+        8 => Frame::Ping {
+            seq: r.get_u64("ping.seq")?,
+        },
+        9 => Frame::Pong {
+            seq: r.get_u64("pong.seq")?,
         },
         tag => return Err(ProtocolError::UnknownTag(tag)),
     };
@@ -507,6 +537,8 @@ mod tests {
                 message: "spec:2:3: unknown key".into(),
             },
             Frame::Shutdown,
+            Frame::Ping { seq: 11 },
+            Frame::Pong { seq: 11 },
         ]
     }
 

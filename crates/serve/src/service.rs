@@ -1,7 +1,9 @@
 //! The evaluation service: long-lived workers, one shared session,
 //! bounded admission, recycling, graceful shutdown.
 
-use crate::queue::{BoundedQueue, PushError};
+use crate::pool::FleetPool;
+use crate::queue::{Admission, BoundedQueue, Priority};
+use crate::supervisor::HostError;
 use sparseloop_core::{EvalJob, EvalSession, JobError, JobOutcome};
 use sparseloop_designs::ScenarioRegistry;
 use sparseloop_mapping::SearchStats;
@@ -10,7 +12,7 @@ use sparseloop_obs::{
 };
 use sparseloop_spec::SpecError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -32,6 +34,11 @@ pub struct ServeConfig {
     /// this many slots (density models + format slots). `None`: never
     /// recycle — only safe for bounded workload diversity.
     pub recycle_slot_budget: Option<usize>,
+    /// High-watermark load shedding: once the queue holds at least this
+    /// many requests, [`Priority::Background`] arrivals are refused
+    /// early with [`SubmitError::Shed`] instead of riding the queue to
+    /// capacity. `0` disables early shedding (watermark == capacity).
+    pub shed_watermark: usize,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +48,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             shards: 1,
             recycle_slot_budget: None,
+            shed_watermark: 0,
         }
     }
 }
@@ -67,6 +75,13 @@ impl ServeConfig {
     /// Sets the session recycling budget.
     pub fn with_recycle_slot_budget(mut self, budget: usize) -> Self {
         self.recycle_slot_budget = Some(budget);
+        self
+    }
+
+    /// Sets the early-shedding watermark (clamped to the capacity at
+    /// admission time; `0` disables).
+    pub fn with_shed_watermark(mut self, watermark: usize) -> Self {
+        self.shed_watermark = watermark;
         self
     }
 }
@@ -187,6 +202,14 @@ pub enum ServeError {
     /// service was torn down, the ticket was abandoned (dropped or
     /// timed out), or its deadline expired.
     Canceled,
+    /// The request was admitted, then evicted from the queue by a
+    /// strictly higher-priority arrival under overload. Back off for at
+    /// least the hint (derived from observed request latency) before
+    /// resubmitting.
+    Shed {
+        /// Suggested minimum wait before retrying.
+        retry_after_hint: Duration,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -196,6 +219,10 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidSpec(diag) => write!(f, "invalid spec: {diag}"),
             ServeError::Panicked(msg) => write!(f, "worker panicked: {msg}"),
             ServeError::Canceled => write!(f, "request canceled before completion"),
+            ServeError::Shed { retry_after_hint } => write!(
+                f,
+                "request shed under overload; retry after {retry_after_hint:?}"
+            ),
         }
     }
 }
@@ -205,11 +232,26 @@ impl std::error::Error for ServeError {}
 /// Why a request was refused at admission.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is at capacity — backpressure; retry later or
-    /// use [`EvalService::submit_blocking`].
+    /// The bounded queue is at capacity with nothing lower-priority to
+    /// displace — backpressure; retry later or use
+    /// [`EvalService::submit_blocking`].
     QueueFull {
+        /// Requests queued at refusal time.
+        depth: usize,
         /// The configured admission capacity.
         capacity: usize,
+    },
+    /// The shed watermark refused this [`Priority::Background`] arrival
+    /// early: the service is saturated enough that background work
+    /// would only be displaced later anyway.
+    Shed {
+        /// Requests queued at refusal time.
+        depth: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+        /// Suggested minimum wait before retrying (derived from
+        /// observed request latency).
+        retry_after_hint: Duration,
     },
     /// The service is shutting down.
     ShuttingDown,
@@ -218,9 +260,18 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull { capacity } => {
-                write!(f, "queue full (capacity {capacity})")
+            SubmitError::QueueFull { depth, capacity } => {
+                write!(f, "queue full ({depth} queued of capacity {capacity})")
             }
+            SubmitError::Shed {
+                depth,
+                capacity,
+                retry_after_hint,
+            } => write!(
+                f,
+                "shed under overload ({depth} queued of capacity {capacity}); \
+                 retry after {retry_after_hint:?}"
+            ),
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
         }
     }
@@ -357,8 +408,20 @@ pub struct ServiceStats {
     /// Requests canceled before completion (abandoned tickets, expired
     /// deadlines, explicit [`Ticket::cancel`]). Every admitted request
     /// lands in exactly one bucket:
-    /// `submitted == completed + panicked + canceled` once drained.
+    /// `submitted == completed + panicked + canceled + shed` once
+    /// drained.
     pub canceled: u64,
+    /// Requests admitted, then evicted from the queue by a strictly
+    /// higher-priority arrival under overload (their tickets resolve to
+    /// [`ServeError::Shed`]).
+    pub shed: u64,
+    /// Requests whose evaluation was dispatched to an attached
+    /// worker-process fleet ([`FleetPool`]).
+    pub fleet_dispatched: u64,
+    /// Fleet dispatches that fell back to in-process evaluation because
+    /// the fleet *machinery* failed (lost workers, expired host
+    /// deadline) — never because the workload failed.
+    pub fleet_fallbacks: u64,
     /// Times the shared session was recycled.
     pub recycles: u64,
     /// Largest intern-slot count ever observed after a request
@@ -385,8 +448,8 @@ struct Work {
 /// can never mix two moments: `submitted` is incremented *before* the
 /// queue push (and rolled back on refusal), and every completion bucket
 /// is incremented under the same lock — so any snapshot observes
-/// `submitted >= completed + panicked + canceled`, with equality once
-/// the queue drains.
+/// `submitted >= completed + panicked + canceled + shed`, with equality
+/// once the queue drains.
 #[derive(Debug, Clone, Copy, Default)]
 struct Counters {
     submitted: u64,
@@ -394,6 +457,9 @@ struct Counters {
     completed: u64,
     panicked: u64,
     canceled: u64,
+    shed: u64,
+    fleet_dispatched: u64,
+    fleet_fallbacks: u64,
     recycles: u64,
     peak_slots: u64,
 }
@@ -407,6 +473,9 @@ struct ServeObs {
     completed: Counter,
     panicked: Counter,
     canceled: Counter,
+    shed: Counter,
+    fleet_dispatched: Counter,
+    fleet_fallback: Counter,
     recycles: Counter,
     queue_wait: Histogram,
     latency: Histogram,
@@ -429,6 +498,10 @@ impl ServeObs {
             completed: outcome("completed"),
             panicked: outcome("panicked"),
             canceled: outcome("canceled"),
+            shed: outcome("shed"),
+            fleet_dispatched: reg
+                .counter("sparseloop_service_fleet_total", &[("kind", "dispatched")]),
+            fleet_fallback: reg.counter("sparseloop_service_fleet_total", &[("kind", "fallback")]),
             recycles: reg.counter("sparseloop_session_recycles_total", &[]),
             queue_wait: reg.histogram("sparseloop_queue_wait_nanos", &[], LATENCY_BUCKETS_NANOS),
             latency: reg.histogram(
@@ -487,6 +560,17 @@ struct Shared {
     session: Mutex<Arc<EvalSession>>,
     counters: Mutex<Counters>,
     obs: Option<ServeObs>,
+    /// An optional shared worker-process fleet: `Scenario`/`Spec`
+    /// requests dispatch to pooled [`ShardHost`]s (bit-identical to
+    /// in-process evaluation) and fall back in process when the fleet
+    /// machinery fails. `Job` requests always run in process — they
+    /// have no wire form.
+    ///
+    /// [`ShardHost`]: crate::supervisor::ShardHost
+    fleet: Option<FleetPool>,
+    /// Exponentially weighted request latency in nanos — the basis for
+    /// shed `retry_after_hint`s. `0` until the first completion.
+    ewma_latency_nanos: AtomicU64,
 }
 
 impl Shared {
@@ -496,6 +580,71 @@ impl Shared {
 
     fn counters(&self) -> std::sync::MutexGuard<'_, Counters> {
         self.counters.lock().expect("counters poisoned")
+    }
+
+    /// Folds one completed request's wall time into the latency EWMA
+    /// (weight 1/4 — responsive to load shifts without tracking noise).
+    fn note_latency(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let old = self.ewma_latency_nanos.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            nanos
+        } else {
+            old / 4 * 3 + nanos / 4
+        };
+        self.ewma_latency_nanos.store(next, Ordering::Relaxed);
+    }
+
+    /// How long a shed caller should wait before resubmitting: the
+    /// latency EWMA, floored at 1ms so the hint is never degenerate
+    /// before the first completion.
+    fn retry_after_hint(&self) -> Duration {
+        Duration::from_nanos(
+            self.ewma_latency_nanos
+                .load(Ordering::Relaxed)
+                .max(1_000_000),
+        )
+    }
+
+    /// Books a displaced queue victim: it was admitted (already counted
+    /// `submitted`), so it must land in exactly one completion bucket —
+    /// `shed` — and its ticket resolves immediately to
+    /// [`ServeError::Shed`].
+    fn shed_victim(&self, victim: Work) {
+        self.counters().shed += 1;
+        if let Some(obs) = &self.obs {
+            obs.shed.inc();
+        }
+        let _ = victim.responder.send(Err(ServeError::Shed {
+            retry_after_hint: self.retry_after_hint(),
+        }));
+    }
+
+    /// Dispatches spec text to the attached fleet. `Ok(None)` means
+    /// "evaluate in process instead": no fleet, or the fleet lost its
+    /// workers / ran out of host deadline — failures of the machinery,
+    /// not the workload. Deterministic workload failures surface as
+    /// real errors so fallback never masks a bad request.
+    fn try_fleet(&self, text: &str) -> Result<Option<ScenarioReply>, ServeError> {
+        let Some(fleet) = &self.fleet else {
+            return Ok(None);
+        };
+        self.counters().fleet_dispatched += 1;
+        if let Some(obs) = &self.obs {
+            obs.fleet_dispatched.inc();
+        }
+        match fleet.run_spec(text) {
+            Ok(reply) => Ok(Some(reply)),
+            Err(HostError::InvalidSpec(diag)) => Err(ServeError::InvalidSpec(diag)),
+            Err(HostError::TaskFailed { message }) => Err(ServeError::Panicked(message)),
+            Err(HostError::WorkerLost { .. } | HostError::DeadlineExceeded) => {
+                self.counters().fleet_fallbacks += 1;
+                if let Some(obs) = &self.obs {
+                    obs.fleet_fallback.inc();
+                }
+                Ok(None)
+            }
+        }
     }
 
     fn process(
@@ -521,13 +670,24 @@ impl Shared {
                     .registry
                     .get(name)
                     .ok_or_else(|| ServeError::UnknownScenario(name.clone()))?;
+                // same emit→dispatch path the supervisor's
+                // `run_scenario` uses; enforced bit-identical to the
+                // in-process run by the fleet round-trip suite
+                if let Some(reply) = self.try_fleet(&sparseloop_spec::emit_scenario(scenario))? {
+                    return Ok(ServeReply::Scenario(reply));
+                }
                 let outcome = scenario.run_sharded_with(session, self.config.shards, probe);
                 Ok(ServeReply::Scenario(scenario_reply(outcome)))
             }
             ServeRequest::Spec(text) => {
+                // compile first so malformed specs fail identically with
+                // or without a fleet attached
                 let scenario = sparseloop_spec::compile_str(text)
                     .map_err(|e| ServeError::InvalidSpec(SpecDiagnostic::from(&e)))?
                     .into_scenario();
+                if let Some(reply) = self.try_fleet(text)? {
+                    return Ok(ServeReply::Scenario(reply));
+                }
                 let outcome = scenario.run_sharded_with(session, self.config.shards, probe);
                 Ok(ServeReply::Scenario(scenario_reply(outcome)))
             }
@@ -616,6 +776,7 @@ fn worker_loop(shared: &Shared) {
         }
         let session = shared.current_session();
         let eval_start = shared.obs.as_ref().map(|o| o.hub.now_nanos());
+        let wall_start = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let reply = shared.process(&request, &session, &cancel);
             shared.maybe_recycle(&session);
@@ -634,6 +795,11 @@ fn worker_loop(shared: &Shared) {
                     } else {
                         c.completed += 1;
                     }
+                }
+                if !canceled {
+                    // canceled requests stop early; folding them in
+                    // would bias the shed retry hint optimistic
+                    shared.note_latency(wall_start.elapsed());
                 }
                 if let Some(obs) = &shared.obs {
                     if canceled {
@@ -710,6 +876,27 @@ impl EvalService {
         registry: ScenarioRegistry,
         hub: Option<ObsHub>,
     ) -> Self {
+        EvalService::start_full(config, registry, hub, None)
+    }
+
+    /// Boots the service on top of a shared [`FleetPool`]: `Scenario`
+    /// and `Spec` requests dispatch to pooled worker-process fleets
+    /// (replies bit-identical to in-process evaluation), falling back
+    /// in process when the fleet machinery fails; `Job` requests always
+    /// evaluate in process (they have no wire form). The service
+    /// reports into the pool's [`ObsHub`] when it has one, so service,
+    /// pool, and host metrics land in a single snapshot.
+    pub fn start_with_fleet(config: ServeConfig, fleet: FleetPool) -> Self {
+        let hub = fleet.hub().cloned();
+        EvalService::start_full(config, ScenarioRegistry::standard(), hub, Some(fleet))
+    }
+
+    fn start_full(
+        config: ServeConfig,
+        registry: ScenarioRegistry,
+        hub: Option<ObsHub>,
+        fleet: Option<FleetPool>,
+    ) -> Self {
         let config = ServeConfig {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
@@ -723,6 +910,8 @@ impl EvalService {
             session: Mutex::new(Arc::new(EvalSession::new())),
             counters: Mutex::new(Counters::default()),
             obs: hub.map(|hub| ServeObs::new(hub, &config)),
+            fleet,
+            ewma_latency_nanos: AtomicU64::new(0),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -774,11 +963,26 @@ impl EvalService {
         self.shared.config
     }
 
-    /// Non-blocking admission: enqueues the request or refuses it when
-    /// the queue is at capacity (backpressure) or the service is
-    /// shutting down.
+    /// Non-blocking admission at [`Priority::Batch`]: enqueues the
+    /// request or refuses it when the queue is at capacity
+    /// (backpressure) or the service is shutting down.
     pub fn submit(&self, request: ServeRequest) -> Result<Ticket, SubmitError> {
         self.submit_with_token(request, CancelToken::new())
+    }
+
+    /// [`submit`](EvalService::submit) at an explicit [`Priority`].
+    /// Under overload a higher-priority arrival displaces the youngest
+    /// strictly-lower-priority queued request (the victim's ticket
+    /// resolves to [`ServeError::Shed`]); once the queue reaches the
+    /// shed watermark, [`Priority::Background`] arrivals are refused
+    /// early with [`SubmitError::Shed`]. Equal-priority work is never
+    /// displaced, so admission order within a band is preserved.
+    pub fn submit_with_priority(
+        &self,
+        request: ServeRequest,
+        priority: Priority,
+    ) -> Result<Ticket, SubmitError> {
+        self.submit_prioritized(request, CancelToken::new(), priority)
     }
 
     /// [`submit`](EvalService::submit) with a per-request deadline: once
@@ -840,21 +1044,54 @@ impl EvalService {
         request: ServeRequest,
         cancel: CancelToken,
     ) -> Result<Ticket, SubmitError> {
+        self.submit_prioritized(request, cancel, Priority::Batch)
+    }
+
+    /// The priority-aware admission path (all non-blocking submits land
+    /// here): one locked [`BoundedQueue::admit`] decides enqueue /
+    /// displace / refuse, and the counters mirror the outcome —
+    /// displaced victims stay `submitted` and move to the `shed`
+    /// bucket; refused arrivals roll `submitted` back and count as
+    /// `rejected`.
+    fn submit_prioritized(
+        &self,
+        request: ServeRequest,
+        cancel: CancelToken,
+        priority: Priority,
+    ) -> Result<Ticket, SubmitError> {
         let (work, receiver) = self.make_work(request, &cancel);
-        match self.shared.queue.try_push(work) {
-            Ok(()) => {
+        let capacity = self.shared.queue.capacity();
+        let watermark = match self.shared.config.shed_watermark {
+            0 => capacity,
+            w => w.min(capacity),
+        };
+        match self.shared.queue.admit(work, priority, watermark) {
+            Admission::Enqueued => {
                 if let Some(obs) = &self.shared.obs {
                     obs.submitted.inc();
                 }
                 Ok(Ticket { receiver, cancel })
             }
-            Err(PushError::Full(_)) => {
+            Admission::Displaced { victim, .. } => {
+                if let Some(obs) = &self.shared.obs {
+                    obs.submitted.inc();
+                }
+                self.shared.shed_victim(victim);
+                Ok(Ticket { receiver, cancel })
+            }
+            Admission::Full(_, depth) => {
                 self.unmake_work(true);
-                Err(SubmitError::QueueFull {
-                    capacity: self.shared.queue.capacity(),
+                Err(SubmitError::QueueFull { depth, capacity })
+            }
+            Admission::Shed(_, depth) => {
+                self.unmake_work(true);
+                Err(SubmitError::Shed {
+                    depth,
+                    capacity,
+                    retry_after_hint: self.shared.retry_after_hint(),
                 })
             }
-            Err(PushError::Closed(_)) => {
+            Admission::Closed(_) => {
                 self.unmake_work(false);
                 Err(SubmitError::ShuttingDown)
             }
@@ -901,8 +1138,8 @@ impl EvalService {
     ///
     /// The request buckets come from one locked copy, so a snapshot
     /// taken while requests are in flight still satisfies
-    /// `submitted >= completed + panicked + canceled` — the lock rules
-    /// out observing a completion whose admission is missing.
+    /// `submitted >= completed + panicked + canceled + shed` — the lock
+    /// rules out observing a completion whose admission is missing.
     pub fn stats(&self) -> ServiceStats {
         let session = self.shared.current_session();
         let s = session.stats();
@@ -913,6 +1150,9 @@ impl EvalService {
             completed: c.completed,
             panicked: c.panicked,
             canceled: c.canceled,
+            shed: c.shed,
+            fleet_dispatched: c.fleet_dispatched,
+            fleet_fallbacks: c.fleet_fallbacks,
             recycles: c.recycles,
             peak_slots: c.peak_slots,
             queued: self.shared.queue.len(),
@@ -962,6 +1202,8 @@ mod tests {
     use sparseloop_format::TensorFormat;
     use sparseloop_mapping::{Mapper, Mapspace};
     use sparseloop_tensor::einsum::Einsum;
+
+    use crate::queue::PushError;
 
     fn arch() -> sparseloop_arch::Architecture {
         ArchitectureBuilder::new("t")
@@ -1158,8 +1400,18 @@ mod tests {
             );
         }
         let stats = service.shutdown();
-        assert_eq!(stats.canceled, 1);
-        assert_eq!(stats.completed, 0);
+        // whether the worker saw the trip before its last checkpoint is
+        // a timing race (a loaded runner can finish the whole scenario
+        // between the timeout and the first check) — but exactly one
+        // bucket must claim the request, and a completed claim is only
+        // legitimate if every experiment actually finished
+        assert_eq!(stats.completed + stats.canceled, 1);
+        if stats.completed == 1 {
+            assert!(
+                reply.results.iter().all(Result::is_ok),
+                "a request counted completed may not carry canceled entries"
+            );
+        }
         assert_eq!(
             stats.submitted,
             stats.completed + stats.panicked + stats.canceled
@@ -1212,8 +1464,9 @@ mod tests {
         for i in 0..20 {
             match service.submit_job(search_job(0.1 + (i as f64) * 0.04)) {
                 Ok(t) => tickets.push(t),
-                Err(SubmitError::QueueFull { capacity }) => {
+                Err(SubmitError::QueueFull { depth, capacity }) => {
                     assert_eq!(capacity, 1);
+                    assert_eq!(depth, 1, "refusal must report the observed depth");
                     rejected += 1;
                 }
                 Err(other) => panic!("unexpected admission error: {other}"),
@@ -1340,12 +1593,13 @@ mod tests {
                 while !stop.load(Ordering::Acquire) {
                     let s = service.stats();
                     assert!(
-                        s.submitted >= s.completed + s.panicked + s.canceled,
-                        "snapshot saw submitted={} < {}+{}+{}",
+                        s.submitted >= s.completed + s.panicked + s.canceled + s.shed,
+                        "snapshot saw submitted={} < {}+{}+{}+{}",
                         s.submitted,
                         s.completed,
                         s.panicked,
-                        s.canceled
+                        s.canceled,
+                        s.shed
                     );
                     observations += 1;
                 }
@@ -1375,7 +1629,7 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(
             stats.submitted,
-            stats.completed + stats.panicked + stats.canceled,
+            stats.completed + stats.panicked + stats.canceled + stats.shed,
             "drained service must balance exactly"
         );
     }
@@ -1465,5 +1719,203 @@ mod tests {
             "no SessionEval span recorded"
         );
         service.shutdown();
+    }
+
+    /// A scenario whose build blocks until `gate` flips — pins the
+    /// single worker so admission tests control the queue contents.
+    fn blocking_registry(gate: &Arc<AtomicBool>) -> ScenarioRegistry {
+        let gate = Arc::clone(gate);
+        ScenarioRegistry::new(vec![Scenario::new(
+            "block",
+            "blocks until the test releases it",
+            move || {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Vec::new()
+            },
+        )])
+    }
+
+    fn wait_until_worker_busy(service: &EvalService) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while service.stats().queued > 0 {
+            assert!(Instant::now() < deadline, "worker never dequeued");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn higher_priority_arrival_displaces_youngest_background_work() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let service = EvalService::start_with_registry(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(2),
+            blocking_registry(&gate),
+        );
+        let blocker = service.submit_scenario("block").unwrap();
+        wait_until_worker_busy(&service);
+        // fill the queue with background work, then outrank it
+        let bg_old = service
+            .submit_with_priority(ServeRequest::Scenario("block".into()), Priority::Background)
+            .unwrap();
+        let bg_young = service
+            .submit_with_priority(ServeRequest::Scenario("block".into()), Priority::Background)
+            .unwrap();
+        let vip = service
+            .submit_with_priority(
+                ServeRequest::Scenario("block".into()),
+                Priority::Interactive,
+            )
+            .unwrap();
+        // the youngest background request was evicted and resolved
+        // immediately, while the worker is still pinned
+        match bg_young.wait() {
+            Err(ServeError::Shed { retry_after_hint }) => {
+                assert!(retry_after_hint >= Duration::from_millis(1));
+            }
+            other => panic!("expected the young background request shed, got {other:?}"),
+        }
+        gate.store(true, Ordering::Release);
+        assert!(blocker.wait().is_ok());
+        assert!(bg_old.wait().is_ok(), "older background work survives");
+        assert!(vip.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 4, "the displaced victim stays submitted");
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.panicked + stats.canceled + stats.shed
+        );
+    }
+
+    #[test]
+    fn background_arrivals_are_shed_at_the_watermark() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let service = EvalService::start_with_registry(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(4)
+                .with_shed_watermark(1),
+            blocking_registry(&gate),
+        );
+        let blocker = service.submit_scenario("block").unwrap();
+        wait_until_worker_busy(&service);
+        let queued = service.submit_scenario("block").unwrap();
+        // depth 1 >= watermark 1: background is refused early even
+        // though three queue slots remain
+        match service
+            .submit_with_priority(ServeRequest::Scenario("block".into()), Priority::Background)
+        {
+            Err(SubmitError::Shed {
+                depth,
+                capacity,
+                retry_after_hint,
+            }) => {
+                assert_eq!(depth, 1);
+                assert_eq!(capacity, 4);
+                assert!(retry_after_hint >= Duration::from_millis(1));
+            }
+            Ok(_) => panic!("expected a watermark shed, got an admission"),
+            Err(other) => panic!("expected a watermark shed, got {other}"),
+        }
+        // batch work still admits freely below capacity
+        let batch = service.submit_scenario("block").unwrap();
+        gate.store(true, Ordering::Release);
+        assert!(blocker.wait().is_ok());
+        assert!(queued.wait().is_ok());
+        assert!(batch.wait().is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 3, "a watermark shed rolls submitted back");
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.shed, 0, "admission refusals are not queue evictions");
+        assert_eq!(stats.completed, 3);
+    }
+
+    fn demo_spec() -> String {
+        let scenario = Scenario::new("service_fleet_demo", "tiny fleet demo", || {
+            let layer = sparseloop_workloads::spmspm(8, 8, 8, 0.5, 0.5);
+            let dp = sparseloop_designs::fig1::bitmask_design(&layer.einsum);
+            let space = Mapspace::all_temporal(&layer.einsum, &dp.arch);
+            vec![sparseloop_designs::Experiment::search(
+                "service@search",
+                dp,
+                layer,
+                space,
+            )]
+        });
+        sparseloop_spec::emit_scenario(&scenario)
+    }
+
+    #[test]
+    fn fleet_backed_spec_replies_bit_identically_and_reuses_the_pool() {
+        use crate::pool::FleetPoolConfig;
+        use crate::supervisor::HostConfig;
+        let text = demo_spec();
+        let shards = 2;
+        let pool = FleetPool::threads(
+            FleetPoolConfig::default()
+                .with_hosts(1)
+                .with_host_config(HostConfig::default().with_shards(shards)),
+        );
+        let service =
+            EvalService::start_with_fleet(ServeConfig::default().with_workers(2), pool.clone());
+        let want = {
+            let scenario = sparseloop_spec::compile_str(&text).unwrap().into_scenario();
+            scenario_reply(scenario.run_sharded(&EvalSession::new(), shards))
+        };
+        for round in 0..3 {
+            let got = service
+                .submit_spec(&text)
+                .unwrap()
+                .wait()
+                .unwrap()
+                .into_scenario();
+            assert_eq!(got.labels, want.labels, "round {round}");
+            for ((label, got), want) in got.labels.iter().zip(&got.results).zip(&want.results) {
+                let (got, want) = (got.as_ref().unwrap(), want.as_ref().unwrap());
+                assert_eq!(got.mapping, want.mapping, "round {round}/{label}");
+                assert_eq!(
+                    got.eval.edp.to_bits(),
+                    want.eval.edp.to_bits(),
+                    "round {round}/{label}"
+                );
+                assert_eq!(got.stats, want.stats, "round {round}/{label}");
+            }
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.fleet_dispatched, 3);
+        assert_eq!(stats.fleet_fallbacks, 0);
+        let host_stats = pool.host_stats();
+        assert_eq!(
+            host_stats.spawns, shards as u64,
+            "one pooled fleet serves every request — no per-request spawning"
+        );
+        assert_eq!(host_stats.requests, 3);
+    }
+
+    #[test]
+    fn fleet_backed_service_surfaces_invalid_specs_without_fallback() {
+        use crate::pool::FleetPoolConfig;
+        let pool = FleetPool::threads(FleetPoolConfig::default().with_hosts(1));
+        let service = EvalService::start_with_fleet(ServeConfig::default().with_workers(1), pool);
+        let reply = service
+            .submit_spec("definitely: not a scenario")
+            .unwrap()
+            .wait();
+        assert!(
+            matches!(reply, Err(ServeError::InvalidSpec(_))),
+            "got {reply:?}"
+        );
+        let stats = service.shutdown();
+        assert_eq!(
+            stats.fleet_dispatched, 0,
+            "malformed specs fail at compile, before fleet dispatch"
+        );
+        assert_eq!(stats.fleet_fallbacks, 0);
     }
 }

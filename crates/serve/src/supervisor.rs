@@ -27,10 +27,21 @@
 //!   request immediately; re-running it would fail identically.
 //! * **Per-request deadline** — [`HostConfig::request_deadline`] bounds
 //!   the whole request; expiry is [`HostError::DeadlineExceeded`].
-//! * **Graceful degradation** — if workers cannot spawn at all (bad
-//!   binary path, fork limits), the request runs in-process through
-//!   [`Scenario::run_sharded`] instead of failing; counted in
-//!   [`HostStats::degraded`].
+//! * **Graceful degradation behind a circuit breaker** — if workers
+//!   cannot spawn at all (bad binary path, fork limits), the request
+//!   runs in-process through [`Scenario::run_sharded`] instead of
+//!   failing; counted in [`HostStats::degraded`]. Consecutive spawn
+//!   failures or exhausted-retry worker losses trip a per-host
+//!   [`CircuitBreaker`]: while it is open, requests short-circuit to
+//!   the degraded path without re-paying spawn attempts or backoff
+//!   sleeps; after a deterministic clock-driven cooldown one probe
+//!   request tests the fleet and closes the breaker on success.
+//! * **Hedged shard dispatch** — optionally
+//!   ([`HostConfig::with_hedging`]), once the fastest shard's latency
+//!   is observed, straggling shards are re-dispatched to spare workers
+//!   after `latency_factor ×` that latency; the first result wins
+//!   (shard winners are bit-identical by construction, so hedging can
+//!   never change a reply). A token bucket caps hedge amplification.
 //! * **Deterministic fault injection** — a [`FaultPlan`] schedules
 //!   worker-side faults (die/stall/corrupt/drop, delivered at spawn)
 //!   and parent-side kills ([`WorkerFault::KillAfterFrames`], delivered
@@ -42,6 +53,7 @@
 //! superseded epochs are discarded — a killed worker's last frames can
 //! never race its replacement's.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::fault::{FaultPlan, WorkerFault};
 use crate::proc::{EventKind, WorkerEvent, WorkerHandle, WorkerSpawner};
 use crate::protocol::{ExpResult, Frame};
@@ -50,8 +62,70 @@ use sparseloop_core::{EvalSession, JobError, JobOutcome, JobPlan};
 use sparseloop_designs::{Scenario, ScenarioOutcome};
 use sparseloop_mapping::{merge_shard_results, SearchStats};
 use sparseloop_obs::{ObsHub, SpanKind, LATENCY_BUCKETS_NANOS};
+use std::collections::HashMap;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Hedged-dispatch tuning (off unless installed via
+/// [`HostConfig::with_hedging`]).
+#[derive(Debug, Clone, Copy)]
+pub struct HedgeConfig {
+    /// Hedge delay = this factor × the fastest shard's observed
+    /// latency (measured from dispatch). Must be `>= 1.0` to be useful.
+    pub latency_factor: f64,
+    /// Floor on the hedge delay, so microsecond-fast shards do not
+    /// trigger hedges on scheduling noise.
+    pub min_delay: Duration,
+    /// Token bucket capacity: at most this many hedges in a burst.
+    pub token_capacity: u32,
+    /// Bucket refill rate, tokens per second — bounds sustained
+    /// retry+hedge amplification under overload.
+    pub refill_per_sec: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            latency_factor: 2.0,
+            min_delay: Duration::from_millis(10),
+            token_capacity: 4,
+            refill_per_sec: 1.0,
+        }
+    }
+}
+
+/// The hedge amplification cap: a classic leaky token bucket.
+#[derive(Debug)]
+struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn new(capacity: u32, refill_per_sec: f64) -> Self {
+        TokenBucket {
+            capacity: capacity as f64,
+            tokens: capacity as f64,
+            refill_per_sec,
+            last: Instant::now(),
+        }
+    }
+
+    fn try_take(&mut self) -> bool {
+        let now = Instant::now();
+        let refill = now.duration_since(self.last).as_secs_f64() * self.refill_per_sec;
+        self.tokens = (self.tokens + refill).min(self.capacity);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
 
 /// Supervision knobs (builder-style, all defaulted).
 #[derive(Debug, Clone)]
@@ -71,6 +145,10 @@ pub struct HostConfig {
     pub backoff_base: Duration,
     /// Deterministic failure schedule (consumed by first spawns).
     pub fault_plan: FaultPlan,
+    /// Circuit breaker over the degraded-fallback decision.
+    pub breaker: BreakerConfig,
+    /// Hedged dispatch of straggler shards (`None`: disabled).
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl Default for HostConfig {
@@ -83,6 +161,8 @@ impl Default for HostConfig {
             max_retries: 2,
             backoff_base: Duration::from_millis(5),
             fault_plan: FaultPlan::none(),
+            breaker: BreakerConfig::default(),
+            hedge: None,
         }
     }
 }
@@ -118,6 +198,18 @@ impl HostConfig {
     /// Installs a fault-injection schedule.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Tunes the degradation circuit breaker.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Enables hedged dispatch of straggler shards.
+    pub fn with_hedging(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = Some(hedge);
         self
     }
 }
@@ -206,6 +298,25 @@ pub struct HostStats {
     pub backoff_nanos_total: u64,
     /// Requests failed on [`HostError::DeadlineExceeded`].
     pub deadline_exceeded: u64,
+    /// Circuit-breaker trips (transitions into the open state).
+    pub breaker_trips: u64,
+    /// Half-open probe requests admitted through the breaker.
+    pub breaker_probes: u64,
+    /// Hedge tasks dispatched to spare workers.
+    pub hedges_dispatched: u64,
+    /// Shards whose accepted result came from a hedge worker.
+    pub hedge_wins: u64,
+}
+
+/// What one [`ShardHost::health_check`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Ping probes sent to live workers.
+    pub pings_sent: u64,
+    /// Pong answers received within the probe timeout.
+    pub pongs_received: u64,
+    /// Workers found dead or silent and proactively replaced.
+    pub workers_replaced: u64,
 }
 
 struct SlotState {
@@ -233,12 +344,17 @@ pub struct ShardHost<S: WorkerSpawner> {
     config: HostConfig,
     spawner: S,
     session: EvalSession,
+    /// Slots `0..shards` are the primaries; slots `shards..2*shards`
+    /// are spare workers used only for hedged re-dispatch.
     slots: Vec<Option<SlotState>>,
     events_tx: mpsc::Sender<WorkerEvent>,
     events_rx: mpsc::Receiver<WorkerEvent>,
     fault_plan: FaultPlan,
     next_task_id: u64,
     next_epoch: u64,
+    next_ping_seq: u64,
+    breaker: CircuitBreaker,
+    hedge_tokens: Option<TokenBucket>,
     stats: HostStats,
     obs: Option<HostObs>,
 }
@@ -249,17 +365,24 @@ impl<S: WorkerSpawner> ShardHost<S> {
     pub fn new(config: HostConfig, spawner: S) -> Self {
         let shards = config.shards.max(1);
         let fault_plan = config.fault_plan.clone();
+        let breaker = CircuitBreaker::new(config.breaker);
+        let hedge_tokens = config
+            .hedge
+            .map(|h| TokenBucket::new(h.token_capacity, h.refill_per_sec));
         let (events_tx, events_rx) = mpsc::channel();
         ShardHost {
             config,
             spawner,
             session: EvalSession::new(),
-            slots: (0..shards).map(|_| None).collect(),
+            slots: (0..2 * shards).map(|_| None).collect(),
             events_tx,
             events_rx,
             fault_plan,
             next_task_id: 1,
             next_epoch: 1,
+            next_ping_seq: 1,
+            breaker,
+            hedge_tokens,
             stats: HostStats::default(),
             obs: None,
         }
@@ -270,6 +393,9 @@ impl<S: WorkerSpawner> ShardHost<S> {
     /// README's metric catalog for names).
     pub fn new_observed(config: HostConfig, spawner: S, hub: ObsHub) -> Self {
         let mut host = Self::new(config, spawner);
+        // breaker cooldowns follow the hub clock, so ManualClock-backed
+        // hubs make breaker transitions fully deterministic
+        host.breaker.set_clock(hub.clock());
         host.obs = Some(HostObs {
             hub,
             published: HostStats::default(),
@@ -290,6 +416,106 @@ impl<S: WorkerSpawner> ShardHost<S> {
     /// The attached observability hub, if any.
     pub fn hub(&self) -> Option<&ObsHub> {
         self.obs.as_ref().map(|o| &o.hub)
+    }
+
+    /// Current circuit-breaker position.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Spawns any missing primary workers now, so the first request
+    /// does not pay spawn latency — the pool calls this at build time.
+    pub fn prewarm(&mut self) -> std::io::Result<()> {
+        for slot in 0..self.config.shards {
+            if self.slots[slot].is_none() {
+                self.spawn_slot(slot)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// One health sweep over the fleet: pings every live worker,
+    /// drains pongs for up to `timeout`, kills workers that stayed
+    /// silent, and respawns missing primaries. The pool runs this
+    /// periodically between requests so unhealthy workers are replaced
+    /// *proactively*, not discovered by the next request's retries.
+    pub fn health_check(&mut self, timeout: Duration) -> HealthReport {
+        let mut report = HealthReport::default();
+        let mut pending: HashMap<usize, u64> = HashMap::new();
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].is_none() {
+                continue;
+            }
+            let seq = self.next_ping_seq;
+            self.next_ping_seq += 1;
+            let send = self.slots[slot]
+                .as_mut()
+                .expect("checked occupied")
+                .handle
+                .send(&Frame::Ping { seq });
+            match send {
+                Ok(()) => {
+                    report.pings_sent += 1;
+                    pending.insert(slot, seq);
+                }
+                Err(_) => self.drop_slot(slot),
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        while !pending.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.events_rx.recv_timeout(deadline - now) {
+                Ok(WorkerEvent { slot, epoch, kind }) => {
+                    let slot = slot as usize;
+                    let current = self
+                        .slots
+                        .get(slot)
+                        .and_then(Option::as_ref)
+                        .map(|st| st.epoch);
+                    if current != Some(epoch) {
+                        continue;
+                    }
+                    match kind {
+                        EventKind::Frame(frame) => {
+                            self.stats.frames_received += 1;
+                            if let Some(st) = self.slots[slot].as_mut() {
+                                st.last_seen = Instant::now();
+                            }
+                            if let Frame::Pong { seq } = frame {
+                                if pending.get(&slot) == Some(&seq) {
+                                    pending.remove(&slot);
+                                    report.pongs_received += 1;
+                                }
+                            }
+                        }
+                        EventKind::Exited(_) => {
+                            self.stats.deaths_eof += 1;
+                            self.drop_slot(slot);
+                            pending.remove(&slot);
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("host holds an event sender; channel cannot disconnect")
+                }
+            }
+        }
+        // a worker that would not answer within the timeout is treated
+        // as wedged and killed; spare (hedge) slots stay empty
+        for slot in pending.into_keys() {
+            self.kill_slot(slot);
+        }
+        for slot in 0..self.config.shards {
+            if self.slots[slot].is_none() && self.spawn_slot(slot).is_ok() {
+                report.workers_replaced += 1;
+            }
+        }
+        self.publish_metrics();
+        report
     }
 
     /// Runs a registered scenario through the worker fleet (emitted as
@@ -327,12 +553,28 @@ impl<S: WorkerSpawner> ShardHost<S> {
             .map_err(|e| HostError::InvalidSpec(SpecDiagnostic::from(&e)))?
             .into_scenario();
         self.stats.requests += 1;
-        let n = self.slots.len();
+        let n = self.config.shards;
 
-        // ensure a full fleet; if the transport cannot produce workers
-        // at all, serve in-process rather than failing the request
+        // an open breaker short-circuits straight to the degraded
+        // in-process path: a sick fleet is a *state*, not something
+        // each request rediscovers through spawn attempts and backoff
+        if !self.breaker.allow() {
+            self.stats.degraded += 1;
+            let outcome = scenario.run_sharded(&self.session, n);
+            return Ok(scenario_reply(outcome));
+        }
+        if self.breaker.state() == BreakerState::HalfOpen {
+            self.stats.breaker_probes += 1;
+        }
+
+        // ensure a full primary fleet; if the transport cannot produce
+        // workers at all, serve in-process rather than failing the
+        // request — and let the breaker count the failure
         for slot in 0..n {
             if self.slots[slot].is_none() && self.spawn_slot(slot).is_err() {
+                if self.breaker.record_failure() {
+                    self.stats.breaker_trips += 1;
+                }
                 self.stats.degraded += 1;
                 let outcome = scenario.run_sharded(&self.session, n);
                 return Ok(scenario_reply(outcome));
@@ -346,9 +588,14 @@ impl<S: WorkerSpawner> ShardHost<S> {
         let experiments = scenario.experiments();
         let mut attempts = vec![0u32; n];
         let mut shard_results: Vec<Option<Vec<ExpResult>>> = vec![None; n];
+        // hedging state: one hedge attempt per shard per request, armed
+        // once the fastest shard's latency is known
+        let hedge_cfg = self.config.hedge;
+        let mut hedged = vec![false; n];
+        let mut hedge_deadline: Option<Instant> = None;
 
         for slot in 0..n {
-            self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+            self.dispatch_shard(slot, task_id, text, &mut attempts, deadline)?;
         }
 
         while shard_results.iter().any(Option::is_none) {
@@ -359,11 +606,36 @@ impl<S: WorkerSpawner> ShardHost<S> {
                     return Err(HostError::DeadlineExceeded);
                 }
             }
-            // wake at the earliest of: request deadline, first possible
-            // heartbeat expiry of an outstanding slot
+            // hedge stragglers: every shard still outstanding past the
+            // hedge deadline gets one re-dispatch to its spare slot,
+            // budget permitting (first result wins; shard winners are
+            // bit-identical by construction, so this is always safe)
+            if let Some(hd) = hedge_deadline {
+                if now >= hd {
+                    for shard in 0..n {
+                        if shard_results[shard].is_none() && !hedged[shard] {
+                            hedged[shard] = true;
+                            let budgeted = self.hedge_tokens.as_mut().is_some_and(|b| b.try_take());
+                            if budgeted {
+                                self.dispatch_hedge(shard, task_id, text);
+                            }
+                        }
+                    }
+                }
+            }
+            // wake at the earliest of: request deadline, hedge
+            // deadline, first possible heartbeat expiry of a slot that
+            // still owes a result
             let mut wake = deadline;
+            if let Some(hd) = hedge_deadline {
+                if (0..n).any(|s| shard_results[s].is_none() && !hedged[s]) {
+                    wake = Some(wake.map_or(hd, |w| w.min(hd)));
+                }
+            }
             for (slot, st) in self.slots.iter().enumerate() {
-                if shard_results[slot].is_none() {
+                let shard = slot % n;
+                let engaged = slot < n || hedged[shard];
+                if engaged && shard_results[shard].is_none() {
                     if let Some(st) = st {
                         let hb = st.last_seen + self.config.heartbeat_timeout;
                         wake = Some(wake.map_or(hb, |w| w.min(hb)));
@@ -379,6 +651,8 @@ impl<S: WorkerSpawner> ShardHost<S> {
             match event {
                 Ok(WorkerEvent { slot, epoch, kind }) => {
                     let slot = slot as usize;
+                    let shard = slot % n;
+                    let is_hedge = slot >= n;
                     let current = self
                         .slots
                         .get(slot)
@@ -398,21 +672,38 @@ impl<S: WorkerSpawner> ShardHost<S> {
                             };
                             match frame {
                                 Frame::TaskDone { id, results }
-                                    if id == task_id && shard_results[slot].is_none() =>
+                                    if id == task_id && shard_results[shard].is_none() =>
                                 {
                                     if let Some(o) = &self.obs {
                                         let dispatched = self.slots[slot]
                                             .as_ref()
                                             .map(|st| st.dispatched_nanos)
                                             .unwrap_or(0);
+                                        let span_kind = if is_hedge {
+                                            SpanKind::HedgeDispatch
+                                        } else {
+                                            SpanKind::ShardDispatch
+                                        };
                                         o.hub.span(
                                             req_id.unwrap_or(0),
-                                            SpanKind::ShardDispatch,
-                                            Some(slot as u32),
+                                            span_kind,
+                                            Some(shard as u32),
                                             dispatched,
                                         );
                                     }
-                                    shard_results[slot] = Some(results);
+                                    if is_hedge {
+                                        self.stats.hedge_wins += 1;
+                                    }
+                                    shard_results[shard] = Some(results);
+                                    if hedge_deadline.is_none() {
+                                        if let Some(h) = hedge_cfg {
+                                            let delay = start
+                                                .elapsed()
+                                                .mul_f64(h.latency_factor.max(1.0))
+                                                .max(h.min_delay);
+                                            hedge_deadline = Some(start + delay);
+                                        }
+                                    }
                                 }
                                 Frame::Stats {
                                     id,
@@ -440,8 +731,21 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                         return Err(HostError::TaskFailed { message });
                                     }
                                     self.drop_slot(slot);
-                                    self.retire_attempt(slot, &mut attempts, message)?;
-                                    self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                                    if !is_hedge && shard_results[shard].is_none() {
+                                        self.retire_attempt(
+                                            shard,
+                                            &mut attempts,
+                                            message,
+                                            deadline,
+                                        )?;
+                                        self.dispatch_shard(
+                                            shard,
+                                            task_id,
+                                            text,
+                                            &mut attempts,
+                                            deadline,
+                                        )?;
+                                    }
                                     continue;
                                 }
                                 // Hello, Heartbeat, frames for old tasks:
@@ -451,44 +755,60 @@ impl<S: WorkerSpawner> ShardHost<S> {
                             if kill_due {
                                 self.stats.kills_injected += 1;
                                 self.kill_slot(slot);
-                                if shard_results[slot].is_none() {
+                                if !is_hedge && shard_results[shard].is_none() {
                                     self.retire_attempt(
-                                        slot,
+                                        shard,
                                         &mut attempts,
                                         "injected kill".to_string(),
+                                        deadline,
                                     )?;
-                                    self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                                    self.dispatch_shard(
+                                        shard,
+                                        task_id,
+                                        text,
+                                        &mut attempts,
+                                        deadline,
+                                    )?;
                                 }
                             }
                         }
                         EventKind::Exited(why) => {
                             self.stats.deaths_eof += 1;
                             self.drop_slot(slot);
-                            if shard_results[slot].is_none() {
+                            // a dead hedge worker is just a lost bet —
+                            // the primary attempt is still in flight, so
+                            // hedge deaths never consume retries
+                            if !is_hedge && shard_results[shard].is_none() {
                                 let why = why.unwrap_or_else(|| "worker exited".to_string());
-                                self.retire_attempt(slot, &mut attempts, why)?;
-                                self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                                self.retire_attempt(shard, &mut attempts, why, deadline)?;
+                                self.dispatch_shard(shard, task_id, text, &mut attempts, deadline)?;
                             }
                         }
                     }
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
-                    // heartbeat audit: outstanding slots silent past the
+                    // heartbeat audit: engaged slots silent past the
                     // timeout are presumed dead and killed for real
-                    for (slot, result) in shard_results.iter().enumerate() {
-                        if result.is_none() {
-                            let silent = self.slots[slot].as_ref().is_some_and(|st| {
-                                st.last_seen.elapsed() > self.config.heartbeat_timeout
-                            });
-                            if silent {
-                                self.stats.deaths_heartbeat_timeout += 1;
-                                self.kill_slot(slot);
+                    for slot in 0..self.slots.len() {
+                        let shard = slot % n;
+                        let is_hedge = slot >= n;
+                        if shard_results[shard].is_some() || (is_hedge && !hedged[shard]) {
+                            continue;
+                        }
+                        let silent = self.slots[slot].as_ref().is_some_and(|st| {
+                            st.last_seen.elapsed() > self.config.heartbeat_timeout
+                        });
+                        if silent {
+                            self.stats.deaths_heartbeat_timeout += 1;
+                            self.kill_slot(slot);
+                            if !is_hedge {
                                 self.retire_attempt(
-                                    slot,
+                                    shard,
                                     &mut attempts,
                                     "heartbeat timeout".to_string(),
+                                    deadline,
                                 )?;
-                                self.dispatch_shard(slot, task_id, text, &mut attempts)?;
+                                self.dispatch_shard(shard, task_id, text, &mut attempts, deadline)?;
                             }
                         }
                     }
@@ -498,6 +818,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
                 }
             }
         }
+        self.breaker.record_success();
 
         let shard_results: Vec<Vec<ExpResult>> = shard_results
             .into_iter()
@@ -599,26 +920,27 @@ impl<S: WorkerSpawner> ShardHost<S> {
         Ok(())
     }
 
-    /// Sends the shard's task to its slot, (re)spawning as needed;
-    /// spawn/send failures consume retry attempts with backoff.
+    /// Sends the shard's task to its primary slot, (re)spawning as
+    /// needed; spawn/send failures consume retry attempts with backoff.
     fn dispatch_shard(
         &mut self,
         slot: usize,
         task_id: u64,
         spec: &str,
         attempts: &mut [u32],
+        deadline: Option<Instant>,
     ) -> Result<(), HostError> {
         loop {
             if self.slots[slot].is_none() {
                 if let Err(e) = self.spawn_slot(slot) {
-                    self.retire_attempt(slot, attempts, e.to_string())?;
+                    self.retire_attempt(slot, attempts, e.to_string(), deadline)?;
                     continue;
                 }
             }
             let task = Frame::Task {
                 id: task_id,
                 shard: slot as u32,
-                shards: self.slots.len() as u32,
+                shards: self.config.shards as u32,
                 heartbeat_ms: self.config.heartbeat_ms,
                 spec: spec.to_string(),
                 // ask for a phase-timing Stats frame only when someone
@@ -635,7 +957,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
             };
             if let Err(e) = send {
                 self.drop_slot(slot);
-                self.retire_attempt(slot, attempts, e.to_string())?;
+                self.retire_attempt(slot, attempts, e.to_string(), deadline)?;
                 continue;
             }
             // a zero-frame kill schedule fires at dispatch itself
@@ -645,21 +967,59 @@ impl<S: WorkerSpawner> ShardHost<S> {
             if instant_kill {
                 self.stats.kills_injected += 1;
                 self.kill_slot(slot);
-                self.retire_attempt(slot, attempts, "injected kill".to_string())?;
+                self.retire_attempt(slot, attempts, "injected kill".to_string(), deadline)?;
                 continue;
             }
             return Ok(());
         }
     }
 
+    /// Best-effort re-dispatch of a straggler shard to its spare slot.
+    /// Failures are swallowed: a hedge that cannot start just leaves
+    /// the primary attempt racing alone, and hedges never consume
+    /// retries or backoff.
+    fn dispatch_hedge(&mut self, shard: usize, task_id: u64, spec: &str) {
+        let slot = self.config.shards + shard;
+        if self.slots[slot].is_none() && self.spawn_slot(slot).is_err() {
+            return;
+        }
+        let task = Frame::Task {
+            id: task_id,
+            shard: shard as u32,
+            shards: self.config.shards as u32,
+            heartbeat_ms: self.config.heartbeat_ms,
+            spec: spec.to_string(),
+            // the primary already reports phase stats for this shard; a
+            // second Stats frame would double-count the histograms
+            want_stats: false,
+        };
+        let dispatched_nanos = self.obs.as_ref().map_or(0, |o| o.hub.now_nanos());
+        let send = {
+            let st = self.slots[slot].as_mut().expect("spawned above");
+            st.frames_since_dispatch = 0;
+            st.last_seen = Instant::now();
+            st.dispatched_nanos = dispatched_nanos;
+            st.handle.send(&task)
+        };
+        if send.is_err() {
+            self.drop_slot(slot);
+            return;
+        }
+        self.stats.hedges_dispatched += 1;
+    }
+
     /// Books one consumed spawn attempt for `slot`: fails the request
-    /// once retries are exhausted, otherwise sleeps the exponential
-    /// backoff and lets the caller respawn.
+    /// once retries are exhausted (feeding the breaker), otherwise
+    /// sleeps the exponential backoff — clipped to the request deadline,
+    /// and skipped entirely (failing fast with
+    /// [`HostError::DeadlineExceeded`]) when the deadline has already
+    /// passed, so a request can never sleep past its own expiry.
     fn retire_attempt(
         &mut self,
         slot: usize,
         attempts: &mut [u32],
         why: String,
+        deadline: Option<Instant>,
     ) -> Result<(), HostError> {
         attempts[slot] += 1;
         self.stats.restarts += 1;
@@ -673,6 +1033,9 @@ impl<S: WorkerSpawner> ShardHost<S> {
                 .inc();
         }
         if attempts[slot] > self.config.max_retries {
+            if self.breaker.record_failure() {
+                self.stats.breaker_trips += 1;
+            }
             return Err(HostError::WorkerLost {
                 shard: slot,
                 attempts: attempts[slot],
@@ -681,7 +1044,15 @@ impl<S: WorkerSpawner> ShardHost<S> {
         }
         self.stats.redispatches += 1;
         let exp = (attempts[slot] - 1).min(16);
-        let backoff = self.config.backoff_base.saturating_mul(1 << exp);
+        let mut backoff = self.config.backoff_base.saturating_mul(1 << exp);
+        if let Some(d) = deadline {
+            let now = Instant::now();
+            if now >= d {
+                self.stats.deadline_exceeded += 1;
+                return Err(HostError::DeadlineExceeded);
+            }
+            backoff = backoff.min(d - now);
+        }
         self.stats.backoff_nanos_total = self
             .stats
             .backoff_nanos_total
@@ -697,6 +1068,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
     /// appears in snapshots even at zero.
     fn publish_metrics(&mut self) {
         let now = self.stats;
+        let breaker_code = self.breaker.state().code();
         let Some(obs) = &mut self.obs else { return };
         let prev = obs.published;
         let reg = obs.hub.registry();
@@ -772,6 +1144,32 @@ impl<S: WorkerSpawner> ShardHost<S> {
             now.deadline_exceeded,
             prev.deadline_exceeded,
         );
+        publish(
+            "sparseloop_fleet_breaker_trips_total",
+            &[],
+            now.breaker_trips,
+            prev.breaker_trips,
+        );
+        publish(
+            "sparseloop_fleet_breaker_probes_total",
+            &[],
+            now.breaker_probes,
+            prev.breaker_probes,
+        );
+        publish(
+            "sparseloop_fleet_hedges_total",
+            &[("kind", "dispatched")],
+            now.hedges_dispatched,
+            prev.hedges_dispatched,
+        );
+        publish(
+            "sparseloop_fleet_hedges_total",
+            &[("kind", "wins")],
+            now.hedge_wins,
+            prev.hedge_wins,
+        );
+        reg.gauge("sparseloop_fleet_breaker_state", &[])
+            .set_u64(breaker_code);
         obs.published = now;
     }
 
@@ -1151,6 +1549,31 @@ mod tests {
             i128::from(stats.deadline_exceeded),
             "{tag}: deadline_exceeded"
         );
+        assert_eq!(
+            field("sparseloop_fleet_breaker_trips_total", &[]),
+            i128::from(stats.breaker_trips),
+            "{tag}: breaker_trips"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_breaker_probes_total", &[]),
+            i128::from(stats.breaker_probes),
+            "{tag}: breaker_probes"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_hedges_total", &[("kind", "dispatched")]),
+            i128::from(stats.hedges_dispatched),
+            "{tag}: hedges_dispatched"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_hedges_total", &[("kind", "wins")]),
+            i128::from(stats.hedge_wins),
+            "{tag}: hedge_wins"
+        );
+        assert_eq!(
+            field("sparseloop_fleet_breaker_state", &[]),
+            i128::from(host.breaker_state().code()),
+            "{tag}: breaker_state gauge"
+        );
     }
 
     #[test]
@@ -1277,5 +1700,157 @@ mod tests {
             assert_bit_identical(&got, &want, &format!("round {round}"));
         }
         assert_eq!(host.stats().requests, 2);
+    }
+
+    #[test]
+    fn backoff_respects_request_deadline() {
+        // regression: retry backoff used to sleep its full exponential
+        // schedule even after the request deadline had expired, so a
+        // 150ms-deadline request could block for seconds
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let mut host = ShardHost::new(
+            HostConfig::default()
+                .with_shards(1)
+                .with_heartbeat(10, Duration::from_millis(300))
+                .with_retries(3, Duration::from_secs(10))
+                .with_deadline(Duration::from_millis(150)),
+            Moribund,
+        );
+        let started = Instant::now();
+        let got = host.run_spec(&text);
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(got, Err(HostError::DeadlineExceeded)),
+            "expected DeadlineExceeded, got {got:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "must fail fast instead of sleeping a 10s backoff: {elapsed:?}"
+        );
+        assert_eq!(host.stats().deadline_exceeded, 1);
+    }
+
+    /// A spawner that refuses the first `failures` spawn attempts, then
+    /// behaves like [`ThreadSpawner`] — drives the breaker through a
+    /// scripted trip/probe/recover trajectory.
+    struct Flaky {
+        failures: std::sync::atomic::AtomicU32,
+    }
+    impl WorkerSpawner for Flaky {
+        fn spawn(
+            &self,
+            slot: u32,
+            epoch: u64,
+            fault: Option<WorkerFault>,
+            events: mpsc::Sender<WorkerEvent>,
+        ) -> std::io::Result<Box<dyn WorkerHandle>> {
+            use std::sync::atomic::Ordering;
+            let left = self.failures.load(Ordering::SeqCst);
+            if left > 0 {
+                self.failures.store(left - 1, Ordering::SeqCst);
+                return Err(std::io::Error::other("transient spawn refusal"));
+            }
+            ThreadSpawner.spawn(slot, epoch, fault, events)
+        }
+    }
+
+    #[test]
+    fn breaker_trips_and_recovers_deterministically() {
+        use crate::breaker::BreakerConfig;
+        use sparseloop_obs::{ManualClock, ObsHub};
+        use std::sync::Arc;
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        let clock = Arc::new(ManualClock::new());
+        let hub = ObsHub::with_clock(clock.clone(), 64);
+        let spawner = Flaky {
+            failures: std::sync::atomic::AtomicU32::new(3),
+        };
+        let cfg = fast_config(2).with_breaker(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_nanos: 1_000,
+        });
+        let mut host = ShardHost::new_observed(cfg, spawner, hub.clone());
+        assert_eq!(host.breaker_state(), BreakerState::Closed);
+
+        // two consecutive spawn-failure requests trip the breaker; both
+        // are still served via the degraded in-process path
+        for round in 0..2 {
+            let got = host.run_spec(&text).unwrap();
+            assert_bit_identical(&got, &want, &format!("failing round {round}"));
+        }
+        assert_eq!(host.breaker_state(), BreakerState::Open);
+        assert_eq!(host.stats().breaker_trips, 1);
+        assert_eq!(host.stats().degraded, 2);
+        assert_eq!(
+            hub.snapshot().value("sparseloop_fleet_breaker_state", &[]),
+            Some(1),
+            "open gauge"
+        );
+
+        // while open, requests short-circuit: no spawn attempts at all
+        let refusals_before = host
+            .spawner
+            .failures
+            .load(std::sync::atomic::Ordering::SeqCst);
+        let got = host.run_spec(&text).unwrap();
+        assert_bit_identical(&got, &want, "open short-circuit");
+        assert_eq!(host.stats().degraded, 3);
+        assert_eq!(
+            host.spawner
+                .failures
+                .load(std::sync::atomic::Ordering::SeqCst),
+            refusals_before,
+            "an open breaker must not attempt spawns"
+        );
+
+        // cooldown elapses: a probe goes through, still fails (one
+        // refusal left), and re-opens the breaker
+        clock.advance(1_000);
+        host.run_spec(&text).unwrap();
+        assert_eq!(host.breaker_state(), BreakerState::Open);
+        assert_eq!(host.stats().breaker_trips, 2);
+        assert_eq!(host.stats().breaker_probes, 1);
+
+        // next cooldown: the probe succeeds and closes the breaker
+        clock.advance(1_000);
+        let got = host.run_spec(&text).unwrap();
+        assert_bit_identical(&got, &want, "recovered");
+        assert_eq!(host.breaker_state(), BreakerState::Closed);
+        assert_eq!(host.stats().breaker_probes, 2);
+        assert_eq!(
+            hub.snapshot().value("sparseloop_fleet_breaker_state", &[]),
+            Some(0),
+            "closed gauge"
+        );
+        assert_metrics_match_stats(&host, "breaker");
+    }
+
+    #[test]
+    fn hedged_dispatch_takes_first_result_bit_identically() {
+        // shard 1's primary worker is a deterministic 2s straggler; a
+        // hedge to the spare slot must win long before it finishes,
+        // without changing a single bit of the reply
+        let text = sparseloop_spec::emit_scenario(&small_scenario());
+        let want = reference_reply(&text, 2);
+        let plan = FaultPlan::none().with(1, WorkerFault::SlowFrames { delay_ms: 2_000 });
+        let cfg = HostConfig::default()
+            .with_shards(2)
+            .with_heartbeat(10, Duration::from_secs(10))
+            .with_retries(2, Duration::from_millis(2))
+            .with_fault_plan(plan)
+            .with_hedging(HedgeConfig::default());
+        let mut host = ShardHost::new(cfg, ThreadSpawner);
+        let started = Instant::now();
+        let got = host.run_spec(&text).unwrap();
+        let elapsed = started.elapsed();
+        assert_bit_identical(&got, &want, "hedged");
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "hedge must beat the 2s straggler, took {elapsed:?}"
+        );
+        let stats = host.stats();
+        assert!(stats.hedges_dispatched >= 1, "stats: {stats:?}");
+        assert!(stats.hedge_wins >= 1, "stats: {stats:?}");
     }
 }

@@ -1,0 +1,237 @@
+//! Property-based audit of the overload-protection layer: random
+//! admission scripts against the priority queue must never invert
+//! priorities (drain order, displacement direction, watermark scope),
+//! and scripted failure/success/clock sequences must drive the circuit
+//! breaker through exactly the same transitions every time.
+
+use proptest::prelude::*;
+use sparseloop_obs::ManualClock;
+use sparseloop_serve::{
+    Admission, BoundedQueue, BreakerConfig, BreakerState, CircuitBreaker, Priority,
+};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn priority_of(code: u32) -> Priority {
+    match code % 3 {
+        0 => Priority::Interactive,
+        1 => Priority::Batch,
+        _ => Priority::Background,
+    }
+}
+
+/// A transparent reference model of the queue: three FIFO bands, the
+/// exact policy restated independently of the implementation.
+#[derive(Default)]
+struct Model {
+    bands: [VecDeque<u32>; 3],
+}
+
+impl Model {
+    fn depth(&self) -> usize {
+        self.bands.iter().map(VecDeque::len).sum()
+    }
+
+    /// Mirrors [`BoundedQueue::admit`]; returns what the real queue
+    /// must report.
+    fn admit(
+        &mut self,
+        item: u32,
+        priority: Priority,
+        capacity: usize,
+        watermark: usize,
+    ) -> Admission<u32> {
+        let depth = self.depth();
+        if priority == Priority::Background && depth >= watermark.min(capacity) {
+            return Admission::Shed(item, depth);
+        }
+        if depth >= capacity {
+            for band in (priority.index() + 1..3).rev() {
+                if let Some(victim) = self.bands[band].pop_back() {
+                    self.bands[priority.index()].push_back(item);
+                    return Admission::Displaced {
+                        victim,
+                        victim_priority: priority_of(band as u32),
+                    };
+                }
+            }
+            return Admission::Full(item, depth);
+        }
+        self.bands[priority.index()].push_back(item);
+        Admission::Enqueued
+    }
+
+    fn pop(&mut self) -> Option<(u32, usize)> {
+        self.bands
+            .iter_mut()
+            .enumerate()
+            .find_map(|(band, items)| items.pop_front().map(|item| (item, band)))
+    }
+}
+
+proptest! {
+    /// `ops` drives interleaved admissions and drains: an op below 100
+    /// admits at priority `op % 3`; 100+ pops. The real queue must
+    /// agree with the reference model on every single outcome, which
+    /// pins down all three inversion-freedom properties at once:
+    /// higher bands always drain first, displacement only ever evicts
+    /// strictly lower priority (youngest first), and the watermark
+    /// sheds only background arrivals.
+    #[test]
+    fn priority_admission_never_inverts(
+        capacity in 1usize..6,
+        watermark in 0usize..8,
+        ops in proptest::collection::vec(0u32..103, 1..40),
+    ) {
+        let queue = BoundedQueue::new(capacity);
+        let mut model = Model::default();
+        let mut next_item = 0u32;
+        let mut last_popped_band: Option<usize> = None;
+        for op in ops {
+            if op < 100 {
+                let priority = priority_of(op);
+                let item = next_item;
+                next_item += 1;
+                let got = queue.admit(item, priority, watermark);
+                let want = model.admit(item, priority, capacity, watermark);
+                prop_assert_eq!(&got, &want, "admission diverged from the model");
+                if let Admission::Displaced { victim_priority, .. } = got {
+                    prop_assert!(
+                        victim_priority.index() > priority.index(),
+                        "displaced {:?} from a band not strictly below {:?}",
+                        victim_priority, priority
+                    );
+                }
+                // any admission resets the drain-order watermark: new
+                // higher-priority work may legitimately pop next
+                last_popped_band = None;
+            } else {
+                let got = queue.try_pop();
+                let want = model.pop();
+                prop_assert_eq!(got, want.map(|(item, _)| item), "drain diverged from the model");
+                if let Some((_, band)) = want {
+                    if let Some(prev) = last_popped_band {
+                        prop_assert!(
+                            band >= prev,
+                            "drain order inverted: band {} popped after band {}",
+                            band, prev
+                        );
+                    }
+                    last_popped_band = Some(band);
+                }
+            }
+            prop_assert_eq!(queue.len(), model.depth());
+            for p in [Priority::Interactive, Priority::Batch, Priority::Background] {
+                prop_assert_eq!(queue.depth_of(p), model.bands[p.index()].len());
+            }
+        }
+    }
+
+    /// The breaker against an independent restatement of its state
+    /// machine, driven by a random failure/success/advance/allow
+    /// script on a manual clock. The real breaker and the model must
+    /// agree on every trip decision, every dispatch decision, and
+    /// every state — and a twin breaker fed the same script must never
+    /// diverge, so transitions are a pure function of the script.
+    #[test]
+    fn breaker_transitions_are_deterministic_under_scripts(
+        threshold in 1u32..5,
+        cooldown in 1u64..1_000,
+        advances in 1u64..3,
+        ops in proptest::collection::vec(0u32..4, 1..60),
+    ) {
+        let config = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_nanos: cooldown,
+        };
+        let clock_a = Arc::new(ManualClock::new());
+        let clock_b = Arc::new(ManualClock::new());
+        let mut a = CircuitBreaker::with_clock(config, clock_a.clone());
+        let mut b = CircuitBreaker::with_clock(config, clock_b.clone());
+        let mut model = BreakerModel::Closed { failures: 0 };
+        let mut now = 0u64;
+        let step = cooldown / advances.max(1) + 1;
+        for op in ops {
+            match op {
+                0 => {
+                    let tripped = a.record_failure();
+                    prop_assert_eq!(tripped, b.record_failure());
+                    let want = model.record_failure(now, threshold);
+                    prop_assert_eq!(tripped, want, "trip decision diverged from the model");
+                }
+                1 => {
+                    a.record_success();
+                    b.record_success();
+                    model = BreakerModel::Closed { failures: 0 };
+                }
+                2 => {
+                    clock_a.advance(step);
+                    clock_b.advance(step);
+                    now += step;
+                }
+                _ => {
+                    let allow = a.allow();
+                    prop_assert_eq!(allow, b.allow());
+                    let want = model.allow(now, cooldown);
+                    prop_assert_eq!(allow, want, "dispatch decision diverged from the model");
+                }
+            }
+            prop_assert_eq!(a.state(), model.state(), "state diverged from the model");
+            prop_assert_eq!(a.state(), b.state(), "twin breakers diverged");
+        }
+    }
+}
+
+/// Independent restatement of the breaker's state machine (the test
+/// oracle for `breaker_transitions_are_deterministic_under_scripts`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BreakerModel {
+    Closed { failures: u32 },
+    Open { opened_at: u64 },
+    HalfOpen,
+}
+
+impl BreakerModel {
+    fn state(self) -> BreakerState {
+        match self {
+            BreakerModel::Closed { .. } => BreakerState::Closed,
+            BreakerModel::Open { .. } => BreakerState::Open,
+            BreakerModel::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    fn record_failure(&mut self, now: u64, threshold: u32) -> bool {
+        match *self {
+            BreakerModel::Open { .. } => false,
+            BreakerModel::HalfOpen => {
+                *self = BreakerModel::Open { opened_at: now };
+                true
+            }
+            BreakerModel::Closed { failures } => {
+                if failures + 1 >= threshold {
+                    *self = BreakerModel::Open { opened_at: now };
+                    true
+                } else {
+                    *self = BreakerModel::Closed {
+                        failures: failures + 1,
+                    };
+                    false
+                }
+            }
+        }
+    }
+
+    fn allow(&mut self, now: u64, cooldown: u64) -> bool {
+        match *self {
+            BreakerModel::Closed { .. } | BreakerModel::HalfOpen => true,
+            BreakerModel::Open { opened_at } => {
+                if now.saturating_sub(opened_at) >= cooldown {
+                    *self = BreakerModel::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}

@@ -200,8 +200,9 @@ fn service_backpressure_and_recovery_roundtrip() {
     for i in 0..12 {
         match service.submit_job(search_job(8, 0.1 + 0.05 * i as f64, 2000)) {
             Ok(t) => accepted.push(t),
-            Err(sparseloop_serve::SubmitError::QueueFull { capacity }) => {
+            Err(sparseloop_serve::SubmitError::QueueFull { depth, capacity }) => {
                 assert_eq!(capacity, 2);
+                assert_eq!(depth, 2, "refusal must report a full queue");
                 rejected += 1;
             }
             Err(e) => panic!("unexpected admission error: {e}"),
