@@ -155,6 +155,29 @@ fn service_phase(failures: &mut Vec<String>) -> MetricsSnapshot {
             failures.push(format!("service: no {} span recorded", kind.as_str()));
         }
     }
+    // the snapshot self-identifies: one build-info series carrying the
+    // crate version and the frame protocol, plus an uptime gauge
+    if snap.sum_of("sparseloop_build_info") != 1 {
+        failures.push("service: sparseloop_build_info gauge missing or duplicated".into());
+    }
+    if snap
+        .value(
+            "sparseloop_build_info",
+            &[
+                // the workspace crates version together, so the bench
+                // crate's own version matches the one obs publishes
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("protocol", &sparseloop_serve::PROTOCOL_VERSION.to_string()),
+            ],
+        )
+        .unwrap_or(0)
+        != 1
+    {
+        failures.push("service: build_info labels do not carry version + protocol".into());
+    }
+    if snap.value("sparseloop_uptime_seconds", &[]).is_none() {
+        failures.push("service: sparseloop_uptime_seconds gauge missing".into());
+    }
     service.shutdown();
     snap
 }
@@ -256,7 +279,76 @@ fn fleet_phase(failures: &mut Vec<String>) -> MetricsSnapshot {
     if snap.sum_of("sparseloop_worker_search_nanos") == 0 {
         failures.push("fleet: no worker search-phase timings arrived over the wire".into());
     }
+    trace_tree_checks(&hub, failures);
     snap
+}
+
+/// Asserts the cross-process causal nesting for the last fleet request
+/// (the seeded-fault one): worker phase spans echo their dispatch span
+/// over the v3 frame trailer, dispatch spans parent under the round
+/// trip — so `render_tree` shows a connected per-request timeline even
+/// through retries.
+fn trace_tree_checks(hub: &ObsHub, failures: &mut Vec<String>) {
+    let events = hub.traces().events();
+    let Some(rid) = events
+        .iter()
+        .rev()
+        .find(|e| e.kind == SpanKind::WorkerRoundTrip)
+        .map(|e| e.request_id)
+    else {
+        failures.push("trace: no worker_round_trip span recorded".into());
+        return;
+    };
+    let req = hub.traces().events_for(rid);
+    let roundtrips: Vec<u64> = req
+        .iter()
+        .filter(|e| e.kind == SpanKind::WorkerRoundTrip)
+        .map(|e| e.span_id)
+        .collect();
+    let dispatches: Vec<_> = req
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::ShardDispatch | SpanKind::HedgeDispatch))
+        .collect();
+    if dispatches.is_empty() {
+        failures.push(format!("trace: request {rid} has no dispatch spans"));
+    }
+    for d in &dispatches {
+        if !roundtrips.contains(&d.parent_span_id) {
+            failures.push(format!(
+                "trace: {} span {} parents under {} instead of the round trip",
+                d.kind.as_str(),
+                d.span_id,
+                d.parent_span_id
+            ));
+        }
+    }
+    let dispatch_ids: Vec<u64> = dispatches.iter().map(|e| e.span_id).collect();
+    let phases: Vec<_> = req
+        .iter()
+        .filter(|e| matches!(e.kind, SpanKind::WorkerCompile | SpanKind::WorkerSearch))
+        .collect();
+    if phases.is_empty() {
+        failures.push(format!(
+            "trace: request {rid} has no worker phase spans (stats trailer lost?)"
+        ));
+    }
+    for p in &phases {
+        if !dispatch_ids.contains(&p.parent_span_id) {
+            failures.push(format!(
+                "trace: {} span {} not parented under any dispatch span",
+                p.kind.as_str(),
+                p.span_id
+            ));
+        }
+    }
+    let tree = hub.traces().render_tree(rid);
+    for needle in ["worker_round_trip", "shard_dispatch", "worker_compile"] {
+        if !tree.contains(needle) {
+            failures.push(format!(
+                "trace: render_tree({rid}) is missing {needle}:\n{tree}"
+            ));
+        }
+    }
 }
 
 fn main() {

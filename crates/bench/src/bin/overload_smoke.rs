@@ -201,6 +201,19 @@ fn main() {
                 .push(format!("{}: {other}", priority_name(priority))),
         }
     }
+    // the depth gauge is re-synced with an absolute set at every
+    // admission, displacement and pop, so with every ticket resolved it
+    // must read exactly zero *without* a gauge-refreshing snapshot call
+    // — drift here means some displacement/shed path double-counted
+    let drained_depth = hub
+        .snapshot()
+        .value("sparseloop_queue_depth", &[])
+        .unwrap_or(-1);
+    if drained_depth != 0 {
+        failures.push(format!(
+            "queue depth gauge reads {drained_depth} after the burst drained"
+        ));
+    }
     let stats = service.shutdown();
     pool.shutdown();
 

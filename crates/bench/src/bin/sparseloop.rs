@@ -9,12 +9,16 @@
 //! sparseloop emit <scenario-name>     # standard scenario -> spec text
 //! sparseloop emit --all <dir>         # whole registry -> <dir>/<name>.yaml
 //! sparseloop stats [<spec.yaml | name>] [--shards N] [--metrics-snapshot <path>]
+//!                  [--serve <addr>]
 //! ```
 //!
 //! `stats` serves the scenario through an *observed* evaluation service
 //! and an in-process worker fleet sharing one metrics hub, then prints
 //! the Prometheus-style snapshot and the request trace table (see the
-//! README's "Observability" section for the metric catalog).
+//! README's "Observability" section for the metric catalog). With
+//! `--serve <addr>` it additionally binds the dependency-free
+//! observability HTTP server there (`/metrics`, `/healthz`, `/traces`)
+//! and stays up until stdin reaches EOF, so `curl` can poke around.
 
 use sparseloop_bench::{fnum, header, row};
 use sparseloop_core::EvalSession;
@@ -31,7 +35,7 @@ const USAGE: &str = "usage:
   sparseloop run <spec.yaml | scenario-name> [--threads N] [--shards N]
   sparseloop emit <scenario-name>
   sparseloop emit --all <dir>
-  sparseloop stats [<spec.yaml | scenario-name>] [--shards N] [--metrics-snapshot <path>]";
+  sparseloop stats [<spec.yaml | scenario-name>] [--shards N] [--metrics-snapshot <path>] [--serve <addr>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -232,6 +236,7 @@ fn stats(args: &[String]) -> ExitCode {
     let mut target: Option<String> = None;
     let mut shards = 2usize;
     let mut out: Option<String> = None;
+    let mut serve_addr: Option<std::net::SocketAddr> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -246,6 +251,13 @@ fn stats(args: &[String]) -> ExitCode {
                 Some(path) => out = Some(path.clone()),
                 None => {
                     eprintln!("stats: --metrics-snapshot needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--serve" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(addr) => serve_addr = Some(addr),
+                None => {
+                    eprintln!("stats: --serve needs a socket address (e.g. 127.0.0.1:9184)");
                     return ExitCode::FAILURE;
                 }
             },
@@ -282,10 +294,11 @@ fn stats(args: &[String]) -> ExitCode {
     let hub = ObsHub::new();
 
     // phase 1: the queue-driven service
-    let service = EvalService::start_observed(
-        ServeConfig::default().with_workers(2).with_shards(shards),
-        hub.clone(),
-    );
+    let mut config = ServeConfig::default().with_workers(2).with_shards(shards);
+    if let Some(addr) = serve_addr {
+        config = config.with_obs_server(addr);
+    }
+    let service = EvalService::start_observed(config, hub.clone());
     let ticket = match service.submit_spec(text.clone()) {
         Ok(ticket) => ticket,
         // a fresh service can still refuse admission (saturated queue,
@@ -301,7 +314,6 @@ fn stats(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let _ = service.metrics_snapshot(); // refresh session/queue gauges
-    service.shutdown();
 
     // phase 2: the supervised fleet (in-process workers — no external
     // binary needed; `ProcessSpawner` fleets publish identically)
@@ -322,6 +334,23 @@ fn stats(args: &[String]) -> ExitCode {
     if let Some(path) = out {
         sparseloop_bench::write_metrics_snapshot(Path::new(&path), &snap);
     }
+    if serve_addr.is_some() {
+        let Some(addr) = service.obs_http_addr() else {
+            eprintln!("stats: observability server failed to bind");
+            service.shutdown();
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "observability server on http://{addr} — GET /metrics, /healthz, /traces, \
+             /traces/<request-id>; EOF on stdin (Ctrl-D) shuts down"
+        );
+        // stay up for curl until the operator closes stdin
+        let mut sink = String::new();
+        while matches!(std::io::stdin().read_line(&mut sink), Ok(n) if n != 0) {
+            sink.clear();
+        }
+    }
+    service.shutdown();
     ExitCode::SUCCESS
 }
 

@@ -218,8 +218,12 @@ impl MetricsRegistry {
         });
         match slot {
             Slot::Histogram(core) => {
+                // value equality, not pointer equality: a `const` bounds
+                // slice is promoted to a fresh static per use site (and
+                // per generic instantiation), so identical buckets can
+                // legitimately arrive under different addresses
                 assert!(
-                    std::ptr::eq(core.bounds, bounds),
+                    core.bounds == bounds,
                     "metric `{name}` already registered with different buckets"
                 );
                 Histogram(Arc::clone(core))
@@ -298,6 +302,19 @@ pub struct MetricsSnapshot {
     pub samples: Vec<Sample>,
 }
 
+/// Escapes a label value per the Prometheus text-exposition rules:
+/// backslash, double quote, and line feed become `\\`, `\"`, `\n`.
+fn escape_label_value(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
 fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
     if labels.is_empty() && extra.is_none() {
         return;
@@ -311,7 +328,7 @@ fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&
         first = false;
         out.push_str(k);
         out.push_str("=\"");
-        out.push_str(v);
+        escape_label_value(out, v);
         out.push('"');
     }
     if let Some((k, v)) = extra {
@@ -320,10 +337,65 @@ fn render_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&
         }
         out.push_str(k);
         out.push_str("=\"");
-        out.push_str(v);
+        escape_label_value(out, v);
         out.push('"');
     }
     out.push('}');
+}
+
+/// Parses a rendered label body (`k="v",k2="v2"`) with full quote and
+/// escape awareness — the inverse of [`render_labels`]. Values may
+/// contain commas, equals signs, braces, and the escaped forms of `\`,
+/// `"`, and newline.
+fn parse_label_body(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=`: {rest:?}"))?;
+        let key = &rest[..eq];
+        if key.is_empty() || key.contains('"') || key.contains(',') {
+            return Err(format!("bad label key: {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value not quoted after {key:?}"));
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut close = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!(
+                            "bad escape `\\{}` in value of {key:?}",
+                            other.map(|(_, c)| c.to_string()).unwrap_or_default()
+                        ))
+                    }
+                },
+                '"' => {
+                    close = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let close = close.ok_or_else(|| format!("unterminated value for {key:?}"))?;
+        labels.push((key.to_owned(), value));
+        rest = &rest[1 + close + 1..];
+        match rest.strip_prefix(',') {
+            Some(tail) if !tail.is_empty() => rest = tail,
+            Some(_) => return Err("trailing comma in label set".to_owned()),
+            None if rest.is_empty() => break,
+            None => return Err(format!("junk after label value: {rest:?}")),
+        }
+    }
+    Ok(labels)
 }
 
 impl MetricsSnapshot {
@@ -457,14 +529,8 @@ impl MetricsSnapshot {
                     return Err(format!("line {}: unclosed labels: {line:?}", lineno + 1));
                 }
                 let body = &series[open + 1..series.len() - 1];
-                for pair in body.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair
-                        .split_once('=')
-                        .ok_or_else(|| format!("line {}: bad label {pair:?}", lineno + 1))?;
-                    if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') || v.len() < 2 {
-                        return Err(format!("line {}: bad label {pair:?}", lineno + 1));
-                    }
-                }
+                parse_label_body(body)
+                    .map_err(|e| format!("line {}: {e} in {line:?}", lineno + 1))?;
             }
             if values.insert(series.to_owned(), value).is_some() {
                 return Err(format!("line {}: duplicate series {series:?}", lineno + 1));
@@ -624,5 +690,77 @@ mod tests {
         assert!(MetricsSnapshot::parse_text("m 1\nm 2").is_err());
         // Comments and blanks are fine.
         assert!(MetricsSnapshot::parse_text("# TYPE m counter\n\nm 1\n").is_ok());
+        // Escape-aware label validation.
+        assert!(MetricsSnapshot::parse_text("m{k=\"unterminated} 1").is_err());
+        assert!(
+            MetricsSnapshot::parse_text("m{k=\"bad\\q\"} 1").is_err(),
+            "unknown escape"
+        );
+        assert!(MetricsSnapshot::parse_text("m{k=\"v\"junk} 1").is_err());
+        assert!(
+            MetricsSnapshot::parse_text("m{k=\"v\",} 1").is_err(),
+            "trailing comma"
+        );
+        assert!(
+            MetricsSnapshot::parse_text("m{=\"v\"} 1").is_err(),
+            "empty key"
+        );
+        assert!(
+            MetricsSnapshot::parse_text("m{k=novalue} 1").is_err(),
+            "unquoted value"
+        );
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip() {
+        // Prometheus escaping rules: `\` -> `\\`, `"` -> `\"`, LF -> `\n`.
+        // A value exercising all three plus the separators the old
+        // parser split on (`,`, `=`, `{`, `}`, space).
+        let reg = MetricsRegistry::new();
+        let hostile = "he said \"hi\",\nback\\slash={curly} end";
+        reg.counter("m_total", &[("msg", hostile)]).add(2);
+        reg.gauge("g", &[("a", "x\"y"), ("b", "p\\q")]).set(-1);
+        static BOUNDS: &[u64] = &[10];
+        reg.histogram("h_nanos", &[("lbl", "a,b=\"c\"")], BOUNDS)
+            .observe(7);
+
+        let text = reg.snapshot().render_text();
+        // The rendered line must carry the escaped form, single-line.
+        assert!(
+            text.contains("m_total{msg=\"he said \\\"hi\\\",\\nback\\\\slash={curly} end\"} 2"),
+            "unexpected rendering:\n{text}"
+        );
+        assert_eq!(
+            text.lines().count(),
+            text.lines().filter(|l| !l.is_empty()).count(),
+            "escaped newlines must not split lines"
+        );
+
+        let parsed = MetricsSnapshot::parse_text(&text).expect("hostile snapshot parses");
+        assert_eq!(
+            parsed.get("m_total{msg=\"he said \\\"hi\\\",\\nback\\\\slash={curly} end\"}"),
+            Some(2.0)
+        );
+        assert_eq!(parsed.get("g{a=\"x\\\"y\",b=\"p\\\\q\"}"), Some(-1.0));
+        assert_eq!(
+            parsed.get("h_nanos_count{lbl=\"a,b=\\\"c\\\"\"}"),
+            Some(1.0)
+        );
+        assert_eq!(parsed.sum_of("m_total"), 2.0);
+    }
+
+    #[test]
+    fn label_body_parser_unescapes_values() {
+        let labels = parse_label_body("k=\"a,b\",q=\"say \\\"x\\\"\",nl=\"l1\\nl2\",bs=\"a\\\\b\"")
+            .expect("body parses");
+        assert_eq!(
+            labels,
+            vec![
+                ("k".to_owned(), "a,b".to_owned()),
+                ("q".to_owned(), "say \"x\"".to_owned()),
+                ("nl".to_owned(), "l1\nl2".to_owned()),
+                ("bs".to_owned(), "a\\b".to_owned()),
+            ]
+        );
     }
 }

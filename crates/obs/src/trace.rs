@@ -52,6 +52,10 @@ impl SpanKind {
 pub struct TraceEvent {
     /// Process-unique request id (0 when the producer has no request scope).
     pub request_id: u64,
+    /// Process-unique span id (0 = unassigned, for legacy flat spans).
+    pub span_id: u64,
+    /// Span id of the causal parent within the same request; 0 = root.
+    pub parent_span_id: u64,
     pub kind: SpanKind,
     /// Shard index for per-shard spans, `None` for request-scoped ones.
     pub shard: Option<u32>,
@@ -100,6 +104,16 @@ impl TraceBuffer {
         ring.events.iter().copied().collect()
     }
 
+    /// Oldest-first copy of the retained events belonging to one request.
+    pub fn events_for(&self, request_id: u64) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().expect("trace buffer poisoned");
+        ring.events
+            .iter()
+            .filter(|e| e.request_id == request_id)
+            .copied()
+            .collect()
+    }
+
     /// Number of events evicted to make room since construction.
     pub fn dropped(&self) -> u64 {
         self.ring.lock().expect("trace buffer poisoned").dropped
@@ -145,6 +159,99 @@ impl TraceBuffer {
         }
         out
     }
+
+    /// Causally-ordered span tree for one request (see
+    /// [`render_span_tree`]).
+    pub fn render_tree(&self, request_id: u64) -> String {
+        render_span_tree(request_id, &self.events_for(request_id))
+    }
+}
+
+/// Renders one request's spans as an indented tree: roots are spans with
+/// `parent_span_id == 0` (or whose parent was evicted from the ring —
+/// they stay visible rather than vanish), children nest under their
+/// parent, and siblings sort by start time. Each line carries the span
+/// kind, shard (when scoped), ids, start, and duration, so the output
+/// reads as a per-request timeline: queue wait → session eval → fleet
+/// checkout → per-shard dispatch (hedges included) → worker phases.
+pub fn render_span_tree(request_id: u64, events: &[TraceEvent]) -> String {
+    use std::collections::HashSet;
+
+    let known: HashSet<u64> = events
+        .iter()
+        .filter(|e| e.span_id != 0)
+        .map(|e| e.span_id)
+        .collect();
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| (events[i].start_nanos, events[i].span_id));
+    let is_root = |e: &TraceEvent| {
+        e.parent_span_id == 0 || e.parent_span_id == e.span_id || !known.contains(&e.parent_span_id)
+    };
+
+    fn write_node(
+        out: &mut String,
+        events: &[TraceEvent],
+        order: &[usize],
+        idx: usize,
+        prefix: &str,
+        last: bool,
+        visited: &mut std::collections::HashSet<u64>,
+    ) {
+        let ev = &events[idx];
+        let branch = if last { "└─ " } else { "├─ " };
+        let shard = match ev.shard {
+            Some(s) => format!(" shard={s}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{prefix}{branch}{}{} span={} start={}ns dur={}ns\n",
+            ev.kind.as_str(),
+            shard,
+            ev.span_id,
+            ev.start_nanos,
+            ev.duration_nanos
+        ));
+        if ev.span_id == 0 || !visited.insert(ev.span_id) {
+            return; // unassigned ids can't parent; cycles stop here
+        }
+        let child_prefix = format!("{prefix}{}", if last { "   " } else { "│  " });
+        let children: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| i != idx && events[i].parent_span_id == ev.span_id)
+            .collect();
+        for (n, &child) in children.iter().enumerate() {
+            write_node(
+                out,
+                events,
+                order,
+                child,
+                &child_prefix,
+                n + 1 == children.len(),
+                visited,
+            );
+        }
+    }
+
+    let mut out = format!("request {request_id} ({} spans)\n", events.len());
+    let roots: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| is_root(&events[i]))
+        .collect();
+    let mut visited = HashSet::new();
+    for (n, &root) in roots.iter().enumerate() {
+        write_node(
+            &mut out,
+            events,
+            &order,
+            root,
+            "",
+            n + 1 == roots.len(),
+            &mut visited,
+        );
+    }
+    out
 }
 
 #[cfg(test)]
@@ -154,10 +261,24 @@ mod tests {
     fn ev(id: u64, start: u64) -> TraceEvent {
         TraceEvent {
             request_id: id,
+            span_id: 0,
+            parent_span_id: 0,
             kind: SpanKind::QueueWait,
             shard: None,
             start_nanos: start,
             duration_nanos: 10,
+        }
+    }
+
+    fn span(req: u64, id: u64, parent: u64, kind: SpanKind, start: u64) -> TraceEvent {
+        TraceEvent {
+            request_id: req,
+            span_id: id,
+            parent_span_id: parent,
+            kind,
+            shard: None,
+            start_nanos: start,
+            duration_nanos: 5,
         }
     }
 
@@ -181,6 +302,8 @@ mod tests {
         let buf = TraceBuffer::new(8);
         buf.record(TraceEvent {
             request_id: 7,
+            span_id: 0,
+            parent_span_id: 0,
             kind: SpanKind::ShardDispatch,
             shard: Some(2),
             start_nanos: 100,
@@ -199,5 +322,59 @@ mod tests {
         buf.record(ev(2, 0));
         assert_eq!(buf.len(), 1);
         assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn events_for_filters_by_request() {
+        let buf = TraceBuffer::new(8);
+        buf.record(ev(1, 0));
+        buf.record(ev(2, 10));
+        buf.record(ev(1, 20));
+        let mine = buf.events_for(1);
+        assert_eq!(mine.len(), 2);
+        assert!(mine.iter().all(|e| e.request_id == 1));
+    }
+
+    #[test]
+    fn tree_nests_children_under_parents_sorted_by_start() {
+        let buf = TraceBuffer::new(16);
+        // recorded out of causal order on purpose
+        buf.record(span(9, 30, 10, SpanKind::WorkerSearch, 400));
+        buf.record(span(9, 1, 0, SpanKind::QueueWait, 0));
+        buf.record(span(9, 2, 0, SpanKind::SessionEval, 100));
+        buf.record(span(9, 10, 2, SpanKind::ShardDispatch, 200));
+        buf.record(span(9, 20, 10, SpanKind::WorkerCompile, 300));
+        let text = buf.render_tree(9);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "request 9 (5 spans)");
+        // roots in start order; children indented under their parent
+        let at = |needle: &str| {
+            lines
+                .iter()
+                .position(|l| l.contains(needle))
+                .unwrap_or_else(|| panic!("{needle} missing from:\n{text}"))
+        };
+        assert!(at("queue_wait") < at("session_eval"));
+        assert!(at("shard_dispatch") > at("session_eval"));
+        assert!(at("worker_compile") > at("shard_dispatch"));
+        assert!(at("worker_search") > at("worker_compile"), "start order");
+        let depth = |needle: &str| {
+            lines[at(needle)]
+                .find("├─")
+                .or(lines[at(needle)].find("└─"))
+        };
+        assert!(depth("shard_dispatch") > depth("session_eval"));
+        assert!(depth("worker_compile") > depth("shard_dispatch"));
+        assert_eq!(depth("worker_search"), depth("worker_compile"));
+    }
+
+    #[test]
+    fn tree_keeps_orphans_visible_as_roots() {
+        // parent span evicted from the ring: the child must still render
+        let buf = TraceBuffer::new(16);
+        buf.record(span(3, 50, 49, SpanKind::WorkerCompile, 10));
+        let text = buf.render_tree(3);
+        assert!(text.contains("worker_compile"), "{text}");
+        assert!(text.starts_with("request 3 (1 spans)"), "{text}");
     }
 }

@@ -25,7 +25,7 @@
 use crate::proc::{ProcessSpawner, ThreadSpawner, WorkerEvent, WorkerHandle, WorkerSpawner};
 use crate::service::ScenarioReply;
 use crate::supervisor::{HostConfig, HostError, HostStats, ShardHost};
-use sparseloop_obs::{ObsHub, SpanKind};
+use sparseloop_obs::{ObsHub, SpanKind, TraceContext};
 use std::path::Path;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -199,10 +199,28 @@ impl FleetPool {
     /// Runs one spec through a pooled fleet: checkout (blocking until a
     /// host is free), optional health sweep, dispatch, checkin.
     pub fn run_spec(&self, text: &str) -> Result<ScenarioReply, HostError> {
+        self.run_spec_traced(text, None)
+    }
+
+    /// [`run_spec`](Self::run_spec) under a caller-provided trace
+    /// context: the checkout span and everything the host records are
+    /// tagged with the originating request and parented under its span.
+    pub fn run_spec_traced(
+        &self,
+        text: &str,
+        ctx: Option<TraceContext>,
+    ) -> Result<ScenarioReply, HostError> {
         let checkout_start = self.inner.hub.as_ref().map(|h| h.now_nanos());
         let (index, mut pooled) = self.checkout();
         if let (Some(hub), Some(start)) = (&self.inner.hub, checkout_start) {
-            hub.span(0, SpanKind::PoolCheckout, Some(index as u32), start);
+            let ctx = ctx.unwrap_or_default();
+            hub.span_in(
+                ctx.request_id,
+                SpanKind::PoolCheckout,
+                Some(index as u32),
+                start,
+                ctx.parent_span_id,
+            );
         }
         if pooled.last_health.elapsed() >= self.inner.config.health_interval {
             let report = pooled.host.health_check(self.inner.config.health_timeout);
@@ -213,7 +231,7 @@ impl FleetPool {
             stats.pongs_received += report.pongs_received;
             stats.workers_replaced += report.workers_replaced;
         }
-        let result = pooled.host.run_spec(text);
+        let result = pooled.host.run_spec_traced(text, ctx);
         self.checkin(index, pooled);
         result
     }

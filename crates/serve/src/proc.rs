@@ -260,6 +260,8 @@ where
                 heartbeat_ms,
                 spec,
                 want_stats,
+                trace_request,
+                trace_parent,
             } => {
                 let stop = Arc::new(AtomicBool::new(false));
                 let heartbeater = if heartbeat_ms > 0 {
@@ -293,6 +295,10 @@ where
                 let reply = match outcome {
                     Ok(Ok((results, phases))) => {
                         if want_stats {
+                            // Echo the task's trace context so the
+                            // parent can anchor these phase timings
+                            // under the originating request's dispatch
+                            // span.
                             stats_frame = Some(Frame::Stats {
                                 id,
                                 shard,
@@ -300,6 +306,8 @@ where
                                 search_nanos: phases.search_nanos,
                                 generated: phases.generated,
                                 evaluated: phases.evaluated,
+                                trace_request,
+                                trace_parent,
                             });
                         }
                         Frame::TaskDone { id, results }
@@ -662,6 +670,8 @@ mod tests {
                 heartbeat_ms: 0,
                 spec: "scenario:\n  nonsense: true\n".into(),
                 want_stats: false,
+                trace_request: 0,
+                trace_parent: 0,
             })
             .unwrap();
         match rx.recv_timeout(Duration::from_secs(5)).unwrap().kind {
@@ -685,6 +695,8 @@ mod tests {
                 heartbeat_ms: 0,
                 spec: "scenario:\n  nonsense: true\n".into(),
                 want_stats: false,
+                trace_request: 0,
+                trace_parent: 0,
             })
             .unwrap();
         match rx.recv_timeout(Duration::from_secs(5)).unwrap().kind {

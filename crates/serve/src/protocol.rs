@@ -47,7 +47,14 @@ use std::io::{Read, Write};
 ///   fields, so the version number is unchanged; only pool-managed
 ///   parents send `Ping`, and a worker that answered `Hello` with v2+
 ///   is guaranteed to answer `Pong`.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// - v3: [`Frame::Task`] and [`Frame::Stats`] gain a trailing trace
+///   context (`trace_request`, `trace_parent`) so worker-side phase
+///   timings anchor under the originating service request's dispatch
+///   span. Same trailing-bytes trick as the v1→v2 bump: a v2 decoder
+///   stops after `want_stats` (Task) or `evaluated` (Stats) and ignores
+///   the extra 16 bytes; a v3 decoder reads zeros (= untraced) from a
+///   v2 peer's shorter payload.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Frame magic: "SLF1" little-endian.
 pub const FRAME_MAGIC: u32 = 0x3146_4C53;
@@ -107,6 +114,14 @@ pub enum Frame {
         /// workers (which ignore trailing payload bytes) still decode
         /// the task; absent on the wire means `false`.
         want_stats: bool,
+        /// Originating service request id (v3 trailing field; 0 =
+        /// untraced / pre-v3 peer). Echoed into the worker's
+        /// [`Frame::Stats`] so cross-process spans join one request
+        /// tree.
+        trace_request: u64,
+        /// Span id of the dispatch span this task runs under (v3
+        /// trailing field; 0 = root). Worker phase spans parent here.
+        trace_parent: u64,
     },
     /// Worker → parent: liveness signal while a task computes.
     Heartbeat {
@@ -154,6 +169,12 @@ pub enum Frame {
         generated: u64,
         /// Candidates fully evaluated across the task's experiments.
         evaluated: u64,
+        /// Originating service request id, echoed from the task's
+        /// trailing trace context (v3; 0 = untraced).
+        trace_request: u64,
+        /// Dispatch span id the phase spans parent under, echoed from
+        /// the task (v3; 0 = root).
+        trace_parent: u64,
     },
     /// Parent → worker: exit cleanly.
     Shutdown,
@@ -293,6 +314,8 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             heartbeat_ms,
             spec,
             want_stats,
+            trace_request,
+            trace_parent,
         } => {
             w.put_u8(2);
             w.put_u64(*id);
@@ -303,6 +326,9 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             // v2 trailing field: v1 decoders stop at the spec and ignore
             // this byte, so the frame stays backward compatible.
             w.put_bool(*want_stats);
+            // v3 trailing trace context: v2 decoders stop at want_stats.
+            w.put_u64(*trace_request);
+            w.put_u64(*trace_parent);
         }
         Frame::Heartbeat { id, seq } => {
             w.put_u8(3);
@@ -334,6 +360,8 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             search_nanos,
             generated,
             evaluated,
+            trace_request,
+            trace_parent,
         } => {
             w.put_u8(7);
             w.put_u64(*id);
@@ -342,6 +370,9 @@ pub fn encode_payload(frame: &Frame) -> Vec<u8> {
             w.put_u64(*search_nanos);
             w.put_u64(*generated);
             w.put_u64(*evaluated);
+            // v3 trailing trace context: v2 decoders stop at evaluated.
+            w.put_u64(*trace_request);
+            w.put_u64(*trace_parent);
         }
         Frame::Shutdown => w.put_u8(6),
         Frame::Ping { seq } => {
@@ -376,6 +407,18 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Frame, ProtocolError> {
             } else {
                 r.get_bool("task.want_stats")?
             },
+            // A v2 peer's Task ends at want_stats; missing trace
+            // context means "untraced".
+            trace_request: if r.is_done() {
+                0
+            } else {
+                r.get_u64("task.trace_request")?
+            },
+            trace_parent: if r.is_done() {
+                0
+            } else {
+                r.get_u64("task.trace_parent")?
+            },
         },
         3 => Frame::Heartbeat {
             id: r.get_u64("hb.id")?,
@@ -403,6 +446,17 @@ pub fn decode_payload(bytes: &[u8]) -> Result<Frame, ProtocolError> {
             search_nanos: r.get_u64("stats.search_nanos")?,
             generated: r.get_u64("stats.generated")?,
             evaluated: r.get_u64("stats.evaluated")?,
+            // v2 peers end the frame at `evaluated`.
+            trace_request: if r.is_done() {
+                0
+            } else {
+                r.get_u64("stats.trace_request")?
+            },
+            trace_parent: if r.is_done() {
+                0
+            } else {
+                r.get_u64("stats.trace_parent")?
+            },
         },
         8 => Frame::Ping {
             seq: r.get_u64("ping.seq")?,
@@ -507,6 +561,8 @@ mod tests {
                 heartbeat_ms: 20,
                 spec: "scenario:\n  name: demo\n".into(),
                 want_stats: true,
+                trace_request: 900,
+                trace_parent: 31,
             },
             Frame::Heartbeat { id: 42, seq: 7 },
             Frame::Stats {
@@ -516,6 +572,8 @@ mod tests {
                 search_nanos: 56_789,
                 generated: 100,
                 evaluated: 73,
+                trace_request: 900,
+                trace_parent: 31,
             },
             Frame::TaskDone {
                 id: 42,
@@ -577,6 +635,8 @@ mod tests {
                 heartbeat_ms: 15,
                 spec: "scenario:\n  name: old\n".into(),
                 want_stats: false,
+                trace_request: 0,
+                trace_parent: 0,
             }
         );
     }
@@ -591,10 +651,116 @@ mod tests {
                 heartbeat_ms: 0,
                 spec: "s".into(),
                 want_stats,
+                trace_request: 7,
+                trace_parent: 3,
             };
             let got = decode_payload(&encode_payload(&frame)).unwrap();
             assert_eq!(got, frame);
         }
+    }
+
+    #[test]
+    fn v2_task_without_trace_context_decodes_as_untraced() {
+        // Hand-encode a Task exactly as a v2 parent would: want_stats
+        // present, no trailing trace context.
+        let mut w = WireWriter::new();
+        w.put_u8(2);
+        w.put_u64(9);
+        w.put_u32(1);
+        w.put_u32(4);
+        w.put_u32(25);
+        w.put_str("scenario:\n  name: v2\n");
+        w.put_bool(true);
+        let frame = decode_payload(&w.into_bytes()).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Task {
+                id: 9,
+                shard: 1,
+                shards: 4,
+                heartbeat_ms: 25,
+                spec: "scenario:\n  name: v2\n".into(),
+                want_stats: true,
+                trace_request: 0,
+                trace_parent: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn v2_stats_without_trace_context_decodes_as_untraced() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u64(5);
+        w.put_u32(2);
+        w.put_u64(10);
+        w.put_u64(20);
+        w.put_u64(30);
+        w.put_u64(40);
+        let frame = decode_payload(&w.into_bytes()).unwrap();
+        assert_eq!(
+            frame,
+            Frame::Stats {
+                id: 5,
+                shard: 2,
+                compile_nanos: 10,
+                search_nanos: 20,
+                generated: 30,
+                evaluated: 40,
+                trace_request: 0,
+                trace_parent: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn v2_decoders_tolerate_v3_trailing_trace_context() {
+        // Replay the *old* (v2) decoding logic over v3-encoded bytes:
+        // it stops before the trailing trace context and must still
+        // recover every v2 field — the same guarantee the v1→v2 bump
+        // relied on, extended one version forward.
+        let task = Frame::Task {
+            id: 77,
+            shard: 3,
+            shards: 8,
+            heartbeat_ms: 40,
+            spec: "scenario:\n  name: fwd\n".into(),
+            want_stats: true,
+            trace_request: 123,
+            trace_parent: 456,
+        };
+        let bytes = encode_payload(&task);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8("frame.tag").unwrap(), 2);
+        assert_eq!(r.get_u64("task.id").unwrap(), 77);
+        assert_eq!(r.get_u32("task.shard").unwrap(), 3);
+        assert_eq!(r.get_u32("task.shards").unwrap(), 8);
+        assert_eq!(r.get_u32("task.heartbeat_ms").unwrap(), 40);
+        assert_eq!(r.get_str("task.spec").unwrap(), "scenario:\n  name: fwd\n");
+        assert!(r.get_bool("task.want_stats").unwrap());
+        // A v2 decoder stops here; 16 trailing bytes remain unread.
+        assert!(!r.is_done(), "v3 trace context rides behind want_stats");
+
+        let stats = Frame::Stats {
+            id: 77,
+            shard: 3,
+            compile_nanos: 1,
+            search_nanos: 2,
+            generated: 3,
+            evaluated: 4,
+            trace_request: 123,
+            trace_parent: 456,
+        };
+        let bytes = encode_payload(&stats);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.get_u8("frame.tag").unwrap(), 7);
+        assert_eq!(r.get_u64("stats.id").unwrap(), 77);
+        assert_eq!(r.get_u32("stats.shard").unwrap(), 3);
+        assert_eq!(r.get_u64("stats.compile_nanos").unwrap(), 1);
+        assert_eq!(r.get_u64("stats.search_nanos").unwrap(), 2);
+        assert_eq!(r.get_u64("stats.generated").unwrap(), 3);
+        assert_eq!(r.get_u64("stats.evaluated").unwrap(), 4);
+        assert!(!r.is_done(), "v3 trace context rides behind evaluated");
     }
 
     #[test]

@@ -8,9 +8,11 @@ use sparseloop_core::{EvalJob, EvalSession, JobError, JobOutcome};
 use sparseloop_designs::ScenarioRegistry;
 use sparseloop_mapping::SearchStats;
 use sparseloop_obs::{
-    Counter, Histogram, MetricsSnapshot, ObsHub, SpanKind, LATENCY_BUCKETS_NANOS,
+    Counter, Gauge, HealthStatus, Histogram, MetricsSnapshot, ObsHub, ObsServer, ObsServerHooks,
+    RecordedRequest, RequestOutcome, SpanKind, TraceContext, LATENCY_BUCKETS_NANOS,
 };
 use sparseloop_spec::SpecError;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -39,6 +41,11 @@ pub struct ServeConfig {
     /// early with [`SubmitError::Shed`] instead of riding the queue to
     /// capacity. `0` disables early shedding (watermark == capacity).
     pub shed_watermark: usize,
+    /// Bind address for the dependency-free HTTP observability server
+    /// (`GET /metrics`, `/healthz`, `/traces`). `None` (the default)
+    /// serves nothing; requires the service to be started with an
+    /// [`ObsHub`] to take effect.
+    pub obs_server_addr: Option<SocketAddr>,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +56,7 @@ impl Default for ServeConfig {
             shards: 1,
             recycle_slot_budget: None,
             shed_watermark: 0,
+            obs_server_addr: None,
         }
     }
 }
@@ -82,6 +90,16 @@ impl ServeConfig {
     /// admission time; `0` disables).
     pub fn with_shed_watermark(mut self, watermark: usize) -> Self {
         self.shed_watermark = watermark;
+        self
+    }
+
+    /// Serves `GET /metrics`, `/healthz`, and `/traces` over plain
+    /// HTTP/1.1 on `addr` (std::net only — no dependencies). Bind to
+    /// port 0 for an ephemeral port, readable back via
+    /// [`EvalService::obs_http_addr`]. Ignored unless the service is
+    /// started with an [`ObsHub`].
+    pub fn with_obs_server(mut self, addr: SocketAddr) -> Self {
+        self.obs_server_addr = Some(addr);
         self
     }
 }
@@ -481,18 +499,25 @@ struct ServeObs {
     latency: Histogram,
     /// Mapper funnel counters: generated, pruned, evaluated, invalid.
     mapper: [Counter; 4],
+    /// Live queue depth, re-synced from the queue's own length after
+    /// every admission, displacement, and pop — an absolute set, so the
+    /// gauge can never drift negative or double-count.
+    queue_depth: Gauge,
 }
 
 impl ServeObs {
     fn new(hub: ObsHub, config: &ServeConfig) -> Self {
+        hub.set_protocol_version(crate::protocol::PROTOCOL_VERSION);
         let reg = hub.registry();
         let outcome = |o: &str| reg.counter("sparseloop_requests_total", &[("outcome", o)]);
         let stage = |s: &str| reg.counter("sparseloop_mapper_candidates_total", &[("stage", s)]);
         // pre-register the gauges so empty snapshots still show them
         reg.gauge("sparseloop_queue_capacity", &[])
             .set_u64(config.queue_capacity as u64);
-        reg.gauge("sparseloop_queue_depth", &[]).set(0);
+        let queue_depth = reg.gauge("sparseloop_queue_depth", &[]);
+        queue_depth.set(0);
         ServeObs {
+            queue_depth,
             submitted: outcome("submitted"),
             rejected: outcome("rejected"),
             completed: outcome("completed"),
@@ -606,6 +631,108 @@ impl Shared {
         )
     }
 
+    /// Renders a point-in-time metrics snapshot, refreshing the
+    /// session/queue gauges first so the text reflects *now* rather
+    /// than the last request. Lives on `Shared` (not the service
+    /// handle) so the observability HTTP server's snapshot hook can
+    /// call it from its own thread.
+    fn snapshot_now(&self) -> Option<MetricsSnapshot> {
+        let obs = self.obs.as_ref()?;
+        let reg = obs.hub.registry();
+        let session = self.current_session();
+        let s = session.stats();
+        reg.gauge("sparseloop_session_slots", &[])
+            .set_u64(s.total_slots() as u64);
+        reg.gauge("sparseloop_session_density_models", &[])
+            .set_u64(s.density_models as u64);
+        reg.gauge("sparseloop_session_format_slots", &[])
+            .set_u64(s.format_slots as u64);
+        reg.gauge("sparseloop_session_peak_slots", &[])
+            .set_u64(self.counters().peak_slots);
+        // gauges, not counters: the memo resets when the session
+        // recycles, so hit/miss counts are not monotonic
+        reg.gauge("sparseloop_session_format_cache", &[("kind", "hit")])
+            .set_u64(s.format.hits);
+        reg.gauge("sparseloop_session_format_cache", &[("kind", "miss")])
+            .set_u64(s.format.misses);
+        self.sync_queue_depth();
+        Some(obs.hub.snapshot())
+    }
+
+    /// The effective shed watermark (0 configures "queue capacity").
+    fn effective_watermark(&self) -> usize {
+        match self.config.shed_watermark {
+            0 => self.queue.capacity(),
+            w => w.min(self.queue.capacity()),
+        }
+    }
+
+    /// Liveness verdict for `GET /healthz`: unhealthy while the fleet
+    /// circuit breaker is open (requests are being served degraded) or
+    /// the queue has reached the shed watermark (admissions are being
+    /// refused). Both conditions clear on their own, so 503 here means
+    /// "back off", not "dead".
+    fn health_status(&self) -> HealthStatus {
+        let breaker_open = self
+            .obs
+            .as_ref()
+            .map(|o| {
+                o.hub
+                    .registry()
+                    .gauge("sparseloop_fleet_breaker_state", &[])
+            })
+            .is_some_and(|g| g.get() == 1);
+        let depth = self.queue.len();
+        let watermark = self.effective_watermark();
+        if breaker_open {
+            HealthStatus {
+                healthy: false,
+                detail: "fleet circuit breaker open".to_string(),
+            }
+        } else if depth >= watermark {
+            HealthStatus {
+                healthy: false,
+                detail: format!("queue depth {depth} at shed watermark {watermark}"),
+            }
+        } else {
+            HealthStatus {
+                healthy: true,
+                detail: format!("queue depth {depth}/{watermark}"),
+            }
+        }
+    }
+
+    /// Re-syncs the queue-depth gauge from the queue's own length. An
+    /// absolute set after every transition (admit, displace, pop) — the
+    /// gauge can never drift negative or double-count the way paired
+    /// inc/dec bookkeeping can.
+    fn sync_queue_depth(&self) {
+        if let Some(obs) = &self.obs {
+            obs.queue_depth.set_u64(self.queue.len() as u64);
+        }
+    }
+
+    /// Offers one finished request to the flight recorder, tagging it
+    /// with its terminal outcome. Cheap successful requests are dropped
+    /// inside [`FlightRecorder::record`]; anything interesting keeps
+    /// its complete span tree for `/traces`.
+    ///
+    /// [`FlightRecorder::record`]: sparseloop_obs::FlightRecorder::record
+    fn record_outcome(&self, request_id: u64, enqueued_nanos: u64, outcome: RequestOutcome) {
+        let Some(obs) = &self.obs else { return };
+        let now = obs.hub.now_nanos();
+        let events = obs.hub.traces().events_for(request_id);
+        let hedged = events.iter().any(|e| e.kind == SpanKind::HedgeDispatch);
+        obs.hub.recorder().record(RecordedRequest {
+            request_id,
+            outcome,
+            latency_nanos: now.saturating_sub(enqueued_nanos),
+            hedged,
+            completed_nanos: now,
+            events,
+        });
+    }
+
     /// Books a displaced queue victim: it was admitted (already counted
     /// `submitted`), so it must land in exactly one completion bucket —
     /// `shed` — and its ticket resolves immediately to
@@ -615,6 +742,11 @@ impl Shared {
         if let Some(obs) = &self.obs {
             obs.shed.inc();
         }
+        self.record_outcome(
+            victim.request_id,
+            victim.enqueued_nanos,
+            RequestOutcome::Shed,
+        );
         let _ = victim.responder.send(Err(ServeError::Shed {
             retry_after_hint: self.retry_after_hint(),
         }));
@@ -623,9 +755,15 @@ impl Shared {
     /// Dispatches spec text to the attached fleet. `Ok(None)` means
     /// "evaluate in process instead": no fleet, or the fleet lost its
     /// workers / ran out of host deadline — failures of the machinery,
-    /// not the workload. Deterministic workload failures surface as
+    /// not the workload (`degraded` is set so the flight recorder can
+    /// tag the request). Deterministic workload failures surface as
     /// real errors so fallback never masks a bad request.
-    fn try_fleet(&self, text: &str) -> Result<Option<ScenarioReply>, ServeError> {
+    fn try_fleet(
+        &self,
+        text: &str,
+        ctx: TraceContext,
+        degraded: &mut bool,
+    ) -> Result<Option<ScenarioReply>, ServeError> {
         let Some(fleet) = &self.fleet else {
             return Ok(None);
         };
@@ -633,7 +771,7 @@ impl Shared {
         if let Some(obs) = &self.obs {
             obs.fleet_dispatched.inc();
         }
-        match fleet.run_spec(text) {
+        match fleet.run_spec_traced(text, Some(ctx)) {
             Ok(reply) => Ok(Some(reply)),
             Err(HostError::InvalidSpec(diag)) => Err(ServeError::InvalidSpec(diag)),
             Err(HostError::TaskFailed { message }) => Err(ServeError::Panicked(message)),
@@ -642,6 +780,7 @@ impl Shared {
                 if let Some(obs) = &self.obs {
                     obs.fleet_fallback.inc();
                 }
+                *degraded = true;
                 Ok(None)
             }
         }
@@ -652,6 +791,8 @@ impl Shared {
         request: &ServeRequest,
         session: &EvalSession,
         cancel: &CancelToken,
+        ctx: TraceContext,
+        degraded: &mut bool,
     ) -> Result<ServeReply, ServeError> {
         let probe = || cancel.is_canceled();
         let probe: Option<&(dyn Fn() -> bool + Sync)> = Some(&probe);
@@ -673,7 +814,9 @@ impl Shared {
                 // same emit→dispatch path the supervisor's
                 // `run_scenario` uses; enforced bit-identical to the
                 // in-process run by the fleet round-trip suite
-                if let Some(reply) = self.try_fleet(&sparseloop_spec::emit_scenario(scenario))? {
+                if let Some(reply) =
+                    self.try_fleet(&sparseloop_spec::emit_scenario(scenario), ctx, degraded)?
+                {
                     return Ok(ServeReply::Scenario(reply));
                 }
                 let outcome = scenario.run_sharded_with(session, self.config.shards, probe);
@@ -685,7 +828,7 @@ impl Shared {
                 let scenario = sparseloop_spec::compile_str(text)
                     .map_err(|e| ServeError::InvalidSpec(SpecDiagnostic::from(&e)))?
                     .into_scenario();
-                if let Some(reply) = self.try_fleet(text)? {
+                if let Some(reply) = self.try_fleet(text, ctx, degraded)? {
                     return Ok(ServeReply::Scenario(reply));
                 }
                 let outcome = scenario.run_sharded_with(session, self.config.shards, probe);
@@ -745,6 +888,14 @@ pub fn scenario_reply(outcome: sparseloop_designs::ScenarioOutcome) -> ScenarioR
     }
 }
 
+/// True when a tripped token's deadline has passed — used to classify
+/// cancellation as [`RequestOutcome::DeadlineExceeded`] rather than an
+/// explicit abandon. A token canceled explicitly *and* past its deadline
+/// reads as deadline-exceeded; either label is truthful there.
+fn deadline_expired(cancel: &CancelToken) -> bool {
+    cancel.inner.deadline.is_some_and(|d| Instant::now() >= d)
+}
+
 fn worker_loop(shared: &Shared) {
     while let Some(Work {
         request,
@@ -754,11 +905,8 @@ fn worker_loop(shared: &Shared) {
         enqueued_nanos,
     }) = shared.queue.pop()
     {
+        shared.sync_queue_depth();
         if let Some(obs) = &shared.obs {
-            obs.hub
-                .registry()
-                .gauge("sparseloop_queue_depth", &[])
-                .set_u64(shared.queue.len() as u64);
             let now = obs.hub.now_nanos();
             obs.queue_wait.observe(now.saturating_sub(enqueued_nanos));
             obs.hub
@@ -771,14 +919,25 @@ fn worker_loop(shared: &Shared) {
             if let Some(obs) = &shared.obs {
                 obs.canceled.inc();
             }
+            shared.record_outcome(request_id, enqueued_nanos, RequestOutcome::Canceled);
             let _ = responder.send(Err(ServeError::Canceled));
             continue;
         }
         let session = shared.current_session();
         let eval_start = shared.obs.as_ref().map(|o| o.hub.now_nanos());
+        // the session span id is allocated before evaluation so the
+        // fleet round-trip (and through it every cross-process worker
+        // span) can parent under it; the span itself is recorded once
+        // the duration is known
+        let session_span = shared.obs.as_ref().map_or(0, |o| o.hub.next_span_id());
+        let ctx = TraceContext {
+            request_id,
+            parent_span_id: session_span,
+        };
         let wall_start = Instant::now();
+        let mut degraded = false;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let reply = shared.process(&request, &session, &cancel);
+            let reply = shared.process(&request, &session, &cancel, ctx, &mut degraded);
             shared.maybe_recycle(&session);
             reply
         }));
@@ -812,10 +971,37 @@ fn worker_loop(shared: &Shared) {
                         }
                     }
                     if let Some(start) = eval_start {
-                        obs.hub.span(request_id, SpanKind::SessionEval, None, start);
+                        obs.hub.span_with_id(
+                            request_id,
+                            session_span,
+                            0,
+                            SpanKind::SessionEval,
+                            None,
+                            start,
+                        );
                     }
                     obs.absorb_reply(&reply);
                 }
+                let recorded = if canceled {
+                    // a tripped deadline and an explicit cancel look the
+                    // same to the eval loop; the recorder distinguishes
+                    // them so `/traces` can show which deadline fired
+                    if deadline_expired(&cancel) {
+                        RequestOutcome::DeadlineExceeded
+                    } else {
+                        RequestOutcome::Canceled
+                    }
+                } else {
+                    match &reply {
+                        Ok(_) if degraded => RequestOutcome::Degraded,
+                        Ok(_) => RequestOutcome::Ok,
+                        Err(ServeError::Shed { .. }) => RequestOutcome::Shed,
+                        Err(ServeError::Panicked(_)) => RequestOutcome::Panicked,
+                        Err(ServeError::Canceled) => RequestOutcome::Canceled,
+                        Err(_) => RequestOutcome::Error,
+                    }
+                };
+                shared.record_outcome(request_id, enqueued_nanos, recorded);
                 // the submitter may have dropped its ticket; that is fine
                 let _ = responder.send(reply);
             }
@@ -827,6 +1013,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(obs) = &shared.obs {
                     obs.panicked.inc();
                 }
+                shared.record_outcome(request_id, enqueued_nanos, RequestOutcome::Panicked);
                 shared.swap_session(&session);
                 let msg = panic
                     .downcast_ref::<&str>()
@@ -843,6 +1030,10 @@ fn worker_loop(shared: &Shared) {
 pub struct EvalService {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The embedded observability HTTP server, when the config asked
+    /// for one (held here, not in `Shared`, so its hook closures —
+    /// which capture `Arc<Shared>` — form no reference cycle).
+    obs_server: Option<ObsServer>,
 }
 
 impl EvalService {
@@ -922,7 +1113,48 @@ impl EvalService {
                     .expect("spawn service worker")
             })
             .collect();
-        EvalService { shared, workers }
+        let obs_server = match (&config.obs_server_addr, &shared.obs) {
+            (Some(addr), Some(obs)) => {
+                let snap = Arc::clone(&shared);
+                let health = Arc::clone(&shared);
+                let hooks = ObsServerHooks {
+                    // a hook snapshot refreshes the gauges exactly like
+                    // `metrics_snapshot`, so curl and the in-process
+                    // accessor render byte-identical text
+                    snapshot: Arc::new(move || {
+                        snap.snapshot_now().expect("hooked service has a hub")
+                    }),
+                    health: Arc::new(move || health.health_status()),
+                };
+                match ObsServer::start(*addr, obs.hub.clone(), hooks) {
+                    Ok(server) => Some(server),
+                    Err(err) => {
+                        // a service that cannot bind its debug endpoint
+                        // still serves traffic; the failure is loud in
+                        // metrics rather than fatal
+                        obs.hub
+                            .registry()
+                            .counter("sparseloop_obs_server_bind_errors_total", &[])
+                            .inc();
+                        eprintln!("sparseloop: obs server bind failed on {addr}: {err}");
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
+        EvalService {
+            shared,
+            workers,
+            obs_server,
+        }
+    }
+
+    /// The bound address of the embedded observability HTTP server
+    /// (`None` unless [`ServeConfig::with_obs_server`] was set and the
+    /// bind succeeded). Bind to port 0 and read the real port here.
+    pub fn obs_http_addr(&self) -> Option<SocketAddr> {
+        self.obs_server.as_ref().map(|s| s.local_addr())
     }
 
     /// The observability hub this service reports into (`None` when
@@ -933,29 +1165,11 @@ impl EvalService {
 
     /// Renders a point-in-time metrics snapshot, refreshing the
     /// session/queue gauges first so the text reflects *now* rather
-    /// than the last request. `None` when started without a hub.
+    /// than the last request. `None` when started without a hub. The
+    /// observability HTTP server's `GET /metrics` serves exactly this
+    /// snapshot's [`render_text`](MetricsSnapshot::render_text).
     pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
-        let obs = self.shared.obs.as_ref()?;
-        let reg = obs.hub.registry();
-        let session = self.shared.current_session();
-        let s = session.stats();
-        reg.gauge("sparseloop_session_slots", &[])
-            .set_u64(s.total_slots() as u64);
-        reg.gauge("sparseloop_session_density_models", &[])
-            .set_u64(s.density_models as u64);
-        reg.gauge("sparseloop_session_format_slots", &[])
-            .set_u64(s.format_slots as u64);
-        reg.gauge("sparseloop_session_peak_slots", &[])
-            .set_u64(self.shared.counters().peak_slots);
-        // gauges, not counters: the memo resets when the session
-        // recycles, so hit/miss counts are not monotonic
-        reg.gauge("sparseloop_session_format_cache", &[("kind", "hit")])
-            .set_u64(s.format.hits);
-        reg.gauge("sparseloop_session_format_cache", &[("kind", "miss")])
-            .set_u64(s.format.misses);
-        reg.gauge("sparseloop_queue_depth", &[])
-            .set_u64(self.shared.queue.len() as u64);
-        Some(obs.hub.snapshot())
+        self.shared.snapshot_now()
     }
 
     /// The effective configuration.
@@ -1061,21 +1275,23 @@ impl EvalService {
     ) -> Result<Ticket, SubmitError> {
         let (work, receiver) = self.make_work(request, &cancel);
         let capacity = self.shared.queue.capacity();
-        let watermark = match self.shared.config.shed_watermark {
-            0 => capacity,
-            w => w.min(capacity),
-        };
+        let watermark = self.shared.effective_watermark();
         match self.shared.queue.admit(work, priority, watermark) {
             Admission::Enqueued => {
                 if let Some(obs) = &self.shared.obs {
                     obs.submitted.inc();
                 }
+                self.shared.sync_queue_depth();
                 Ok(Ticket { receiver, cancel })
             }
             Admission::Displaced { victim, .. } => {
                 if let Some(obs) = &self.shared.obs {
                     obs.submitted.inc();
                 }
+                // displacement swaps one queued entry for another, so the
+                // depth is re-read from the queue itself rather than
+                // guessed at (+1 for the arrival, -1 for the victim)
+                self.shared.sync_queue_depth();
                 self.shared.shed_victim(victim);
                 Ok(Ticket { receiver, cancel })
             }
@@ -1108,6 +1324,7 @@ impl EvalService {
                 if let Some(obs) = &self.shared.obs {
                     obs.submitted.inc();
                 }
+                self.shared.sync_queue_depth();
                 Ok(Ticket { receiver, cancel })
             }
             Err(_) => {
@@ -1164,6 +1381,9 @@ impl EvalService {
     /// request (all outstanding tickets resolve), joins the workers and
     /// returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
+        // the debug endpoint goes down first so a scraper cannot catch
+        // a half-drained snapshot mid-shutdown
+        self.obs_server.take();
         self.shared.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -1176,6 +1396,7 @@ impl Drop for EvalService {
     fn drop(&mut self) {
         // same graceful drain as `shutdown`: pending tickets resolve
         // rather than hang
+        self.obs_server.take();
         self.shared.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -1719,6 +1940,51 @@ mod tests {
             "no SessionEval span recorded"
         );
         service.shutdown();
+    }
+
+    #[test]
+    fn obs_http_server_serves_metrics_health_and_traces() {
+        let service = EvalService::start_observed(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_obs_server("127.0.0.1:0".parse().unwrap()),
+            ObsHub::new(),
+        );
+        let addr = service.obs_http_addr().expect("obs server bound");
+        assert!(service.submit_job(search_job(0.4)).unwrap().wait().is_ok());
+
+        let (code, body) = sparseloop_obs::http::http_get(addr, "/metrics").unwrap();
+        assert_eq!(code, 200);
+        let parsed = MetricsSnapshot::parse_text(&body).expect("scrape parses");
+        assert_eq!(
+            parsed.get("sparseloop_requests_total{outcome=\"completed\"}"),
+            Some(1.0)
+        );
+        // the scrape self-identifies: build info carries the crate
+        // version and the frame protocol the fleet would speak
+        assert_eq!(
+            parsed.get(&format!(
+                "sparseloop_build_info{{protocol=\"{}\",version=\"{}\"}}",
+                crate::protocol::PROTOCOL_VERSION,
+                env!("CARGO_PKG_VERSION"),
+            )),
+            Some(1.0)
+        );
+        assert_eq!(parsed.get("sparseloop_queue_depth"), Some(0.0));
+
+        let (code, body) = sparseloop_obs::http::http_get(addr, "/healthz").unwrap();
+        assert_eq!(code, 200, "idle service is healthy: {body}");
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        let (code, body) = sparseloop_obs::http::http_get(addr, "/traces").unwrap();
+        assert_eq!(code, 200);
+        assert!(body.starts_with("# flight recorder:"), "{body}");
+
+        service.shutdown();
+        assert!(
+            sparseloop_obs::http::http_get(addr, "/healthz").is_err(),
+            "server must stop with the service"
+        );
     }
 
     /// A scenario whose build blocks until `gate` flips — pins the

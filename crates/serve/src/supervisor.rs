@@ -61,7 +61,7 @@ use crate::service::{scenario_reply, ScenarioReply, SpecDiagnostic};
 use sparseloop_core::{EvalSession, JobError, JobOutcome, JobPlan};
 use sparseloop_designs::{Scenario, ScenarioOutcome};
 use sparseloop_mapping::{merge_shard_results, SearchStats};
-use sparseloop_obs::{ObsHub, SpanKind, LATENCY_BUCKETS_NANOS};
+use sparseloop_obs::{ObsHub, SpanKind, TraceContext, LATENCY_BUCKETS_NANOS};
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
@@ -328,6 +328,11 @@ struct SlotState {
     /// Hub-clock reading of the last dispatch to this slot (0 when the
     /// host is unobserved) — anchors the `ShardDispatch` span.
     dispatched_nanos: u64,
+    /// Span id pre-allocated for the in-flight dispatch (0 when the
+    /// host is unobserved). It travels to the worker inside the Task's
+    /// trace context, so worker phase spans parent under it; the
+    /// dispatch span itself is recorded with this id at result receipt.
+    dispatch_span_id: u64,
 }
 
 /// Observability attachment of a [`ShardHost`]: the shared hub plus the
@@ -396,6 +401,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
         // breaker cooldowns follow the hub clock, so ManualClock-backed
         // hubs make breaker transitions fully deterministic
         host.breaker.set_clock(hub.clock());
+        hub.set_protocol_version(crate::protocol::PROTOCOL_VERSION);
         host.obs = Some(HostObs {
             hub,
             published: HostStats::default(),
@@ -527,16 +533,49 @@ impl<S: WorkerSpawner> ShardHost<S> {
     /// Runs a spec document across the worker fleet and merges the
     /// shard results (see the [module docs](self) for the policy).
     pub fn run_spec(&mut self, text: &str) -> Result<ScenarioReply, HostError> {
-        let req = self
-            .obs
-            .as_ref()
-            .map(|o| (o.hub.next_request_id(), o.hub.now_nanos()));
-        let result = self.run_spec_inner(text, req.map(|(id, _)| id));
-        if let Some((req_id, start_nanos)) = req {
+        self.run_spec_traced(text, None)
+    }
+
+    /// [`run_spec`](Self::run_spec) under a caller-provided trace
+    /// context: the fleet round-trip span parents under
+    /// `ctx.parent_span_id` and every dispatch/worker span is tagged
+    /// with `ctx.request_id`, so a service request's timeline crosses
+    /// the process boundary intact. `None` (or an unobserved host)
+    /// falls back to a host-allocated request id.
+    pub fn run_spec_traced(
+        &mut self,
+        text: &str,
+        ctx: Option<TraceContext>,
+    ) -> Result<ScenarioReply, HostError> {
+        // (request id, parent span, round-trip span id, start) — the
+        // round-trip span id is allocated up front so dispatch spans
+        // can parent under it before it is recorded.
+        let trace = self.obs.as_ref().map(|o| {
+            let ctx = ctx.unwrap_or_default();
+            let req_id = if ctx.request_id != 0 {
+                ctx.request_id
+            } else {
+                o.hub.next_request_id()
+            };
+            (
+                req_id,
+                ctx.parent_span_id,
+                o.hub.next_span_id(),
+                o.hub.now_nanos(),
+            )
+        });
+        let result = self.run_spec_inner(text, trace.map(|(id, _, span, _)| (id, span)));
+        if let Some((req_id, parent, span, start_nanos)) = trace {
             if result.is_ok() {
                 if let Some(o) = &self.obs {
-                    o.hub
-                        .span(req_id, SpanKind::WorkerRoundTrip, None, start_nanos);
+                    o.hub.span_with_id(
+                        req_id,
+                        span,
+                        parent,
+                        SpanKind::WorkerRoundTrip,
+                        None,
+                        start_nanos,
+                    );
                 }
             }
             self.publish_metrics();
@@ -547,7 +586,8 @@ impl<S: WorkerSpawner> ShardHost<S> {
     fn run_spec_inner(
         &mut self,
         text: &str,
-        req_id: Option<u64>,
+        // (request id, round-trip span id) when observed
+        trace: Option<(u64, u64)>,
     ) -> Result<ScenarioReply, HostError> {
         let scenario = sparseloop_spec::compile_str(text)
             .map_err(|e| HostError::InvalidSpec(SpecDiagnostic::from(&e)))?
@@ -595,7 +635,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
         let mut hedge_deadline: Option<Instant> = None;
 
         for slot in 0..n {
-            self.dispatch_shard(slot, task_id, text, &mut attempts, deadline)?;
+            self.dispatch_shard(slot, task_id, text, &mut attempts, deadline, trace)?;
         }
 
         while shard_results.iter().any(Option::is_none) {
@@ -617,7 +657,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
                             hedged[shard] = true;
                             let budgeted = self.hedge_tokens.as_mut().is_some_and(|b| b.try_take());
                             if budgeted {
-                                self.dispatch_hedge(shard, task_id, text);
+                                self.dispatch_hedge(shard, task_id, text, trace);
                             }
                         }
                     }
@@ -675,17 +715,20 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                     if id == task_id && shard_results[shard].is_none() =>
                                 {
                                     if let Some(o) = &self.obs {
-                                        let dispatched = self.slots[slot]
+                                        let (dispatched, span_id) = self.slots[slot]
                                             .as_ref()
-                                            .map(|st| st.dispatched_nanos)
-                                            .unwrap_or(0);
+                                            .map(|st| (st.dispatched_nanos, st.dispatch_span_id))
+                                            .unwrap_or((0, 0));
                                         let span_kind = if is_hedge {
                                             SpanKind::HedgeDispatch
                                         } else {
                                             SpanKind::ShardDispatch
                                         };
-                                        o.hub.span(
-                                            req_id.unwrap_or(0),
+                                        let (rid, roundtrip) = trace.unwrap_or((0, 0));
+                                        o.hub.span_with_id(
+                                            rid,
+                                            span_id,
+                                            roundtrip,
                                             span_kind,
                                             Some(shard as u32),
                                             dispatched,
@@ -712,14 +755,23 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                     search_nanos,
                                     generated,
                                     evaluated,
+                                    trace_request,
+                                    trace_parent,
                                 } if id == task_id => {
+                                    // v3 workers echo the trace context
+                                    // the task carried; a v2 worker's
+                                    // zeros fall back to this request.
+                                    let rid = if trace_request != 0 {
+                                        trace_request
+                                    } else {
+                                        trace.map_or(0, |(r, _)| r)
+                                    };
                                     self.observe_worker_stats(
-                                        req_id,
+                                        rid,
+                                        trace_parent,
                                         shard,
-                                        compile_nanos,
-                                        search_nanos,
-                                        generated,
-                                        evaluated,
+                                        (compile_nanos, search_nanos),
+                                        (generated, evaluated),
                                     );
                                 }
                                 Frame::TaskFailed {
@@ -744,6 +796,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                             text,
                                             &mut attempts,
                                             deadline,
+                                            trace,
                                         )?;
                                     }
                                     continue;
@@ -768,6 +821,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                         text,
                                         &mut attempts,
                                         deadline,
+                                        trace,
                                     )?;
                                 }
                             }
@@ -781,7 +835,14 @@ impl<S: WorkerSpawner> ShardHost<S> {
                             if !is_hedge && shard_results[shard].is_none() {
                                 let why = why.unwrap_or_else(|| "worker exited".to_string());
                                 self.retire_attempt(shard, &mut attempts, why, deadline)?;
-                                self.dispatch_shard(shard, task_id, text, &mut attempts, deadline)?;
+                                self.dispatch_shard(
+                                    shard,
+                                    task_id,
+                                    text,
+                                    &mut attempts,
+                                    deadline,
+                                    trace,
+                                )?;
                             }
                         }
                     }
@@ -808,7 +869,14 @@ impl<S: WorkerSpawner> ShardHost<S> {
                                     "heartbeat timeout".to_string(),
                                     deadline,
                                 )?;
-                                self.dispatch_shard(shard, task_id, text, &mut attempts, deadline)?;
+                                self.dispatch_shard(
+                                    shard,
+                                    task_id,
+                                    text,
+                                    &mut attempts,
+                                    deadline,
+                                    trace,
+                                )?;
                             }
                         }
                     }
@@ -916,6 +984,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
             frames_since_dispatch: 0,
             kill_after,
             dispatched_nanos: 0,
+            dispatch_span_id: 0,
         });
         Ok(())
     }
@@ -929,6 +998,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
         spec: &str,
         attempts: &mut [u32],
         deadline: Option<Instant>,
+        trace: Option<(u64, u64)>,
     ) -> Result<(), HostError> {
         loop {
             if self.slots[slot].is_none() {
@@ -937,6 +1007,14 @@ impl<S: WorkerSpawner> ShardHost<S> {
                     continue;
                 }
             }
+            // Each dispatch attempt gets a fresh span id; the worker
+            // parents its phase spans under it via the task's trace
+            // context, and the span itself is recorded at result
+            // receipt (retries therefore show as sibling dispatches).
+            let (trace_request, dispatch_span) = match (&self.obs, trace) {
+                (Some(o), Some((rid, _))) => (rid, o.hub.next_span_id()),
+                _ => (0, 0),
+            };
             let task = Frame::Task {
                 id: task_id,
                 shard: slot as u32,
@@ -946,6 +1024,8 @@ impl<S: WorkerSpawner> ShardHost<S> {
                 // ask for a phase-timing Stats frame only when someone
                 // is listening
                 want_stats: self.obs.is_some(),
+                trace_request,
+                trace_parent: dispatch_span,
             };
             let dispatched_nanos = self.obs.as_ref().map_or(0, |o| o.hub.now_nanos());
             let send = {
@@ -953,6 +1033,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
                 st.frames_since_dispatch = 0;
                 st.last_seen = Instant::now();
                 st.dispatched_nanos = dispatched_nanos;
+                st.dispatch_span_id = dispatch_span;
                 st.handle.send(&task)
             };
             if let Err(e) = send {
@@ -978,11 +1059,21 @@ impl<S: WorkerSpawner> ShardHost<S> {
     /// Failures are swallowed: a hedge that cannot start just leaves
     /// the primary attempt racing alone, and hedges never consume
     /// retries or backoff.
-    fn dispatch_hedge(&mut self, shard: usize, task_id: u64, spec: &str) {
+    fn dispatch_hedge(
+        &mut self,
+        shard: usize,
+        task_id: u64,
+        spec: &str,
+        trace: Option<(u64, u64)>,
+    ) {
         let slot = self.config.shards + shard;
         if self.slots[slot].is_none() && self.spawn_slot(slot).is_err() {
             return;
         }
+        let (trace_request, dispatch_span) = match (&self.obs, trace) {
+            (Some(o), Some((rid, _))) => (rid, o.hub.next_span_id()),
+            _ => (0, 0),
+        };
         let task = Frame::Task {
             id: task_id,
             shard: shard as u32,
@@ -992,6 +1083,8 @@ impl<S: WorkerSpawner> ShardHost<S> {
             // the primary already reports phase stats for this shard; a
             // second Stats frame would double-count the histograms
             want_stats: false,
+            trace_request,
+            trace_parent: dispatch_span,
         };
         let dispatched_nanos = self.obs.as_ref().map_or(0, |o| o.hub.now_nanos());
         let send = {
@@ -999,6 +1092,7 @@ impl<S: WorkerSpawner> ShardHost<S> {
             st.frames_since_dispatch = 0;
             st.last_seen = Instant::now();
             st.dispatched_nanos = dispatched_nanos;
+            st.dispatch_span_id = dispatch_span;
             st.handle.send(&task)
         };
         if send.is_err() {
@@ -1176,16 +1270,19 @@ impl<S: WorkerSpawner> ShardHost<S> {
     /// Folds one worker-side [`Frame::Stats`] into histograms and
     /// spans. Durations are in the worker's clock domain, so spans are
     /// anchored at receipt time minus duration (magnitudes are what
-    /// matter).
+    /// matter). `timings` is `(compile_nanos, search_nanos)`, `counts`
+    /// is `(generated, evaluated)`; both phase spans parent under
+    /// `parent_span` — the dispatch span the task traveled in.
     fn observe_worker_stats(
         &self,
-        req_id: Option<u64>,
+        request_id: u64,
+        parent_span: u64,
         shard: u32,
-        compile_nanos: u64,
-        search_nanos: u64,
-        generated: u64,
-        evaluated: u64,
+        timings: (u64, u64),
+        counts: (u64, u64),
     ) {
+        let (compile_nanos, search_nanos) = timings;
+        let (generated, evaluated) = counts;
         let Some(obs) = &self.obs else { return };
         let reg = obs.hub.registry();
         let shard_label = shard.to_string();
@@ -1211,21 +1308,22 @@ impl<S: WorkerSpawner> ShardHost<S> {
             &[("stage", "evaluated")],
         )
         .add(evaluated);
-        let id = req_id.unwrap_or(0);
         let now = obs.hub.now_nanos();
         obs.hub.span_with_duration(
-            id,
+            request_id,
             SpanKind::WorkerCompile,
             Some(shard),
             now.saturating_sub(compile_nanos.saturating_add(search_nanos)),
             compile_nanos,
+            parent_span,
         );
         obs.hub.span_with_duration(
-            id,
+            request_id,
             SpanKind::WorkerSearch,
             Some(shard),
             now.saturating_sub(search_nanos),
             search_nanos,
+            parent_span,
         );
     }
 
